@@ -1,0 +1,82 @@
+"""E2 — the architecture of Figure 1.
+
+Measures the cost of each access path through the prototype's layers for the
+same receiver query: direct federation call, HTML QBE submission, and the
+ODBC-style driver over the HTTP-tunnelled protocol.  The paper's claim is
+architectural (transparent access through standard interfaces); the shape to
+reproduce is that every path returns the same answer, with a modest, bounded
+protocol overhead for the remote paths.
+"""
+
+import pytest
+
+from repro.demo.datasets import PAPER_EXPECTED_ANSWER, PAPER_QUERY
+from repro.demo.scenarios import build_paper_federation
+from repro.server import MediationServer, QBEInterface, connect
+
+EXPECTED = (PAPER_EXPECTED_ANSWER[0][0], pytest.approx(PAPER_EXPECTED_ANSWER[0][1]))
+
+
+def test_e2_direct_federation_path(benchmark):
+    federation = build_paper_federation().federation
+    answer = benchmark(lambda: federation.query(PAPER_QUERY))
+    assert [(r["cname"], r["revenue"]) for r in answer.records] == [EXPECTED]
+
+
+def test_e2_odbc_over_http_path(benchmark):
+    federation = build_paper_federation().federation
+    server = MediationServer(federation)
+    connection = connect(server=server, context="c_receiver")
+
+    def run():
+        cursor = connection.cursor()
+        cursor.execute(PAPER_QUERY)
+        return cursor.fetchall()
+
+    rows = benchmark(run)
+    assert rows == [("NTT", pytest.approx(9_600_000.0))]
+    stats = connection._channel.statistics.snapshot()
+    print("\n=== E2: ODBC/HTTP tunnel traffic ===")
+    print(stats)
+    benchmark.extra_info["round_trips"] = stats["round_trips"]
+    benchmark.extra_info["bytes_received"] = stats["bytes_received"]
+
+
+def test_e2_qbe_path(benchmark):
+    federation = build_paper_federation().federation
+    qbe = QBEInterface(federation)
+    fields = {
+        "show__r1__cname": "on",
+        "show__r1__revenue": "on",
+        "join__1": "r1.cname = r2.cname",
+        "join__2": "r1.revenue > r2.expenses",
+        "context": "c_receiver",
+    }
+
+    def run():
+        _form, answer = qbe.submit(fields)
+        return qbe.render_answer(answer)
+
+    html_text = benchmark(run)
+    assert "<td>NTT</td>" in html_text
+    assert "Mediated query" in html_text
+
+
+def test_e2_all_paths_agree():
+    """Same answer through every interface (no benchmark timing needed)."""
+    federation = build_paper_federation().federation
+    direct = federation.query(PAPER_QUERY).relation.rows
+
+    server = MediationServer(federation)
+    cursor = connect(server=server, context="c_receiver").cursor()
+    cursor.execute(PAPER_QUERY)
+    via_odbc = cursor.fetchall()
+
+    _form, qbe_answer = QBEInterface(federation).submit({
+        "show__r1__cname": "on", "show__r1__revenue": "on",
+        "join__1": "r1.cname = r2.cname", "join__2": "r1.revenue > r2.expenses",
+        "context": "c_receiver",
+    })
+    print("\n=== E2: answers per access path ===")
+    print(f"direct: {direct}\nodbc  : {via_odbc}\nqbe   : {qbe_answer.relation.rows}")
+    assert list(direct) == list(via_odbc) == list(qbe_answer.relation.rows)

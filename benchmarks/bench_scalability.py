@@ -1,0 +1,74 @@
+"""E3 — the scalability claim of Section 1.
+
+"The complexity of creating and administering the interoperation services do
+not increase exponentially with the number of participating sources and
+receivers, since the addition of new sources or receivers requires only
+incremental instantiation of a new context."
+
+The series reproduced: integration effort (artifacts authored) as the number
+of sources grows, for COIN (linear) versus the tight-coupling global-schema
+baseline (quadratic pairwise registry), plus mediation latency to show query
+processing does not blow up either.
+"""
+
+import pytest
+
+from repro.baselines.tight import GlobalSchemaIntegrator, SourceConvention
+from repro.demo.scenarios import build_scalability_federation
+
+SOURCE_COUNTS = (2, 4, 8, 16)
+
+
+def _tight_effort(scenario):
+    integrator = GlobalSchemaIntegrator()
+    for relation in scenario.relations:
+        currency, scale = scenario.conventions[relation]
+        wrapper = scenario.federation.engine.catalog.wrapper_for(relation)
+        integrator.add_source(wrapper.fetch(relation), SourceConvention(relation, currency, scale))
+    return integrator.effort.snapshot()
+
+
+def test_e3_effort_growth_series():
+    """Print and check the COIN-vs-tight-coupling effort series."""
+    print("\n=== E3: integration effort vs number of sources ===")
+    print(f"{'sources':>8} {'COIN axioms':>12} {'tight total':>12} {'tight pairwise':>15}")
+    series = []
+    for count in SOURCE_COUNTS:
+        scenario = build_scalability_federation(count, companies_per_source=4)
+        coin = scenario.federation.integration_effort()
+        coin_axioms = coin["context_axioms"] + coin["elevation_axioms"]
+        tight = _tight_effort(scenario)
+        series.append((count, coin_axioms, tight["total"], tight["pairwise_mappings"]))
+        print(f"{count:>8} {coin_axioms:>12} {tight['total']:>12} {tight['pairwise_mappings']:>15}")
+
+    # Shape: COIN grows linearly (constant per-source increment), the baseline's
+    # pairwise registry grows quadratically.
+    coin_increments = [series[i + 1][1] - series[i][1] for i in range(len(series) - 1)]
+    per_source_increment = [
+        increment / (SOURCE_COUNTS[i + 1] - SOURCE_COUNTS[i]) for i, increment in enumerate(coin_increments)
+    ]
+    assert max(per_source_increment) - min(per_source_increment) <= 1e-9
+    assert series[-1][3] == 16 * 15 // 2
+    assert series[1][3] == 4 * 3 // 2
+    # Crossover: COIN costs more than pairwise mapping for tiny federations but
+    # far less once the federation grows.
+    assert series[-1][1] < series[-1][3]
+
+
+def test_e3_mediation_latency_scales(benchmark):
+    """Mediation latency for a cross-source query in a 16-source federation."""
+    scenario = build_scalability_federation(16, companies_per_source=4)
+    sql = scenario.pairwise_query(scenario.relations[0], scenario.relations[9])
+
+    result = benchmark(lambda: scenario.federation.mediate_only(sql))
+    assert result.branch_count >= 1
+    benchmark.extra_info["sources"] = 16
+    benchmark.extra_info["branches"] = result.branch_count
+
+
+def test_e3_end_to_end_latency_at_scale(benchmark):
+    scenario = build_scalability_federation(8, companies_per_source=10)
+    sql = scenario.pairwise_query(scenario.relations[1], scenario.relations[2])
+    answer = benchmark(lambda: scenario.federation.query(sql))
+    benchmark.extra_info["result_rows"] = len(answer.records)
+    assert answer.mediation.branch_count >= 1

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. on machines where ``pip install -e .`` is unavailable because the
+``wheel`` package is missing).  When the package *is* installed this is a
+harmless no-op: the installed path simply wins if it comes first.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

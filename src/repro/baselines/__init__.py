@@ -1,0 +1,24 @@
+"""Baseline integration strategies the paper positions COIN against.
+
+* :mod:`repro.baselines.tight` — tight coupling: a priori global-schema
+  integration with hand-written conversion views and pairwise conflict
+  registries (quadratic administration effort);
+* :mod:`repro.baselines.loose` — loose coupling: no infrastructure, the user
+  resolves conflicts in every query by hand (per-query effort).
+"""
+
+from repro.baselines.tight import GlobalSchemaIntegrator, IntegrationEffort, SourceConvention
+from repro.baselines.loose import (
+    ManualQueryEffort,
+    PAPER_MANUAL_QUERY,
+    measure_manual_effort,
+)
+
+__all__ = [
+    "GlobalSchemaIntegrator",
+    "IntegrationEffort",
+    "SourceConvention",
+    "ManualQueryEffort",
+    "PAPER_MANUAL_QUERY",
+    "measure_manual_effort",
+]

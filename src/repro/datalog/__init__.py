@@ -1,0 +1,76 @@
+"""Deductive substrate: terms, unification, Horn clauses and SLD(NF) resolution.
+
+The COIN framework is defined over a deductive object-oriented data model
+(Frame-Logic family).  This package provides the logic-programming machinery
+the reproduction uses to encode that model: the domain model, elevation
+axioms, context theories and conversion functions all compile down to
+:class:`~repro.datalog.clause.Rule` objects, and the mediation procedure runs
+:class:`~repro.datalog.engine.Resolver` over them with abduction enabled.
+"""
+
+from repro.datalog.terms import (
+    Compound,
+    Constant,
+    Term,
+    Variable,
+    compound,
+    const,
+    fresh_var,
+    is_ground,
+    lift,
+    term_to_python,
+    var,
+    variables_of,
+)
+from repro.datalog.unify import Substitution, apply, compose, unify, unify_sequences, walk
+from repro.datalog.clause import (
+    Atom,
+    KnowledgeBase,
+    Literal,
+    Rule,
+    atom,
+    fact,
+    neg,
+    pos,
+    rule,
+)
+from repro.datalog.builtins import BUILTINS, call_builtin, evaluate_arithmetic, is_builtin
+from repro.datalog.engine import ResolutionConfig, Resolver, Solution, solve
+
+__all__ = [
+    "Compound",
+    "Constant",
+    "Term",
+    "Variable",
+    "compound",
+    "const",
+    "fresh_var",
+    "is_ground",
+    "lift",
+    "term_to_python",
+    "var",
+    "variables_of",
+    "Substitution",
+    "apply",
+    "compose",
+    "unify",
+    "unify_sequences",
+    "walk",
+    "Atom",
+    "KnowledgeBase",
+    "Literal",
+    "Rule",
+    "atom",
+    "fact",
+    "neg",
+    "pos",
+    "rule",
+    "BUILTINS",
+    "call_builtin",
+    "evaluate_arithmetic",
+    "is_builtin",
+    "ResolutionConfig",
+    "Resolver",
+    "Solution",
+    "solve",
+]

@@ -1,0 +1,173 @@
+"""Atoms, rules and knowledge bases for the deductive substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import DatalogError
+from repro.datalog.terms import Compound, Constant, Term, Variable, lift, rename_term, variables_of
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``attr(Object, currency, Value)``."""
+
+    predicate: str
+    args: Tuple[Term, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """The predicate indicator ``(name, arity)`` used for clause lookup."""
+        return (self.predicate, self.arity)
+
+    def variables(self) -> Iterator[Variable]:
+        for arg in self.args:
+            yield from variables_of(arg)
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "Atom":
+        return Atom(self.predicate, tuple(rename_term(arg, mapping) for arg in self.args))
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        return f"{self.predicate}({', '.join(str(arg) for arg in self.args)})"
+
+
+def atom(predicate: str, *args) -> Atom:
+    """Build an atom, lifting raw Python values to constants."""
+    return Atom(predicate, tuple(lift(arg) for arg in args))
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An atom with a sign.  Negative literals use negation-as-failure."""
+
+    atom: Atom
+    positive: bool = True
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "Literal":
+        return Literal(self.atom.rename(mapping), self.positive)
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+
+def pos(literal_atom: Atom) -> Literal:
+    return Literal(literal_atom, True)
+
+
+def neg(literal_atom: Atom) -> Literal:
+    return Literal(literal_atom, False)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn clause ``head :- body``.  A fact is a rule with an empty body."""
+
+    head: Atom
+    body: Tuple[Literal, ...] = ()
+    #: Optional label recording where the rule came from (context name,
+    #: elevation axiom, conversion function...); used by explanations.
+    label: Optional[str] = None
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def rename_apart(self) -> "Rule":
+        """Return a copy with all variables renamed to fresh ones."""
+        mapping: Dict[Variable, Variable] = {}
+        head = self.head.rename(mapping)
+        body = tuple(literal.rename(mapping) for literal in self.body)
+        return Rule(head, body, self.label)
+
+    def __str__(self) -> str:
+        if self.is_fact:
+            return f"{self.head}."
+        body_text = ", ".join(str(literal) for literal in self.body)
+        return f"{self.head} :- {body_text}."
+
+
+def rule(head: Atom, body: Sequence = (), label: Optional[str] = None) -> Rule:
+    """Build a rule; body entries may be atoms (taken as positive) or literals."""
+    literals: List[Literal] = []
+    for entry in body:
+        if isinstance(entry, Literal):
+            literals.append(entry)
+        elif isinstance(entry, Atom):
+            literals.append(Literal(entry, True))
+        else:
+            raise DatalogError(f"invalid body element {entry!r}")
+    return Rule(head, tuple(literals), label)
+
+
+def fact(predicate: str, *args, label: Optional[str] = None) -> Rule:
+    """Build a ground fact."""
+    return Rule(atom(predicate, *args), (), label)
+
+
+class KnowledgeBase:
+    """A collection of rules indexed by predicate indicator.
+
+    Knowledge bases are composable: the mediator assembles one per mediation
+    session by combining the domain model, the elevation axioms of the sources
+    in the query, the context theories of the sources and the receiver, and
+    the conversion-function rules.
+    """
+
+    def __init__(self, rules: Iterable[Rule] = (), name: str = "kb"):
+        self.name = name
+        self._rules: Dict[Tuple[str, int], List[Rule]] = {}
+        self._all: List[Rule] = []
+        for entry in rules:
+            self.add(entry)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, new_rule: Rule) -> None:
+        self._rules.setdefault(new_rule.head.indicator, []).append(new_rule)
+        self._all.append(new_rule)
+
+    def add_fact(self, predicate: str, *args, label: Optional[str] = None) -> None:
+        self.add(fact(predicate, *args, label=label))
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        for entry in rules:
+            self.add(entry)
+
+    def merge(self, other: "KnowledgeBase") -> "KnowledgeBase":
+        """Return a new knowledge base containing the rules of both."""
+        merged = KnowledgeBase(name=f"{self.name}+{other.name}")
+        merged.extend(self._all)
+        merged.extend(other._all)
+        return merged
+
+    # -- queries ------------------------------------------------------------
+
+    def rules_for(self, predicate: str, arity: int) -> List[Rule]:
+        return self._rules.get((predicate, arity), [])
+
+    def defines(self, predicate: str, arity: int) -> bool:
+        return (predicate, arity) in self._rules
+
+    @property
+    def rules(self) -> List[Rule]:
+        return list(self._all)
+
+    @property
+    def predicates(self) -> List[Tuple[str, int]]:
+        return sorted(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._all)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "\n".join(str(entry) for entry in self._all)

@@ -1,0 +1,47 @@
+"""Demo data and pre-wired federations used by examples, tests and benchmarks."""
+
+from repro.demo.datasets import (
+    PAPER_EXPECTED_ANSWER,
+    PAPER_JPY_TO_USD,
+    PAPER_QUERY,
+    company_names,
+    financials_rows,
+    ground_truth_usd,
+    paper_r1,
+    paper_r2,
+    stock_price_records,
+)
+from repro.demo.scenarios import (
+    EXCHANGE_RELATION,
+    EXCHANGE_WRAPPER_SPEC,
+    FinancialAnalysisScenario,
+    PaperScenario,
+    ScalabilityScenario,
+    build_exchange_wrapper,
+    build_financial_analysis_federation,
+    build_paper_coin_system,
+    build_paper_federation,
+    build_scalability_federation,
+)
+
+__all__ = [
+    "PAPER_EXPECTED_ANSWER",
+    "PAPER_JPY_TO_USD",
+    "PAPER_QUERY",
+    "company_names",
+    "financials_rows",
+    "ground_truth_usd",
+    "paper_r1",
+    "paper_r2",
+    "stock_price_records",
+    "EXCHANGE_RELATION",
+    "EXCHANGE_WRAPPER_SPEC",
+    "FinancialAnalysisScenario",
+    "PaperScenario",
+    "ScalabilityScenario",
+    "build_exchange_wrapper",
+    "build_financial_analysis_federation",
+    "build_paper_coin_system",
+    "build_paper_federation",
+    "build_scalability_federation",
+]

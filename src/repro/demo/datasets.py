@@ -1,0 +1,157 @@
+"""Demo datasets: the paper's Figure-2 relations plus synthetic extensions.
+
+The Figure-2 snapshot in the scanned paper is partially garbled; the values
+used here are the ones consistent with the worked example in Section 3:
+
+* the naive query returns an **empty** answer, and
+* the mediated query returns exactly ``('NTT', 9_600_000)`` because
+  ``1_000_000 × 1_000 × 0.0096 = 9_600_000 > 5_000_000``.
+
+That fixes R1 = {(IBM, 1,000,000, USD), (NTT, 1,000,000, JPY)} and
+R2 = {(IBM, 1,500,000), (NTT, 5,000,000)}, with the exchange-rate source
+quoting JPY→USD at 0.0096 (the page itself displays the 104.00 USD→JPY quote,
+as in the figure).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.relational.relation import Relation, relation_from_rows
+
+#: Currencies used by the synthetic multi-source scenarios.
+SCENARIO_CURRENCIES = ("USD", "JPY", "EUR", "GBP", "SGD", "KRW")
+
+#: Scale factors that sources plausibly report in.
+SCENARIO_SCALE_FACTORS = (1, 1000, 1000000)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 of the paper
+# ---------------------------------------------------------------------------
+
+
+def paper_r1() -> Relation:
+    """Source 1's relation: company financials in the currency of the row."""
+    return relation_from_rows(
+        "r1",
+        ["cname:string", "revenue:float", "currency:string"],
+        [
+            ("IBM", 1_000_000, "USD"),
+            ("NTT", 1_000_000, "JPY"),
+        ],
+        qualifier=None,
+    )
+
+
+def paper_r2() -> Relation:
+    """Source 2's relation: expenses, always USD with scale factor 1."""
+    return relation_from_rows(
+        "r2",
+        ["cname:string", "expenses:float"],
+        [
+            ("IBM", 1_500_000),
+            ("NTT", 5_000_000),
+        ],
+        qualifier=None,
+    )
+
+
+#: The query of Section 3, exactly as the receiver poses it (modulo the OCR
+#: artifact "rl" → "r1").
+PAPER_QUERY = (
+    "SELECT r1.cname, r1.revenue FROM r1, r2 "
+    "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+)
+
+#: The answer the paper reports for the mediated query.
+PAPER_EXPECTED_ANSWER = [("NTT", 9_600_000.0)]
+
+#: The JPY→USD rate implied by the example.
+PAPER_JPY_TO_USD = 0.0096
+
+
+# ---------------------------------------------------------------------------
+# Synthetic company data for the larger scenarios
+# ---------------------------------------------------------------------------
+
+_COMPANY_PREFIXES = (
+    "Acme", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Tyrell", "Cyberdyne",
+    "Wonka", "Hooli", "Vandelay", "Dunder", "Prestige", "Oceanic", "Soylent", "Massive",
+)
+_COMPANY_SUFFIXES = ("Corp", "Inc", "Ltd", "Group", "Holdings", "Industries", "Systems", "Partners")
+
+
+def company_names(count: int, seed: int = 7) -> List[str]:
+    """Deterministic synthetic company names (no duplicates)."""
+    rng = random.Random(seed)
+    names: List[str] = []
+    index = 0
+    while len(names) < count:
+        prefix = _COMPANY_PREFIXES[index % len(_COMPANY_PREFIXES)]
+        suffix = _COMPANY_SUFFIXES[(index // len(_COMPANY_PREFIXES)) % len(_COMPANY_SUFFIXES)]
+        candidate = f"{prefix} {suffix}"
+        if candidate in names:
+            candidate = f"{candidate} {index}"
+        names.append(candidate)
+        index += 1
+        rng.random()
+    return names
+
+
+def financials_rows(companies: Sequence[str], currency: str, scale_factor: int,
+                    seed: int = 11, in_source_currency: bool = True) -> List[Tuple]:
+    """Rows (cname, revenue, expenses, currency) expressed in a source's convention.
+
+    Underlying "true" figures are drawn in USD at scale 1 and then converted
+    into the source's reporting convention, so different sources describe the
+    same companies consistently and mediated answers can be checked against
+    ground truth.
+    """
+    from repro.sources.exchange import DEFAULT_RATES, complete_rates, lookup_rate
+
+    rates = complete_rates(DEFAULT_RATES)
+    rng = random.Random(seed)
+    rows = []
+    for company in companies:
+        revenue_usd = rng.randint(1, 500) * 1_000_000
+        expenses_usd = int(revenue_usd * rng.uniform(0.5, 1.5))
+        if in_source_currency:
+            # Divide by the currency->USD quote (rather than multiplying by the
+            # USD->currency quote) so that converting back with the same quote,
+            # as the mediator does, recovers the USD ground truth exactly even
+            # when published quotes are not perfectly reciprocal.
+            rate_to_usd = lookup_rate(rates, currency, "USD")
+            revenue = revenue_usd / rate_to_usd / scale_factor
+            expenses = expenses_usd / rate_to_usd / scale_factor
+        else:
+            revenue, expenses = revenue_usd, expenses_usd
+        rows.append((company, round(revenue, 4), round(expenses, 4), currency))
+    return rows
+
+
+def ground_truth_usd(companies: Sequence[str], seed: int = 11) -> Dict[str, Tuple[int, int]]:
+    """The underlying USD figures used by :func:`financials_rows` (same seed)."""
+    rng = random.Random(seed)
+    truth = {}
+    for company in companies:
+        revenue_usd = rng.randint(1, 500) * 1_000_000
+        expenses_usd = int(revenue_usd * rng.uniform(0.5, 1.5))
+        truth[company] = (revenue_usd, expenses_usd)
+    return truth
+
+
+def stock_price_records(companies: Sequence[str], currency: str = "USD",
+                        seed: int = 23) -> List[Dict[str, object]]:
+    """Per-company stock price records for the simulated price web sites."""
+    rng = random.Random(seed)
+    records = []
+    for company in companies:
+        records.append({
+            "cname": company,
+            "price": round(rng.uniform(5, 500), 2),
+            "currency": currency,
+            "exchange": rng.choice(["NYSE", "NASDAQ", "TSE", "LSE"]),
+        })
+    return records

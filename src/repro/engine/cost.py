@@ -1,0 +1,119 @@
+"""Cost model for planning multi-source queries.
+
+"Planning and optimizing the multi-source queries taking into account the
+sources capabilities as well as the execution and communication costs."
+
+Costs are abstract units.  Three components are modelled:
+
+* **source execution** — the work a source does to answer a pushed-down
+  sub-query: per-query overhead plus a per-row scan charge over the base
+  relation(s);
+* **communication** — a per-row transfer charge on every row shipped from a
+  source to the engine;
+* **local execution** — the engine's own work: joins over staged intermediate
+  results, residual filters and final projection, charged per tuple examined
+  or produced.
+
+Cardinalities are estimated with textbook default selectivities; the point is
+not accuracy but giving the planner a consistent yardstick for choosing join
+orders and deciding what to push down — and giving the planner benchmark (E7)
+something to report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sources.base import SourceCapabilities
+
+#: Default selectivity of one selection conjunct.
+SELECTION_SELECTIVITY = 1.0 / 3.0
+#: Default selectivity of an equi-join predicate.
+EQUI_JOIN_SELECTIVITY = 1.0 / 10.0
+#: Cost charged per tuple examined by a local operator.
+LOCAL_TUPLE_COST = 0.01
+#: Cost charged per tuple written to / read from temporary storage.
+TEMP_TUPLE_COST = 0.005
+
+
+@dataclass
+class CostEstimate:
+    """A decomposed cost figure; ``total`` is what the planner compares."""
+
+    source_execution: float = 0.0
+    communication: float = 0.0
+    local_execution: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.source_execution + self.communication + self.local_execution
+
+    def add(self, other: "CostEstimate") -> "CostEstimate":
+        return CostEstimate(
+            source_execution=self.source_execution + other.source_execution,
+            communication=self.communication + other.communication,
+            local_execution=self.local_execution + other.local_execution,
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "source_execution": round(self.source_execution, 4),
+            "communication": round(self.communication, 4),
+            "local_execution": round(self.local_execution, 4),
+            "total": round(self.total, 4),
+        }
+
+
+class CostModel:
+    """Estimates cardinalities and costs for the planner."""
+
+    def __init__(self, selection_selectivity: float = SELECTION_SELECTIVITY,
+                 join_selectivity: float = EQUI_JOIN_SELECTIVITY,
+                 local_tuple_cost: float = LOCAL_TUPLE_COST,
+                 temp_tuple_cost: float = TEMP_TUPLE_COST):
+        self.selection_selectivity = selection_selectivity
+        self.join_selectivity = join_selectivity
+        self.local_tuple_cost = local_tuple_cost
+        self.temp_tuple_cost = temp_tuple_cost
+
+    # -- cardinalities -----------------------------------------------------------
+
+    def selection_cardinality(self, base_rows: int, conjunct_count: int) -> int:
+        """Estimated rows surviving ``conjunct_count`` pushed selection conjuncts."""
+        estimate = float(max(base_rows, 0))
+        for _ in range(conjunct_count):
+            estimate *= self.selection_selectivity
+        return max(int(round(estimate)), 1) if base_rows > 0 else 0
+
+    def join_cardinality(self, left_rows: int, right_rows: int, has_equi_join: bool) -> int:
+        """Estimated size of a (possibly cartesian) join of two intermediates."""
+        product = max(left_rows, 0) * max(right_rows, 0)
+        if has_equi_join:
+            product = product * self.join_selectivity
+        return max(int(round(product)), 1) if left_rows and right_rows else 0
+
+    # -- per-phase costs ------------------------------------------------------------
+
+    def source_query_cost(self, capabilities: SourceCapabilities, base_rows: int,
+                          result_rows: int) -> CostEstimate:
+        """Cost of one pushed-down sub-query against one source."""
+        execution = capabilities.query_overhead + capabilities.scan_cost_per_row * max(base_rows, 0)
+        communication = capabilities.transfer_cost_per_row * max(result_rows, 0)
+        return CostEstimate(source_execution=execution, communication=communication)
+
+    def local_join_cost(self, left_rows: int, right_rows: int, hash_join: bool) -> CostEstimate:
+        """Cost of joining two staged intermediates at the engine."""
+        if hash_join:
+            examined = max(left_rows, 0) + max(right_rows, 0)
+        else:
+            examined = max(left_rows, 0) * max(right_rows, 0)
+        return CostEstimate(local_execution=examined * self.local_tuple_cost)
+
+    def local_scan_cost(self, rows: int) -> CostEstimate:
+        """Cost of one local pass over ``rows`` tuples (filter, project, sort...)."""
+        return CostEstimate(local_execution=max(rows, 0) * self.local_tuple_cost)
+
+    def staging_cost(self, rows: int) -> CostEstimate:
+        """Cost of spooling an intermediate result into temporary storage."""
+        return CostEstimate(local_execution=max(rows, 0) * self.temp_tuple_cost)

@@ -1,0 +1,120 @@
+"""The multi-database access engine façade.
+
+"The multi-database access engine constitutes a front-end of dictionary and
+query services to the multiple wrapped sources."
+
+:class:`MultiDatabaseEngine` bundles the catalog (dictionary services), the
+planner (query services: planning and optimization) and the execution
+controller, and is the component the mediation server drives: mediated queries
+go in, relational answers and execution reports come out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union as TUnion
+
+from repro.errors import EngineError
+from repro.engine.catalog import Catalog
+from repro.engine.cost import CostModel
+from repro.engine.executor import EngineResult, ExecutionController
+from repro.engine.plan import QueryPlan
+from repro.engine.planner import PlannerConfig, QueryPlanner
+from repro.relational.relation import Relation
+from repro.relational.storage import TemporaryStore
+from repro.sql.ast import Select, Statement, Union
+from repro.sql.parser import parse
+from repro.wrappers.wrapper import Wrapper
+
+
+@dataclass
+class EngineStatistics:
+    """Aggregate counters over the life of an engine instance."""
+
+    statements_executed: int = 0
+    plans_built: int = 0
+    source_requests: int = 0
+    rows_transferred: int = 0
+    rows_returned: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "statements_executed": self.statements_executed,
+            "plans_built": self.plans_built,
+            "source_requests": self.source_requests,
+            "rows_transferred": self.rows_transferred,
+            "rows_returned": self.rows_returned,
+        }
+
+
+class MultiDatabaseEngine:
+    """Dictionary + query services over a set of wrapped sources."""
+
+    def __init__(self, catalog: Optional[Catalog] = None,
+                 cost_model: Optional[CostModel] = None,
+                 planner_config: Optional[PlannerConfig] = None,
+                 temp_store: Optional[TemporaryStore] = None):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.planner = QueryPlanner(self.catalog, self.cost_model, planner_config)
+        self.controller = ExecutionController(self.catalog, temp_store)
+        self.statistics = EngineStatistics()
+
+    # -- registration ------------------------------------------------------------
+
+    def register_wrapper(self, wrapper: Wrapper, estimate_rows: bool = True) -> None:
+        """Register a wrapper and catalog its relations."""
+        self.catalog.register_wrapper(wrapper, estimate_rows=estimate_rows)
+
+    # -- dictionary services ----------------------------------------------------------
+
+    def list_sources(self) -> List[str]:
+        return self.catalog.list_sources()
+
+    def list_relations(self, source: Optional[str] = None) -> List[str]:
+        return self.catalog.list_relations(source)
+
+    def describe_relation(self, relation: str) -> List[Dict[str, object]]:
+        return self.catalog.describe_relation(relation)
+
+    # -- query services ------------------------------------------------------------------
+
+    def plan(self, statement: TUnion[str, Statement]) -> QueryPlan:
+        """Plan a statement without executing it."""
+        parsed = self._parse(statement)
+        plan = self.planner.plan(parsed)
+        self.statistics.plans_built += 1
+        return plan
+
+    def execute(self, statement: TUnion[str, Statement, QueryPlan]) -> EngineResult:
+        """Plan (if needed) and execute a statement, returning the full result."""
+        if isinstance(statement, QueryPlan):
+            plan = statement
+        else:
+            plan = self.plan(statement)
+        result = self.controller.execute(plan)
+        self.statistics.statements_executed += 1
+        self.statistics.source_requests += len(result.report.requests)
+        self.statistics.rows_transferred += result.report.rows_transferred
+        self.statistics.rows_returned += result.report.result_rows
+        return result
+
+    def query(self, statement: TUnion[str, Statement]) -> Relation:
+        """Execute and return only the answer relation."""
+        return self.execute(statement).relation
+
+    def explain(self, statement: TUnion[str, Statement]) -> str:
+        """A human-readable plan rendering (what the demo UI shows as EXPLAIN)."""
+        return self.plan(statement).explain()
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    @staticmethod
+    def _parse(statement: TUnion[str, Statement]) -> Statement:
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if not isinstance(statement, (Select, Union)):
+            raise EngineError(
+                f"the engine executes SELECT/UNION statements, not {type(statement).__name__}"
+            )
+        return statement

@@ -1,0 +1,217 @@
+"""Execution controller: runs query plans across wrappers and local operators.
+
+"Controlling the execution of the resulting query execution plan and executing
+the necessary local operations (e.g. joins across sources)."
+
+For every branch of a plan the controller
+
+1. issues each source request through the corresponding wrapper (pushed-down
+   SQL when available, a plain fetch otherwise), applies any residual
+   per-binding filters, and stages the result in the engine's temporary
+   storage;
+2. joins the staged intermediates in the planned order with hash or
+   nested-loop physical operators;
+3. applies residual cross-source conditions;
+4. finishes the SELECT (projection, aggregation, ordering, limit) with the
+   local SQL processor;
+
+and finally combines the branch results with UNION (ALL) semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.engine.catalog import Catalog
+from repro.engine.plan import BranchPlan, JoinStep, QueryPlan, SourceRequest
+from repro.relational.operators import (
+    Filter,
+    HashJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    TableScan,
+)
+from repro.relational.query import QueryProcessor
+from repro.relational.relation import Relation
+from repro.relational.storage import TemporaryStore
+from repro.sql.ast import BinaryOp, ColumnRef, Node, conjoin
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class RequestExecution:
+    """What actually happened for one source request."""
+
+    binding: str
+    wrapper_name: str
+    request: str
+    rows_returned: int
+    rows_after_local_filters: int
+    elapsed_seconds: float
+
+
+@dataclass
+class ExecutionReport:
+    """Execution trace of one statement: per-request facts plus totals."""
+
+    requests: List[RequestExecution] = field(default_factory=list)
+    branch_rows: List[int] = field(default_factory=list)
+    result_rows: int = 0
+    elapsed_seconds: float = 0.0
+    temp_storage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rows_transferred(self) -> int:
+        return sum(request.rows_returned for request in self.requests)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "requests": len(self.requests),
+            "rows_transferred": self.rows_transferred,
+            "branch_rows": list(self.branch_rows),
+            "result_rows": self.result_rows,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "temp_storage": dict(self.temp_storage),
+        }
+
+
+@dataclass
+class EngineResult:
+    """A query answer plus the plan and execution report that produced it."""
+
+    relation: Relation
+    plan: QueryPlan
+    report: ExecutionReport
+
+
+class ExecutionController:
+    """Interprets :class:`QueryPlan` objects against the catalog's wrappers."""
+
+    def __init__(self, catalog: Catalog, temp_store: Optional[TemporaryStore] = None):
+        self.catalog = catalog
+        self.temp_store = temp_store or TemporaryStore("engine-temp")
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, plan: QueryPlan) -> EngineResult:
+        started = time.perf_counter()
+        report = ExecutionReport()
+
+        branch_results: List[Relation] = []
+        for branch in plan.branches:
+            branch_relation = self._execute_branch(branch, report)
+            report.branch_rows.append(len(branch_relation))
+            branch_results.append(branch_relation)
+
+        combined = branch_results[0]
+        for other in branch_results[1:]:
+            combined = combined.union(other, all=plan.union_all)
+        # Column names follow the first branch (SQL convention).
+        combined = combined.rename(branch_results[0].schema.names)
+
+        report.result_rows = len(combined)
+        report.elapsed_seconds = time.perf_counter() - started
+        report.temp_storage = self.temp_store.statistics.snapshot()
+        return EngineResult(relation=combined, plan=plan, report=report)
+
+    # -- branches -----------------------------------------------------------------
+
+    def _execute_branch(self, branch: BranchPlan, report: ExecutionReport) -> Relation:
+        staged: Dict[int, Relation] = {}
+        for index, request in enumerate(branch.requests):
+            staged[index] = self._execute_request(request, report)
+
+        pipeline: PhysicalOperator = TableScan(staged[branch.initial_request])
+        for step in branch.join_steps:
+            pipeline = self._join(pipeline, staged[step.request_index], step)
+
+        if branch.post_join_conditions:
+            pipeline = Filter(pipeline, conjoin(list(branch.post_join_conditions)))
+
+        rows = list(pipeline)
+        processor = QueryProcessor(self._reject_unknown_table)
+        return processor.finalize_select(branch.select, rows, pipeline.schema)
+
+    # -- source requests ---------------------------------------------------------------
+
+    def _execute_request(self, request: SourceRequest, report: ExecutionReport) -> Relation:
+        wrapper = self.catalog.wrappers.get(request.wrapper_name)
+        started = time.perf_counter()
+
+        if request.sql is not None:
+            fetched = wrapper.query(request.sql)
+            request_text = to_sql(request.sql)
+        else:
+            fetched = wrapper.fetch(request.relation)
+            request_text = f"FETCH {request.relation}"
+        rows_returned = len(fetched)
+
+        qualified = fetched.with_qualifier(request.binding)
+        if request.local_filters:
+            filtered = Filter(TableScan(qualified), conjoin(list(request.local_filters)))
+            staged_relation = filtered.to_relation(name=f"{request.binding}_staged")
+        else:
+            staged_relation = Relation(qualified.schema, name=f"{request.binding}_staged")
+            staged_relation.rows = list(qualified.rows)
+
+        handle = self.temp_store.materialize(staged_relation, label=f"{request.binding}_stage")
+        staged = self.temp_store.read(handle)
+        # Keep estimates honest for subsequent planning rounds.
+        self.catalog.update_estimate(request.relation, max(rows_returned, 1))
+
+        report.requests.append(RequestExecution(
+            binding=request.binding,
+            wrapper_name=request.wrapper_name,
+            request=request_text,
+            rows_returned=rows_returned,
+            rows_after_local_filters=len(staged),
+            elapsed_seconds=time.perf_counter() - started,
+        ))
+        return staged
+
+    # -- joins ----------------------------------------------------------------------------
+
+    def _join(self, left: PhysicalOperator, right_relation: Relation, step: JoinStep) -> PhysicalOperator:
+        right = TableScan(right_relation)
+        conditions = list(step.conditions)
+        if step.hash_join:
+            equi, residual = self._split_equi(conditions, left, right)
+            if equi is not None:
+                left_key, right_key = equi
+                return HashJoin(left, right, left_key, right_key, residual=conjoin(residual))
+        return NestedLoopJoin(left, right, conjoin(conditions))
+
+    def _split_equi(self, conditions: List[Node], left: PhysicalOperator,
+                    right: PhysicalOperator):
+        """Find one equi-join condition usable as the hash key; the rest is residual."""
+        for index, condition in enumerate(conditions):
+            if not (isinstance(condition, BinaryOp) and condition.op == "="):
+                continue
+            if not (isinstance(condition.left, ColumnRef) and isinstance(condition.right, ColumnRef)):
+                continue
+            left_ref, right_ref = condition.left, condition.right
+            if self._resolvable(left_ref, left) and self._resolvable(right_ref, right):
+                residual = conditions[:index] + conditions[index + 1 :]
+                return (left_ref, right_ref), residual
+            if self._resolvable(right_ref, left) and self._resolvable(left_ref, right):
+                residual = conditions[:index] + conditions[index + 1 :]
+                return (right_ref, left_ref), residual
+        return None, conditions
+
+    @staticmethod
+    def _resolvable(ref: ColumnRef, operator: PhysicalOperator) -> bool:
+        try:
+            operator.schema.index_of(ref.name, ref.table)
+            return True
+        except Exception:
+            return False
+
+    @staticmethod
+    def _reject_unknown_table(name: str, source: Optional[str]) -> Relation:
+        raise ExecutionError(
+            f"subqueries over catalog relations (found {name!r}) are not supported "
+            "inside the finalization phase"
+        )

@@ -1,0 +1,140 @@
+"""Plan representation for the multi-database access engine.
+
+A :class:`QueryPlan` describes, for each UNION branch of a (mediated) query:
+
+* one :class:`SourceRequest` per table binding — the sub-query pushed down to
+  the wrapper serving that binding's relation (or a plain fetch when the
+  source cannot evaluate SQL), together with any residual per-binding filters
+  the engine must apply locally;
+* the order in which the staged intermediates are joined locally and the join
+  conditions applied at each step (the engine performs all cross-source joins
+  itself, as the paper describes);
+* the final SELECT evaluation (projection, aggregation, ordering) which the
+  executor delegates to the local SQL processor.
+
+Plans are pure descriptions: building one never touches a source.  The
+executor (:mod:`repro.engine.executor`) interprets them; ``explain()`` renders
+them for humans and for the planner benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cost import CostEstimate
+from repro.sql.ast import Node, Select, Statement
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class SourceRequest:
+    """What the engine asks one wrapper for, on behalf of one table binding."""
+
+    binding: str
+    relation: str
+    wrapper_name: str
+    #: The pushed-down sub-query; None means "fetch the whole relation".
+    sql: Optional[Select]
+    #: Single-binding conjuncts the source could not evaluate; the executor
+    #: applies them right after staging the result.
+    local_filters: Tuple[Node, ...] = ()
+    #: Conjuncts that were pushed into ``sql`` (kept for explain/ablation).
+    pushed_conjuncts: Tuple[Node, ...] = ()
+    #: Columns requested from the source (None = all columns).
+    projected_columns: Optional[Tuple[str, ...]] = None
+    estimated_base_rows: int = 0
+    estimated_result_rows: int = 0
+    cost: CostEstimate = field(default_factory=CostEstimate)
+
+    def describe(self) -> str:
+        if self.sql is not None:
+            request = to_sql(self.sql)
+        else:
+            request = f"FETCH {self.relation}"
+        parts = [f"{self.wrapper_name}: {request}"]
+        if self.local_filters:
+            filters = " AND ".join(to_sql(node) for node in self.local_filters)
+            parts.append(f"then filter locally: {filters}")
+        parts.append(f"(~{self.estimated_result_rows} rows)")
+        return " ".join(parts)
+
+
+@dataclass
+class JoinStep:
+    """Joining the next staged intermediate into the running result."""
+
+    request_index: int
+    conditions: Tuple[Node, ...] = ()
+    #: True when at least one condition is a simple equi-join usable by a hash join.
+    hash_join: bool = False
+    estimated_rows: int = 0
+    cost: CostEstimate = field(default_factory=CostEstimate)
+
+    def describe(self, requests: Sequence[SourceRequest]) -> str:
+        binding = requests[self.request_index].binding
+        method = "hash join" if self.hash_join else "nested-loop join"
+        if self.conditions:
+            condition_text = " AND ".join(to_sql(node) for node in self.conditions)
+            return f"{method} {binding} ON {condition_text} (~{self.estimated_rows} rows)"
+        return f"cartesian product with {binding} (~{self.estimated_rows} rows)"
+
+
+@dataclass
+class BranchPlan:
+    """The plan of one SELECT branch."""
+
+    select: Select
+    requests: List[SourceRequest]
+    #: Index of the request the local pipeline starts from.
+    initial_request: int
+    join_steps: List[JoinStep]
+    #: Conditions that could not be attached to any join step (evaluated last).
+    post_join_conditions: Tuple[Node, ...] = ()
+    estimated_rows: int = 0
+    cost: CostEstimate = field(default_factory=CostEstimate)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}branch: {to_sql(self.select)}"]
+        lines.append(f"{pad}  source requests:")
+        for index, request in enumerate(self.requests):
+            marker = "*" if index == self.initial_request else "-"
+            lines.append(f"{pad}    {marker} {request.describe()}")
+        if self.join_steps:
+            lines.append(f"{pad}  local joins:")
+            for step in self.join_steps:
+                lines.append(f"{pad}    - {step.describe(self.requests)}")
+        if self.post_join_conditions:
+            residual = " AND ".join(to_sql(node) for node in self.post_join_conditions)
+            lines.append(f"{pad}  residual filter: {residual}")
+        lines.append(
+            f"{pad}  estimated rows: {self.estimated_rows}, cost: {self.cost.snapshot()}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class QueryPlan:
+    """The complete plan of a (possibly UNION) statement."""
+
+    statement: Statement
+    branches: List[BranchPlan]
+    union_all: bool = False
+    cost: CostEstimate = field(default_factory=CostEstimate)
+
+    @property
+    def request_count(self) -> int:
+        return sum(len(branch.requests) for branch in self.branches)
+
+    @property
+    def estimated_rows(self) -> int:
+        return sum(branch.estimated_rows for branch in self.branches)
+
+    def explain(self) -> str:
+        lines = [f"query plan ({len(self.branches)} branch(es), "
+                 f"estimated cost {round(self.cost.total, 2)}):"]
+        for index, branch in enumerate(self.branches, start=1):
+            lines.append(f"[branch {index}]")
+            lines.append(branch.explain(indent=1))
+        return "\n".join(lines)

@@ -1,0 +1,388 @@
+"""Planning and optimization of multi-source queries.
+
+The planner decomposes each SELECT branch of a (mediated) statement into
+
+* per-binding **source requests** — pushing selections and projections down to
+  each source as far as its capabilities allow, and
+* a **local join pipeline** — a greedy, cost-ordered sequence of joins over
+  the staged source results, with the remaining (cross-source) conditions
+  attached to the steps that can evaluate them.
+
+Two switches drive the ablation benchmarks: ``push_selections`` and
+``push_projections`` can be disabled to measure how much capability-aware
+push-down saves compared to fetching whole relations and doing everything
+locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PlanningError
+from repro.engine.catalog import Catalog, CatalogEntry
+from repro.engine.cost import CostEstimate, CostModel
+from repro.engine.plan import BranchPlan, JoinStep, QueryPlan, SourceRequest
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Join,
+    Node,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    Subquery,
+    TableRef,
+    Union,
+    column_refs,
+    conjoin,
+    conjuncts,
+    walk,
+)
+from repro.sql.parser import DerivedTable
+
+
+@dataclass
+class PlannerConfig:
+    """Tunable planner behaviour (ablation switches included)."""
+
+    push_selections: bool = True
+    push_projections: bool = True
+    prefer_hash_joins: bool = True
+    max_branch_tables: int = 12
+
+
+class QueryPlanner:
+    """Builds :class:`QueryPlan` objects from statements and catalog metadata."""
+
+    def __init__(self, catalog: Catalog, cost_model: Optional[CostModel] = None,
+                 config: Optional[PlannerConfig] = None):
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.config = config or PlannerConfig()
+
+    # -- public API -------------------------------------------------------------
+
+    def plan(self, statement: Statement) -> QueryPlan:
+        """Plan a SELECT or UNION statement."""
+        if isinstance(statement, Union):
+            branches = [self._plan_branch(select) for select in statement.selects]
+            union_all = statement.all
+        elif isinstance(statement, Select):
+            branches = [self._plan_branch(statement)]
+            union_all = False
+        else:
+            raise PlanningError(
+                f"cannot plan statement of type {type(statement).__name__}"
+            )
+        total = CostEstimate()
+        for branch in branches:
+            total = total.add(branch.cost)
+        return QueryPlan(statement=statement, branches=branches, union_all=union_all, cost=total)
+
+    # -- branch planning ------------------------------------------------------------
+
+    def _plan_branch(self, select: Select) -> BranchPlan:
+        bindings = self._bindings(select)
+        if not bindings:
+            raise PlanningError("queries without a FROM clause are not executable by the engine")
+        if len(bindings) > self.config.max_branch_tables:
+            raise PlanningError(
+                f"branch references {len(bindings)} tables; the planner limit is "
+                f"{self.config.max_branch_tables}"
+            )
+
+        join_conditions, per_binding_conditions, constant_conditions = self._classify_conditions(
+            select, bindings
+        )
+        needed_columns = self._needed_columns(select, bindings)
+
+        ordered_bindings = sorted(bindings)
+        requests: List[SourceRequest] = []
+        request_index: Dict[str, int] = {}
+        for binding in ordered_bindings:
+            request = self._build_request(
+                binding, bindings[binding],
+                per_binding_conditions.get(binding, []),
+                needed_columns.get(binding, []),
+            )
+            request_index[binding] = len(requests)
+            requests.append(request)
+
+        initial_index, join_steps, post_join = self._order_joins(
+            requests, request_index, join_conditions
+        )
+        post_join = tuple(list(post_join) + constant_conditions)
+
+        estimated_rows = requests[initial_index].estimated_result_rows
+        cost = CostEstimate()
+        for request in requests:
+            cost = cost.add(request.cost)
+            cost = cost.add(self.cost_model.staging_cost(request.estimated_result_rows))
+        for step in join_steps:
+            cost = cost.add(step.cost)
+            estimated_rows = step.estimated_rows
+        cost = cost.add(self.cost_model.local_scan_cost(estimated_rows))
+
+        return BranchPlan(
+            select=select,
+            requests=requests,
+            initial_request=initial_index,
+            join_steps=join_steps,
+            post_join_conditions=post_join,
+            estimated_rows=estimated_rows,
+            cost=cost,
+        )
+
+    # -- FROM analysis ---------------------------------------------------------------
+
+    def _bindings(self, select: Select) -> Dict[str, str]:
+        """binding (lower-cased) -> relation name; explicit JOIN syntax is rejected
+        here because mediated queries always use comma-joins (plain conjunctive
+        conditions), which keeps condition classification uniform."""
+        bindings: Dict[str, str] = {}
+        for table in select.tables:
+            if isinstance(table, TableRef):
+                if not self.catalog.has_relation(table.name):
+                    raise PlanningError(f"unknown relation {table.name!r}")
+                bindings[table.binding.lower()] = table.name
+            elif isinstance(table, (Join, DerivedTable)):
+                raise PlanningError(
+                    "explicit JOIN syntax and derived tables must be normalized away "
+                    "before planning (mediated queries use comma-joins)"
+                )
+            else:  # pragma: no cover - parser produces only the above
+                raise PlanningError(f"unsupported FROM item {table!r}")
+        return bindings
+
+    # -- condition classification --------------------------------------------------------
+
+    def _classify_conditions(self, select: Select, bindings: Dict[str, str]):
+        join_conditions: List[Tuple[Node, Set[str]]] = []
+        per_binding: Dict[str, List[Node]] = {}
+        constant_conditions: List[Node] = []
+
+        for condition in conjuncts(select.where):
+            referenced = self._referenced_bindings(condition, bindings)
+            if any(isinstance(node, Subquery) for node in walk(condition)):
+                # Subquery conditions are evaluated after all joins.
+                join_conditions.append((condition, set(bindings)))
+                continue
+            if len(referenced) == 0:
+                constant_conditions.append(condition)
+            elif len(referenced) == 1:
+                per_binding.setdefault(next(iter(referenced)), []).append(condition)
+            else:
+                join_conditions.append((condition, referenced))
+        return join_conditions, per_binding, constant_conditions
+
+    def _referenced_bindings(self, condition: Node, bindings: Dict[str, str]) -> Set[str]:
+        referenced: Set[str] = set()
+        for ref in column_refs(condition):
+            binding = self._resolve_binding(ref, bindings)
+            if binding is not None:
+                referenced.add(binding)
+        return referenced
+
+    def _resolve_binding(self, ref: ColumnRef, bindings: Dict[str, str]) -> Optional[str]:
+        if ref.table is not None:
+            binding = ref.table.lower()
+            if binding not in bindings:
+                raise PlanningError(f"column {ref.qualified} references unknown table binding")
+            return binding
+        candidates = [
+            binding
+            for binding, relation in bindings.items()
+            if self.catalog.schema_of(relation).has(ref.name)
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates:
+            raise PlanningError(f"column {ref.name!r} does not belong to any table in FROM")
+        raise PlanningError(f"column {ref.name!r} is ambiguous across {sorted(candidates)}")
+
+    # -- projection analysis ----------------------------------------------------------------
+
+    def _needed_columns(self, select: Select, bindings: Dict[str, str]) -> Dict[str, List[str]]:
+        needed: Dict[str, List[str]] = {binding: [] for binding in bindings}
+        has_star = any(isinstance(node, Star) for item in select.items for node in walk(item.expr))
+        output_aliases = {item.alias.lower() for item in select.items if item.alias}
+
+        def note(ref: ColumnRef) -> None:
+            try:
+                binding = self._resolve_binding(ref, bindings)
+            except PlanningError:
+                # References to output aliases (ORDER BY listings, HAVING total...)
+                # are resolved during finalization, not against source columns.
+                if ref.table is None and ref.name.lower() in output_aliases:
+                    return
+                raise
+            if binding is None:
+                return
+            columns = needed[binding]
+            if ref.name.lower() not in (column.lower() for column in columns):
+                columns.append(ref.name)
+
+        for node in walk(select):
+            if isinstance(node, ColumnRef):
+                note(node)
+
+        for binding, relation in bindings.items():
+            schema = self.catalog.schema_of(relation)
+            if has_star or not needed[binding]:
+                needed[binding] = list(schema.names)
+        return needed
+
+    # -- source requests -------------------------------------------------------------------------
+
+    def _build_request(self, binding: str, relation: str, conditions: Sequence[Node],
+                       columns: Sequence[str]) -> SourceRequest:
+        entry = self.catalog.entry(relation)
+        capabilities = entry.capabilities
+
+        pushable: List[Node] = []
+        local: List[Node] = []
+        for condition in conditions:
+            if self.config.push_selections and capabilities.selection and self._condition_pushable(condition, capabilities):
+                pushable.append(condition)
+            else:
+                local.append(condition)
+
+        project = (
+            self.config.push_projections
+            and capabilities.projection
+            and len(columns) < len(entry.schema)
+        )
+        projected = tuple(columns) if project else None
+
+        sql: Optional[Select] = None
+        if pushable or project or capabilities.selection:
+            # Build a pushed-down sub-query whenever the source accepts SQL at
+            # all; scan-only sources fall through to a plain fetch.
+            if capabilities.selection or capabilities.projection:
+                sql = self._request_sql(binding, relation, pushable, columns if project else entry.schema.names)
+
+        transferred_conjuncts = len(pushable) if sql is not None else 0
+        estimated_result = self.cost_model.selection_cardinality(
+            entry.estimated_rows, transferred_conjuncts
+        )
+        cost = self.cost_model.source_query_cost(
+            capabilities, entry.estimated_rows, estimated_result
+        )
+
+        return SourceRequest(
+            binding=binding,
+            relation=relation,
+            wrapper_name=entry.wrapper_name,
+            sql=sql,
+            local_filters=tuple(local),
+            pushed_conjuncts=tuple(pushable) if sql is not None else (),
+            projected_columns=projected,
+            estimated_base_rows=entry.estimated_rows,
+            estimated_result_rows=estimated_result,
+            cost=cost,
+        )
+
+    def _condition_pushable(self, condition: Node, capabilities) -> bool:
+        needs_arithmetic = any(
+            (isinstance(node, BinaryOp) and node.op in ("+", "-", "*", "/", "%", "||"))
+            or isinstance(node, FunctionCall)
+            for node in walk(condition)
+        )
+        if needs_arithmetic and not capabilities.arithmetic:
+            return False
+        return True
+
+    def _request_sql(self, binding: str, relation: str, pushed: Sequence[Node],
+                     columns: Sequence[str]) -> Select:
+        alias = binding if binding.lower() != relation.lower() else None
+        table_binding = alias or relation
+        items = tuple(
+            SelectItem(ColumnRef(name=column, table=table_binding)) for column in columns
+        )
+        return Select(
+            items=items,
+            tables=(TableRef(name=relation, alias=alias),),
+            where=conjoin(list(pushed)),
+        )
+
+    # -- join ordering ----------------------------------------------------------------------------
+
+    def _order_joins(self, requests: List[SourceRequest], request_index: Dict[str, int],
+                     join_conditions: List[Tuple[Node, Set[str]]]):
+        remaining = set(range(len(requests)))
+        pending = [(condition, set(referenced)) for condition, referenced in join_conditions]
+
+        # Start from the smallest estimated intermediate.
+        initial = min(remaining, key=lambda index: (requests[index].estimated_result_rows,
+                                                    requests[index].binding))
+        remaining.remove(initial)
+        joined_bindings = {requests[initial].binding.lower()}
+        current_rows = requests[initial].estimated_result_rows
+
+        steps: List[JoinStep] = []
+        while remaining:
+            candidate = self._pick_next(requests, remaining, joined_bindings, pending)
+            remaining.remove(candidate)
+            new_bindings = joined_bindings | {requests[candidate].binding.lower()}
+
+            applicable = [
+                (condition, referenced)
+                for condition, referenced in pending
+                if referenced <= new_bindings
+            ]
+            pending = [entry for entry in pending if entry not in applicable]
+            conditions = tuple(condition for condition, _referenced in applicable)
+
+            hash_join = self.config.prefer_hash_joins and any(
+                self._equi_join_parts(condition) is not None for condition in conditions
+            )
+            estimated = self.cost_model.join_cardinality(
+                current_rows, requests[candidate].estimated_result_rows, bool(conditions)
+            )
+            cost = self.cost_model.local_join_cost(
+                current_rows, requests[candidate].estimated_result_rows, hash_join
+            )
+            steps.append(JoinStep(
+                request_index=candidate,
+                conditions=conditions,
+                hash_join=hash_join,
+                estimated_rows=estimated,
+                cost=cost,
+            ))
+            joined_bindings = new_bindings
+            current_rows = estimated
+
+        post_join = tuple(condition for condition, _referenced in pending)
+        return initial, steps, post_join
+
+    def _pick_next(self, requests: List[SourceRequest], remaining: Set[int],
+                   joined_bindings: Set[str],
+                   pending: List[Tuple[Node, Set[str]]]) -> int:
+        def connects(index: int) -> bool:
+            binding = requests[index].binding.lower()
+            return any(
+                binding in referenced and referenced <= (joined_bindings | {binding})
+                for _condition, referenced in pending
+            )
+
+        connected = [index for index in remaining if connects(index)]
+        candidates = connected or sorted(remaining)
+        return min(candidates, key=lambda index: (requests[index].estimated_result_rows,
+                                                  requests[index].binding))
+
+    # -- helpers shared with the executor ----------------------------------------------------------
+
+    @staticmethod
+    def _equi_join_parts(condition: Node) -> Optional[Tuple[ColumnRef, ColumnRef]]:
+        """Return (left, right) column refs when the condition is ``a.x = b.y``."""
+        if (
+            isinstance(condition, BinaryOp)
+            and condition.op == "="
+            and isinstance(condition.left, ColumnRef)
+            and isinstance(condition.right, ColumnRef)
+        ):
+            return condition.left, condition.right
+        return None

@@ -1,0 +1,160 @@
+"""The top-level façade: a mediated federation of sources.
+
+A :class:`Federation` wires together the pieces a deployment of the prototype
+needs — the COIN knowledge system, the wrappers, the multi-database access
+engine and the context mediator — and exposes the operation receivers actually
+perform: *pose a naive SQL query in my context and get back the correct
+answer* (plus, on request, the mediated SQL and an explanation).
+
+This is the object the mediation server (:mod:`repro.server`) serves remotely
+and the object the examples and benchmarks script against locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union as TUnion
+
+from repro.errors import MediationError
+from repro.coin.system import CoinSystem
+from repro.engine.engine import MultiDatabaseEngine
+from repro.engine.executor import EngineResult
+from repro.engine.planner import PlannerConfig
+from repro.mediation.answers import AnswerTransformer, ColumnAnnotation
+from repro.mediation.mediator import ContextMediator
+from repro.mediation.rewriter import MediationResult
+from repro.relational.relation import Relation
+from repro.sql.ast import Select
+from repro.wrappers.wrapper import Wrapper
+
+
+@dataclass
+class FederationAnswer:
+    """Everything returned for one receiver query."""
+
+    relation: Relation
+    mediation: MediationResult
+    execution: EngineResult
+    annotations: List[ColumnAnnotation] = field(default_factory=list)
+
+    @property
+    def mediated_sql(self) -> str:
+        return self.mediation.sql
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        return self.relation.records()
+
+    def explain(self) -> str:
+        return self.mediation.explain()
+
+
+class Federation:
+    """A mediated federation: knowledge system + wrappers + engine + mediator."""
+
+    def __init__(self, system: CoinSystem, default_receiver_context: Optional[str] = None,
+                 planner_config: Optional[PlannerConfig] = None, name: str = "federation"):
+        self.name = name
+        self.system = system
+        self.engine = MultiDatabaseEngine(planner_config=planner_config)
+        self.mediator = ContextMediator(system, default_receiver_context)
+        self.transformer = AnswerTransformer(system)
+
+    # -- registration ------------------------------------------------------------
+
+    def register_wrapper(self, wrapper: Wrapper, estimate_rows: bool = True) -> None:
+        """Make a wrapped source's relations available to queries."""
+        self.engine.register_wrapper(wrapper, estimate_rows=estimate_rows)
+
+    # -- dictionary services -----------------------------------------------------------
+
+    def list_sources(self) -> List[str]:
+        return self.engine.list_sources()
+
+    def list_relations(self, source: Optional[str] = None) -> List[str]:
+        return self.engine.list_relations(source)
+
+    def describe_relation(self, relation: str) -> List[Dict[str, object]]:
+        return self.engine.describe_relation(relation)
+
+    @property
+    def receiver_contexts(self) -> List[str]:
+        return self.system.contexts.names
+
+    # -- the core operation -----------------------------------------------------------------
+
+    def query(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
+              mediate: bool = True) -> FederationAnswer:
+        """Answer a receiver query.
+
+        With ``mediate=False`` the query is executed verbatim (the "naive"
+        answer the paper contrasts against); otherwise it is first rewritten
+        by the context mediator.
+        """
+        mediation = self.mediator.mediate(sql, receiver_context)
+        statement = mediation.mediated if mediate else mediation.original
+        execution = self.engine.execute(statement)
+        annotations = self.transformer.annotate(
+            execution.relation, mediation.column_semantics, mediation.receiver_context
+        )
+        return FederationAnswer(
+            relation=execution.relation,
+            mediation=mediation,
+            execution=execution,
+            annotations=annotations,
+        )
+
+    def mediate_only(self, sql: TUnion[str, Select],
+                     receiver_context: Optional[str] = None) -> MediationResult:
+        """Rewrite a query without executing it (used by the QBE "show SQL" view)."""
+        return self.mediator.mediate(sql, receiver_context)
+
+    def explain_plan(self, sql: TUnion[str, Select],
+                     receiver_context: Optional[str] = None) -> str:
+        """Mediate, plan, and render the execution plan."""
+        mediation = self.mediator.mediate(sql, receiver_context)
+        return self.engine.explain(mediation.mediated)
+
+    # -- answer post-processing ------------------------------------------------------------------
+
+    def convert_answer(self, answer: FederationAnswer, to_context: str) -> Relation:
+        """Re-express an already-computed answer in another receiver context."""
+        self._ensure_rate_environment()
+        return self.transformer.transform(
+            answer.relation,
+            answer.mediation.column_semantics,
+            answer.mediation.receiver_context,
+            to_context,
+        )
+
+    def _ensure_rate_environment(self) -> None:
+        """Wire the answer transformer's rate lookup to the ancillary source.
+
+        Value-mode currency conversions consult the same exchange-rate relation
+        the mediated queries join against; the lookup is built lazily the first
+        time an answer conversion needs it.
+        """
+        if self.transformer.environment.rate_lookup is not None:
+            return
+        from repro.mediation.answers import environment_from_relation
+
+        for function in self.system.conversions.currency_functions():
+            if not self.engine.catalog.has_relation(function.ancillary_relation):
+                continue
+            wrapper = self.engine.catalog.wrapper_for(function.ancillary_relation)
+            rates = wrapper.fetch(function.ancillary_relation)
+            self.transformer.environment = environment_from_relation(
+                rates, function.from_column, function.to_column, function.rate_column
+            )
+            return
+
+    # -- effort accounting (scalability / extensibility benchmarks) ------------------------------
+
+    def integration_effort(self) -> Dict[str, int]:
+        return self.system.integration_effort()
+
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "mediator": self.mediator.statistics.snapshot(),
+            "engine": self.engine.statistics.snapshot(),
+        }

@@ -1,0 +1,264 @@
+"""Construction of the mediated query from the enumerated branches.
+
+For every consistent branch produced by the abductive enumeration, the
+rewriter builds one SELECT:
+
+* every semantic value's column reference is replaced by the composition of
+  the conversion expressions required by the branch (e.g. ``rl.revenue``
+  becomes ``rl.revenue * 1000 * r3.rate`` in the JPY branch);
+* the branch's assumptions (guards) become extra WHERE conjuncts
+  (``rl.currency = 'JPY'``);
+* conversions that need ancillary data add their relations to FROM and their
+  join conditions to WHERE (``r3``, ``r3.fromCur = rl.currency`` ...).
+
+The branches are then combined with UNION — "the rewritten query is usually a
+union of sub-queries corresponding respectively to the possible conflicts
+between the context assumptions and their resolution".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union as TUnion
+
+from repro.errors import MediationError
+from repro.coin.context import Guard
+from repro.coin.conversion import ConversionBuilder
+from repro.coin.system import CoinSystem
+from repro.mediation.abduction import MediationBranch, enumerate_branches, order_branches
+from repro.mediation.conflicts import (
+    ConflictAnalysis,
+    ModifierResolution,
+    SemanticValueRef,
+    analyze_query,
+    binding_map,
+)
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    Node,
+    Select,
+    SelectItem,
+    Statement,
+    Union,
+    conjoin,
+    conjuncts,
+    transform,
+)
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class BranchQuery:
+    """One sub-query of the mediated UNION plus the reasoning that produced it."""
+
+    select: Select
+    branch: MediationBranch
+
+    @property
+    def sql(self) -> str:
+        return to_sql(self.select)
+
+    @property
+    def guards(self) -> Tuple[Guard, ...]:
+        return self.branch.guards
+
+    @property
+    def conversions(self) -> List[ModifierResolution]:
+        return self.branch.conversions
+
+
+@dataclass
+class MediationResult:
+    """Everything the mediator knows about one rewriting."""
+
+    original: Select
+    receiver_context: str
+    analyses: List[ConflictAnalysis]
+    branches: List[BranchQuery]
+    mediated: Statement
+    #: Semantic type (or None) of each output column of the query, used by
+    #: answer post-processing and by clients that display units.
+    column_semantics: List[Optional[str]]
+
+    @property
+    def sql(self) -> str:
+        """The mediated query as SQL text (what Section 3 of the paper shows)."""
+        return to_sql(self.mediated)
+
+    @property
+    def original_sql(self) -> str:
+        return to_sql(self.original)
+
+    @property
+    def branch_count(self) -> int:
+        return len(self.branches)
+
+    @property
+    def conflict_count(self) -> int:
+        """Number of (value, modifier) pairs that can conflict with the receiver."""
+        return sum(1 for analysis in self.analyses if analysis.has_potential_conflict)
+
+    @property
+    def is_rewritten(self) -> bool:
+        """False when the query needed no mediation at all."""
+        return self.sql != self.original_sql
+
+    def explain(self) -> str:
+        from repro.mediation.explain import explain_mediation
+
+        return explain_mediation(self)
+
+
+class QueryRewriter:
+    """Builds mediated queries for one :class:`CoinSystem`."""
+
+    def __init__(self, system: CoinSystem, max_branches: int = 256):
+        self.system = system
+        self.max_branches = max_branches
+
+    # -- public API -------------------------------------------------------------
+
+    def rewrite(self, select: Select, receiver_context: str) -> MediationResult:
+        """Mediate one SELECT statement posed in ``receiver_context``."""
+        if not self.system.contexts.has(receiver_context):
+            raise MediationError(f"unknown receiver context {receiver_context!r}")
+
+        analyses = analyze_query(select, self.system, receiver_context)
+        branches = order_branches(enumerate_branches(analyses, self.max_branches))
+        branch_queries = [
+            BranchQuery(select=self._build_branch(select, branch), branch=branch)
+            for branch in branches
+        ]
+
+        if not branch_queries:
+            raise MediationError("mediation produced no branches")  # pragma: no cover
+
+        if len(branch_queries) == 1:
+            mediated: Statement = branch_queries[0].select
+        else:
+            mediated = Union(tuple(branch.select for branch in branch_queries), all=False)
+
+        return MediationResult(
+            original=select,
+            receiver_context=receiver_context,
+            analyses=analyses,
+            branches=branch_queries,
+            mediated=mediated,
+            column_semantics=self._column_semantics(select),
+        )
+
+    # -- branch construction --------------------------------------------------------
+
+    def _build_branch(self, select: Select, branch: MediationBranch) -> Select:
+        bindings = binding_map(select)
+        builder = ConversionBuilder(used_aliases=list(bindings))
+        replacements = self._conversion_expressions(branch, builder)
+
+        def substitute(node: Node) -> Node:
+            return transform(node, lambda inner: self._replace_ref(inner, replacements))
+
+        items = []
+        for item in select.items:
+            new_expr = substitute(item.expr)
+            alias = item.alias
+            if alias is None and new_expr is not item.expr and isinstance(item.expr, ColumnRef):
+                # Keep the receiver-visible column name stable when a bare
+                # column reference is replaced by a conversion expression.
+                alias = item.expr.name
+            items.append(SelectItem(new_expr, alias))
+        items = tuple(items)
+        original_conditions = [substitute(condition) for condition in conjuncts(select.where)]
+        guard_conditions = [self._guard_condition(guard) for guard in branch.guards]
+        where = conjoin(guard_conditions + original_conditions + builder.extra_conditions)
+
+        tables = tuple(select.tables) + tuple(builder.extra_tables)
+        group_by = tuple(substitute(expr) for expr in select.group_by)
+        having = substitute(select.having) if select.having is not None else None
+        order_by = tuple(
+            item.copy(expr=substitute(item.expr)) for item in select.order_by
+        )
+
+        return Select(
+            items=items,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=select.limit,
+            offset=select.offset,
+            distinct=select.distinct,
+        )
+
+    def _conversion_expressions(self, branch: MediationBranch,
+                                builder: ConversionBuilder) -> Dict[Tuple[str, str], Node]:
+        """For every semantic value touched by the branch, its converted expression."""
+        by_value: Dict[Tuple[str, str], List[ModifierResolution]] = {}
+        refs: Dict[Tuple[str, str], SemanticValueRef] = {}
+        for resolution in branch.resolutions:
+            by_value.setdefault(resolution.value.key, []).append(resolution)
+            refs[resolution.value.key] = resolution.value
+
+        replacements: Dict[Tuple[str, str], Node] = {}
+        for key, resolutions in by_value.items():
+            value = refs[key]
+            expression: Node = ColumnRef(name=value.column, table=value.binding)
+            ordered = self._ordered_resolutions(value, resolutions)
+            converted = False
+            for resolution in ordered:
+                if not resolution.needs_conversion:
+                    continue
+                function = self.system.conversions.lookup(value.semantic_type, resolution.modifier)
+                expression = function.build_expression(
+                    expression, resolution.source, resolution.target, builder
+                )
+                converted = True
+            if converted:
+                replacements[key] = expression
+        return replacements
+
+    def _ordered_resolutions(self, value: SemanticValueRef,
+                             resolutions: Sequence[ModifierResolution]) -> List[ModifierResolution]:
+        """Apply conversions in the order the domain model declares the modifiers.
+
+        For ``monetaryAmount`` the model declares ``scaleFactor`` before
+        ``currency``, which reproduces the paper's ``revenue * 1000 * r3.rate``
+        shape (scale first, then exchange rate).
+        """
+        declared_order = list(self.system.modifiers_of_type(value.semantic_type))
+        position = {modifier: index for index, modifier in enumerate(declared_order)}
+        return sorted(resolutions, key=lambda resolution: position.get(resolution.modifier, len(position)))
+
+    @staticmethod
+    def _replace_ref(node: Node, replacements: Dict[Tuple[str, str], Node]) -> Node:
+        if isinstance(node, ColumnRef) and node.table is not None:
+            return replacements.get((node.table.lower(), node.name.lower()), node)
+        return node
+
+    @staticmethod
+    def _guard_condition(guard: Guard) -> Node:
+        binding, _, column = guard.column.rpartition(".")
+        reference = ColumnRef(name=column, table=binding or None)
+        return BinaryOp(guard.op, reference, Literal(guard.value))
+
+    # -- metadata ------------------------------------------------------------------------
+
+    def _column_semantics(self, select: Select) -> List[Optional[str]]:
+        bindings = binding_map(select)
+        semantics: List[Optional[str]] = []
+        for item in select.items:
+            semantic_type: Optional[str] = None
+            if isinstance(item.expr, ColumnRef):
+                relation = None
+                if item.expr.table is not None:
+                    relation = bindings.get(item.expr.table.lower())
+                elif len(bindings) == 1:
+                    relation = next(iter(bindings.values()))
+                if relation is not None:
+                    column = self.system.semantic_column(relation, item.expr.name)
+                    if column is not None:
+                        semantic_type = column.semantic_type
+            semantics.append(semantic_type)
+        return semantics

@@ -1,0 +1,110 @@
+"""Reading and writing relations as delimiter-separated text.
+
+Demo datasets ship as small embedded CSV snippets; the server layer also uses
+this module to export query answers for spreadsheet-style receivers (the
+paper demonstrates Excel access through the ODBC driver — exporting CSV is
+the closest purely-local equivalent).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+
+
+def relation_to_csv(relation: Relation, include_header: bool = True, delimiter: str = ",") -> str:
+    """Serialize a relation to CSV text (NULL renders as an empty field)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    if include_header:
+        writer.writerow(relation.schema.names)
+    for row in relation.rows:
+        writer.writerow(["" if value is None else value for value in row])
+    return buffer.getvalue()
+
+
+def relation_from_csv(text: str, schema: Optional[Schema] = None, name: Optional[str] = None,
+                      delimiter: str = ",", has_header: bool = True) -> Relation:
+    """Parse CSV text into a relation.
+
+    When ``schema`` is omitted, the header row provides attribute names and
+    types are inferred per column from the data (INTEGER ⊂ FLOAT ⊂ STRING);
+    empty fields become NULL.
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader if row]
+    if not rows:
+        return Relation(schema or Schema([]), name=name)
+
+    if has_header:
+        header, data = rows[0], rows[1:]
+    else:
+        if schema is None:
+            raise SchemaError("headerless CSV requires an explicit schema")
+        header, data = schema.names, rows
+
+    if schema is None:
+        columns = list(zip(*data)) if data else [[] for _ in header]
+        types = [_infer_column_type(column) for column in columns]
+        # Pad in case of ragged input.
+        while len(types) < len(header):
+            types.append(DataType.STRING)
+        schema = Schema(
+            Attribute(name=column_name.strip(), type=column_type)
+            for column_name, column_type in zip(header, types)
+        )
+
+    relation = Relation(schema, name=name)
+    for row in data:
+        values = [_parse_value(field, attribute.type) for field, attribute in zip(row, schema)]
+        # Ragged rows are padded with NULLs so small hand-written snippets stay convenient.
+        while len(values) < len(schema):
+            values.append(None)
+        relation.append(values)
+    return relation
+
+
+def _infer_column_type(values: Sequence[str]) -> DataType:
+    non_empty = [value.strip() for value in values if value.strip() != ""]
+    if not non_empty:
+        return DataType.STRING
+    if all(_is_int(value) for value in non_empty):
+        return DataType.INTEGER
+    if all(_is_float(value) for value in non_empty):
+        return DataType.FLOAT
+    return DataType.STRING
+
+
+def _is_int(text: str) -> bool:
+    try:
+        int(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_float(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _parse_value(field: str, data_type: DataType):
+    text = field.strip()
+    if text == "":
+        return None
+    if data_type is DataType.INTEGER:
+        return int(text)
+    if data_type is DataType.FLOAT:
+        return float(text)
+    if data_type is DataType.BOOLEAN:
+        return text.lower() == "true"
+    return text

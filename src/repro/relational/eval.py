@@ -1,0 +1,393 @@
+"""Evaluation of SQL AST expressions over relation rows.
+
+The evaluator binds column references against a :class:`Schema` (whose
+attribute qualifiers are the table bindings of the enclosing query) and
+evaluates arithmetic, comparisons, boolean connectives, predicates (IN,
+BETWEEN, LIKE, IS NULL, CASE) and scalar functions with SQL three-valued
+logic: NULL propagates through arithmetic and comparisons, and ``AND``/``OR``
+follow Kleene semantics.
+
+Aggregate function calls are *not* evaluated here — the grouping operator in
+:mod:`repro.relational.operators` computes them and replaces the calls with
+pre-computed columns before final projection.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import EvaluationError
+from repro.relational.schema import Schema
+from repro.relational.types import sql_compare, sql_equal
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Exists,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Node,
+    Star,
+    Subquery,
+    UnaryOp,
+)
+
+Row = Sequence[Any]
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (``%`` and ``_`` wildcards) to a regex."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+#: Scalar functions available to queries (beyond the aggregates).
+_SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "ABS": lambda x: None if x is None else abs(x),
+    "ROUND": lambda x, digits=0: None if x is None else round(x, int(digits)),
+    "FLOOR": lambda x: None if x is None else math.floor(x),
+    "CEIL": lambda x: None if x is None else math.ceil(x),
+    "UPPER": lambda s: None if s is None else str(s).upper(),
+    "LOWER": lambda s: None if s is None else str(s).lower(),
+    "TRIM": lambda s: None if s is None else str(s).strip(),
+    "LENGTH": lambda s: None if s is None else len(str(s)),
+    "SUBSTR": lambda s, start, length=None: _substr(s, start, length),
+    "COALESCE": lambda *args: next((a for a in args if a is not None), None),
+    "NULLIF": lambda a, b: None if sql_equal(a, b) is True else a,
+    "CONCAT": lambda *args: None if any(a is None for a in args) else "".join(str(a) for a in args),
+}
+
+
+def _substr(value: Any, start: Any, length: Any) -> Any:
+    if value is None or start is None:
+        return None
+    text = str(value)
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+class ExpressionEvaluator:
+    """Evaluates expressions against rows of a fixed schema.
+
+    The evaluator pre-resolves nothing: resolution happens per column
+    reference at evaluation time, which keeps it usable on the concatenated
+    schemas produced by joins.  A per-instance memo of resolved positions
+    avoids repeated lookups on hot paths.
+    """
+
+    def __init__(self, schema: Schema,
+                 subquery_executor: Optional[Callable[[Node], "object"]] = None):
+        self.schema = schema
+        self._positions: Dict[ColumnRef, int] = {}
+        self._like_cache: Dict[str, "re.Pattern[str]"] = {}
+        #: Optional callback used to evaluate scalar/EXISTS/IN subqueries.
+        #: It receives the Select AST and must return a Relation.
+        self._subquery_executor = subquery_executor
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate(self, node: Node, row: Row) -> Any:
+        """Evaluate an expression over one row, returning a value or None."""
+        return self._eval(node, row)
+
+    def predicate(self, node: Node) -> Callable[[Row], Optional[bool]]:
+        """Wrap an expression as a row predicate (returns True/False/None)."""
+
+        def check(row: Row) -> Optional[bool]:
+            value = self._eval(node, row)
+            if value is None:
+                return None
+            return bool(value)
+
+        return check
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _eval(self, node: Node, row: Row) -> Any:
+        if isinstance(node, Literal):
+            return node.value
+        if isinstance(node, ColumnRef):
+            return row[self._position(node)]
+        if isinstance(node, BinaryOp):
+            return self._binary(node, row)
+        if isinstance(node, UnaryOp):
+            return self._unary(node, row)
+        if isinstance(node, FunctionCall):
+            return self._function(node, row)
+        if isinstance(node, InList):
+            return self._in_list(node, row)
+        if isinstance(node, Between):
+            return self._between(node, row)
+        if isinstance(node, Like):
+            return self._like(node, row)
+        if isinstance(node, IsNull):
+            value = self._eval(node.expr, row)
+            return (value is not None) if node.negated else (value is None)
+        if isinstance(node, Case):
+            return self._case(node, row)
+        if isinstance(node, Subquery):
+            return self._scalar_subquery(node, row)
+        if isinstance(node, Exists):
+            return self._exists(node, row)
+        if isinstance(node, Star):
+            raise EvaluationError("'*' is only valid inside COUNT(*) or a select list")
+        raise EvaluationError(f"cannot evaluate expression {node!r}")
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _position(self, ref: ColumnRef) -> int:
+        position = self._positions.get(ref)
+        if position is None:
+            position = self.schema.index_of(ref.name, ref.table)
+            self._positions[ref] = position
+        return position
+
+    def _binary(self, node: BinaryOp, row: Row) -> Any:
+        op = node.op.upper()
+
+        if op == "AND":
+            left = self._as_bool(self._eval(node.left, row))
+            if left is False:
+                return False
+            right = self._as_bool(self._eval(node.right, row))
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self._as_bool(self._eval(node.left, row))
+            if left is True:
+                return True
+            right = self._as_bool(self._eval(node.right, row))
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+
+        left = self._eval(node.left, row)
+        right = self._eval(node.right, row)
+
+        if op == "=":
+            return sql_equal(left, right)
+        if op == "<>":
+            equal = sql_equal(left, right)
+            return None if equal is None else not equal
+        if op in ("<", "<=", ">", ">="):
+            comparison = sql_compare(left, right)
+            if comparison is None:
+                return None
+            return {
+                "<": comparison < 0,
+                "<=": comparison <= 0,
+                ">": comparison > 0,
+                ">=": comparison >= 0,
+            }[op]
+
+        if left is None or right is None:
+            return None
+        if op == "+":
+            return self._arith(left, right, lambda a, b: a + b)
+        if op == "-":
+            return self._arith(left, right, lambda a, b: a - b)
+        if op == "*":
+            return self._arith(left, right, lambda a, b: a * b)
+        if op == "/":
+            try:
+                return self._arith(left, right, lambda a, b: a / b)
+            except ZeroDivisionError:
+                return None
+        if op == "%":
+            try:
+                return self._arith(left, right, lambda a, b: a % b)
+            except ZeroDivisionError:
+                return None
+        if op == "||":
+            return f"{left}{right}"
+        raise EvaluationError(f"unsupported operator {node.op!r}")
+
+    @staticmethod
+    def _arith(left: Any, right: Any, fn: Callable[[Any, Any], Any]) -> Any:
+        if not isinstance(left, (int, float)) or isinstance(left, bool):
+            raise EvaluationError(f"arithmetic on non-numeric value {left!r}")
+        if not isinstance(right, (int, float)) or isinstance(right, bool):
+            raise EvaluationError(f"arithmetic on non-numeric value {right!r}")
+        return fn(left, right)
+
+    @staticmethod
+    def _as_bool(value: Any) -> Optional[bool]:
+        if value is None:
+            return None
+        return bool(value)
+
+    def _unary(self, node: UnaryOp, row: Row) -> Any:
+        value = self._eval(node.operand, row)
+        if node.op.upper() == "NOT":
+            as_bool = self._as_bool(value)
+            return None if as_bool is None else not as_bool
+        if node.op == "-":
+            if value is None:
+                return None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise EvaluationError(f"cannot negate {value!r}")
+            return -value
+        raise EvaluationError(f"unsupported unary operator {node.op!r}")
+
+    def _function(self, node: FunctionCall, row: Row) -> Any:
+        name = node.name.upper()
+        fn = _SCALAR_FUNCTIONS.get(name)
+        if fn is None:
+            raise EvaluationError(
+                f"unknown function {name!r} (aggregates are only valid with GROUP BY handling)"
+            )
+        args = [self._eval(arg, row) for arg in node.args]
+        try:
+            return fn(*args)
+        except EvaluationError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            raise EvaluationError(f"error evaluating {name}: {exc}") from exc
+
+    def _in_list(self, node: InList, row: Row) -> Optional[bool]:
+        value = self._eval(node.expr, row)
+
+        # IN (SELECT ...) — delegate to the subquery executor.
+        if len(node.items) == 1 and isinstance(node.items[0], Subquery):
+            relation = self._run_subquery(node.items[0], row)
+            members = [r[0] for r in relation.rows]
+        else:
+            members = [self._eval(item, row) for item in node.items]
+
+        if value is None:
+            return None
+        saw_null = False
+        for member in members:
+            equal = sql_equal(value, member)
+            if equal is True:
+                return False if node.negated else True
+            if equal is None:
+                saw_null = True
+        if saw_null:
+            return None
+        return True if node.negated else False
+
+    def _between(self, node: Between, row: Row) -> Optional[bool]:
+        value = self._eval(node.expr, row)
+        low = self._eval(node.low, row)
+        high = self._eval(node.high, row)
+        low_cmp = sql_compare(value, low) if value is not None and low is not None else None
+        high_cmp = sql_compare(value, high) if value is not None and high is not None else None
+        if low_cmp is None or high_cmp is None:
+            return None
+        inside = low_cmp >= 0 and high_cmp <= 0
+        return not inside if node.negated else inside
+
+    def _like(self, node: Like, row: Row) -> Optional[bool]:
+        value = self._eval(node.expr, row)
+        pattern = self._eval(node.pattern, row)
+        if value is None or pattern is None:
+            return None
+        regex = self._like_cache.get(pattern)
+        if regex is None:
+            regex = like_to_regex(str(pattern))
+            self._like_cache[pattern] = regex
+        matched = bool(regex.match(str(value)))
+        return not matched if node.negated else matched
+
+    def _case(self, node: Case, row: Row) -> Any:
+        for condition, value in node.whens:
+            if self._as_bool(self._eval(condition, row)) is True:
+                return self._eval(value, row)
+        if node.default is not None:
+            return self._eval(node.default, row)
+        return None
+
+    # -- subqueries ------------------------------------------------------------
+
+    def _run_subquery(self, node: Subquery, row: Row):
+        if self._subquery_executor is None:
+            raise EvaluationError("subqueries are not supported in this evaluation context")
+        return self._subquery_executor(node.query)
+
+    def _scalar_subquery(self, node: Subquery, row: Row) -> Any:
+        relation = self._run_subquery(node, row)
+        if len(relation.rows) == 0:
+            return None
+        if len(relation.rows) > 1 or len(relation.schema) != 1:
+            raise EvaluationError("scalar subquery must return a single value")
+        return relation.rows[0][0]
+
+    def _exists(self, node: Exists, row: Row) -> bool:
+        relation = self._run_subquery(node.subquery, row)
+        result = len(relation.rows) > 0
+        return not result if node.negated else result
+
+
+def evaluate_literal_expression(node: Node) -> Any:
+    """Evaluate an expression containing no column references (e.g. INSERT values)."""
+    evaluator = ExpressionEvaluator(Schema([]))
+    return evaluator.evaluate(node, ())
+
+
+def expression_type(node: Node, schema: Schema):
+    """Best-effort static type of an expression (used to build result schemas)."""
+    from repro.relational.types import DataType
+
+    if isinstance(node, Literal):
+        return DataType.infer(node.value)
+    if isinstance(node, ColumnRef):
+        try:
+            return schema.attribute(node.name, node.table).type
+        except Exception:
+            return DataType.ANY
+    if isinstance(node, BinaryOp):
+        op = node.op.upper()
+        if op in ("AND", "OR", "=", "<>", "<", "<=", ">", ">="):
+            return DataType.BOOLEAN
+        if op == "||":
+            return DataType.STRING
+        left = expression_type(node.left, schema)
+        right = expression_type(node.right, schema)
+        if op == "/":
+            return DataType.FLOAT
+        return left.unify(right)
+    if isinstance(node, UnaryOp):
+        if node.op.upper() == "NOT":
+            return DataType.BOOLEAN
+        return expression_type(node.operand, schema)
+    if isinstance(node, FunctionCall):
+        name = node.name.upper()
+        if name in ("COUNT", "LENGTH"):
+            return DataType.INTEGER
+        if name in ("SUM", "AVG", "ROUND", "ABS", "FLOOR", "CEIL"):
+            return DataType.FLOAT
+        if name in ("UPPER", "LOWER", "TRIM", "SUBSTR", "CONCAT"):
+            return DataType.STRING
+        return DataType.ANY
+    if isinstance(node, (InList, Between, Like, IsNull, Exists)):
+        return DataType.BOOLEAN
+    if isinstance(node, Case):
+        types = [expression_type(value, schema) for _, value in node.whens]
+        if node.default is not None:
+            types.append(expression_type(node.default, schema))
+        result = types[0]
+        for candidate in types[1:]:
+            result = result.unify(candidate)
+        return result
+    return DataType.ANY

@@ -1,0 +1,480 @@
+"""Physical operators: iterator-style building blocks for query execution.
+
+The multi-database access engine composes these operators into execution
+plans for the *local* part of a mediated query — the part that cannot be
+pushed down to any single source (typically cross-source joins, final
+projections and ordering).  The local SQL processor in
+:mod:`repro.relational.query` uses the same operators so that source-side and
+mediator-side execution share one code path.
+
+Every operator exposes:
+
+* ``schema`` — the output schema;
+* ``__iter__`` — yields output rows (tuples);
+* ``explain(indent)`` — a human-readable plan rendering;
+* ``estimated_rows`` — a cheap cardinality guess used by the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.relational.eval import ExpressionEvaluator
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType, sort_key
+from repro.sql.ast import Node
+
+
+class PhysicalOperator:
+    """Base class of all physical operators."""
+
+    #: Short name used in EXPLAIN output.
+    operator_name = "operator"
+
+    @property
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    @property
+    def children(self) -> Sequence["PhysicalOperator"]:
+        return ()
+
+    @property
+    def estimated_rows(self) -> int:
+        """A crude cardinality estimate (children's product by default)."""
+        estimate = 1
+        for child in self.children:
+            estimate *= max(child.estimated_rows, 1)
+        return estimate
+
+    def explain(self, indent: int = 0) -> str:
+        """Render this operator subtree as an indented plan."""
+        line = "  " * indent + f"{self.operator_name}{self._explain_details()}"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _explain_details(self) -> str:
+        return ""
+
+    def to_relation(self, name: Optional[str] = None) -> Relation:
+        """Fully materialize the operator's output."""
+        relation = Relation(self.schema, name=name)
+        relation.rows = list(self)
+        return relation
+
+
+class TableScan(PhysicalOperator):
+    """Scan a materialized relation, optionally re-qualifying its schema."""
+
+    operator_name = "Scan"
+
+    def __init__(self, relation: Relation, binding: Optional[str] = None):
+        self.relation = relation
+        self.binding = binding
+        self._schema = relation.schema.with_qualifier(binding) if binding else relation.schema
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.relation.rows)
+
+    @property
+    def estimated_rows(self) -> int:
+        return len(self.relation)
+
+    def _explain_details(self) -> str:
+        label = self.relation.name or "<anonymous>"
+        alias = f" AS {self.binding}" if self.binding and self.binding != label else ""
+        return f"({label}{alias}, {len(self.relation)} rows)"
+
+
+class Filter(PhysicalOperator):
+    """Keep rows satisfying a SQL predicate (three-valued: NULL drops the row)."""
+
+    operator_name = "Filter"
+
+    def __init__(self, child: PhysicalOperator, condition: Node,
+                 subquery_executor: Optional[Callable[[Node], Relation]] = None):
+        self.child = child
+        self.condition = condition
+        self._evaluator = ExpressionEvaluator(child.schema, subquery_executor)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def __iter__(self) -> Iterator[Row]:
+        predicate = self._evaluator.predicate(self.condition)
+        for row in self.child:
+            if predicate(row) is True:
+                yield row
+
+    @property
+    def estimated_rows(self) -> int:
+        # Default filter selectivity of 1/3, floor of 1.
+        return max(self.child.estimated_rows // 3, 1)
+
+    def _explain_details(self) -> str:
+        from repro.sql.printer import to_sql
+
+        return f"({to_sql(self.condition)})"
+
+
+class Project(PhysicalOperator):
+    """Compute output expressions for every input row."""
+
+    operator_name = "Project"
+
+    def __init__(self, child: PhysicalOperator, expressions: Sequence[Node],
+                 names: Sequence[str],
+                 subquery_executor: Optional[Callable[[Node], Relation]] = None):
+        if len(expressions) != len(names):
+            raise ExecutionError("projection expressions and names must align")
+        self.child = child
+        self.expressions = list(expressions)
+        self.names = list(names)
+        self._evaluator = ExpressionEvaluator(child.schema, subquery_executor)
+        from repro.relational.eval import expression_type
+
+        self._schema = Schema(
+            Attribute(name=name, type=expression_type(expr, child.schema))
+            for name, expr in zip(self.names, self.expressions)
+        )
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            yield tuple(self._evaluator.evaluate(expr, row) for expr in self.expressions)
+
+    @property
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows
+
+    def _explain_details(self) -> str:
+        return f"({', '.join(self.names)})"
+
+
+class CrossProduct(PhysicalOperator):
+    """Cartesian product; the right input is materialized once."""
+
+    operator_name = "CrossProduct"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        self.left = left
+        self.right = right
+        self._schema = left.schema.concat(right.schema)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.left, self.right)
+
+    def __iter__(self) -> Iterator[Row]:
+        right_rows = list(self.right)
+        for left_row in self.left:
+            for right_row in right_rows:
+                yield left_row + right_row
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Theta join evaluated as a filtered cross product."""
+
+    operator_name = "NestedLoopJoin"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator, condition: Optional[Node],
+                 subquery_executor: Optional[Callable[[Node], Relation]] = None):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self._schema = left.schema.concat(right.schema)
+        self._evaluator = ExpressionEvaluator(self._schema, subquery_executor)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.left, self.right)
+
+    def __iter__(self) -> Iterator[Row]:
+        right_rows = list(self.right)
+        predicate = self._evaluator.predicate(self.condition) if self.condition is not None else None
+        for left_row in self.left:
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if predicate is None or predicate(combined) is True:
+                    yield combined
+
+    @property
+    def estimated_rows(self) -> int:
+        estimate = self.left.estimated_rows * self.right.estimated_rows
+        return max(estimate // 3, 1) if self.condition is not None else estimate
+
+    def _explain_details(self) -> str:
+        if self.condition is None:
+            return ""
+        from repro.sql.printer import to_sql
+
+        return f"({to_sql(self.condition)})"
+
+
+class HashJoin(PhysicalOperator):
+    """Equi-join on one key expression per side, with an optional residual filter."""
+
+    operator_name = "HashJoin"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_key: Node, right_key: Node, residual: Optional[Node] = None,
+                 subquery_executor: Optional[Callable[[Node], Relation]] = None):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+        self._schema = left.schema.concat(right.schema)
+        self._left_eval = ExpressionEvaluator(left.schema, subquery_executor)
+        self._right_eval = ExpressionEvaluator(right.schema, subquery_executor)
+        self._combined_eval = ExpressionEvaluator(self._schema, subquery_executor)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.left, self.right)
+
+    def __iter__(self) -> Iterator[Row]:
+        buckets: Dict[Any, List[Row]] = {}
+        for right_row in self.right:
+            key = self._right_eval.evaluate(self.right_key, right_row)
+            if key is None:
+                continue
+            buckets.setdefault(_hash_key(key), []).append(right_row)
+        residual_predicate = (
+            self._combined_eval.predicate(self.residual) if self.residual is not None else None
+        )
+        for left_row in self.left:
+            key = self._left_eval.evaluate(self.left_key, left_row)
+            if key is None:
+                continue
+            for right_row in buckets.get(_hash_key(key), []):
+                combined = left_row + right_row
+                if residual_predicate is None or residual_predicate(combined) is True:
+                    yield combined
+
+    @property
+    def estimated_rows(self) -> int:
+        return max(self.left.estimated_rows, self.right.estimated_rows)
+
+    def _explain_details(self) -> str:
+        from repro.sql.printer import to_sql
+
+        detail = f"({to_sql(self.left_key)} = {to_sql(self.right_key)}"
+        if self.residual is not None:
+            detail += f", residual {to_sql(self.residual)}"
+        return detail + ")"
+
+
+def _hash_key(value: Any) -> Any:
+    """Normalize join keys so 1 and 1.0 hash to the same bucket."""
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        return ("n", float(value))
+    return ("s", value)
+
+
+class Distinct(PhysicalOperator):
+    """Remove duplicate rows, preserving first-occurrence order."""
+
+    operator_name = "Distinct"
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def __iter__(self) -> Iterator[Row]:
+        seen = set()
+        for row in self.child:
+            key = tuple(_hash_key(value) if value is not None else None for value in row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    @property
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows
+
+
+class Sort(PhysicalOperator):
+    """Materializing sort on a list of (expression, ascending) keys."""
+
+    operator_name = "Sort"
+
+    def __init__(self, child: PhysicalOperator, keys: Sequence[Tuple[Node, bool]],
+                 subquery_executor: Optional[Callable[[Node], Relation]] = None):
+        self.child = child
+        self.keys = list(keys)
+        self._evaluator = ExpressionEvaluator(child.schema, subquery_executor)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = list(self.child)
+        for expr, ascending in reversed(self.keys):
+            rows.sort(
+                key=lambda row: sort_key(self._evaluator.evaluate(expr, row)),
+                reverse=not ascending,
+            )
+        return iter(rows)
+
+    @property
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows
+
+    def _explain_details(self) -> str:
+        from repro.sql.printer import to_sql
+
+        parts = [f"{to_sql(expr)}{'' if asc else ' DESC'}" for expr, asc in self.keys]
+        return f"({', '.join(parts)})"
+
+
+class Limit(PhysicalOperator):
+    """LIMIT/OFFSET."""
+
+    operator_name = "Limit"
+
+    def __init__(self, child: PhysicalOperator, count: Optional[int], offset: int = 0):
+        self.child = child
+        self.count = count
+        self.offset = offset or 0
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def __iter__(self) -> Iterator[Row]:
+        produced = 0
+        skipped = 0
+        for row in self.child:
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.count is not None and produced >= self.count:
+                return
+            produced += 1
+            yield row
+
+    @property
+    def estimated_rows(self) -> int:
+        if self.count is None:
+            return self.child.estimated_rows
+        return min(self.child.estimated_rows, self.count)
+
+    def _explain_details(self) -> str:
+        return f"({self.count}, offset {self.offset})"
+
+
+class UnionAll(PhysicalOperator):
+    """Concatenate the outputs of several children (schemas must align in arity)."""
+
+    operator_name = "UnionAll"
+
+    def __init__(self, inputs: Sequence[PhysicalOperator]):
+        if not inputs:
+            raise ExecutionError("UnionAll requires at least one input")
+        arities = {len(child.schema) for child in inputs}
+        if len(arities) != 1:
+            raise ExecutionError("UNION inputs must have the same arity")
+        self.inputs = list(inputs)
+
+    @property
+    def schema(self) -> Schema:
+        return self.inputs[0].schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return tuple(self.inputs)
+
+    def __iter__(self) -> Iterator[Row]:
+        for child in self.inputs:
+            yield from child
+
+    @property
+    def estimated_rows(self) -> int:
+        return sum(child.estimated_rows for child in self.inputs)
+
+
+class Materialize(PhysicalOperator):
+    """Materialize a child once; later iterations replay the buffered rows.
+
+    Used by the execution controller when an intermediate result feeds several
+    consumers (and to model spooling into the engine's temporary storage).
+    """
+
+    operator_name = "Materialize"
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+        self._buffer: Optional[List[Row]] = None
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._buffer is None:
+            self._buffer = list(self.child)
+        return iter(self._buffer)
+
+    @property
+    def estimated_rows(self) -> int:
+        if self._buffer is not None:
+            return len(self._buffer)
+        return self.child.estimated_rows

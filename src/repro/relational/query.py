@@ -1,0 +1,561 @@
+"""A local SQL query processor over in-memory relations.
+
+This module implements the SQL semantics used in two places:
+
+* inside :class:`repro.sources.memory.MemorySQLSource`, the stand-in for the
+  paper's Oracle databases — each source runs its own local processor over its
+  own tables;
+* inside the multi-database access engine, which uses the same processor for
+  the "local operations (e.g. joins across sources)" the paper describes,
+  executing them over wrapper results staged in temporary storage.
+
+Supported: SELECT (DISTINCT) with expressions and aliases, FROM with
+comma-joins, explicit INNER/LEFT/CROSS joins and derived tables, WHERE,
+GROUP BY + aggregates (COUNT/SUM/AVG/MIN/MAX) with HAVING, ORDER BY,
+LIMIT/OFFSET, UNION/UNION ALL, uncorrelated IN/EXISTS/scalar subqueries, and
+the CREATE TABLE / INSERT statements used to load demo data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError, ExecutionError, SchemaError, SQLUnsupportedError
+from repro.relational.eval import ExpressionEvaluator, expression_type
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    FunctionCall,
+    Insert,
+    Join,
+    Literal,
+    Node,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    TableRef,
+    Union,
+    is_aggregate_call,
+    walk,
+)
+from repro.sql.parser import DerivedTable, parse
+from repro.sql.printer import to_sql
+
+
+class QueryProcessor:
+    """Executes parsed SQL statements against a table provider.
+
+    ``resolver`` maps a table name (and optional source qualifier) to a
+    :class:`Relation`; a plain mapping of names to relations also works via
+    :meth:`over_tables`.
+    """
+
+    def __init__(self, resolver: Callable[[str, Optional[str]], Relation]):
+        self._resolve_table = resolver
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def over_tables(cls, tables: Mapping[str, Relation]) -> "QueryProcessor":
+        """Build a processor over a case-insensitive name → relation mapping."""
+        lowered = {name.lower(): relation for name, relation in tables.items()}
+
+        def resolver(name: str, source: Optional[str]) -> Relation:
+            try:
+                return lowered[name.lower()]
+            except KeyError as exc:
+                raise ExecutionError(f"unknown table {name!r}") from exc
+
+        return cls(resolver)
+
+    # -- public API ---------------------------------------------------------
+
+    def execute(self, statement) -> Relation:
+        """Execute a Select or Union statement (or SQL text) and return a Relation."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if isinstance(statement, Select):
+            return self._execute_select(statement)
+        if isinstance(statement, Union):
+            return self._execute_union(statement)
+        raise SQLUnsupportedError(f"cannot execute statement of type {type(statement).__name__}")
+
+    def finalize_select(self, select: Select, rows: List[Row], schema: Schema) -> Relation:
+        """Finish a SELECT whose FROM/WHERE phases were evaluated elsewhere.
+
+        The multi-database engine stages and joins source results itself (its
+        "local operations"); it then hands the joined rows plus their combined
+        schema to this method, which applies the remaining phases — grouping
+        and aggregates, HAVING, the select list, DISTINCT, ORDER BY and
+        LIMIT — with semantics identical to :meth:`execute`.
+        """
+        has_aggregates = any(
+            is_aggregate_call(node)
+            for item in select.items
+            for node in walk(item.expr)
+        ) or (select.having is not None and any(is_aggregate_call(n) for n in walk(select.having)))
+
+        if select.group_by or has_aggregates:
+            output_rows, output_schema, _context = self._execute_grouped(select, rows, schema)
+        else:
+            output_rows, output_schema, _context = self._execute_flat(select, rows, schema)
+
+        if select.order_by:
+            output_rows = self._order_rows(select, output_rows, output_schema, schema)
+        if select.distinct:
+            output_rows = _distinct_rows(output_rows)
+        if select.limit is not None or select.offset is not None:
+            offset = select.offset or 0
+            end = None if select.limit is None else offset + select.limit
+            output_rows = output_rows[offset:end]
+
+        result = Relation(output_schema)
+        result.rows = [row for row, _context_row in output_rows]
+        return result
+
+    # -- UNION ---------------------------------------------------------------
+
+    def _execute_union(self, statement: Union) -> Relation:
+        results = [self._execute_select(select) for select in statement.selects]
+        combined = results[0]
+        for result in results[1:]:
+            combined = combined.union(result, all=True)
+        if not statement.all:
+            combined = combined.distinct()
+        # Column names come from the first branch, per SQL convention.
+        return combined.rename(results[0].schema.names)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _execute_select(self, select: Select) -> Relation:
+        source_relation, source_schema = self._build_from(select)
+
+        evaluator = ExpressionEvaluator(source_schema, self._subquery_executor)
+        rows = source_relation
+
+        if select.where is not None:
+            predicate = evaluator.predicate(select.where)
+            rows = [row for row in rows if predicate(row) is True]
+
+        has_aggregates = any(
+            is_aggregate_call(node)
+            for item in select.items
+            for node in walk(item.expr)
+        ) or (select.having is not None and any(is_aggregate_call(n) for n in walk(select.having)))
+
+        if select.group_by or has_aggregates:
+            output_rows, output_schema, order_context = self._execute_grouped(
+                select, rows, source_schema
+            )
+        else:
+            output_rows, output_schema, order_context = self._execute_flat(
+                select, rows, source_schema
+            )
+
+        # ORDER BY: keys may reference output aliases or source columns.
+        if select.order_by:
+            output_rows = self._order_rows(select, output_rows, output_schema, order_context)
+
+        if select.distinct:
+            output_rows = _distinct_rows(output_rows)
+
+        if select.limit is not None or select.offset is not None:
+            offset = select.offset or 0
+            end = None if select.limit is None else offset + select.limit
+            output_rows = output_rows[offset:end]
+
+        result = Relation(output_schema)
+        result.rows = [row for row, _context in output_rows]
+        return result
+
+    # -- FROM clause -----------------------------------------------------------
+
+    def _build_from(self, select: Select) -> Tuple[List[Row], Schema]:
+        """Evaluate the FROM clause into (rows, schema) of the joined input."""
+        if not select.tables:
+            # SELECT without FROM: a single empty row lets literal expressions evaluate.
+            return [()], Schema([])
+
+        rows: Optional[List[Row]] = None
+        schema: Optional[Schema] = None
+        for table in select.tables:
+            table_rows, table_schema = self._table_rows(table)
+            if rows is None:
+                rows, schema = table_rows, table_schema
+            else:
+                rows = [left + right for left in rows for right in table_rows]
+                schema = schema.concat(table_schema)
+        assert rows is not None and schema is not None
+        return rows, schema
+
+    def _table_rows(self, node: Node) -> Tuple[List[Row], Schema]:
+        if isinstance(node, TableRef):
+            relation = self._resolve_table(node.name, node.source)
+            schema = relation.schema.with_qualifier(node.binding)
+            return list(relation.rows), schema
+        if isinstance(node, DerivedTable):
+            relation = self._execute_select(node.query)
+            schema = relation.schema.with_qualifier(node.alias)
+            return list(relation.rows), schema
+        if isinstance(node, Join):
+            return self._join_rows(node)
+        raise SQLUnsupportedError(f"unsupported FROM item {node!r}")
+
+    def _join_rows(self, node: Join) -> Tuple[List[Row], Schema]:
+        left_rows, left_schema = self._table_rows(node.left)
+        right_rows, right_schema = self._table_rows(node.right)
+        schema = left_schema.concat(right_schema)
+        evaluator = ExpressionEvaluator(schema, self._subquery_executor)
+        predicate = (
+            evaluator.predicate(node.condition) if node.condition is not None else None
+        )
+
+        if node.kind in ("INNER", "CROSS"):
+            combined = []
+            for left in left_rows:
+                for right in right_rows:
+                    row = left + right
+                    if predicate is None or predicate(row) is True:
+                        combined.append(row)
+            return combined, schema
+
+        if node.kind == "LEFT":
+            combined = []
+            null_right = tuple([None] * len(right_schema))
+            for left in left_rows:
+                matched = False
+                for right in right_rows:
+                    row = left + right
+                    if predicate is None or predicate(row) is True:
+                        combined.append(row)
+                        matched = True
+                if not matched:
+                    combined.append(left + null_right)
+            return combined, schema
+
+        if node.kind == "RIGHT":
+            combined = []
+            null_left = tuple([None] * len(left_schema))
+            for right in right_rows:
+                matched = False
+                for left in left_rows:
+                    row = left + right
+                    if predicate is None or predicate(row) is True:
+                        combined.append(row)
+                        matched = True
+                if not matched:
+                    combined.append(null_left + right)
+            return combined, schema
+
+        raise SQLUnsupportedError(f"unsupported join kind {node.kind!r}")
+
+    # -- flat (non-grouped) SELECT ----------------------------------------------
+
+    def _execute_flat(self, select: Select, rows: List[Row], schema: Schema):
+        items = self._expand_stars(select.items, schema)
+        evaluator = ExpressionEvaluator(schema, self._subquery_executor)
+        names = _output_names(items)
+        output_schema = Schema(
+            Attribute(name=name, type=expression_type(item.expr, schema))
+            for name, item in zip(names, items)
+        )
+        output: List[Tuple[Row, Row]] = []
+        for row in rows:
+            values = tuple(evaluator.evaluate(item.expr, row) for item in items)
+            output.append((values, row))
+        return output, output_schema, schema
+
+    # -- grouped SELECT -----------------------------------------------------------
+
+    def _execute_grouped(self, select: Select, rows: List[Row], schema: Schema):
+        items = self._expand_stars(select.items, schema)
+        evaluator = ExpressionEvaluator(schema, self._subquery_executor)
+
+        # Group rows by the GROUP BY key (a single global group when absent).
+        groups: Dict[Tuple, List[Row]] = {}
+        group_order: List[Tuple] = []
+        for row in rows:
+            key = tuple(
+                _group_key(evaluator.evaluate(expr, row)) for expr in select.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                group_order.append(key)
+            groups[key].append(row)
+        if not select.group_by and not groups:
+            # Aggregates over an empty input still produce one row (COUNT = 0).
+            groups[()] = []
+            group_order.append(())
+
+        # Collect every aggregate call appearing in the outputs and HAVING.
+        aggregate_calls: List[FunctionCall] = []
+        for item in items:
+            aggregate_calls.extend(n for n in walk(item.expr) if is_aggregate_call(n))
+        if select.having is not None:
+            aggregate_calls.extend(n for n in walk(select.having) if is_aggregate_call(n))
+
+        names = _output_names(items)
+        output_schema = Schema(
+            Attribute(name=name, type=expression_type(item.expr, schema))
+            for name, item in zip(names, items)
+        )
+
+        output: List[Tuple[Row, Row]] = []
+        for key in group_order:
+            group_rows = groups[key]
+            aggregates = {
+                _call_signature(call): _compute_aggregate(call, group_rows, evaluator)
+                for call in aggregate_calls
+            }
+            group_evaluator = _GroupEvaluator(schema, aggregates, group_rows, self._subquery_executor)
+
+            if select.having is not None:
+                keep = group_evaluator.predicate(select.having)(_representative(group_rows, schema))
+                if keep is not True:
+                    continue
+
+            representative = _representative(group_rows, schema)
+            values = tuple(
+                group_evaluator.evaluate(item.expr, representative) for item in items
+            )
+            output.append((values, representative))
+        return output, output_schema, schema
+
+    # -- ORDER BY -------------------------------------------------------------------
+
+    def _order_rows(self, select: Select, output_rows, output_schema: Schema, schema: Schema):
+        from repro.relational.types import sort_key as value_sort_key
+
+        alias_positions = {name.lower(): index for index, name in enumerate(output_schema.names)}
+        evaluator = ExpressionEvaluator(schema, self._subquery_executor)
+
+        def key_value(order_expr: Node, output_row: Row, context_row: Row) -> Any:
+            # An unqualified column name matching an output alias refers to it.
+            if isinstance(order_expr, ColumnRef) and order_expr.table is None:
+                position = alias_positions.get(order_expr.name.lower())
+                if position is not None:
+                    return output_row[position]
+            # A literal integer is a 1-based output position, per SQL convention.
+            if isinstance(order_expr, Literal) and isinstance(order_expr.value, int):
+                position = order_expr.value - 1
+                if 0 <= position < len(output_row):
+                    return output_row[position]
+            return evaluator.evaluate(order_expr, context_row)
+
+        rows = list(output_rows)
+        for order_item in reversed(select.order_by):
+            rows.sort(
+                key=lambda pair: value_sort_key(key_value(order_item.expr, pair[0], pair[1])),
+                reverse=not order_item.ascending,
+            )
+        return rows
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _expand_stars(self, items: Sequence[SelectItem], schema: Schema) -> List[SelectItem]:
+        expanded: List[SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, Star):
+                table = item.expr.table
+                for attribute in schema:
+                    if table is None or (attribute.qualifier or "").lower() == table.lower():
+                        expanded.append(
+                            SelectItem(ColumnRef(name=attribute.name, table=attribute.qualifier))
+                        )
+                if not expanded:
+                    raise SchemaError(f"'*' expansion found no columns for {table!r}")
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _subquery_executor(self, select: Select) -> Relation:
+        """Execute an uncorrelated subquery (correlation is not supported)."""
+        return self._execute_select(select)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation helpers
+# ---------------------------------------------------------------------------
+
+
+def _call_signature(call: FunctionCall) -> str:
+    """A structural key identifying an aggregate call (COUNT(*) vs COUNT(x)...)."""
+    return to_sql(call)
+
+
+def _compute_aggregate(call: FunctionCall, rows: List[Row], evaluator: ExpressionEvaluator) -> Any:
+    name = call.name.upper()
+    if name == "COUNT" and (not call.args or isinstance(call.args[0], Star)):
+        return len(rows)
+
+    if not call.args:
+        raise EvaluationError(f"aggregate {name} requires an argument")
+    values = [evaluator.evaluate(call.args[0], row) for row in rows]
+    values = [value for value in values if value is not None]
+    if call.distinct:
+        seen = []
+        for value in values:
+            if value not in seen:
+                seen.append(value)
+        values = seen
+
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values)
+    if name == "MAX":
+        return max(values)
+    raise EvaluationError(f"unknown aggregate {name}")
+
+
+class _GroupEvaluator(ExpressionEvaluator):
+    """An evaluator that substitutes pre-computed values for aggregate calls."""
+
+    def __init__(self, schema: Schema, aggregates: Dict[str, Any], group_rows: List[Row],
+                 subquery_executor=None):
+        super().__init__(schema, subquery_executor)
+        self._aggregates = aggregates
+        self._group_rows = group_rows
+
+    def _eval(self, node: Node, row: Row) -> Any:
+        if is_aggregate_call(node):
+            signature = _call_signature(node)  # type: ignore[arg-type]
+            if signature in self._aggregates:
+                return self._aggregates[signature]
+        return super()._eval(node, row)
+
+
+def _representative(group_rows: List[Row], schema: Schema) -> Row:
+    """A row standing in for the group when evaluating non-aggregate expressions."""
+    if group_rows:
+        return group_rows[0]
+    return tuple([None] * len(schema))
+
+
+def _group_key(value: Any) -> Any:
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        return ("n", float(value))
+    if value is None:
+        return ("null",)
+    return ("s", str(value))
+
+
+def _output_names(items: Sequence[SelectItem]) -> List[str]:
+    names: List[str] = []
+    for index, item in enumerate(items):
+        if item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expr, ColumnRef):
+            names.append(item.expr.name)
+        else:
+            names.append(f"col_{index + 1}")
+    return names
+
+
+def _distinct_rows(output_rows):
+    seen = set()
+    result = []
+    for values, context in output_rows:
+        key = tuple(_group_key(value) for value in values)
+        if key not in seen:
+            seen.add(key)
+            result.append((values, context))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# A tiny updatable database: CREATE TABLE / INSERT / SELECT
+# ---------------------------------------------------------------------------
+
+
+class Database:
+    """A named collection of relations with DDL/DML support.
+
+    This is the storage behind :class:`repro.sources.memory.MemorySQLSource`
+    and the engine's temporary store.  It intentionally supports only what the
+    prototype needs: creating tables, bulk-inserting rows and querying.
+    """
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self.tables: Dict[str, Relation] = {}
+
+    # -- catalog ---------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Relation:
+        key = name.lower()
+        if key in self.tables:
+            raise ExecutionError(f"table {name!r} already exists")
+        relation = Relation(schema.with_qualifier(None), name=name)
+        self.tables[key] = relation
+        return relation
+
+    def drop_table(self, name: str) -> None:
+        self.tables.pop(name.lower(), None)
+
+    def register(self, relation: Relation, name: Optional[str] = None) -> None:
+        """Register an existing relation under a (new) name."""
+        key = (name or relation.name or "").lower()
+        if not key:
+            raise ExecutionError("cannot register an unnamed relation")
+        self.tables[key] = relation
+
+    def table(self, name: str) -> Relation:
+        try:
+            return self.tables[name.lower()]
+        except KeyError as exc:
+            raise ExecutionError(f"unknown table {name!r} in database {self.name!r}") from exc
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    @property
+    def table_names(self) -> List[str]:
+        return [relation.name or key for key, relation in sorted(self.tables.items())]
+
+    # -- statement execution -----------------------------------------------------
+
+    def execute(self, statement) -> Relation:
+        """Execute SQL text or a parsed statement; DML returns an empty relation."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if isinstance(statement, CreateTable):
+            return self._execute_create(statement)
+        if isinstance(statement, Insert):
+            return self._execute_insert(statement)
+        processor = QueryProcessor.over_tables(self.tables)
+        return processor.execute(statement)
+
+    def _execute_create(self, statement: CreateTable) -> Relation:
+        schema = Schema(
+            Attribute(name=column.name, type=DataType.from_name(column.type_name))
+            for column in statement.columns
+        )
+        return self.create_table(statement.name, schema)
+
+    def _execute_insert(self, statement: Insert) -> Relation:
+        from repro.relational.eval import evaluate_literal_expression
+
+        relation = self.table(statement.table)
+        for row_exprs in statement.rows:
+            values = [evaluate_literal_expression(expr) for expr in row_exprs]
+            if statement.columns:
+                record = dict(zip(statement.columns, values))
+                row = [record.get(attribute.name) for attribute in relation.schema]
+            else:
+                row = values
+            relation.append(row)
+        return Relation(relation.schema)

@@ -1,0 +1,168 @@
+"""Relation schemas: ordered, typed attribute lists with name resolution.
+
+A :class:`Schema` is an immutable ordered collection of :class:`Attribute`
+objects.  Attributes may carry a *qualifier* — the table binding (alias) the
+attribute belongs to — which is how the executor resolves references such as
+``r1.revenue`` after a join has concatenated several source schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column, optionally qualified by its table binding."""
+
+    name: str
+    type: DataType = DataType.ANY
+    qualifier: Optional[str] = None
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "Attribute":
+        """Return a copy bound to a (possibly different) table binding."""
+        return replace(self, qualifier=qualifier)
+
+    def matches(self, name: str, qualifier: Optional[str] = None) -> bool:
+        """Case-insensitive match on name and (when given) qualifier."""
+        if self.name.lower() != name.lower():
+            return False
+        if qualifier is None:
+            return True
+        return (self.qualifier or "").lower() == qualifier.lower()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.qualified_name}:{self.type.value}"
+
+
+class Schema:
+    """An ordered list of attributes with index/lookup helpers."""
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self.attributes: Tuple[Attribute, ...] = tuple(attributes)
+        self._index: Dict[str, List[int]] = {}
+        for position, attribute in enumerate(self.attributes):
+            self._index.setdefault(attribute.name.lower(), []).append(position)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs: str, qualifier: Optional[str] = None) -> "Schema":
+        """Build a schema from ``"name:type"`` strings (type defaults to ANY).
+
+        >>> Schema.of("cname:string", "revenue:integer", qualifier="r1")
+        """
+        attributes = []
+        for spec in specs:
+            name, _, type_name = spec.partition(":")
+            data_type = DataType.from_name(type_name) if type_name else DataType.ANY
+            attributes.append(Attribute(name=name, type=data_type, qualifier=qualifier))
+        return cls(attributes)
+
+    # -- basic container behaviour -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __getitem__(self, index: int) -> Attribute:
+        return self.attributes[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({', '.join(str(a) for a in self.attributes)})"
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return [attribute.name for attribute in self.attributes]
+
+    @property
+    def qualified_names(self) -> List[str]:
+        return [attribute.qualified_name for attribute in self.attributes]
+
+    def index_of(self, name: str, qualifier: Optional[str] = None) -> int:
+        """Resolve an attribute reference to its position.
+
+        Resolution is case-insensitive.  An unqualified name that matches
+        attributes under several qualifiers is ambiguous and raises
+        :class:`SchemaError`, mirroring SQL semantics.
+        """
+        candidates = self._index.get(name.lower(), [])
+        if qualifier is not None:
+            matches = [
+                position
+                for position in candidates
+                if (self.attributes[position].qualifier or "").lower() == qualifier.lower()
+            ]
+        else:
+            matches = list(candidates)
+        if not matches:
+            raise SchemaError(f"unknown attribute {qualifier + '.' if qualifier else ''}{name}")
+        if len(matches) > 1:
+            raise SchemaError(f"ambiguous attribute reference {name!r}")
+        return matches[0]
+
+    def attribute(self, name: str, qualifier: Optional[str] = None) -> Attribute:
+        return self.attributes[self.index_of(name, qualifier)]
+
+    def has(self, name: str, qualifier: Optional[str] = None) -> bool:
+        try:
+            self.index_of(name, qualifier)
+            return True
+        except SchemaError:
+            return False
+
+    # -- derivations --------------------------------------------------------
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "Schema":
+        """Re-qualify every attribute (used when a table is aliased)."""
+        return Schema(attribute.with_qualifier(qualifier) for attribute in self.attributes)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas (the schema of a join result)."""
+        return Schema(self.attributes + other.attributes)
+
+    def project(self, positions: Sequence[int]) -> "Schema":
+        """Schema of a projection given attribute positions."""
+        try:
+            return Schema(self.attributes[position] for position in positions)
+        except IndexError as exc:
+            raise SchemaError(f"projection position out of range: {positions}") from exc
+
+    def rename(self, names: Sequence[str]) -> "Schema":
+        """Return a schema with the same types but new names (and no qualifiers)."""
+        if len(names) != len(self.attributes):
+            raise SchemaError(
+                f"rename expects {len(self.attributes)} names, got {len(names)}"
+            )
+        return Schema(
+            Attribute(name=name, type=attribute.type, qualifier=None)
+            for name, attribute in zip(names, self.attributes)
+        )
+
+    def validate_row(self, row: Sequence) -> Tuple:
+        """Type-check and coerce a row against this schema."""
+        if len(row) != len(self.attributes):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity {len(self.attributes)}"
+            )
+        return tuple(
+            attribute.type.validate(value) for attribute, value in zip(self.attributes, row)
+        )

@@ -1,0 +1,203 @@
+"""Local secondary storage for the multi-database access engine.
+
+The paper notes that "for the management of dictionary information and in
+order to handle large results or large sets of temporary data, the
+multi-database access engine uses two local secondary storages".  This module
+simulates those two stores:
+
+* a **dictionary store** holding schema/metadata relations served by the
+  engine's dictionary services, and
+* a **temporary store** holding intermediate results (wrapper answers,
+  staged join inputs) with simple accounting of how many rows/bytes were
+  spilled — the accounting is what the cost model and the benchmarks read.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import StorageError
+from repro.relational.query import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@dataclass
+class StorageStatistics:
+    """Counters describing use of a storage area."""
+
+    tables_created: int = 0
+    tables_dropped: int = 0
+    rows_written: int = 0
+    rows_read: int = 0
+    bytes_written: int = 0
+    peak_tables: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "tables_created": self.tables_created,
+            "tables_dropped": self.tables_dropped,
+            "rows_written": self.rows_written,
+            "rows_read": self.rows_read,
+            "bytes_written": self.bytes_written,
+            "peak_tables": self.peak_tables,
+        }
+
+
+def _estimate_row_bytes(relation: Relation) -> int:
+    """A rough per-row byte estimate used only for the simulated accounting."""
+    if not relation.rows:
+        return 0
+    sample = relation.rows[0]
+    total = 0
+    for value in sample:
+        if value is None:
+            total += 1
+        elif isinstance(value, bool):
+            total += 1
+        elif isinstance(value, int):
+            total += 8
+        elif isinstance(value, float):
+            total += 8
+        else:
+            total += len(str(value))
+    return total
+
+
+class TemporaryStore:
+    """Named temporary relations with usage accounting.
+
+    The store behaves like a small heap of spill files: callers materialize a
+    relation into it, get back a handle name, and later read or drop it.  The
+    execution controller uses it to stage wrapper results before local joins.
+    """
+
+    def __init__(self, name: str = "temp"):
+        self.name = name
+        self._database = Database(name)
+        self._counter = itertools.count(1)
+        self.statistics = StorageStatistics()
+
+    # -- write -----------------------------------------------------------------
+
+    def materialize(self, relation: Relation, label: Optional[str] = None) -> str:
+        """Store a copy of ``relation`` and return its handle name."""
+        handle = label or f"tmp_{next(self._counter)}"
+        if self._database.has_table(handle):
+            handle = f"{handle}_{next(self._counter)}"
+        stored = Relation(relation.schema, name=handle)
+        stored.rows = list(relation.rows)
+        self._database.register(stored, handle)
+        self.statistics.tables_created += 1
+        self.statistics.rows_written += len(stored)
+        self.statistics.bytes_written += _estimate_row_bytes(stored) * len(stored)
+        self.statistics.peak_tables = max(
+            self.statistics.peak_tables, len(self._database.tables)
+        )
+        return handle
+
+    # -- read ------------------------------------------------------------------
+
+    def read(self, handle: str) -> Relation:
+        """Fetch a stored relation by handle."""
+        try:
+            relation = self._database.table(handle)
+        except Exception as exc:
+            raise StorageError(f"unknown temporary relation {handle!r}") from exc
+        self.statistics.rows_read += len(relation)
+        return relation
+
+    def has(self, handle: str) -> bool:
+        return self._database.has_table(handle)
+
+    @property
+    def handles(self) -> List[str]:
+        return self._database.table_names
+
+    # -- drop ------------------------------------------------------------------
+
+    def drop(self, handle: str) -> None:
+        if self._database.has_table(handle):
+            self._database.drop_table(handle)
+            self.statistics.tables_dropped += 1
+
+    def clear(self) -> None:
+        for handle in list(self._database.tables):
+            self.drop(handle)
+
+
+class DictionaryStore:
+    """The engine's dictionary storage: schema and capability metadata.
+
+    The multi-database engine answers "serving schema information such as
+    names and attribute types of the tables located in the various sources"
+    from this store.  It holds three system relations:
+
+    * ``dict_sources(source, kind, description)``
+    * ``dict_relations(source, relation, attribute, position, type)``
+    * ``dict_capabilities(source, capability, supported)``
+    """
+
+    SOURCES_SCHEMA = ("source:string", "kind:string", "description:string")
+    RELATIONS_SCHEMA = (
+        "source:string",
+        "relation:string",
+        "attribute:string",
+        "position:integer",
+        "type:string",
+    )
+    CAPABILITIES_SCHEMA = ("source:string", "capability:string", "supported:boolean")
+
+    def __init__(self) -> None:
+        self.database = Database("dictionary")
+        self.database.create_table("dict_sources", Schema.of(*self.SOURCES_SCHEMA))
+        self.database.create_table("dict_relations", Schema.of(*self.RELATIONS_SCHEMA))
+        self.database.create_table("dict_capabilities", Schema.of(*self.CAPABILITIES_SCHEMA))
+        self.statistics = StorageStatistics()
+
+    # -- registration ------------------------------------------------------------
+
+    def register_source(self, source: str, kind: str, description: str = "") -> None:
+        self.database.table("dict_sources").append((source, kind, description))
+        self.statistics.rows_written += 1
+
+    def register_relation(self, source: str, relation: str, schema: Schema) -> None:
+        table = self.database.table("dict_relations")
+        for position, attribute in enumerate(schema):
+            table.append((source, relation, attribute.name, position, attribute.type.value))
+            self.statistics.rows_written += 1
+
+    def register_capability(self, source: str, capability: str, supported: bool) -> None:
+        self.database.table("dict_capabilities").append((source, capability, supported))
+        self.statistics.rows_written += 1
+
+    # -- lookups -------------------------------------------------------------------
+
+    def sources(self) -> List[str]:
+        self.statistics.rows_read += len(self.database.table("dict_sources"))
+        return [row[0] for row in self.database.table("dict_sources")]
+
+    def relations_of(self, source: str) -> List[str]:
+        table = self.database.table("dict_relations")
+        self.statistics.rows_read += len(table)
+        names: List[str] = []
+        for row in table:
+            if row[0] == source and row[1] not in names:
+                names.append(row[1])
+        return names
+
+    def attributes_of(self, source: str, relation: str) -> List[Dict[str, object]]:
+        table = self.database.table("dict_relations")
+        self.statistics.rows_read += len(table)
+        rows = [
+            {"attribute": row[2], "position": row[3], "type": row[4]}
+            for row in table
+            if row[0] == source and row[1].lower() == relation.lower()
+        ]
+        return sorted(rows, key=lambda entry: entry["position"])
+
+    def query(self, sql: str) -> Relation:
+        """Run an arbitrary SQL query over the dictionary relations."""
+        return self.database.execute(sql)

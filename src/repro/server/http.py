@@ -1,0 +1,139 @@
+"""A minimal in-process HTTP tunnel.
+
+The prototype tunnels its ODBC-family protocol in HTTP; this reproduction has
+no network, so the tunnel is simulated: :class:`HttpRequest` /
+:class:`HttpResponse` model messages textually (start line, headers, body) and
+an :class:`HttpChannel` carries them between a client and a handler function
+in-process, counting round trips and bytes so benchmarks can report protocol
+overheads.  The message formats are faithful enough that the parsing code
+exercises the same concerns (headers, content lengths, status codes) a real
+deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request message."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    def serialize(self) -> str:
+        headers = dict(headers_default(self.body))
+        headers.update(self.headers)
+        lines = [f"{self.method} {self.path} HTTP/1.0"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        return "\r\n".join(lines) + "\r\n\r\n" + self.body
+
+    @classmethod
+    def parse(cls, text: str) -> "HttpRequest":
+        head, _, body = text.partition("\r\n\r\n")
+        lines = head.split("\r\n")
+        if not lines or len(lines[0].split(" ")) != 3:
+            raise ProtocolError("malformed HTTP request line")
+        method, path, _version = lines[0].split(" ")
+        headers = _parse_headers(lines[1:])
+        return cls(method=method, path=path, headers=headers, body=body)
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response message."""
+
+    status: int = 200
+    reason: str = "OK"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    def serialize(self) -> str:
+        headers = dict(headers_default(self.body))
+        headers.update(self.headers)
+        lines = [f"HTTP/1.0 {self.status} {self.reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        return "\r\n".join(lines) + "\r\n\r\n" + self.body
+
+    @classmethod
+    def parse(cls, text: str) -> "HttpResponse":
+        head, _, body = text.partition("\r\n\r\n")
+        lines = head.split("\r\n")
+        parts = lines[0].split(" ", 2) if lines else []
+        if len(parts) < 2:
+            raise ProtocolError("malformed HTTP status line")
+        status = int(parts[1])
+        reason = parts[2] if len(parts) > 2 else ""
+        headers = _parse_headers(lines[1:])
+        return cls(status=status, reason=reason, headers=headers, body=body)
+
+
+def headers_default(body: str) -> Dict[str, str]:
+    return {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body.encode("utf-8"))),
+        "X-Coin-Tunnel": "odbc",
+    }
+
+
+def _parse_headers(lines: List[str]) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line.strip():
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(f"malformed HTTP header {line!r}")
+        headers[name.strip()] = value.strip()
+    return headers
+
+
+@dataclass
+class ChannelStatistics:
+    """Traffic counters of one channel."""
+
+    round_trips: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "round_trips": self.round_trips,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+
+class HttpChannel:
+    """Carries serialized HTTP messages to a handler function, in process.
+
+    The handler receives an :class:`HttpRequest` and returns an
+    :class:`HttpResponse`; both directions pass through full text
+    serialization so the protocol layer is genuinely exercised.
+    """
+
+    def __init__(self, handler: Callable[[HttpRequest], HttpResponse]):
+        self._handler = handler
+        self.statistics = ChannelStatistics()
+
+    def round_trip(self, request: HttpRequest) -> HttpResponse:
+        wire_request = request.serialize()
+        self.statistics.bytes_sent += len(wire_request.encode("utf-8"))
+
+        parsed_request = HttpRequest.parse(wire_request)
+        response = self._handler(parsed_request)
+
+        wire_response = response.serialize()
+        self.statistics.bytes_received += len(wire_response.encode("utf-8"))
+        self.statistics.round_trips += 1
+        return HttpResponse.parse(wire_response)
+
+    def post(self, path: str, body: str, headers: Optional[Dict[str, str]] = None) -> HttpResponse:
+        request = HttpRequest(method="POST", path=path, headers=headers or {}, body=body)
+        return self.round_trip(request)

@@ -1,0 +1,201 @@
+"""An ODBC-flavoured client driver (DB-API style) over the HTTP tunnel.
+
+The prototype ships "an ODBC driver which gives access to the mediation
+services to any Windows95 and WindowsNT ODBC compliant applications such as
+Microsoft Excel or Microsoft Access".  The closest purely-Python equivalent is
+a driver following the shape of PEP 249 (DB-API 2.0): ``connect()`` returns a
+:class:`Connection`, connections produce :class:`Cursor` objects with
+``execute`` / ``fetchone`` / ``fetchall`` / ``description``, and everything a
+cursor does travels through the same protocol the HTML QBE front end uses.
+
+Extensions beyond DB-API (all optional keyword paths):
+
+* ``cursor.execute(sql, context=...)`` — run the query in another receiver
+  context;
+* ``cursor.execute(sql, mediate=False)`` — skip mediation (naive answers);
+* ``cursor.mediated_sql`` / ``cursor.conflicts`` — inspect what the mediator
+  did to the last query;
+* ``connection.catalog()`` helpers for schema discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ClientError
+from repro.federation import Federation
+from repro.server.http import HttpChannel
+from repro.server.protocol import Request, Response, relation_from_payload
+from repro.server.server import MediationServer
+
+#: DB-API module-level attributes.
+apilevel = "2.0"
+threadsafety = 0
+paramstyle = "pyformat"
+
+
+def connect(federation: Optional[Federation] = None, server: Optional[MediationServer] = None,
+            context: Optional[str] = None) -> "Connection":
+    """Open a connection to a mediation server.
+
+    Either an existing :class:`MediationServer` or a :class:`Federation` (from
+    which a server is created) must be given — there being no real network,
+    "connecting" means binding an HTTP channel to the server in process.
+    """
+    if server is None:
+        if federation is None:
+            raise ClientError("connect() needs a federation or a server")
+        server = MediationServer(federation)
+    return Connection(server, context)
+
+
+class Connection:
+    """A DB-API style connection bound to one receiver context."""
+
+    def __init__(self, server: MediationServer, context: Optional[str] = None):
+        self._server = server
+        self._channel: Optional[HttpChannel] = server.channel()
+        self.context = context
+
+    # -- DB-API surface -----------------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        self._ensure_open()
+        return Cursor(self)
+
+    def close(self) -> None:
+        self._channel = None
+
+    def commit(self) -> None:
+        """Provided for DB-API compatibility; the prototype is read-only."""
+        self._ensure_open()
+
+    def rollback(self) -> None:
+        self._ensure_open()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- catalog helpers -------------------------------------------------------------
+
+    def sources(self) -> List[str]:
+        return self._call("list_sources")["sources"]
+
+    def relations(self, source: Optional[str] = None) -> List[str]:
+        return self._call("list_relations", source=source)["relations"]
+
+    def describe(self, relation: str) -> List[Dict[str, Any]]:
+        return self._call("describe", relation=relation)["attributes"]
+
+    def contexts(self) -> List[str]:
+        return self._call("contexts")["contexts"]
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._channel is None:
+            raise ClientError("connection is closed")
+
+    def _call(self, operation: str, **parameters: Any) -> Dict[str, Any]:
+        self._ensure_open()
+        cleaned = {name: value for name, value in parameters.items() if value is not None}
+        request = Request(operation=operation, parameters=cleaned)
+        http_response = self._channel.post(MediationServer.ENDPOINT, request.to_json())
+        response = Response.from_json(http_response.body)
+        if not response.ok:
+            raise ClientError(f"{response.error_kind}: {response.error}")
+        return response.payload
+
+
+class Cursor:
+    """A DB-API style cursor issuing mediated queries."""
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self._rows: List[Tuple[Any, ...]] = []
+        self._position = 0
+        self.description: Optional[List[Tuple]] = None
+        self.rowcount = -1
+        #: Mediation metadata of the last execute().
+        self.mediated_sql: Optional[str] = None
+        self.conflicts: List[str] = []
+        self.column_labels: List[str] = []
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None,
+                context: Optional[str] = None, mediate: bool = True) -> "Cursor":
+        """Execute a query; ``parameters`` are pyformat-substituted client-side."""
+        if parameters:
+            sql = sql % {name: _quote(value) for name, value in parameters.items()}
+        payload = self.connection._call(
+            "query",
+            sql=sql,
+            context=context or self.connection.context,
+            mediate=mediate,
+        )
+        relation = relation_from_payload(payload["relation"])
+        self._rows = [tuple(row) for row in relation.rows]
+        self._position = 0
+        self.rowcount = len(self._rows)
+        self.description = [
+            (attribute.name, attribute.type.value, None, None, None, None, None)
+            for attribute in relation.schema
+        ]
+        self.mediated_sql = payload.get("mediated_sql")
+        self.conflicts = payload.get("conflicts", [])
+        self.column_labels = payload.get("column_labels", [])
+        return self
+
+    def executemany(self, sql: str, seq_of_parameters: Sequence[Dict[str, Any]]) -> "Cursor":
+        for parameters in seq_of_parameters:
+            self.execute(sql, parameters)
+        return self
+
+    # -- fetching --------------------------------------------------------------------
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        count = size if size is not None else self.arraysize
+        rows = self._rows[self._position : self._position + count]
+        self._position += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        rows = self._rows[self._position :]
+        self._position = len(self._rows)
+        return rows
+
+    def close(self) -> None:
+        self._rows = []
+        self.description = None
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+
+def _quote(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

@@ -1,0 +1,160 @@
+"""The client/server protocol tunnelled over (simulated) HTTP.
+
+"On the receiver's side we have implemented an Application Programming
+Interface (API) of the family of the ODBC protocol.  The protocol supporting
+this API is currently tunneled in the HyperText Transfer Protocol (HTTP) of
+the World Wide Web."
+
+The protocol is a small request/response vocabulary serialized as JSON:
+
+====================  =======================================================
+operation             meaning
+====================  =======================================================
+``list_sources``      names of the federated sources
+``list_relations``    relations of one source (or all)
+``describe``          attribute names/types of one relation
+``contexts``          receiver contexts available on this server
+``query``             mediate + execute a SQL query in a receiver context
+``mediate``           mediate only; return the rewritten SQL and explanation
+``explain``           mediate + plan; return the execution plan text
+====================  =======================================================
+
+Result relations travel as ``{"columns": [...], "types": [...], "rows": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+
+#: Operations a client may request.
+OPERATIONS = (
+    "list_sources",
+    "list_relations",
+    "describe",
+    "contexts",
+    "query",
+    "mediate",
+    "explain",
+)
+
+PROTOCOL_VERSION = "1.0"
+
+
+@dataclass
+class Request:
+    """A client request."""
+
+    operation: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    version: str = PROTOCOL_VERSION
+
+    def validate(self) -> None:
+        if self.operation not in OPERATIONS:
+            raise ProtocolError(f"unknown operation {self.operation!r}")
+        if self.version != PROTOCOL_VERSION:
+            raise ProtocolError(f"unsupported protocol version {self.version!r}")
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": self.version,
+            "operation": self.operation,
+            "parameters": self.parameters,
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "Request":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"malformed request: {exc}") from exc
+        if not isinstance(payload, dict) or "operation" not in payload:
+            raise ProtocolError("request must be a JSON object with an 'operation' field")
+        request = cls(
+            operation=payload["operation"],
+            parameters=payload.get("parameters", {}) or {},
+            version=payload.get("version", PROTOCOL_VERSION),
+        )
+        request.validate()
+        return request
+
+
+@dataclass
+class Response:
+    """A server response: either a payload or an error."""
+
+    ok: bool
+    payload: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    version: str = PROTOCOL_VERSION
+
+    @classmethod
+    def success(cls, **payload: Any) -> "Response":
+        return cls(ok=True, payload=payload)
+
+    @classmethod
+    def failure(cls, error: str, error_kind: str = "error") -> "Response":
+        return cls(ok=False, error=error, error_kind=error_kind)
+
+    def to_json(self) -> str:
+        body: Dict[str, Any] = {"version": self.version, "ok": self.ok}
+        if self.ok:
+            body["payload"] = self.payload
+        else:
+            body["error"] = self.error
+            body["error_kind"] = self.error_kind
+        return json.dumps(body)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Response":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"malformed response: {exc}") from exc
+        if not isinstance(payload, dict) or "ok" not in payload:
+            raise ProtocolError("response must be a JSON object with an 'ok' field")
+        if payload["ok"]:
+            return cls(ok=True, payload=payload.get("payload", {}) or {},
+                       version=payload.get("version", PROTOCOL_VERSION))
+        return cls(ok=False, error=payload.get("error", "unknown error"),
+                   error_kind=payload.get("error_kind", "error"),
+                   version=payload.get("version", PROTOCOL_VERSION))
+
+
+# ---------------------------------------------------------------------------
+# Relation (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def relation_to_payload(relation: Relation) -> Dict[str, Any]:
+    """Serialize a relation into the protocol's tabular payload form."""
+    return {
+        "columns": relation.schema.names,
+        "types": [attribute.type.value for attribute in relation.schema],
+        "rows": [list(row) for row in relation.rows],
+    }
+
+
+def relation_from_payload(payload: Dict[str, Any], name: Optional[str] = None) -> Relation:
+    """Rebuild a relation from a tabular payload."""
+    try:
+        columns = payload["columns"]
+        types = payload.get("types") or ["any"] * len(columns)
+        rows = payload["rows"]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed relation payload: {exc}") from exc
+    schema = Schema(
+        Attribute(name=column, type=DataType.from_name(type_name))
+        for column, type_name in zip(columns, types)
+    )
+    relation = Relation(schema, name=name)
+    for row in rows:
+        relation.append(row)
+    return relation

@@ -1,0 +1,196 @@
+"""The HTML Query-By-Example front end.
+
+The prototype's second ready-to-use interface is "a HyperText Markup Language
+(HTML) Query-By-Example (QBE)" form.  This module reproduces it without a
+browser: :class:`QBEInterface` renders an HTML form for a chosen relation set
+(one row of input fields per attribute: a checkbox to project the column, a
+condition box, an optional example value), parses a submitted form back into a
+SQL query, runs it through the mediation server, and renders the answer as an
+HTML table annotated with the receiver context's modifier values.
+
+Form field conventions (what a browser would POST):
+
+* ``show__<binding>__<column>`` — "on" to include the column in the output;
+* ``cond__<binding>__<column>`` — a condition fragment such as ``> 1000000``
+  or ``= 'IBM'`` applied to the column;
+* ``join__<n>`` — an explicit join condition such as ``r1.cname = r2.cname``;
+* ``context`` — the receiver context to pose the query in.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ClientError
+from repro.federation import Federation, FederationAnswer
+from repro.sql.parser import parse_expression
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class QBEForm:
+    """A parsed QBE submission."""
+
+    relations: List[str]
+    projections: List[Tuple[str, str]]
+    conditions: List[str]
+    joins: List[str]
+    context: Optional[str] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        """Assemble the SQL query the form describes."""
+        if not self.relations:
+            raise ClientError("the QBE form selects no relations")
+        if not self.projections:
+            raise ClientError("the QBE form selects no output columns")
+        select_list = ", ".join(f"{binding}.{column}" for binding, column in self.projections)
+        distinct = "DISTINCT " if self.distinct else ""
+        sql = f"SELECT {distinct}{select_list} FROM {', '.join(self.relations)}"
+        where_parts = list(self.joins) + list(self.conditions)
+        if where_parts:
+            sql += " WHERE " + " AND ".join(where_parts)
+        return sql
+
+
+class QBEInterface:
+    """Generates QBE forms and turns submissions into mediated answers."""
+
+    def __init__(self, federation: Federation):
+        self.federation = federation
+
+    # -- form generation -------------------------------------------------------------
+
+    def render_form(self, relations: Sequence[str], action: str = "/coin/qbe") -> str:
+        """Render the HTML QBE form for the chosen relations."""
+        rows: List[str] = []
+        for relation in relations:
+            for attribute in self.federation.describe_relation(relation):
+                name = attribute["attribute"]
+                rows.append(
+                    "<tr>"
+                    f"<td>{html.escape(relation)}</td>"
+                    f"<td>{html.escape(str(name))}</td>"
+                    f"<td>{html.escape(str(attribute['type']))}</td>"
+                    f'<td><input type="checkbox" name="show__{relation}__{name}"></td>'
+                    f'<td><input type="text" name="cond__{relation}__{name}"></td>'
+                    "</tr>"
+                )
+        contexts = "".join(
+            f'<option value="{html.escape(context)}">{html.escape(context)}</option>'
+            for context in self.federation.receiver_contexts
+        )
+        return (
+            f'<form method="POST" action="{html.escape(action)}">\n'
+            "<table>\n"
+            "<tr><th>relation</th><th>attribute</th><th>type</th>"
+            "<th>show</th><th>condition</th></tr>\n"
+            + "\n".join(rows)
+            + "\n</table>\n"
+            f'<select name="context">{contexts}</select>\n'
+            '<input type="text" name="join__1">\n'
+            '<input type="submit" value="Run query">\n'
+            "</form>"
+        )
+
+    # -- form parsing -------------------------------------------------------------------
+
+    def parse_submission(self, fields: Dict[str, str]) -> QBEForm:
+        """Turn submitted form fields into a :class:`QBEForm`."""
+        projections: List[Tuple[str, str]] = []
+        conditions: List[str] = []
+        joins: List[str] = []
+        relations: List[str] = []
+
+        def note_relation(name: str) -> None:
+            if name not in relations:
+                relations.append(name)
+
+        for field_name, value in fields.items():
+            if field_name.startswith("show__"):
+                if value and value.lower() not in ("off", "false", "0", ""):
+                    _prefix, relation, column = field_name.split("__", 2)
+                    note_relation(relation)
+                    projections.append((relation, column))
+            elif field_name.startswith("cond__"):
+                if value and value.strip():
+                    _prefix, relation, column = field_name.split("__", 2)
+                    note_relation(relation)
+                    conditions.append(self._condition_sql(relation, column, value.strip()))
+            elif field_name.startswith("join__"):
+                if value and value.strip():
+                    condition = value.strip()
+                    # Validate that the fragment parses as an expression.
+                    parse_expression(condition)
+                    joins.append(condition)
+                    for part in condition.replace("=", " ").split():
+                        if "." in part:
+                            note_relation(part.split(".", 1)[0])
+
+        context = fields.get("context") or None
+        distinct = str(fields.get("distinct", "")).lower() in ("on", "true", "1")
+        return QBEForm(
+            relations=relations,
+            projections=projections,
+            conditions=conditions,
+            joins=joins,
+            context=context,
+            distinct=distinct,
+        )
+
+    def _condition_sql(self, relation: str, column: str, fragment: str) -> str:
+        """Turn a QBE condition fragment into a SQL conjunct on the column."""
+        fragment = fragment.strip()
+        operators = ("<=", ">=", "<>", "!=", "=", "<", ">")
+        if fragment.upper().startswith(("LIKE ", "IN ", "BETWEEN ", "IS ")):
+            condition = f"{relation}.{column} {fragment}"
+        elif fragment.startswith(operators):
+            condition = f"{relation}.{column} {fragment}"
+        else:
+            # A bare example value means equality, QBE-style.
+            literal = fragment if _looks_numeric(fragment) else f"'{fragment}'"
+            condition = f"{relation}.{column} = {literal}"
+        # Validate by parsing; raises SQLSyntaxError for malformed fragments.
+        parse_expression(condition)
+        return condition
+
+    # -- end-to-end ---------------------------------------------------------------------------
+
+    def submit(self, fields: Dict[str, str]) -> Tuple[QBEForm, FederationAnswer]:
+        """Parse a submission, run the mediated query, return form + answer."""
+        form = self.parse_submission(fields)
+        answer = self.federation.query(form.to_sql(), form.context)
+        return form, answer
+
+    def render_answer(self, answer: FederationAnswer, show_mediation: bool = True) -> str:
+        """Render an answer as an HTML table (plus the mediated SQL, optionally)."""
+        header = "".join(
+            f"<th>{html.escape(annotation.label())}</th>" for annotation in answer.annotations
+        ) or "".join(f"<th>{html.escape(name)}</th>" for name in answer.relation.schema.names)
+        body_rows = []
+        for row in answer.relation.rows:
+            cells = "".join(f"<td>{html.escape(_format(value))}</td>" for value in row)
+            body_rows.append(f"<tr>{cells}</tr>")
+        table = f"<table>\n<tr>{header}</tr>\n" + "\n".join(body_rows) + "\n</table>"
+        if not show_mediation:
+            return table
+        mediated = html.escape(answer.mediated_sql)
+        return f"{table}\n<p>Mediated query:</p>\n<pre>{mediated}</pre>"
+
+
+def _looks_numeric(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _format(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

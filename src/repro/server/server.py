@@ -1,0 +1,139 @@
+"""The mediation server: the prototype's server-side entry point.
+
+The server owns a :class:`~repro.federation.Federation` and answers protocol
+requests arriving over the (simulated) HTTP tunnel: dictionary questions,
+mediation-only requests and full query execution.  Clients — the ODBC-like
+driver and the HTML QBE front end — never touch the federation directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.federation import Federation
+from repro.mediation.explain import conflict_summary
+from repro.server.http import HttpChannel, HttpRequest, HttpResponse
+from repro.server.protocol import Request, Response, relation_to_payload
+
+
+@dataclass
+class ServerStatistics:
+    """Request counters kept by the server."""
+
+    requests: int = 0
+    queries: int = 0
+    errors: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"requests": self.requests, "queries": self.queries, "errors": self.errors}
+
+
+class MediationServer:
+    """Dispatches protocol requests against one federation."""
+
+    #: Path under which the tunnel accepts requests (mirrors the prototype's CGI endpoint).
+    ENDPOINT = "/coin/api"
+
+    def __init__(self, federation: Federation):
+        self.federation = federation
+        self.statistics = ServerStatistics()
+
+    # -- transport-level entry points ---------------------------------------------
+
+    def channel(self) -> HttpChannel:
+        """A fresh HTTP channel bound to this server (one per client connection)."""
+        return HttpChannel(self.handle_http)
+
+    def handle_http(self, request: HttpRequest) -> HttpResponse:
+        """Handle one HTTP-tunnelled protocol request."""
+        if request.path != self.ENDPOINT or request.method != "POST":
+            return HttpResponse(status=404, reason="Not Found",
+                                body=Response.failure("unknown endpoint").to_json())
+        try:
+            protocol_request = Request.from_json(request.body)
+        except ReproError as exc:
+            self.statistics.errors += 1
+            return HttpResponse(status=400, reason="Bad Request",
+                                body=Response.failure(str(exc), "protocol").to_json())
+        response = self.handle(protocol_request)
+        status, reason = (200, "OK") if response.ok else (422, "Unprocessable Entity")
+        return HttpResponse(status=status, reason=reason, body=response.to_json())
+
+    # -- protocol-level dispatch ---------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Handle one protocol request object (transport already stripped)."""
+        self.statistics.requests += 1
+        try:
+            handler = getattr(self, f"_handle_{request.operation}")
+            response = handler(request.parameters)
+            if not response.ok:
+                self.statistics.errors += 1
+            return response
+        except ReproError as exc:
+            self.statistics.errors += 1
+            return Response.failure(str(exc), type(exc).__name__)
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self.statistics.errors += 1
+            return Response.failure(f"internal error: {exc}", "internal")
+
+    # -- operations ------------------------------------------------------------------------
+
+    def _handle_list_sources(self, parameters: Dict[str, Any]) -> Response:
+        return Response.success(sources=self.federation.list_sources())
+
+    def _handle_list_relations(self, parameters: Dict[str, Any]) -> Response:
+        source = parameters.get("source")
+        return Response.success(relations=self.federation.list_relations(source))
+
+    def _handle_describe(self, parameters: Dict[str, Any]) -> Response:
+        relation = parameters.get("relation")
+        if not relation:
+            return Response.failure("'describe' requires a 'relation' parameter", "protocol")
+        return Response.success(
+            relation=relation,
+            attributes=self.federation.describe_relation(relation),
+        )
+
+    def _handle_contexts(self, parameters: Dict[str, Any]) -> Response:
+        return Response.success(contexts=self.federation.receiver_contexts)
+
+    def _handle_query(self, parameters: Dict[str, Any]) -> Response:
+        sql = parameters.get("sql")
+        if not sql:
+            return Response.failure("'query' requires a 'sql' parameter", "protocol")
+        context = parameters.get("context")
+        mediate = bool(parameters.get("mediate", True))
+        answer = self.federation.query(sql, context, mediate=mediate)
+        self.statistics.queries += 1
+        return Response.success(
+            relation=relation_to_payload(answer.relation),
+            mediated_sql=answer.mediated_sql,
+            branch_count=answer.mediation.branch_count,
+            conflicts=conflict_summary(answer.mediation),
+            column_labels=[annotation.label() for annotation in answer.annotations],
+            execution=answer.execution.report.snapshot(),
+        )
+
+    def _handle_mediate(self, parameters: Dict[str, Any]) -> Response:
+        sql = parameters.get("sql")
+        if not sql:
+            return Response.failure("'mediate' requires a 'sql' parameter", "protocol")
+        context = parameters.get("context")
+        result = self.federation.mediate_only(sql, context)
+        return Response.success(
+            original_sql=result.original_sql,
+            mediated_sql=result.sql,
+            branch_count=result.branch_count,
+            conflicts=conflict_summary(result),
+            explanation=result.explain(),
+        )
+
+    def _handle_explain(self, parameters: Dict[str, Any]) -> Response:
+        sql = parameters.get("sql")
+        if not sql:
+            return Response.failure("'explain' requires a 'sql' parameter", "protocol")
+        context = parameters.get("context")
+        return Response.success(plan=self.federation.explain_plan(sql, context))

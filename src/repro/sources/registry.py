@@ -1,0 +1,57 @@
+"""Registry of the sources participating in a federation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import SourceError
+from repro.sources.base import Source
+
+
+class SourceRegistry:
+    """Holds every source known to a mediation server, keyed by name.
+
+    The registry is deliberately dumb: richer metadata (relation schemas,
+    capabilities, contexts) lives in the engine catalog and the COIN
+    knowledge model; the registry only answers "what object do I talk to for
+    source X?".
+    """
+
+    def __init__(self, sources: Iterable[Source] = ()):
+        self._sources: Dict[str, Source] = {}
+        for source in sources:
+            self.register(source)
+
+    def register(self, source: Source) -> Source:
+        """Register a source; re-registering the same name replaces it."""
+        self._sources[source.name.lower()] = source
+        return source
+
+    def unregister(self, name: str) -> None:
+        self._sources.pop(name.lower(), None)
+
+    def get(self, name: str) -> Source:
+        try:
+            return self._sources[name.lower()]
+        except KeyError as exc:
+            raise SourceError(f"unknown source {name!r}") from exc
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._sources
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(source.name for source in self._sources.values())
+
+    def __iter__(self) -> Iterator[Source]:
+        return iter(self._sources.values())
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def by_kind(self, kind: str) -> List[Source]:
+        return [source for source in self._sources.values() if source.kind == kind]
+
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Snapshot of every source's access counters (for benchmarks)."""
+        return {source.name: source.statistics.snapshot() for source in self._sources.values()}

@@ -1,0 +1,387 @@
+"""Abstract syntax tree for the prototype's SQL dialect.
+
+Nodes are small frozen-ish dataclasses (mutable where rewriting needs it) with
+no behaviour beyond structural helpers: :func:`walk` yields every node of a
+tree, :func:`transform` rebuilds a tree bottom-up through a mapping function —
+both are used heavily by the mediation engine when splicing conversion
+expressions into queries, and by the multi-database engine when decomposing a
+mediated query into per-source sub-queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union as TUnion
+
+
+class Node:
+    """Base class for every AST node (expressions and statements)."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (in syntactic order)."""
+        for f in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, f.name)
+            yield from _iter_nodes(value)
+
+    def copy(self, **changes: Any) -> "Node":
+        """Return a shallow copy with the given field replacements."""
+        return replace(self, **changes)  # type: ignore[type-var]
+
+
+def _iter_nodes(value: Any) -> Iterator[Node]:
+    if isinstance(value, Node):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _iter_nodes(item)
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every descendant, pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def transform(node: Node, fn: Callable[[Node], Node]) -> Node:
+    """Rebuild ``node`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives a node whose children have already been transformed and
+    must return a node (possibly the same one).  Lists/tuples of nodes inside
+    fields are transformed element-wise.
+    """
+
+    def rebuild(value: Any) -> Any:
+        if isinstance(value, Node):
+            return transform(value, fn)
+        if isinstance(value, list):
+            return [rebuild(item) for item in value]
+        if isinstance(value, tuple):
+            return tuple(rebuild(item) for item in value)
+        return value
+
+    if is_dataclass(node):
+        changes = {}
+        for f in fields(node):
+            old = getattr(node, f.name)
+            new = rebuild(old)
+            if new is not old:
+                changes[f.name] = new
+        if changes:
+            node = replace(node, **changes)
+    return fn(node)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant: number, string, boolean or NULL (``value is None``)."""
+
+    value: Any
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Node):
+    """A (possibly qualified) column reference such as ``r1.revenue``."""
+
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        """The dotted form used for display and for schema lookups."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.qualified
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    """``*`` or ``t.*`` in a select list."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    """A binary operation: arithmetic, comparison, AND/OR or concatenation."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    """A unary operation: ``NOT x`` or ``-x``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass(frozen=True)
+class FunctionCall(Node):
+    """A scalar or aggregate function call, e.g. ``SUM(r1.revenue)``."""
+
+    name: str
+    args: Tuple[Node, ...] = ()
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.upper() in {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass(frozen=True)
+class InList(Node):
+    """``expr [NOT] IN (v1, v2, ...)`` with literal/expression members."""
+
+    expr: Node
+    items: Tuple[Node, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Node):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Node
+    low: Node
+    high: Node
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Node):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    expr: Node
+    pattern: Node
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Node):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Node
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Subquery(Node):
+    """A parenthesized query usable as a table or scalar/EXISTS operand."""
+
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class Exists(Node):
+    """``[NOT] EXISTS (subquery)``."""
+
+    subquery: Subquery
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Case(Node):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    whens: Tuple[Tuple[Node, Node], ...]
+    default: Optional[Node] = None
+
+    def children(self) -> Iterator[Node]:
+        for cond, value in self.whens:
+            yield cond
+            yield value
+        if self.default is not None:
+            yield self.default
+
+
+# ---------------------------------------------------------------------------
+# Table references and joins
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """A base-table reference with an optional alias, e.g. ``r1`` or ``R1 x``.
+
+    ``source`` optionally pins the table to a named source (``source.table``
+    syntax is accepted by the parser); the catalog resolves unqualified names.
+    """
+
+    name: str
+    alias: Optional[str] = None
+    source: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in column qualifiers."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join(Node):
+    """An explicit join between two table expressions."""
+
+    left: Node
+    right: Node
+    kind: str = "INNER"  # INNER, LEFT, RIGHT, CROSS
+    condition: Optional[Node] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One entry of a select list: an expression with an optional alias."""
+
+    expr: Node
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One entry of an ORDER BY clause."""
+
+    expr: Node
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    """A single SELECT statement (one UNION branch)."""
+
+    items: Tuple[SelectItem, ...]
+    tables: Tuple[Node, ...] = ()
+    where: Optional[Node] = None
+    group_by: Tuple[Node, ...] = ()
+    having: Optional[Node] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    @property
+    def output_names(self) -> List[str]:
+        """The column names of the result, using aliases when present."""
+        names: List[str] = []
+        for index, item in enumerate(self.items):
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                names.append(item.expr.name)
+            else:
+                names.append(f"col_{index + 1}")
+        return names
+
+
+@dataclass(frozen=True)
+class Union(Node):
+    """A UNION (or UNION ALL) of two or more SELECT statements."""
+
+    selects: Tuple[Select, ...]
+    all: bool = False
+
+    @property
+    def output_names(self) -> List[str]:
+        return self.selects[0].output_names if self.selects else []
+
+
+@dataclass(frozen=True)
+class ColumnDef(Node):
+    """A column definition in CREATE TABLE."""
+
+    name: str
+    type_name: str = "string"
+
+
+@dataclass(frozen=True)
+class CreateTable(Node):
+    """``CREATE TABLE name (col type, ...)`` used to load demo sources."""
+
+    name: str
+    columns: Tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class Insert(Node):
+    """``INSERT INTO name [(cols)] VALUES (...), (...)``."""
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Node, ...], ...]
+
+
+#: Any statement the parser may return.
+Statement = TUnion[Select, Union, CreateTable, Insert]
+
+#: Names of aggregate functions recognized by the dialect.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_call(node: Node) -> bool:
+    """Return True when ``node`` is a call to an aggregate function."""
+    return isinstance(node, FunctionCall) and node.name.upper() in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(node: Node) -> bool:
+    """Return True when any descendant of ``node`` is an aggregate call."""
+    return any(is_aggregate_call(n) for n in walk(node))
+
+
+def column_refs(node: Node) -> List[ColumnRef]:
+    """Collect every column reference appearing under ``node``, in order."""
+    return [n for n in walk(node) if isinstance(n, ColumnRef)]
+
+
+def referenced_tables(select: Select) -> List[str]:
+    """Return the binding names of all tables referenced in FROM (joins included)."""
+    names: List[str] = []
+    for table in select.tables:
+        for node in walk(table):
+            if isinstance(node, TableRef):
+                names.append(node.binding)
+            elif isinstance(node, Subquery):
+                # Derived tables contribute their alias through the enclosing
+                # TableRef-less syntax; the parser wraps them in SelectItem-like
+                # aliases which callers handle separately.
+                pass
+    return names
+
+
+def conjuncts(condition: Optional[Node]) -> List[Node]:
+    """Split a WHERE/HAVING condition into its top-level AND-ed conjuncts."""
+    if condition is None:
+        return []
+    if isinstance(condition, BinaryOp) and condition.op.upper() == "AND":
+        return conjuncts(condition.left) + conjuncts(condition.right)
+    return [condition]
+
+
+def conjoin(conditions: Sequence[Node]) -> Optional[Node]:
+    """Combine conditions with AND; return None for an empty sequence."""
+    result: Optional[Node] = None
+    for condition in conditions:
+        result = condition if result is None else BinaryOp("AND", result, condition)
+    return result
+
+
+def disjoin(conditions: Sequence[Node]) -> Optional[Node]:
+    """Combine conditions with OR; return None for an empty sequence."""
+    result: Optional[Node] = None
+    for condition in conditions:
+        result = condition if result is None else BinaryOp("OR", result, condition)
+    return result

@@ -1,0 +1,277 @@
+"""Programmatic construction of SQL ASTs.
+
+Two styles are supported:
+
+* small expression helpers — :func:`col`, :func:`lit`, :func:`func` — combined
+  with the operator overloads of :class:`Expr`, used by the mediation engine
+  when it splices conversion arithmetic into a query
+  (``col("r1.revenue") * lit(1000) * col("r3.rate")``);
+* a fluent :class:`QueryBuilder` used by front ends (the QBE form handler in
+  particular) to assemble complete SELECT statements without going through
+  SQL text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Union as TUnion
+
+from repro.errors import SQLError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Node,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+    Union,
+)
+
+ExprLike = TUnion["Expr", Node, int, float, str, bool, None]
+
+
+class Expr:
+    """A thin wrapper around an AST expression adding operator overloads.
+
+    The wrapper is transparent: ``.node`` is the underlying AST node, and all
+    helpers accept either wrapped or raw nodes (or Python constants, which are
+    lifted to :class:`Literal`).
+    """
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # -- lifting ------------------------------------------------------------
+
+    @staticmethod
+    def wrap(value: ExprLike) -> "Expr":
+        if isinstance(value, Expr):
+            return value
+        if isinstance(value, Node):
+            return Expr(value)
+        return Expr(Literal(value))
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _binary(self, op: str, other: ExprLike, reverse: bool = False) -> "Expr":
+        other_expr = Expr.wrap(other)
+        left, right = (other_expr.node, self.node) if reverse else (self.node, other_expr.node)
+        return Expr(BinaryOp(op, left, right))
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return self._binary("+", other)
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return self._binary("+", other, reverse=True)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return self._binary("-", other)
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return self._binary("-", other, reverse=True)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return self._binary("*", other)
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return self._binary("*", other, reverse=True)
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        return self._binary("/", other)
+
+    def __rtruediv__(self, other: ExprLike) -> "Expr":
+        return self._binary("/", other, reverse=True)
+
+    def __neg__(self) -> "Expr":
+        return Expr(UnaryOp("-", self.node))
+
+    # -- comparisons (named methods; rich comparison operators are reserved
+    #    for Python-level equality of the wrapper) ---------------------------
+
+    def eq(self, other: ExprLike) -> "Expr":
+        return self._binary("=", other)
+
+    def ne(self, other: ExprLike) -> "Expr":
+        return self._binary("<>", other)
+
+    def lt(self, other: ExprLike) -> "Expr":
+        return self._binary("<", other)
+
+    def le(self, other: ExprLike) -> "Expr":
+        return self._binary("<=", other)
+
+    def gt(self, other: ExprLike) -> "Expr":
+        return self._binary(">", other)
+
+    def ge(self, other: ExprLike) -> "Expr":
+        return self._binary(">=", other)
+
+    # -- boolean ------------------------------------------------------------
+
+    def and_(self, other: ExprLike) -> "Expr":
+        return self._binary("AND", other)
+
+    def or_(self, other: ExprLike) -> "Expr":
+        return self._binary("OR", other)
+
+    def not_(self) -> "Expr":
+        return Expr(UnaryOp("NOT", self.node))
+
+    # -- predicates ---------------------------------------------------------
+
+    def in_(self, items: Iterable[ExprLike]) -> "Expr":
+        nodes = tuple(Expr.wrap(item).node for item in items)
+        return Expr(InList(self.node, nodes))
+
+    def like(self, pattern: ExprLike) -> "Expr":
+        return Expr(Like(self.node, Expr.wrap(pattern).node))
+
+    def is_null(self, negated: bool = False) -> "Expr":
+        return Expr(IsNull(self.node, negated))
+
+    def as_(self, alias: str) -> SelectItem:
+        """Turn the expression into an aliased select item."""
+        return SelectItem(self.node, alias)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Expr({self.node!r})"
+
+
+def col(name: str) -> Expr:
+    """Build a column reference; ``"r1.revenue"`` becomes a qualified ref."""
+    if "." in name:
+        table, _, column = name.partition(".")
+        return Expr(ColumnRef(name=column, table=table))
+    return Expr(ColumnRef(name=name))
+
+
+def lit(value: Any) -> Expr:
+    """Build a literal expression from a Python constant."""
+    return Expr(Literal(value))
+
+
+def func(name: str, *args: ExprLike, distinct: bool = False) -> Expr:
+    """Build a function-call expression such as ``func("SUM", col("x"))``."""
+    nodes = tuple(Expr.wrap(arg).node for arg in args)
+    return Expr(FunctionCall(name=name.upper(), args=nodes, distinct=distinct))
+
+
+def star(table: Optional[str] = None) -> Expr:
+    """Build a ``*`` or ``table.*`` select-list expression."""
+    return Expr(Star(table))
+
+
+class QueryBuilder:
+    """Fluent construction of SELECT statements and UNIONs.
+
+    Example::
+
+        query = (
+            QueryBuilder()
+            .select(col("r1.cname"), col("r1.revenue"))
+            .from_table("r1")
+            .from_table("r2")
+            .where(col("r1.cname").eq(col("r2.cname")))
+            .where(col("r1.revenue").gt(col("r2.expenses")))
+            .build()
+        )
+    """
+
+    def __init__(self) -> None:
+        self._items: List[SelectItem] = []
+        self._tables: List[Node] = []
+        self._where: List[Node] = []
+        self._group_by: List[Node] = []
+        self._having: List[Node] = []
+        self._order_by: List[OrderItem] = []
+        self._limit: Optional[int] = None
+        self._offset: Optional[int] = None
+        self._distinct = False
+
+    # -- select list --------------------------------------------------------
+
+    def select(self, *exprs: TUnion[ExprLike, SelectItem]) -> "QueryBuilder":
+        for expr in exprs:
+            if isinstance(expr, SelectItem):
+                self._items.append(expr)
+            else:
+                self._items.append(SelectItem(Expr.wrap(expr).node))
+        return self
+
+    def select_as(self, expr: ExprLike, alias: str) -> "QueryBuilder":
+        self._items.append(SelectItem(Expr.wrap(expr).node, alias))
+        return self
+
+    def distinct(self, value: bool = True) -> "QueryBuilder":
+        self._distinct = value
+        return self
+
+    # -- from / where -------------------------------------------------------
+
+    def from_table(self, name: str, alias: Optional[str] = None, source: Optional[str] = None) -> "QueryBuilder":
+        self._tables.append(TableRef(name=name, alias=alias, source=source))
+        return self
+
+    def where(self, condition: ExprLike) -> "QueryBuilder":
+        self._where.append(Expr.wrap(condition).node)
+        return self
+
+    # -- grouping / ordering -------------------------------------------------
+
+    def group_by(self, *exprs: ExprLike) -> "QueryBuilder":
+        self._group_by.extend(Expr.wrap(expr).node for expr in exprs)
+        return self
+
+    def having(self, condition: ExprLike) -> "QueryBuilder":
+        self._having.append(Expr.wrap(condition).node)
+        return self
+
+    def order_by(self, expr: ExprLike, ascending: bool = True) -> "QueryBuilder":
+        self._order_by.append(OrderItem(Expr.wrap(expr).node, ascending))
+        return self
+
+    def limit(self, count: int, offset: Optional[int] = None) -> "QueryBuilder":
+        self._limit = count
+        self._offset = offset
+        return self
+
+    # -- building -----------------------------------------------------------
+
+    def build(self) -> Select:
+        """Produce the :class:`Select` AST node."""
+        if not self._items:
+            raise SQLError("a query needs at least one select item")
+        where = _conjoin(self._where)
+        having = _conjoin(self._having)
+        return Select(
+            items=tuple(self._items),
+            tables=tuple(self._tables),
+            where=where,
+            group_by=tuple(self._group_by),
+            having=having,
+            order_by=tuple(self._order_by),
+            limit=self._limit,
+            offset=self._offset,
+            distinct=self._distinct,
+        )
+
+    @staticmethod
+    def union(selects: Sequence[Select], all: bool = False) -> Union:
+        """Combine built SELECTs into a UNION statement."""
+        if not selects:
+            raise SQLError("UNION requires at least one SELECT")
+        return Union(tuple(selects), all=all)
+
+
+def _conjoin(conditions: Sequence[Node]) -> Optional[Node]:
+    result: Optional[Node] = None
+    for condition in conditions:
+        result = condition if result is None else BinaryOp("AND", result, condition)
+    return result

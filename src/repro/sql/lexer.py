@@ -1,0 +1,286 @@
+"""Tokenizer for the prototype's SQL dialect.
+
+The lexer is a hand-written scanner producing a flat list of :class:`Token`
+objects.  It recognizes keywords case-insensitively, quoted string literals
+with doubled-quote escaping (``'it''s'``), integer and decimal numeric
+literals, identifiers (optionally double-quoted), the usual punctuation and
+multi-character comparison operators, and both ``--`` line comments and
+``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+#: Reserved words of the dialect.  Anything not in this set scans as an
+#: identifier.  Keywords are stored upper-case; the lexer upper-cases matches.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "ALL",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "UNION",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "LIKE",
+        "BETWEEN",
+        "EXISTS",
+        "AS",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "OUTER",
+        "CROSS",
+        "ON",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "CREATE",
+        "TABLE",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_MULTI_CHAR_OPERATORS = ("<>", "<=", ">=", "!=", "||")
+
+#: Single-character operators.
+_SINGLE_CHAR_OPERATORS = "+-*/%=<>"
+
+#: Punctuation characters that become their own tokens.
+_PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the normalized text: keywords are upper-cased, string
+    literals are unquoted and unescaped, numbers keep their literal spelling
+    (conversion to int/float happens in the parser).
+    """
+
+    type: TokenType
+    value: str
+    position: int
+    line: int
+    column: int
+
+    def matches(self, token_type: TokenType, value: Optional[str] = None) -> bool:
+        """Return True when the token has the given type (and value, if given)."""
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True when the token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}@{self.line}:{self.column})"
+
+
+class Lexer:
+    """Scanner turning a SQL string into tokens.
+
+    The lexer is restartable: :meth:`tokens` may be called repeatedly and
+    always scans from the beginning of the input.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+
+    # -- public API ---------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """Scan the whole input and return the token list (with a final EOF)."""
+        return list(self._scan())
+
+    # -- scanning -----------------------------------------------------------
+
+    def _scan(self) -> Iterator[Token]:
+        text = self.text
+        length = len(text)
+        pos = 0
+        line = 1
+        line_start = 0
+
+        def make(token_type: TokenType, value: str, at: int) -> Token:
+            return Token(token_type, value, at, line, at - line_start + 1)
+
+        while pos < length:
+            char = text[pos]
+
+            # Whitespace (track line numbers for error reporting).
+            if char in " \t\r\n":
+                if char == "\n":
+                    line += 1
+                    line_start = pos + 1
+                pos += 1
+                continue
+
+            # Line comments.
+            if text.startswith("--", pos):
+                end = text.find("\n", pos)
+                pos = length if end == -1 else end
+                continue
+
+            # Block comments.
+            if text.startswith("/*", pos):
+                end = text.find("*/", pos + 2)
+                if end == -1:
+                    raise SQLSyntaxError(
+                        "unterminated block comment", pos, line, pos - line_start + 1
+                    )
+                for i in range(pos, end):
+                    if text[i] == "\n":
+                        line += 1
+                        line_start = i + 1
+                pos = end + 2
+                continue
+
+            # String literals with '' escaping.
+            if char == "'":
+                start = pos
+                pos += 1
+                pieces: List[str] = []
+                while True:
+                    if pos >= length:
+                        raise SQLSyntaxError(
+                            "unterminated string literal",
+                            start,
+                            line,
+                            start - line_start + 1,
+                        )
+                    if text[pos] == "'":
+                        if pos + 1 < length and text[pos + 1] == "'":
+                            pieces.append("'")
+                            pos += 2
+                            continue
+                        pos += 1
+                        break
+                    pieces.append(text[pos])
+                    pos += 1
+                yield make(TokenType.STRING, "".join(pieces), start)
+                continue
+
+            # Double-quoted identifiers.
+            if char == '"':
+                start = pos
+                end = text.find('"', pos + 1)
+                if end == -1:
+                    raise SQLSyntaxError(
+                        "unterminated quoted identifier",
+                        start,
+                        line,
+                        start - line_start + 1,
+                    )
+                yield make(TokenType.IDENTIFIER, text[pos + 1 : end], start)
+                pos = end + 1
+                continue
+
+            # Numbers: integers and decimals, with optional exponent.
+            if char.isdigit() or (char == "." and pos + 1 < length and text[pos + 1].isdigit()):
+                start = pos
+                pos += 1
+                while pos < length and (text[pos].isdigit() or text[pos] == "."):
+                    pos += 1
+                if pos < length and text[pos] in "eE":
+                    exp_end = pos + 1
+                    if exp_end < length and text[exp_end] in "+-":
+                        exp_end += 1
+                    if exp_end < length and text[exp_end].isdigit():
+                        pos = exp_end
+                        while pos < length and text[pos].isdigit():
+                            pos += 1
+                literal = text[start:pos]
+                if literal.count(".") > 1:
+                    raise SQLSyntaxError(
+                        f"malformed number {literal!r}", start, line, start - line_start + 1
+                    )
+                yield make(TokenType.NUMBER, literal, start)
+                continue
+
+            # Identifiers and keywords.
+            if char.isalpha() or char == "_":
+                start = pos
+                pos += 1
+                while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                    pos += 1
+                word = text[start:pos]
+                upper = word.upper()
+                if upper in KEYWORDS:
+                    yield make(TokenType.KEYWORD, upper, start)
+                else:
+                    yield make(TokenType.IDENTIFIER, word, start)
+                continue
+
+            # Multi-character operators.
+            matched = False
+            for op in _MULTI_CHAR_OPERATORS:
+                if text.startswith(op, pos):
+                    yield make(TokenType.OPERATOR, op, pos)
+                    pos += len(op)
+                    matched = True
+                    break
+            if matched:
+                continue
+
+            # Single-character operators and punctuation.
+            if char in _SINGLE_CHAR_OPERATORS:
+                yield make(TokenType.OPERATOR, char, pos)
+                pos += 1
+                continue
+            if char in _PUNCTUATION:
+                yield make(TokenType.PUNCTUATION, char, pos)
+                pos += 1
+                continue
+
+            raise SQLSyntaxError(
+                f"unexpected character {char!r}", pos, line, pos - line_start + 1
+            )
+
+        yield Token(TokenType.EOF, "", length, line, length - line_start + 1)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``text`` and return the token list."""
+    return Lexer(text).tokens()

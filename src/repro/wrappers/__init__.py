@@ -1,0 +1,42 @@
+"""Wrappers: uniform SQL access to relational sources and web sites.
+
+See :mod:`repro.wrappers.spec` for the declarative wrapping language
+([Qu96]), :mod:`repro.wrappers.network` for the transition-network crawler
+and :mod:`repro.wrappers.wrapper` for the wrapper classes the engine calls.
+"""
+
+from repro.wrappers.spec import (
+    ExportedRelation,
+    ExtractionRule,
+    Transition,
+    WrapperSpec,
+    make_table_spec,
+    parse_wrapper_spec,
+)
+from repro.wrappers.extractor import clean_text, coerce_record, extract_fields, extract_tuples
+from repro.wrappers.network import CrawlReport, TransitionNetworkExecutor
+from repro.wrappers.wrapper import (
+    RelationalWrapper,
+    WebWrapper,
+    Wrapper,
+    WrapperRegistry,
+)
+
+__all__ = [
+    "ExportedRelation",
+    "ExtractionRule",
+    "Transition",
+    "WrapperSpec",
+    "make_table_spec",
+    "parse_wrapper_spec",
+    "clean_text",
+    "coerce_record",
+    "extract_fields",
+    "extract_tuples",
+    "CrawlReport",
+    "TransitionNetworkExecutor",
+    "RelationalWrapper",
+    "WebWrapper",
+    "Wrapper",
+    "WrapperRegistry",
+]

@@ -1,0 +1,43 @@
+"""Unit tests for the loose-coupling (manual query) baseline."""
+
+import pytest
+
+from repro.baselines.loose import PAPER_MANUAL_QUERY, ManualQueryEffort, measure_manual_effort
+from repro.demo.datasets import PAPER_QUERY
+
+
+class TestManualEffort:
+    def test_paper_example_effort(self):
+        effort = measure_manual_effort(PAPER_QUERY, PAPER_MANUAL_QUERY)
+        assert effort.branches == 3
+        # The user had to add guard conditions and ancillary join conditions...
+        assert effort.extra_conditions > 0
+        # ...write the conversion arithmetic by hand...
+        assert effort.conversion_expressions >= 3
+        # ...and join the exchange-rate source into two of the branches.
+        assert effort.ancillary_joins == 2
+        assert effort.total_artifacts >= 10
+
+    def test_identical_queries_mean_no_extra_effort(self):
+        effort = measure_manual_effort(PAPER_QUERY, PAPER_QUERY)
+        assert effort.branches == 1
+        assert effort.extra_conditions == 0
+        assert effort.conversion_expressions == 0
+        assert effort.ancillary_joins == 0
+
+    def test_snapshot_keys(self):
+        effort = measure_manual_effort(PAPER_QUERY, PAPER_MANUAL_QUERY)
+        snapshot = effort.snapshot()
+        assert set(snapshot) == {
+            "branches", "extra_conditions", "conversion_expressions",
+            "ancillary_joins", "total_artifacts",
+        }
+
+    def test_manual_query_matches_mediator_output(self):
+        """The hand-written query and the mediator's rewriting return the same rows."""
+        from repro.demo.scenarios import build_paper_federation
+
+        federation = build_paper_federation().federation
+        manual = federation.engine.query(PAPER_MANUAL_QUERY)
+        mediated = federation.query(PAPER_QUERY).relation
+        assert sorted(manual.rows) == sorted(mediated.rows)

@@ -1,0 +1,98 @@
+"""Unit tests for the tight-coupling (global schema) baseline."""
+
+import pytest
+
+from repro.baselines.tight import GlobalSchemaIntegrator, SourceConvention
+from repro.demo.datasets import paper_r1, paper_r2
+from repro.errors import ReproError
+
+
+def integrated():
+    integrator = GlobalSchemaIntegrator()
+    # The tight-coupling admin treats r1 as a JPY/1000 source for NTT-style rows;
+    # for a faithful runnable comparison we split by convention, so here we use
+    # two single-convention sources.
+    integrator.add_source(paper_r2(), SourceConvention("r2", "USD", 1))
+    return integrator
+
+
+class TestEffortAccounting:
+    def test_views_grow_linearly_pairwise_quadratically(self):
+        integrator = GlobalSchemaIntegrator()
+        for index in range(5):
+            from repro.demo.datasets import financials_rows, company_names
+            from repro.relational.relation import relation_from_rows
+
+            rows = financials_rows(company_names(3), "USD", 1, seed=index)
+            relation = relation_from_rows(
+                f"fin{index}",
+                ["cname:string", "revenue:float", "expenses:float", "currency:string"],
+                rows, qualifier=None,
+            )
+            integrator.add_source(relation, SourceConvention(f"fin{index}", "USD", 1))
+        effort = integrator.effort.snapshot()
+        assert effort["conversion_views"] == 5
+        assert effort["pairwise_mappings"] == 10  # 5 choose 2
+        assert effort["total"] == 15
+
+    def test_receiver_mappings_counted(self):
+        integrator = integrated()
+        integrator.add_receiver("USD", 1)
+        integrator.add_receiver("EUR", 1000)
+        assert integrator.effort.receiver_mappings == 2
+
+    def test_duplicate_source_rejected(self):
+        integrator = integrated()
+        with pytest.raises(ReproError):
+            integrator.add_source(paper_r2(), SourceConvention("r2", "USD", 1))
+
+
+class TestConversionViews:
+    def test_jpy_source_converted_to_global_usd(self):
+        integrator = GlobalSchemaIntegrator()
+        from repro.relational.relation import relation_from_rows
+
+        jpy = relation_from_rows(
+            "asia", ["cname:string", "revenue:float"], [("NTT", 1_000_000)], qualifier=None
+        )
+        integrator.add_source(jpy, SourceConvention("asia", "JPY", 1000))
+        view = integrator.global_view("asia")
+        assert view.rows[0][1] == pytest.approx(9_600_000)
+
+    def test_query_over_global_views(self):
+        integrator = GlobalSchemaIntegrator()
+        from repro.relational.relation import relation_from_rows
+
+        asia = relation_from_rows(
+            "asia", ["cname:string", "revenue:float"], [("NTT", 1_000_000), ("IBM", 100)],
+            qualifier=None,
+        )
+        integrator.add_source(asia, SourceConvention("asia", "JPY", 1000))
+        integrator.add_source(paper_r2(), SourceConvention("r2", "USD", 1))
+        answer = integrator.query(
+            "SELECT asia.cname FROM asia, r2 WHERE asia.cname = r2.cname "
+            "AND asia.revenue > r2.expenses"
+        )
+        assert answer.column("cname") == ["NTT"]
+
+
+class TestExtensibility:
+    def test_convention_change_touches_pairwise_entries(self):
+        integrator = GlobalSchemaIntegrator()
+        from repro.relational.relation import relation_from_rows
+
+        for index in range(4):
+            relation = relation_from_rows(
+                f"s{index}", ["cname:string", "revenue:float"], [("A", 1.0)], qualifier=None
+            )
+            integrator.add_source(relation, SourceConvention(f"s{index}", "USD", 1))
+        touched = integrator.change_source_convention("s0", "JPY", 1000)
+        # The view itself plus the 3 pairwise entries involving s0.
+        assert touched == 4
+        assert integrator.conventions["s0"].currency == "JPY"
+        # The converted view now reflects the new convention.
+        assert integrator.global_view("s0").rows[0][1] == pytest.approx(1.0 * 1000 * 0.0096)
+
+    def test_change_unknown_source_rejected(self):
+        with pytest.raises(ReproError):
+            integrated().change_source_convention("ghost", "JPY", 1)

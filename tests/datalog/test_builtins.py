@@ -1,0 +1,87 @@
+"""Unit tests for the procedural builtins of the deductive engine."""
+
+import pytest
+
+from repro.errors import ResolutionError
+from repro.datalog.builtins import BUILTINS, call_builtin, evaluate_arithmetic, is_builtin
+from repro.datalog.terms import Constant, compound, const, var
+from repro.datalog.unify import apply
+
+
+class TestRegistry:
+    def test_is_builtin(self):
+        assert is_builtin("eval", 2)
+        assert is_builtin("lt", 2)
+        assert not is_builtin("eval", 3)
+        assert not is_builtin("parent", 2)
+
+    def test_unknown_builtin_raises(self):
+        with pytest.raises(ResolutionError):
+            call_builtin("nope", (const(1),), {})
+
+
+class TestArithmeticEvaluation:
+    def test_nested_expression(self):
+        term = compound("*", compound("+", 1, 2), 4)
+        assert evaluate_arithmetic(term, {}) == 12
+
+    def test_division_and_unary(self):
+        assert evaluate_arithmetic(compound("/", 9, 2), {}) == 4.5
+        assert evaluate_arithmetic(compound("neg", 5), {}) == -5
+        assert evaluate_arithmetic(compound("abs", -5), {}) == 5
+        assert evaluate_arithmetic(compound("round", 2.567, 2), {}) == 2.57
+
+    def test_substitution_applied(self):
+        substitution = {var("X"): const(10)}
+        assert evaluate_arithmetic(compound("*", var("X"), 3), substitution) == 30
+
+    def test_errors(self):
+        with pytest.raises(ResolutionError):
+            evaluate_arithmetic(compound("**", 2, 3), {})
+        with pytest.raises(ResolutionError):
+            evaluate_arithmetic(const("text"), {})
+
+
+class TestEvalBuiltin:
+    def test_binds_result(self):
+        results = list(call_builtin("eval", (compound("*", 6, 7), var("R")), {}))
+        assert len(results) == 1
+        assert apply(var("R"), results[0]) == Constant(42)
+
+    def test_checks_bound_result(self):
+        assert list(call_builtin("eval", (compound("+", 1, 1), const(2)), {})) != []
+        assert list(call_builtin("eval", (compound("+", 1, 1), const(3)), {})) == []
+
+
+class TestComparisons:
+    def test_lt_le_gt_ge(self):
+        assert list(call_builtin("lt", (const(1), const(2)), {})) != []
+        assert list(call_builtin("lt", (const(2), const(1)), {})) == []
+        assert list(call_builtin("le", (const(2), const(2)), {})) != []
+        assert list(call_builtin("gt", (const("b"), const("a")), {})) != []
+        assert list(call_builtin("ge", (const(1), const(2)), {})) == []
+
+    def test_comparison_requires_ground_scalars(self):
+        with pytest.raises(ResolutionError):
+            list(call_builtin("lt", (var("X"), const(1)), {}))
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ResolutionError):
+            list(call_builtin("lt", (const(1), const("a")), {}))
+
+
+class TestEqualityBuiltins:
+    def test_eq_unifies(self):
+        results = list(call_builtin("eq", (var("X"), const(3)), {}))
+        assert apply(var("X"), results[0]) == Constant(3)
+
+    def test_ne_and_dif(self):
+        assert list(call_builtin("ne", (const(1), const(2)), {})) != []
+        assert list(call_builtin("ne", (const(1), const(1)), {})) == []
+        assert list(call_builtin("dif", (const("USD"), const("JPY")), {})) != []
+
+    def test_ground_true_fail(self):
+        assert list(call_builtin("ground", (const(1),), {})) != []
+        assert list(call_builtin("ground", (var("X"),), {})) == []
+        assert list(call_builtin("true", (), {})) != []
+        assert list(call_builtin("fail", (), {})) == []

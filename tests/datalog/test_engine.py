@@ -1,0 +1,156 @@
+"""Unit tests for SLD(NF) resolution and abduction."""
+
+import pytest
+
+from repro.errors import ResolutionError
+from repro.datalog.builtins import evaluate_arithmetic
+from repro.datalog.clause import KnowledgeBase, atom, fact, neg, pos, rule
+from repro.datalog.engine import ResolutionConfig, Resolver, solve
+from repro.datalog.terms import compound, var
+
+
+@pytest.fixture
+def family_kb():
+    kb = KnowledgeBase(name="family")
+    for parent, child in [("tom", "bob"), ("tom", "liz"), ("bob", "ann"), ("bob", "pat")]:
+        kb.add_fact("parent", parent, child)
+    kb.add(rule(atom("grandparent", var("X"), var("Z")),
+                [atom("parent", var("X"), var("Y")), atom("parent", var("Y"), var("Z"))],
+                label="gp"))
+    kb.add(rule(atom("ancestor", var("X"), var("Y")), [atom("parent", var("X"), var("Y"))]))
+    kb.add(rule(atom("ancestor", var("X"), var("Z")),
+                [atom("parent", var("X"), var("Y")), atom("ancestor", var("Y"), var("Z"))]))
+    return kb
+
+
+class TestResolution:
+    def test_ground_query(self, family_kb):
+        resolver = Resolver(family_kb)
+        assert resolver.ask([pos(atom("parent", "tom", "bob"))])
+        assert not resolver.ask([pos(atom("parent", "bob", "tom"))])
+
+    def test_variable_bindings(self, family_kb):
+        solutions = solve(family_kb, [pos(atom("grandparent", "tom", var("W")))])
+        assert sorted(solution.value(var("W")) for solution in solutions) == ["ann", "pat"]
+
+    def test_recursive_rules(self, family_kb):
+        solutions = solve(family_kb, [pos(atom("ancestor", "tom", var("W")))])
+        assert sorted({solution.value(var("W")) for solution in solutions}) == [
+            "ann", "bob", "liz", "pat",
+        ]
+
+    def test_conjunction_of_goals(self, family_kb):
+        solutions = solve(family_kb, [
+            pos(atom("parent", var("X"), "ann")),
+            pos(atom("parent", "tom", var("X"))),
+        ])
+        assert [solution.value(var("X")) for solution in solutions] == ["bob"]
+
+    def test_trace_carries_rule_labels(self, family_kb):
+        solutions = solve(family_kb, [pos(atom("grandparent", "tom", "ann"))])
+        assert "gp" in solutions[0].trace
+
+    def test_unknown_predicate_fails_silently(self, family_kb):
+        assert solve(family_kb, [pos(atom("sibling", var("X"), var("Y")))]) == []
+
+    def test_max_solutions(self, family_kb):
+        config = ResolutionConfig(max_solutions=1)
+        solutions = list(Resolver(family_kb, config).solve([pos(atom("parent", var("X"), var("Y")))]))
+        assert len(solutions) == 1
+
+    def test_depth_limit(self):
+        kb = KnowledgeBase()
+        kb.add(rule(atom("loop", var("X")), [atom("loop", var("X"))]))
+        with pytest.raises(ResolutionError):
+            solve(kb, [pos(atom("loop", 1))], max_depth=50)
+
+
+class TestNegationAsFailure:
+    def test_negation(self, family_kb):
+        family_kb.add_fact("person", "tom")
+        family_kb.add_fact("person", "ann")
+        family_kb.add(rule(atom("childless", var("X")),
+                           [atom("person", var("X")), neg(atom("parent", var("X"), var("_")))]))
+        solutions = solve(family_kb, [pos(atom("childless", var("P")))])
+        assert [solution.value(var("P")) for solution in solutions] == ["ann"]
+
+    def test_negated_ground_goal(self, family_kb):
+        resolver = Resolver(family_kb)
+        assert resolver.ask([neg(atom("parent", "ann", "tom"))])
+        assert not resolver.ask([neg(atom("parent", "tom", "bob"))])
+
+
+class TestBuiltinsInRules:
+    def test_eval_builtin(self):
+        kb = KnowledgeBase()
+        kb.add(rule(atom("converted", var("V"), var("R")),
+                    [atom("eval", compound("*", var("V"), 1000), var("R"))]))
+        solutions = solve(kb, [pos(atom("converted", 5, var("R")))])
+        assert solutions[0].value(var("R")) == 5000
+
+    def test_comparison_builtins(self):
+        kb = KnowledgeBase()
+        kb.add_fact("amount", 10)
+        kb.add_fact("amount", 2000)
+        kb.add(rule(atom("big", var("X")), [atom("amount", var("X")), atom("gt", var("X"), 100)]))
+        solutions = solve(kb, [pos(atom("big", var("X")))])
+        assert [solution.value(var("X")) for solution in solutions] == [2000]
+
+    def test_dif_builtin(self):
+        kb = KnowledgeBase()
+        kb.add_fact("currency", "USD")
+        kb.add_fact("currency", "JPY")
+        kb.add(rule(atom("foreign", var("C")),
+                    [atom("currency", var("C")), atom("ne", var("C"), "USD")]))
+        solutions = solve(kb, [pos(atom("foreign", var("C")))])
+        assert [solution.value(var("C")) for solution in solutions] == ["JPY"]
+
+    def test_evaluate_arithmetic_errors(self):
+        with pytest.raises(ResolutionError):
+            evaluate_arithmetic(var("X"), {})
+        with pytest.raises(ResolutionError):
+            evaluate_arithmetic(compound("/", 1, 0), {})
+
+
+class TestAbduction:
+    def test_abducible_goal_is_assumed(self):
+        kb = KnowledgeBase()
+        kb.add(rule(atom("answerable", var("Q")), [atom("assume", var("Q"), "usd")]))
+        config = ResolutionConfig(abducibles={("assume", 2)})
+        solutions = list(Resolver(kb, config).solve([pos(atom("answerable", "q1"))]))
+        assert len(solutions) == 1
+        assert str(solutions[0].abduced[0]) == "assume('q1', 'usd')"
+
+    def test_non_abducible_unknown_goal_fails(self):
+        kb = KnowledgeBase()
+        kb.add(rule(atom("answerable", var("Q")), [atom("assume", var("Q"), "usd")]))
+        assert solve(kb, [pos(atom("answerable", "q1"))]) == []
+
+    def test_abduction_filter_can_veto(self):
+        kb = KnowledgeBase()
+        kb.add(rule(atom("ok", var("X")), [atom("assume", var("X"))]))
+
+        def reject_everything(assumed, abduced, substitution):
+            return False
+
+        config = ResolutionConfig(abducibles={("assume", 1)}, abduction_filter=reject_everything)
+        assert list(Resolver(kb, config).solve([pos(atom("ok", 1))])) == []
+
+    def test_abduction_accumulates_assumptions(self):
+        kb = KnowledgeBase()
+        kb.add(rule(atom("both"), [atom("assume", "a"), atom("assume", "b")]))
+        config = ResolutionConfig(abducibles={("assume", 1)})
+        solutions = list(Resolver(kb, config).solve([pos(atom("both"))]))
+        assert len(solutions) == 1
+        assert len(solutions[0].abduced) == 2
+
+    def test_clauses_preferred_but_abduction_still_offered(self):
+        kb = KnowledgeBase()
+        kb.add_fact("assume", "known")
+        kb.add(rule(atom("ok", var("X")), [atom("assume", var("X"))]))
+        config = ResolutionConfig(abducibles={("assume", 1)})
+        solutions = list(Resolver(kb, config).solve([pos(atom("ok", "known"))]))
+        # One solution from the fact, one from assuming the literal outright.
+        assert len(solutions) == 2
+        assert solutions[0].abduced == ()
+        assert len(solutions[1].abduced) == 1

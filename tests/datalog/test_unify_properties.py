@@ -1,0 +1,59 @@
+"""Property-based tests for unification laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.terms import Compound, Constant, Variable
+from repro.datalog.unify import apply, unify
+
+
+variables = st.sampled_from([Variable(name) for name in "XYZUVW"])
+constants = st.one_of(
+    st.integers(min_value=-50, max_value=50).map(Constant),
+    st.sampled_from(["USD", "JPY", "EUR", "a", "b"]).map(Constant),
+)
+
+
+def terms(max_depth=3):
+    def extend(children):
+        return st.builds(
+            lambda functor, args: Compound(functor, tuple(args)),
+            st.sampled_from(["f", "g", "pair"]),
+            st.lists(children, min_size=1, max_size=3),
+        )
+
+    return st.recursive(st.one_of(variables, constants), extend, max_leaves=max_depth * 3)
+
+
+class TestUnificationLaws:
+    @settings(max_examples=200, deadline=None)
+    @given(terms())
+    def test_unification_is_reflexive(self, term):
+        assert unify(term, term) is not None
+
+    @settings(max_examples=200, deadline=None)
+    @given(terms(), terms())
+    def test_unification_is_symmetric(self, left, right):
+        forward = unify(left, right)
+        backward = unify(right, left)
+        assert (forward is None) == (backward is None)
+
+    @settings(max_examples=200, deadline=None)
+    @given(terms(), terms())
+    def test_unifier_actually_unifies(self, left, right):
+        substitution = unify(left, right)
+        if substitution is not None:
+            assert apply(left, substitution) == apply(right, substitution)
+
+    @settings(max_examples=200, deadline=None)
+    @given(terms(), terms())
+    def test_unify_never_mutates_input_substitution(self, left, right):
+        initial = {}
+        unify(left, right, initial)
+        assert initial == {}
+
+    @settings(max_examples=100, deadline=None)
+    @given(variables, terms())
+    def test_variable_binding_resolves(self, variable, term):
+        substitution = unify(variable, term)
+        if substitution is not None:
+            assert apply(variable, substitution) == apply(term, substitution)

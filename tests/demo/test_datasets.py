@@ -1,0 +1,71 @@
+"""Unit tests for the demo datasets."""
+
+import pytest
+
+from repro.demo.datasets import (
+    PAPER_EXPECTED_ANSWER,
+    PAPER_JPY_TO_USD,
+    PAPER_QUERY,
+    company_names,
+    financials_rows,
+    ground_truth_usd,
+    paper_r1,
+    paper_r2,
+    stock_price_records,
+)
+
+
+class TestPaperData:
+    def test_r1_contents(self):
+        relation = paper_r1()
+        assert relation.schema.names == ["cname", "revenue", "currency"]
+        assert relation.records() == [
+            {"cname": "IBM", "revenue": 1_000_000.0, "currency": "USD"},
+            {"cname": "NTT", "revenue": 1_000_000.0, "currency": "JPY"},
+        ]
+
+    def test_r2_contents(self):
+        assert paper_r2().records() == [
+            {"cname": "IBM", "expenses": 1_500_000.0},
+            {"cname": "NTT", "expenses": 5_000_000.0},
+        ]
+
+    def test_expected_answer_is_consistent_with_rates(self):
+        (company, revenue), = PAPER_EXPECTED_ANSWER
+        assert company == "NTT"
+        assert revenue == pytest.approx(1_000_000 * 1000 * PAPER_JPY_TO_USD)
+
+    def test_query_text_mentions_both_sources(self):
+        assert "FROM r1, r2" in PAPER_QUERY
+
+
+class TestSyntheticData:
+    def test_company_names_deterministic_and_unique(self):
+        first = company_names(30)
+        second = company_names(30)
+        assert first == second
+        assert len(set(first)) == 30
+
+    def test_financials_rows_follow_convention(self):
+        companies = company_names(5)
+        usd = financials_rows(companies, "USD", 1, seed=3)
+        jpy = financials_rows(companies, "JPY", 1000, seed=3)
+        assert all(row[3] == "JPY" for row in jpy)
+        # Same underlying USD figures expressed in JPY thousands: revenue_jpy =
+        # revenue_usd / (JPY->USD quote) / 1000.
+        assert jpy[0][1] == pytest.approx(usd[0][1] / 0.0096 / 1000, rel=1e-6)
+
+    def test_ground_truth_matches_generated_rows(self):
+        companies = company_names(4)
+        truth = ground_truth_usd(companies, seed=11)
+        rows = financials_rows(companies, "USD", 1, seed=11)
+        for row in rows:
+            revenue, expenses = truth[row[0]]
+            assert row[1] == pytest.approx(revenue)
+            assert row[2] == pytest.approx(expenses)
+
+    def test_stock_price_records(self):
+        records = stock_price_records(company_names(3))
+        assert len(records) == 3
+        assert set(records[0]) == {"cname", "price", "currency", "exchange"}
+        assert all(record["currency"] == "USD" for record in records)

@@ -1,0 +1,102 @@
+"""Unit tests for the pre-wired demo federations."""
+
+import pytest
+
+from repro.demo.scenarios import (
+    EXCHANGE_RELATION,
+    build_exchange_wrapper,
+    build_financial_analysis_federation,
+    build_paper_coin_system,
+    build_paper_federation,
+    build_scalability_federation,
+)
+
+
+class TestExchangeWrapper:
+    def test_spec_language_is_used(self):
+        wrapper = build_exchange_wrapper()
+        assert wrapper.relation_names() == [EXCHANGE_RELATION]
+        relation = wrapper.materialize()
+        assert relation.schema.names == ["fromCur", "toCur", "rate"]
+        assert len(relation) > 10
+
+    def test_custom_relation_name(self):
+        wrapper = build_exchange_wrapper(relation_name="rates")
+        assert wrapper.relation_names() == ["rates"]
+
+
+class TestPaperScenario:
+    def test_system_validates_and_has_expected_contexts(self):
+        system = build_paper_coin_system()
+        assert set(system.contexts.names) >= {"c_source1", "c_source2", "c_receiver"}
+        assert system.elevations.has_relation("r1")
+
+    def test_federation_catalogs_three_relations(self):
+        scenario = build_paper_federation()
+        assert scenario.federation.list_relations() == ["r1", "r2", "r3"]
+        assert scenario.query.startswith("SELECT r1.cname")
+        assert scenario.receiver_context == "c_receiver"
+
+
+class TestScalabilityScenario:
+    def test_builds_requested_number_of_sources(self):
+        scenario = build_scalability_federation(4, companies_per_source=5)
+        assert len(scenario.relations) == 4
+        assert len(scenario.companies) == 5
+        relations = scenario.federation.list_relations()
+        assert set(scenario.relations) <= set(relations)
+        assert EXCHANGE_RELATION in relations
+
+    def test_one_context_per_source_by_default(self):
+        scenario = build_scalability_federation(4, companies_per_source=3)
+        # receiver + 4 source contexts.
+        assert len(scenario.federation.receiver_contexts) == 5
+
+    def test_shared_contexts_deduplicate_conventions(self):
+        many = build_scalability_federation(8, companies_per_source=3, shared_contexts=False)
+        shared = build_scalability_federation(8, companies_per_source=3, shared_contexts=True)
+        assert len(shared.federation.receiver_contexts) < len(many.federation.receiver_contexts)
+
+    def test_pairwise_query_is_answerable(self):
+        scenario = build_scalability_federation(3, companies_per_source=4)
+        sql = scenario.pairwise_query(scenario.relations[0], scenario.relations[1])
+        answer = scenario.federation.query(sql)
+        assert answer.relation is not None
+        assert answer.mediation.branch_count >= 1
+
+    def test_conventions_recorded(self):
+        scenario = build_scalability_federation(3, companies_per_source=2)
+        assert set(scenario.conventions) == set(scenario.relations)
+
+
+class TestFinancialAnalysisScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_financial_analysis_federation(company_count=6)
+
+    def test_sources_catalogued(self, scenario):
+        relations = scenario.federation.list_relations()
+        assert {"usfin", "asiafin", "prices", EXCHANGE_RELATION} <= set(relations)
+
+    def test_profit_and_loss_query_mediates_and_runs(self, scenario):
+        answer = scenario.federation.query(scenario.profit_and_loss_query())
+        # asiafin is JPY/1000, so its branch must include a rate join.
+        assert "r3.rate" in answer.mediated_sql
+        assert all(record["operating_margin"] > 0 for record in answer.records)
+
+    def test_market_intelligence_query_uses_web_prices(self, scenario):
+        answer = scenario.federation.query(scenario.market_intelligence_query())
+        assert all(record["price"] > 100 for record in answer.records)
+
+    def test_eu_analyst_gets_converted_answers(self, scenario):
+        us_answer = scenario.federation.query(
+            "SELECT us.cname, us.revenue FROM usfin us", "c_us_analyst"
+        )
+        eu_answer = scenario.federation.query(
+            "SELECT us.cname, us.revenue FROM usfin us", "c_eu_analyst"
+        )
+        us_by_name = {record["cname"]: record["revenue"] for record in us_answer.records}
+        eu_by_name = {record["cname"]: record["revenue"] for record in eu_answer.records}
+        name = scenario.companies[0]
+        # EUR at scale 1000: usd_value / 1.10 / 1000.
+        assert eu_by_name[name] == pytest.approx(us_by_name[name] / 1.10 / 1000, rel=1e-6)

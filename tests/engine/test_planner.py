@@ -1,0 +1,123 @@
+"""Unit tests for the query planner (decomposition, pushdown, join ordering)."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.demo.scenarios import build_paper_federation
+from repro.engine.planner import PlannerConfig, QueryPlanner
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+
+
+@pytest.fixture(scope="module")
+def federation():
+    return build_paper_federation().federation
+
+
+@pytest.fixture(scope="module")
+def catalog(federation):
+    return federation.engine.catalog
+
+
+def plan(catalog, sql, **config_kwargs):
+    planner = QueryPlanner(catalog, config=PlannerConfig(**config_kwargs) if config_kwargs else None)
+    return planner.plan(parse(sql))
+
+
+class TestDecomposition:
+    def test_one_request_per_binding(self, catalog):
+        query_plan = plan(catalog, "SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname")
+        branch = query_plan.branches[0]
+        assert {request.binding for request in branch.requests} == {"r1", "r2"}
+        assert len(branch.join_steps) == 1
+
+    def test_selection_pushed_to_sql_source(self, catalog):
+        query_plan = plan(catalog, "SELECT r1.cname FROM r1 WHERE r1.currency = 'JPY'")
+        request = query_plan.branches[0].requests[0]
+        assert request.sql is not None
+        assert "WHERE r1.currency = 'JPY'" in to_sql(request.sql)
+        assert request.local_filters == ()
+
+    def test_selection_not_pushed_to_scan_only_source(self, catalog):
+        query_plan = plan(catalog, "SELECT r3.rate FROM r3 WHERE r3.toCur = 'USD'")
+        request = query_plan.branches[0].requests[0]
+        assert request.sql is None
+        assert len(request.local_filters) == 1
+
+    def test_projection_pushed_when_supported(self, catalog):
+        query_plan = plan(catalog, "SELECT r1.cname FROM r1")
+        request = query_plan.branches[0].requests[0]
+        assert request.projected_columns == ("cname",)
+        assert "SELECT r1.cname FROM r1" == to_sql(request.sql)
+
+    def test_cross_source_condition_becomes_join_step(self, catalog):
+        query_plan = plan(
+            catalog,
+            "SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses",
+        )
+        step = query_plan.branches[0].join_steps[0]
+        assert len(step.conditions) == 2
+        assert step.hash_join is True
+
+    def test_union_planned_branch_by_branch(self, catalog, federation):
+        mediated = federation.mediate_only(
+            "SELECT r1.cname, r1.revenue FROM r1, r2 "
+            "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+        ).mediated
+        query_plan = federation.engine.planner.plan(mediated)
+        assert len(query_plan.branches) == 3
+        assert query_plan.request_count >= 8
+
+    def test_explain_text(self, catalog):
+        query_plan = plan(catalog, "SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname")
+        text = query_plan.explain()
+        assert "source requests" in text
+        assert "local joins" in text
+        assert "estimated rows" in text
+
+
+class TestAblationSwitches:
+    def test_disabling_selection_pushdown(self, catalog):
+        pushed = plan(catalog, "SELECT r1.cname FROM r1 WHERE r1.currency = 'JPY'")
+        unpushed = plan(catalog, "SELECT r1.cname FROM r1 WHERE r1.currency = 'JPY'",
+                        push_selections=False)
+        assert pushed.branches[0].requests[0].pushed_conjuncts != ()
+        assert unpushed.branches[0].requests[0].pushed_conjuncts == ()
+        assert len(unpushed.branches[0].requests[0].local_filters) == 1
+
+    def test_disabling_projection_pushdown(self, catalog):
+        unpushed = plan(catalog, "SELECT r1.cname FROM r1", push_projections=False)
+        assert unpushed.branches[0].requests[0].projected_columns is None
+
+    def test_pushdown_reduces_estimated_cost(self, catalog):
+        sql = "SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname AND r1.currency = 'JPY'"
+        pushed = plan(catalog, sql)
+        unpushed = plan(catalog, sql, push_selections=False, push_projections=False)
+        assert pushed.cost.total <= unpushed.cost.total
+
+
+class TestErrors:
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(PlanningError):
+            plan(catalog, "SELECT ghost.x FROM ghost")
+
+    def test_query_without_from(self, catalog):
+        with pytest.raises(PlanningError):
+            plan(catalog, "SELECT 1")
+
+    def test_explicit_join_syntax_rejected(self, catalog):
+        with pytest.raises(PlanningError):
+            plan(catalog, "SELECT r1.cname FROM r1 JOIN r2 ON r1.cname = r2.cname")
+
+    def test_unknown_column_binding(self, catalog):
+        with pytest.raises(PlanningError):
+            plan(catalog, "SELECT r1.cname FROM r1 WHERE zz.other = 1")
+
+    def test_ambiguous_unqualified_column(self, catalog):
+        with pytest.raises(PlanningError):
+            plan(catalog, "SELECT cname FROM r1, r2")
+
+    def test_too_many_tables(self, catalog):
+        planner = QueryPlanner(catalog, config=PlannerConfig(max_branch_tables=1))
+        with pytest.raises(PlanningError):
+            planner.plan(parse("SELECT r1.cname FROM r1, r2"))

@@ -1,0 +1,108 @@
+"""Integration test for experiment E4: the extensibility claim.
+
+"Changes within any system can be effected by corresponding changes in local
+elevation axioms or context theory and do not have adverse effects on other
+parts of the larger system."
+
+Scenario: Source 1 unilaterally changes its reporting convention (all figures
+now in thousands regardless of currency).  Under COIN only Source 1's context
+theory is edited — one artifact — and queries posed by unchanged receivers
+against unchanged other sources remain correct.  Under the tight-coupling
+baseline the administrator must touch the source's conversion view plus every
+pairwise mapping involving it.
+"""
+
+import pytest
+
+from repro.baselines.tight import GlobalSchemaIntegrator, SourceConvention
+from repro.coin.context import ConstantValue, Context, Guard, ModifierCase
+from repro.demo.datasets import PAPER_QUERY, paper_r1, paper_r2
+from repro.demo.scenarios import build_paper_federation
+
+
+class TestCoinExtensibility:
+    def test_context_change_is_local_and_answers_track_it(self):
+        scenario = build_paper_federation()
+        federation = scenario.federation
+
+        before = federation.query(PAPER_QUERY)
+        assert before.records == [{"cname": "NTT", "revenue": 9_600_000.0}]
+
+        # Source 1's administrator announces: every figure is now in thousands,
+        # whatever the currency.  Only c_source1 is edited.
+        new_c1 = Context("c_source1", "Source 1 v2: per-row currency, always thousands")
+        new_c1.declare_attribute("companyFinancials", "currency", "currency")
+        new_c1.declare_constant("companyFinancials", "scaleFactor", 1000)
+        federation.system.contexts.register(new_c1)  # replaces the old theory
+
+        after = federation.query(PAPER_QUERY)
+        by_name = {record["cname"]: record["revenue"] for record in after.records}
+        # NTT unchanged (it was already JPY/thousands)...
+        assert by_name["NTT"] == pytest.approx(9_600_000)
+        # ...and IBM's 1,000,000 now means 1,000,000,000 USD > its expenses.
+        assert by_name["IBM"] == pytest.approx(1_000_000_000)
+
+    def test_other_sources_and_receivers_unaffected(self):
+        scenario = build_paper_federation()
+        federation = scenario.federation
+        baseline = federation.query("SELECT r2.cname, r2.expenses FROM r2").records
+
+        new_c1 = Context("c_source1")
+        new_c1.declare_attribute("companyFinancials", "currency", "currency")
+        new_c1.declare_constant("companyFinancials", "scaleFactor", 1000)
+        federation.system.contexts.register(new_c1)
+
+        assert federation.query("SELECT r2.cname, r2.expenses FROM r2").records == baseline
+
+    def test_adding_a_source_needs_only_its_own_axioms(self):
+        scenario = build_paper_federation()
+        federation = scenario.federation
+        effort_before = federation.integration_effort()
+
+        from repro.sources.memory import MemorySQLSource
+        from repro.wrappers.wrapper import RelationalWrapper
+
+        new_source = MemorySQLSource("source3").load_sql(
+            "CREATE TABLE r4 (cname varchar, expenses float)",
+            "INSERT INTO r4 VALUES ('NTT', 100)",
+        )
+        context = Context("c_source3").declare_constant("companyFinancials", "currency", "EUR")
+        context.declare_constant("companyFinancials", "scaleFactor", 1)
+        federation.system.add_context(context)
+        federation.system.elevations.elevate("source3", "r4", "c_source3", {
+            "cname": "companyName", "expenses": "companyFinancials",
+        })
+        federation.register_wrapper(RelationalWrapper(new_source))
+        federation.system.validate()
+
+        effort_after = federation.integration_effort()
+        # One new context, two new elevation axioms; nothing else changed.
+        assert effort_after["contexts"] == effort_before["contexts"] + 1
+        assert effort_after["elevation_axioms"] == effort_before["elevation_axioms"] + 2
+        assert effort_after["conversion_functions"] == effort_before["conversion_functions"]
+
+        # The new source participates in mediated queries immediately.
+        answer = federation.query(
+            "SELECT r1.cname, r1.revenue FROM r1, r4 WHERE r1.cname = r4.cname "
+            "AND r1.revenue > r4.expenses"
+        )
+        assert [record["cname"] for record in answer.records] == ["NTT"]
+
+
+class TestTightCouplingComparison:
+    def test_same_change_touches_many_artifacts_under_tight_coupling(self):
+        integrator = GlobalSchemaIntegrator()
+        integrator.add_source(paper_r1().project(["cname", "revenue"]),
+                              SourceConvention("r1", "USD", 1))
+        integrator.add_source(paper_r2(), SourceConvention("r2", "USD", 1))
+        from repro.relational.relation import relation_from_rows
+
+        for index in range(3):
+            relation = relation_from_rows(
+                f"extra{index}", ["cname:string", "revenue:float"], [("X", 1.0)], qualifier=None
+            )
+            integrator.add_source(relation, SourceConvention(f"extra{index}", "USD", 1))
+
+        touched = integrator.change_source_convention("r1", "USD", 1000)
+        # view + one pairwise entry per other source (4 of them).
+        assert touched == 5

@@ -1,0 +1,69 @@
+"""Integration test for experiment E9: financial-analysis decision support.
+
+The conclusion of the paper describes deployments for "profit and loss
+analysis, and marketing intelligence" over on-line financial databases, web
+sites serving security prices, and ancillary exchange-rate sites.  This test
+exercises that scenario end to end on the synthetic federation.
+"""
+
+import pytest
+
+from repro.demo.datasets import ground_truth_usd
+from repro.demo.scenarios import build_financial_analysis_federation
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_financial_analysis_federation(company_count=8)
+
+
+class TestProfitAndLoss:
+    def test_cross_source_margins_match_ground_truth(self, scenario):
+        federation = scenario.federation
+        answer = federation.query(
+            "SELECT us.cname, us.revenue - asia.expenses AS margin "
+            "FROM usfin us, asiafin asia WHERE us.cname = asia.cname"
+        )
+        truth = ground_truth_usd(scenario.companies, seed=29 + 1)
+        for record in answer.records:
+            revenue_usd, expenses_usd = truth[record["cname"]]
+            assert record["margin"] == pytest.approx(revenue_usd - expenses_usd, rel=1e-4)
+
+    def test_profit_and_loss_query_filters_positive_margins(self, scenario):
+        answer = scenario.federation.query(scenario.profit_and_loss_query())
+        assert all(record["operating_margin"] > 0 for record in answer.records)
+        truth = ground_truth_usd(scenario.companies, seed=29 + 1)
+        expected_positive = {name for name, (rev, exp) in truth.items() if rev - exp > 0}
+        assert {record["cname"] for record in answer.records} == expected_positive
+
+    def test_asia_branch_requires_conversion(self, scenario):
+        result = scenario.federation.mediate_only(scenario.profit_and_loss_query())
+        assert result.conflict_count >= 2
+        assert "1000" in result.sql and "r3.rate" in result.sql
+
+
+class TestMarketIntelligence:
+    def test_prices_come_from_the_wrapped_web_site(self, scenario):
+        federation = scenario.federation
+        wrapper = federation.engine.catalog.wrapper_for("prices")
+        answer = federation.query(scenario.market_intelligence_query())
+        assert wrapper.last_report is not None
+        assert wrapper.last_report.pages_visited >= len(scenario.companies)
+        assert all(record["price"] > 100 for record in answer.records)
+
+    def test_aggregate_market_summary(self, scenario):
+        answer = scenario.federation.query(
+            "SELECT prices.exchange, COUNT(*) AS listings, AVG(prices.price) AS avg_price "
+            "FROM prices GROUP BY prices.exchange ORDER BY listings DESC"
+        )
+        assert sum(record["listings"] for record in answer.records) == len(scenario.companies)
+
+
+class TestMultipleAnalystWorkspaces:
+    def test_us_and_eu_views_are_consistent(self, scenario):
+        federation = scenario.federation
+        sql = "SELECT us.cname, us.revenue FROM usfin us ORDER BY us.cname"
+        usd = federation.query(sql, "c_us_analyst").relation
+        eur = federation.query(sql, "c_eu_analyst").relation
+        for usd_row, eur_row in zip(usd.rows, eur.rows):
+            assert eur_row[1] == pytest.approx(usd_row[1] / 1.10 / 1000, rel=1e-6)

@@ -1,0 +1,86 @@
+"""Integration test for experiment E3: the scalability claim.
+
+COIN's integration effort grows linearly with the number of sources (one
+context + a handful of elevation axioms per source), while the tight-coupling
+baseline's pairwise conflict registry grows quadratically.  Mediation itself
+keeps working — and stays correct — as sources are added.
+"""
+
+import pytest
+
+from repro.baselines.tight import GlobalSchemaIntegrator, SourceConvention
+from repro.demo.scenarios import build_scalability_federation
+from repro.relational.relation import relation_from_rows
+from repro.sources.exchange import DEFAULT_RATES, complete_rates, lookup_rate
+
+RATES = complete_rates(DEFAULT_RATES)
+
+
+def tight_integrator_for(scenario):
+    integrator = GlobalSchemaIntegrator()
+    for relation_name in scenario.relations:
+        currency, scale = scenario.conventions[relation_name]
+        wrapper = scenario.federation.engine.catalog.wrapper_for(relation_name)
+        integrator.add_source(wrapper.fetch(relation_name), SourceConvention(relation_name, currency, scale))
+    return integrator
+
+
+class TestEffortGrowth:
+    def test_coin_effort_is_linear_tight_coupling_quadratic(self):
+        small = build_scalability_federation(4, companies_per_source=3)
+        large = build_scalability_federation(8, companies_per_source=3)
+
+        coin_small = small.federation.integration_effort()
+        coin_large = large.federation.integration_effort()
+        # Context axioms and elevation axioms grow proportionally to sources.
+        growth = (coin_large["context_axioms"] + coin_large["elevation_axioms"]) / (
+            coin_small["context_axioms"] + coin_small["elevation_axioms"]
+        )
+        assert growth == pytest.approx(2.0, rel=0.25)
+
+        tight_small = tight_integrator_for(small).effort.snapshot()
+        tight_large = tight_integrator_for(large).effort.snapshot()
+        assert tight_small["pairwise_mappings"] == 4 * 3 // 2
+        assert tight_large["pairwise_mappings"] == 8 * 7 // 2
+        # Quadratic growth: 28 / 6 >> 2.
+        assert tight_large["pairwise_mappings"] / tight_small["pairwise_mappings"] > 4
+
+    def test_shared_contexts_reduce_effort_further(self):
+        per_source = build_scalability_federation(9, companies_per_source=2, shared_contexts=False)
+        shared = build_scalability_federation(9, companies_per_source=2, shared_contexts=True)
+        assert (
+            shared.federation.integration_effort()["context_axioms"]
+            < per_source.federation.integration_effort()["context_axioms"]
+        )
+
+
+class TestMediationCorrectnessAtScale:
+    def test_cross_source_answers_match_ground_truth(self):
+        scenario = build_scalability_federation(5, companies_per_source=6)
+        federation = scenario.federation
+        left, right = scenario.relations[1], scenario.relations[2]
+
+        answer = federation.query(scenario.pairwise_query(left, right))
+        got = {(record["cname"], round(record["revenue"], 2)) for record in answer.records}
+
+        left_rows = federation.engine.catalog.wrapper_for(left).fetch(left)
+        right_rows = federation.engine.catalog.wrapper_for(right).fetch(right)
+        left_currency, left_scale = scenario.conventions[left]
+        right_currency, right_scale = scenario.conventions[right]
+
+        expected = set()
+        for cname, revenue, _expenses, _currency in left_rows.rows:
+            revenue_usd = revenue * left_scale * lookup_rate(RATES, left_currency, "USD")
+            for cname2, _rev2, expenses2, _cur2 in right_rows.rows:
+                expenses_usd = expenses2 * right_scale * lookup_rate(RATES, right_currency, "USD")
+                if cname == cname2 and revenue_usd > expenses_usd:
+                    expected.add((cname, round(revenue_usd, 2)))
+        assert got == expected
+
+    def test_mediation_branch_count_stays_bounded(self):
+        scenario = build_scalability_federation(6, companies_per_source=3)
+        result = scenario.federation.mediate_only(
+            scenario.pairwise_query(scenario.relations[0], scenario.relations[5])
+        )
+        # Constant-valued contexts: one branch regardless of federation size.
+        assert result.branch_count == 1

@@ -1,0 +1,102 @@
+"""Unit tests for answer transformation and annotation."""
+
+import pytest
+
+from repro.errors import MediationError
+from repro.coin.conversion import ConversionEnvironment
+from repro.demo.scenarios import build_paper_coin_system
+from repro.mediation.answers import (
+    AnswerTransformer,
+    environment_from_rates,
+    environment_from_relation,
+)
+from repro.relational.relation import relation_from_rows
+
+
+def result_relation():
+    return relation_from_rows(
+        "answer",
+        ["cname:string", "revenue:float"],
+        [("NTT", 9_600_000.0), ("IBM", 1_000_000.0)],
+        qualifier=None,
+    )
+
+
+@pytest.fixture
+def transformer():
+    system = build_paper_coin_system()
+    environment = environment_from_rates({("USD", "JPY"): 104.0, ("JPY", "USD"): 1 / 104.0})
+    return AnswerTransformer(system, environment)
+
+
+class TestAnnotations:
+    def test_semantic_column_annotated_with_modifiers(self, transformer):
+        annotations = transformer.annotate(
+            result_relation(), [None, "companyFinancials"], "c_receiver"
+        )
+        assert annotations[0].label() == "cname"
+        assert annotations[1].semantic_type == "companyFinancials"
+        assert annotations[1].modifier_values == {"currency": "USD", "scaleFactor": 1}
+        assert "currency=USD" in annotations[1].label()
+
+    def test_jpy_receiver_annotation(self, transformer):
+        annotations = transformer.annotate(
+            result_relation(), [None, "companyFinancials"], "c_receiver_jpy"
+        )
+        assert annotations[1].modifier_values["currency"] == "JPY"
+        assert annotations[1].modifier_values["scaleFactor"] == 1000
+
+
+class TestTransformation:
+    def test_usd_to_jpy_transformation(self, transformer):
+        converted = transformer.transform(
+            result_relation(), [None, "companyFinancials"], "c_receiver", "c_receiver_jpy"
+        )
+        # USD scale 1 -> JPY scale 1000: multiply by 104, divide by 1000.
+        assert converted.rows[0][1] == pytest.approx(9_600_000 * 104.0 / 1000)
+        assert converted.rows[0][0] == "NTT"
+
+    def test_roundtrip_is_identity_up_to_float_error(self, transformer):
+        original = result_relation()
+        there = transformer.transform(original, [None, "companyFinancials"],
+                                      "c_receiver", "c_receiver_jpy")
+        back = transformer.transform(there, [None, "companyFinancials"],
+                                     "c_receiver_jpy", "c_receiver")
+        assert back.rows[0][1] == pytest.approx(original.rows[0][1])
+
+    def test_same_context_is_noop(self, transformer):
+        original = result_relation()
+        assert transformer.transform(original, [None, "companyFinancials"],
+                                     "c_receiver", "c_receiver") is original
+
+    def test_non_semantic_columns_untouched(self, transformer):
+        converted = transformer.transform(
+            result_relation(), [None, None], "c_receiver", "c_receiver_jpy"
+        )
+        assert converted.rows == result_relation().rows
+
+    def test_null_values_pass_through(self, transformer):
+        relation = relation_from_rows("t", ["v:float"], [(None,)], qualifier=None)
+        converted = transformer.transform(relation, ["companyFinancials"],
+                                          "c_receiver", "c_receiver_jpy")
+        assert converted.rows == [(None,)]
+
+    def test_arity_mismatch_rejected(self, transformer):
+        with pytest.raises(MediationError):
+            transformer.transform(result_relation(), [None], "c_receiver", "c_receiver_jpy")
+
+
+class TestEnvironments:
+    def test_environment_from_rates_derives_missing_pairs(self):
+        environment = environment_from_rates({("GBP", "USD"): 2.0, ("USD", "CHF"): 3.0})
+        assert environment.rate_lookup("GBP", "CHF") == pytest.approx(6.0)
+
+    def test_environment_from_relation(self):
+        rates = relation_from_rows(
+            "r3", ["fromCur:string", "toCur:string", "rate:float"],
+            [("JPY", "USD", 0.0096)], qualifier=None,
+        )
+        environment = environment_from_relation(rates)
+        assert environment.rate_lookup("JPY", "USD") == 0.0096
+        # Inverse derived automatically.
+        assert environment.rate_lookup("USD", "JPY") == pytest.approx(1 / 0.0096)

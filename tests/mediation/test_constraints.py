@@ -1,0 +1,101 @@
+"""Unit tests for the mediation constraint store."""
+
+import pytest
+
+from repro.coin.context import Guard
+from repro.mediation.constraints import ConstraintStore
+
+
+class TestConsistency:
+    def test_equal_different_constants_inconsistent(self):
+        store = ConstraintStore()
+        assert store.add(Guard("r1.currency", "=", "USD"))
+        assert not store.add(Guard("r1.currency", "=", "JPY"))
+        assert not store.is_consistent
+
+    def test_equal_and_not_equal_same_value_inconsistent(self):
+        store = ConstraintStore([Guard("c", "=", "USD")])
+        assert not store.add(Guard("c", "<>", "USD"))
+
+    def test_not_equal_then_equal_same_value_inconsistent(self):
+        store = ConstraintStore([Guard("c", "<>", "USD")])
+        assert not store.add(Guard("c", "=", "USD"))
+
+    def test_different_columns_never_interact(self):
+        store = ConstraintStore()
+        assert store.add_all([Guard("a", "=", 1), Guard("b", "=", 2), Guard("a", "<>", 2)])
+        assert store.is_consistent
+
+    def test_numeric_coercion_in_values(self):
+        store = ConstraintStore([Guard("x", "=", 1)])
+        assert not store.add(Guard("x", "<>", 1.0))
+
+    def test_once_inconsistent_stays_inconsistent(self):
+        store = ConstraintStore()
+        store.add(Guard("c", "=", "USD"))
+        store.add(Guard("c", "=", "JPY"))
+        assert not store.add(Guard("other", "=", 1))
+
+
+class TestEntailmentAndNormalization:
+    def test_equality_entails_disequality_to_other_values(self):
+        store = ConstraintStore([Guard("c", "=", "USD")])
+        assert store.entails(Guard("c", "<>", "JPY"))
+        assert store.entails(Guard("c", "=", "USD"))
+        assert not store.entails(Guard("c", "=", "JPY"))
+        assert not store.entails(Guard("d", "<>", "JPY"))
+
+    def test_normalized_drops_entailed_disequalities(self):
+        """The paper's JPY branch carries only currency = 'JPY'."""
+        store = ConstraintStore([
+            Guard("r1.currency", "<>", "USD"),
+            Guard("r1.currency", "=", "JPY"),
+        ])
+        assert store.is_consistent
+        assert store.normalized() == [Guard("r1.currency", "=", "JPY")]
+
+    def test_normalized_keeps_multiple_disequalities_sorted(self):
+        store = ConstraintStore([
+            Guard("r1.currency", "<>", "USD"),
+            Guard("r1.currency", "<>", "JPY"),
+            Guard("r1.currency", "<>", "USD"),
+        ])
+        normalized = store.normalized()
+        assert len(normalized) == 2
+        assert all(guard.op == "<>" for guard in normalized)
+
+    def test_normalized_orders_by_column(self):
+        store = ConstraintStore([Guard("b", "=", 1), Guard("a", "=", 2)])
+        assert [guard.column for guard in store.normalized()] == ["a", "b"]
+
+    def test_known_value(self):
+        store = ConstraintStore([Guard("c", "=", "JPY")])
+        assert store.known_value("c") == "JPY"
+        assert store.known_value("other") is None
+
+    def test_len_and_describe(self):
+        store = ConstraintStore([Guard("c", "=", "JPY")])
+        assert len(store) == 1
+        assert "c = 'JPY'" in store.describe()
+        assert ConstraintStore().describe() == "<no assumptions>"
+        broken = ConstraintStore([Guard("c", "=", 1), Guard("c", "=", 2)])
+        assert broken.describe() == "<inconsistent>"
+
+
+class TestCompatibilityChecks:
+    def test_compatible_with_does_not_mutate(self):
+        store = ConstraintStore([Guard("c", "=", "USD")])
+        assert not store.compatible_with([Guard("c", "=", "JPY")])
+        assert store.is_consistent
+        assert store.known_value("c") == "USD"
+
+    def test_copy_is_independent(self):
+        store = ConstraintStore([Guard("c", "=", "USD")])
+        duplicate = store.copy()
+        duplicate.add(Guard("c", "=", "JPY"))
+        assert store.is_consistent
+        assert not duplicate.is_consistent
+
+    def test_case_insensitive_columns(self):
+        store = ConstraintStore([Guard("R1.Currency", "=", "USD")])
+        assert not store.compatible_with([Guard("r1.currency", "=", "JPY")])

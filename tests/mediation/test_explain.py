@@ -1,0 +1,56 @@
+"""Unit tests for mediation explanations (intensional answers)."""
+
+import pytest
+
+from repro.demo.scenarios import build_paper_coin_system
+from repro.mediation.explain import conflict_summary, explain_mediation
+from repro.mediation.mediator import ContextMediator
+
+PAPER_QUERY = (
+    "SELECT r1.cname, r1.revenue FROM r1, r2 "
+    "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+)
+
+
+@pytest.fixture
+def result():
+    mediator = ContextMediator(build_paper_coin_system(), default_receiver_context="c_receiver")
+    return mediator.mediate(PAPER_QUERY)
+
+
+class TestExplainMediation:
+    def test_report_structure(self, result):
+        text = explain_mediation(result)
+        assert "Context mediation report" in text
+        assert "receiver context : c_receiver" in text
+        assert "original query" in text
+        assert "mediated query has 3 branch(es)" in text
+        assert text.count("--- branch") == 3
+
+    def test_report_names_conflicts_and_agreements(self, result):
+        text = explain_mediation(result)
+        assert "r1.revenue [currency]" in text
+        assert "r2.expenses [currency]: no conflict" in text
+
+    def test_report_shows_assumptions_and_conversions(self, result):
+        text = explain_mediation(result)
+        assert "r1.currency = 'JPY'" in text
+        assert "convert" in text
+        assert "no conversions" not in text.split("--- branch 2 ---")[0]
+
+    def test_report_contains_final_sql(self, result):
+        assert result.sql in explain_mediation(result)
+
+
+class TestConflictSummary:
+    def test_one_line_per_conflict(self, result):
+        summary = conflict_summary(result)
+        assert len(summary) == 2
+        assert any("currency" in line for line in summary)
+        assert any("scaleFactor" in line for line in summary)
+        assert all("r1.revenue" in line for line in summary)
+
+    def test_empty_summary_when_no_conflicts(self):
+        mediator = ContextMediator(build_paper_coin_system(), default_receiver_context="c_receiver")
+        result = mediator.mediate("SELECT r2.cname, r2.expenses FROM r2")
+        assert conflict_summary(result) == []

@@ -1,0 +1,101 @@
+"""Property-based tests: mediation soundness on randomized data.
+
+The invariant: for any data in the sources, executing the *mediated* query
+returns exactly the rows obtained by converting every source tuple to the
+receiver's context by hand and evaluating the naive query over the converted
+data (ground truth).  Branch guards must also be mutually exclusive so UNION
+never double-counts a tuple.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.demo.scenarios import build_paper_coin_system
+from repro.mediation.mediator import ContextMediator
+from repro.relational.query import QueryProcessor
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.exchange import DEFAULT_RATES, complete_rates, lookup_rate
+
+RATES = complete_rates(DEFAULT_RATES)
+
+PAPER_QUERY = (
+    "SELECT r1.cname, r1.revenue FROM r1, r2 "
+    "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+)
+
+company_names = st.sampled_from(["IBM", "NTT", "Acme", "Globex", "Initech"])
+currencies = st.sampled_from(["USD", "JPY", "EUR", "GBP"])
+amounts = st.integers(min_value=0, max_value=3_000_000)
+
+r1_rows = st.lists(st.tuples(company_names, amounts, currencies), min_size=0, max_size=8)
+r2_rows = st.lists(st.tuples(company_names, amounts), min_size=0, max_size=8)
+
+
+def rates_relation():
+    schema = Schema.of("fromCur:string", "toCur:string", "rate:float")
+    return Relation(schema, rows=[(f, t, r) for (f, t), r in sorted(RATES.items())], name="r3")
+
+
+def build_tables(rows1, rows2):
+    r1 = Relation(Schema.of("cname:string", "revenue:float", "currency:string"), rows=rows1, name="r1")
+    r2 = Relation(Schema.of("cname:string", "expenses:float"), rows=rows2, name="r2")
+    return {"r1": r1, "r2": r2, "r3": rates_relation()}
+
+
+def ground_truth(rows1, rows2):
+    """Hand-convert r1 to USD/scale-1 (context c1 semantics) and evaluate naively."""
+    expected = set()
+    for cname1, revenue, currency in rows1:
+        scale = 1000 if currency == "JPY" else 1
+        revenue_usd = revenue * scale * lookup_rate(RATES, currency, "USD")
+        for cname2, expenses in rows2:
+            if cname1 == cname2 and revenue_usd > expenses:
+                expected.add((cname1, round(revenue_usd, 6)))
+    return expected
+
+
+@pytest.fixture(scope="module")
+def mediator():
+    return ContextMediator(build_paper_coin_system(), default_receiver_context="c_receiver")
+
+
+class TestMediationSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(r1_rows, r2_rows)
+    def test_mediated_answer_equals_ground_truth(self, rows1, rows2):
+        mediator = ContextMediator(build_paper_coin_system(), default_receiver_context="c_receiver")
+        mediated = mediator.mediate(PAPER_QUERY).mediated
+
+        processor = QueryProcessor.over_tables(build_tables(rows1, rows2))
+        answer = processor.execute(mediated)
+        got = {(row[0], round(row[1], 6)) for row in answer.rows}
+        assert got == ground_truth(rows1, rows2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(r1_rows)
+    def test_branch_guards_are_mutually_exclusive(self, rows1):
+        """Every r1 tuple satisfies the guards of at most (here: exactly) one branch."""
+        mediator = ContextMediator(build_paper_coin_system(), default_receiver_context="c_receiver")
+        result = mediator.mediate("SELECT r1.cname, r1.revenue FROM r1")
+        tables = build_tables(rows1, [])
+        processor = QueryProcessor.over_tables(tables)
+
+        per_branch_counts = []
+        for branch in result.branches:
+            count_query = branch.select.copy(
+                items=branch.select.items,
+            )
+            branch_answer = processor.execute(branch.select)
+            per_branch_counts.append(len(branch_answer))
+        assert sum(per_branch_counts) == len(rows1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(r2_rows)
+    def test_no_conflict_source_passes_through_unchanged(self, rows2):
+        mediator = ContextMediator(build_paper_coin_system(), default_receiver_context="c_receiver")
+        result = mediator.mediate("SELECT r2.cname, r2.expenses FROM r2")
+        processor = QueryProcessor.over_tables(build_tables([], rows2))
+        mediated_answer = processor.execute(result.mediated)
+        naive_answer = processor.execute(result.original)
+        assert sorted(mediated_answer.rows) == sorted(naive_answer.rows)

@@ -1,0 +1,60 @@
+"""Unit tests for CSV import/export of relations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.csvio import relation_from_csv, relation_to_csv
+from repro.relational.relation import relation_from_rows
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+
+class TestExport:
+    def test_roundtrip_with_header(self):
+        relation = relation_from_rows(
+            "t", ["cname:string", "revenue:float"], [("IBM", 100.5), ("NTT", None)],
+            qualifier=None,
+        )
+        text = relation_to_csv(relation)
+        back = relation_from_csv(text, name="t")
+        assert back.column("cname") == ["IBM", "NTT"]
+        assert back.column("revenue") == [100.5, None]
+
+    def test_export_without_header(self):
+        relation = relation_from_rows("t", ["a:integer"], [(1,), (2,)], qualifier=None)
+        text = relation_to_csv(relation, include_header=False)
+        assert text == "1\n2\n"
+
+    def test_custom_delimiter(self):
+        relation = relation_from_rows("t", ["a:integer", "b:string"], [(1, "x")], qualifier=None)
+        assert relation_to_csv(relation, delimiter=";") == "a;b\n1;x\n"
+
+
+class TestImport:
+    def test_type_inference(self):
+        text = "name,qty,price\nwidget,3,2.5\ngadget,10,1.0\n"
+        relation = relation_from_csv(text)
+        assert relation.schema[1].type is DataType.INTEGER
+        assert relation.schema[2].type is DataType.FLOAT
+        assert relation.schema[0].type is DataType.STRING
+
+    def test_empty_fields_become_null(self):
+        relation = relation_from_csv("a,b\n1,\n,2\n")
+        assert relation.rows == [(1, None), (None, 2)]
+
+    def test_explicit_schema_headerless(self):
+        schema = Schema.of("a:integer", "b:string")
+        relation = relation_from_csv("1,x\n2,y\n", schema=schema, has_header=False)
+        assert relation.rows == [(1, "x"), (2, "y")]
+
+    def test_headerless_without_schema_raises(self):
+        with pytest.raises(SchemaError):
+            relation_from_csv("1,2\n", has_header=False)
+
+    def test_ragged_rows_padded(self):
+        relation = relation_from_csv("a,b\n1\n")
+        assert relation.rows == [(1, None)]
+
+    def test_empty_text(self):
+        relation = relation_from_csv("")
+        assert len(relation) == 0

@@ -1,0 +1,103 @@
+"""Unit tests for schemas and attribute resolution."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+
+
+def sample_schema():
+    return Schema.of("cname:string", "revenue:float", "currency:string", qualifier="r1")
+
+
+class TestConstruction:
+    def test_of_parses_specs(self):
+        schema = sample_schema()
+        assert schema.names == ["cname", "revenue", "currency"]
+        assert schema[1].type is DataType.FLOAT
+        assert schema[0].qualifier == "r1"
+
+    def test_spec_without_type_defaults_to_any(self):
+        schema = Schema.of("x")
+        assert schema[0].type is DataType.ANY
+
+    def test_qualified_names(self):
+        assert sample_schema().qualified_names == ["r1.cname", "r1.revenue", "r1.currency"]
+
+    def test_equality_and_hash(self):
+        assert sample_schema() == sample_schema()
+        assert hash(sample_schema()) == hash(sample_schema())
+        assert sample_schema() != Schema.of("a:integer")
+
+
+class TestResolution:
+    def test_index_of_unqualified(self):
+        assert sample_schema().index_of("revenue") == 1
+
+    def test_index_of_case_insensitive(self):
+        assert sample_schema().index_of("REVENUE", "R1") == 1
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            sample_schema().index_of("profit")
+
+    def test_wrong_qualifier_raises(self):
+        with pytest.raises(SchemaError):
+            sample_schema().index_of("revenue", "r2")
+
+    def test_ambiguous_unqualified_reference_raises(self):
+        left = sample_schema()
+        right = Schema.of("cname:string", qualifier="r2")
+        joined = left.concat(right)
+        with pytest.raises(SchemaError):
+            joined.index_of("cname")
+        assert joined.index_of("cname", "r2") == 3
+
+    def test_has(self):
+        schema = sample_schema()
+        assert schema.has("cname")
+        assert not schema.has("profit")
+
+
+class TestDerivations:
+    def test_with_qualifier(self):
+        requalified = sample_schema().with_qualifier("x")
+        assert all(attribute.qualifier == "x" for attribute in requalified)
+
+    def test_concat_preserves_order(self):
+        joined = sample_schema().concat(Schema.of("expenses:float", qualifier="r2"))
+        assert joined.qualified_names[-1] == "r2.expenses"
+        assert len(joined) == 4
+
+    def test_project(self):
+        projected = sample_schema().project([2, 0])
+        assert projected.names == ["currency", "cname"]
+
+    def test_project_out_of_range(self):
+        with pytest.raises(SchemaError):
+            sample_schema().project([9])
+
+    def test_rename(self):
+        renamed = sample_schema().rename(["a", "b", "c"])
+        assert renamed.names == ["a", "b", "c"]
+        assert renamed[1].type is DataType.FLOAT
+        assert renamed[0].qualifier is None
+
+    def test_rename_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            sample_schema().rename(["only-one"])
+
+
+class TestRowValidation:
+    def test_validate_row_coerces(self):
+        row = sample_schema().validate_row(("IBM", "100.5", "USD"))
+        assert row == ("IBM", 100.5, "USD")
+
+    def test_validate_row_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            sample_schema().validate_row(("IBM",))
+
+    def test_validate_row_allows_nulls(self):
+        row = sample_schema().validate_row((None, None, None))
+        assert row == (None, None, None)

@@ -1,0 +1,95 @@
+"""Unit tests for the temporary and dictionary stores."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.relation import relation_from_rows
+from repro.relational.schema import Schema
+from repro.relational.storage import DictionaryStore, TemporaryStore
+
+
+def sample_relation(rows=3):
+    return relation_from_rows(
+        "sample", ["a:integer", "b:string"], [(index, f"v{index}") for index in range(rows)],
+        qualifier=None,
+    )
+
+
+class TestTemporaryStore:
+    def test_materialize_and_read(self):
+        store = TemporaryStore()
+        handle = store.materialize(sample_relation())
+        assert store.has(handle)
+        assert len(store.read(handle)) == 3
+
+    def test_materialize_copies_rows(self):
+        store = TemporaryStore()
+        relation = sample_relation()
+        handle = store.materialize(relation)
+        relation.append((99, "late"))
+        assert len(store.read(handle)) == 3
+
+    def test_labels_are_deduplicated(self):
+        store = TemporaryStore()
+        first = store.materialize(sample_relation(), label="stage")
+        second = store.materialize(sample_relation(), label="stage")
+        assert first != second
+        assert store.has(first) and store.has(second)
+
+    def test_read_unknown_handle(self):
+        store = TemporaryStore()
+        with pytest.raises(StorageError):
+            store.read("nope")
+
+    def test_drop_and_clear(self):
+        store = TemporaryStore()
+        handle = store.materialize(sample_relation())
+        store.drop(handle)
+        assert not store.has(handle)
+        store.materialize(sample_relation())
+        store.clear()
+        assert store.handles == []
+
+    def test_statistics_accounting(self):
+        store = TemporaryStore()
+        handle = store.materialize(sample_relation(rows=5))
+        store.read(handle)
+        stats = store.statistics.snapshot()
+        assert stats["tables_created"] == 1
+        assert stats["rows_written"] == 5
+        assert stats["rows_read"] == 5
+        assert stats["bytes_written"] > 0
+        assert stats["peak_tables"] == 1
+
+
+class TestDictionaryStore:
+    def test_register_and_query_sources(self):
+        dictionary = DictionaryStore()
+        dictionary.register_source("source1", "database", "first")
+        dictionary.register_source("exchange", "web")
+        assert dictionary.sources() == ["source1", "exchange"]
+
+    def test_register_relation_and_describe(self):
+        dictionary = DictionaryStore()
+        dictionary.register_relation("source1", "r1", Schema.of("cname:string", "revenue:float"))
+        attributes = dictionary.attributes_of("source1", "r1")
+        assert [entry["attribute"] for entry in attributes] == ["cname", "revenue"]
+        assert attributes[1]["type"] == "float"
+
+    def test_relations_of(self):
+        dictionary = DictionaryStore()
+        dictionary.register_relation("s", "r1", Schema.of("a"))
+        dictionary.register_relation("s", "r2", Schema.of("a"))
+        dictionary.register_relation("other", "r3", Schema.of("a"))
+        assert dictionary.relations_of("s") == ["r1", "r2"]
+
+    def test_capabilities_and_sql_access(self):
+        dictionary = DictionaryStore()
+        dictionary.register_source("s", "database")
+        dictionary.register_capability("s", "join", True)
+        dictionary.register_capability("s", "aggregation", False)
+        result = dictionary.query(
+            "SELECT dict_capabilities.capability FROM dict_capabilities "
+            "WHERE dict_capabilities.supported = FALSE"
+        )
+        assert result.column("capability") == ["aggregation"]

@@ -1,0 +1,61 @@
+"""Unit tests for the simulated HTTP tunnel."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server.http import HttpChannel, HttpRequest, HttpResponse
+
+
+class TestMessages:
+    def test_request_roundtrip(self):
+        request = HttpRequest("POST", "/coin/api", {"X-Custom": "1"}, body='{"a": 1}')
+        parsed = HttpRequest.parse(request.serialize())
+        assert parsed.method == "POST"
+        assert parsed.path == "/coin/api"
+        assert parsed.headers["X-Custom"] == "1"
+        assert parsed.headers["Content-Type"] == "application/json"
+        assert parsed.body == '{"a": 1}'
+
+    def test_response_roundtrip(self):
+        response = HttpResponse(status=422, reason="Unprocessable Entity", body="oops")
+        parsed = HttpResponse.parse(response.serialize())
+        assert parsed.status == 422
+        assert parsed.reason == "Unprocessable Entity"
+        assert parsed.body == "oops"
+
+    def test_content_length_header(self):
+        request = HttpRequest("POST", "/x", body="abcd")
+        assert "Content-Length: 4" in request.serialize()
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            HttpRequest.parse("GARBAGE\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ProtocolError):
+            HttpRequest.parse("POST /x HTTP/1.0\r\nBadHeader\r\n\r\n")
+
+    def test_malformed_status_line(self):
+        with pytest.raises(ProtocolError):
+            HttpResponse.parse("HTTP/1.0\r\n\r\n")
+
+
+class TestChannel:
+    def test_round_trip_through_serialization(self):
+        def handler(request: HttpRequest) -> HttpResponse:
+            assert request.body == "ping"
+            return HttpResponse(body="pong")
+
+        channel = HttpChannel(handler)
+        response = channel.post("/coin/api", "ping")
+        assert response.status == 200
+        assert response.body == "pong"
+
+    def test_statistics_count_round_trips_and_bytes(self):
+        channel = HttpChannel(lambda request: HttpResponse(body="x" * 10))
+        channel.post("/a", "12345")
+        channel.post("/a", "12345")
+        stats = channel.statistics.snapshot()
+        assert stats["round_trips"] == 2
+        assert stats["bytes_sent"] > 10
+        assert stats["bytes_received"] > 20

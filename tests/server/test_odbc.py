@@ -1,0 +1,116 @@
+"""Unit tests for the ODBC/DB-API-style driver."""
+
+import pytest
+
+from repro.demo.scenarios import build_paper_federation
+from repro.errors import ClientError
+from repro.server import odbc
+from repro.server.server import MediationServer
+
+PAPER_QUERY = (
+    "SELECT r1.cname, r1.revenue FROM r1, r2 "
+    "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+)
+
+
+@pytest.fixture(scope="module")
+def connection():
+    federation = build_paper_federation().federation
+    return odbc.connect(federation=federation, context="c_receiver")
+
+
+class TestModuleLevel:
+    def test_dbapi_attributes(self):
+        assert odbc.apilevel == "2.0"
+        assert odbc.paramstyle == "pyformat"
+
+    def test_connect_requires_target(self):
+        with pytest.raises(ClientError):
+            odbc.connect()
+
+    def test_connect_with_server(self):
+        server = MediationServer(build_paper_federation().federation)
+        connection = odbc.connect(server=server)
+        assert connection.sources()
+
+
+class TestCursor:
+    def test_execute_and_fetchall(self, connection):
+        cursor = connection.cursor()
+        cursor.execute(PAPER_QUERY)
+        assert cursor.fetchall() == [("NTT", 9_600_000.0)]
+        assert cursor.rowcount == 1
+        assert [entry[0] for entry in cursor.description] == ["cname", "revenue"]
+
+    def test_fetchone_and_exhaustion(self, connection):
+        cursor = connection.cursor()
+        cursor.execute("SELECT r2.cname FROM r2 ORDER BY r2.cname")
+        assert cursor.fetchone() == ("IBM",)
+        assert cursor.fetchone() == ("NTT",)
+        assert cursor.fetchone() is None
+
+    def test_fetchmany_and_iteration(self, connection):
+        cursor = connection.cursor()
+        cursor.execute("SELECT r1.cname FROM r1 ORDER BY r1.cname")
+        assert len(cursor.fetchmany(1)) == 1
+        assert len(list(cursor)) == 1
+
+    def test_mediation_metadata_exposed(self, connection):
+        cursor = connection.cursor()
+        cursor.execute(PAPER_QUERY)
+        assert cursor.mediated_sql.count("UNION") == 2
+        assert len(cursor.conflicts) == 2
+        assert any("currency=USD" in label for label in cursor.column_labels)
+
+    def test_context_override_per_execute(self, connection):
+        cursor = connection.cursor()
+        cursor.execute("SELECT r2.expenses FROM r2 WHERE r2.cname = 'NTT'",
+                       context="c_receiver_jpy")
+        value = cursor.fetchone()[0]
+        assert value == pytest.approx(5_000_000 * 104.0 / 1000)
+
+    def test_unmediated_execution(self, connection):
+        cursor = connection.cursor()
+        cursor.execute(PAPER_QUERY, mediate=False)
+        assert cursor.fetchall() == []
+
+    def test_pyformat_parameters(self, connection):
+        cursor = connection.cursor()
+        cursor.execute("SELECT r1.revenue FROM r1 WHERE r1.cname = %(name)s",
+                       {"name": "NTT"})
+        assert cursor.rowcount == 1
+
+    def test_executemany(self, connection):
+        cursor = connection.cursor()
+        cursor.executemany("SELECT r1.revenue FROM r1 WHERE r1.cname = %(name)s",
+                           [{"name": "IBM"}, {"name": "NTT"}])
+        assert cursor.rowcount == 1  # reflects the last execution
+
+    def test_error_surfaces_as_client_error(self, connection):
+        cursor = connection.cursor()
+        with pytest.raises(ClientError):
+            cursor.execute("SELECT ghost.x FROM ghost")
+
+
+class TestConnection:
+    def test_catalog_helpers(self, connection):
+        assert set(connection.sources()) == {"source1", "source2", "exchange"}
+        assert connection.relations() == ["r1", "r2", "r3"]
+        assert connection.relations("source1") == ["r1"]
+        assert [a["attribute"] for a in connection.describe("r2")] == ["cname", "expenses"]
+        assert "c_receiver_jpy" in connection.contexts()
+
+    def test_close_prevents_use(self):
+        federation = build_paper_federation().federation
+        connection = odbc.connect(federation=federation)
+        connection.close()
+        with pytest.raises(ClientError):
+            connection.cursor()
+
+    def test_context_manager_and_commit_rollback(self):
+        federation = build_paper_federation().federation
+        with odbc.connect(federation=federation) as connection:
+            connection.commit()
+            connection.rollback()
+        with pytest.raises(ClientError):
+            connection.cursor()

@@ -1,0 +1,86 @@
+"""Unit tests for the client/server protocol messages."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.relational.relation import relation_from_rows
+from repro.server.protocol import (
+    Request,
+    Response,
+    relation_from_payload,
+    relation_to_payload,
+)
+
+
+class TestRequest:
+    def test_json_roundtrip(self):
+        request = Request("query", {"sql": "SELECT 1", "context": "c_receiver"})
+        parsed = Request.from_json(request.to_json())
+        assert parsed.operation == "query"
+        assert parsed.parameters["context"] == "c_receiver"
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request.from_json(json.dumps({"operation": "drop_everything"}))
+
+    def test_missing_operation_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request.from_json(json.dumps({"parameters": {}}))
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request.from_json("{not json")
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request.from_json(json.dumps({"operation": "query", "version": "9.9"}))
+
+    def test_missing_parameters_default_to_empty(self):
+        parsed = Request.from_json(json.dumps({"operation": "contexts"}))
+        assert parsed.parameters == {}
+
+
+class TestResponse:
+    def test_success_roundtrip(self):
+        response = Response.success(rows=[1, 2], note="ok")
+        parsed = Response.from_json(response.to_json())
+        assert parsed.ok
+        assert parsed.payload == {"rows": [1, 2], "note": "ok"}
+
+    def test_failure_roundtrip(self):
+        response = Response.failure("boom", "MediationError")
+        parsed = Response.from_json(response.to_json())
+        assert not parsed.ok
+        assert parsed.error == "boom"
+        assert parsed.error_kind == "MediationError"
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(ProtocolError):
+            Response.from_json("[]")
+
+
+class TestRelationPayload:
+    def test_roundtrip_preserves_rows_types_and_nulls(self):
+        relation = relation_from_rows(
+            "answer", ["cname:string", "revenue:float"],
+            [("NTT", 9_600_000.0), ("X", None)], qualifier=None,
+        )
+        payload = relation_to_payload(relation)
+        rebuilt = relation_from_payload(payload, name="answer")
+        assert rebuilt.schema.names == ["cname", "revenue"]
+        assert rebuilt.rows == relation.rows
+        assert rebuilt.schema[1].type.value == "float"
+
+    def test_payload_is_json_serializable(self):
+        relation = relation_from_rows("t", ["a:integer"], [(1,)], qualifier=None)
+        assert json.loads(json.dumps(relation_to_payload(relation)))["rows"] == [[1]]
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            relation_from_payload({"columns": ["a"]})
+
+    def test_missing_types_default_to_any(self):
+        rebuilt = relation_from_payload({"columns": ["a"], "rows": [[1], ["x"]]})
+        assert len(rebuilt) == 2

@@ -1,0 +1,100 @@
+"""Unit tests for the HTML Query-By-Example front end."""
+
+import pytest
+
+from repro.demo.scenarios import build_paper_federation
+from repro.errors import ClientError, SQLSyntaxError
+from repro.server.qbe import QBEForm, QBEInterface
+
+
+@pytest.fixture(scope="module")
+def qbe():
+    return QBEInterface(build_paper_federation().federation)
+
+
+PAPER_FORM = {
+    "show__r1__cname": "on",
+    "show__r1__revenue": "on",
+    "join__1": "r1.cname = r2.cname",
+    "join__2": "r1.revenue > r2.expenses",
+    "context": "c_receiver",
+}
+
+
+class TestFormGeneration:
+    def test_form_lists_attributes_and_contexts(self, qbe):
+        html_text = qbe.render_form(["r1", "r2"])
+        assert '<input type="checkbox" name="show__r1__revenue">' in html_text
+        assert 'name="cond__r2__expenses"' in html_text
+        assert '<option value="c_receiver">' in html_text
+        assert "<form" in html_text and "</form>" in html_text
+
+
+class TestSubmissionParsing:
+    def test_parse_projections_joins_and_context(self, qbe):
+        form = qbe.parse_submission(PAPER_FORM)
+        assert form.relations == ["r1", "r2"]
+        assert form.projections == [("r1", "cname"), ("r1", "revenue")]
+        assert form.joins == ["r1.cname = r2.cname", "r1.revenue > r2.expenses"]
+        assert form.context == "c_receiver"
+        assert form.to_sql() == (
+            "SELECT r1.cname, r1.revenue FROM r1, r2 "
+            "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+        )
+
+    def test_condition_fragments(self, qbe):
+        form = qbe.parse_submission({
+            "show__r1__cname": "on",
+            "cond__r1__revenue": "> 500000",
+            "cond__r1__currency": "JPY",
+        })
+        assert "r1.revenue > 500000" in form.conditions
+        assert "r1.currency = 'JPY'" in form.conditions
+
+    def test_numeric_bare_value_is_not_quoted(self, qbe):
+        form = qbe.parse_submission({"show__r1__cname": "on", "cond__r1__revenue": "42"})
+        assert form.conditions == ["r1.revenue = 42"]
+
+    def test_like_and_in_fragments(self, qbe):
+        form = qbe.parse_submission({
+            "show__r1__cname": "on",
+            "cond__r1__cname": "LIKE 'N%'",
+        })
+        assert form.conditions == ["r1.cname LIKE 'N%'"]
+
+    def test_unchecked_checkboxes_ignored(self, qbe):
+        form = qbe.parse_submission({"show__r1__cname": "off", "show__r1__revenue": "on"})
+        assert form.projections == [("r1", "revenue")]
+
+    def test_empty_form_rejected_at_sql_time(self, qbe):
+        form = qbe.parse_submission({})
+        with pytest.raises(ClientError):
+            form.to_sql()
+
+    def test_malformed_condition_raises(self, qbe):
+        with pytest.raises(SQLSyntaxError):
+            qbe.parse_submission({"show__r1__cname": "on", "cond__r1__revenue": "> > 1"})
+
+    def test_distinct_flag(self, qbe):
+        form = qbe.parse_submission({"show__r1__currency": "on", "distinct": "on"})
+        assert form.to_sql().startswith("SELECT DISTINCT")
+
+
+class TestEndToEnd:
+    def test_submit_returns_mediated_answer(self, qbe):
+        form, answer = qbe.submit(PAPER_FORM)
+        assert answer.records == [{"cname": "NTT", "revenue": 9_600_000.0}]
+        assert answer.mediation.branch_count == 3
+
+    def test_render_answer_as_html(self, qbe):
+        _form, answer = qbe.submit(PAPER_FORM)
+        html_text = qbe.render_answer(answer)
+        assert "<td>NTT</td>" in html_text
+        assert "<td>9600000</td>" in html_text
+        assert "Mediated query" in html_text
+        assert "revenue [currency=USD, scaleFactor=1]" in html_text
+
+    def test_render_answer_without_mediation_block(self, qbe):
+        _form, answer = qbe.submit(PAPER_FORM)
+        html_text = qbe.render_answer(answer, show_mediation=False)
+        assert "Mediated query" not in html_text

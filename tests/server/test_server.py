@@ -1,0 +1,112 @@
+"""Unit tests for the mediation server's protocol dispatch."""
+
+import pytest
+
+from repro.demo.scenarios import build_paper_federation
+from repro.server.protocol import Request, Response, relation_from_payload
+from repro.server.server import MediationServer
+
+PAPER_QUERY = (
+    "SELECT r1.cname, r1.revenue FROM r1, r2 "
+    "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    return MediationServer(build_paper_federation().federation)
+
+
+class TestDictionaryOperations:
+    def test_list_sources(self, server):
+        response = server.handle(Request("list_sources"))
+        assert response.ok
+        assert set(response.payload["sources"]) == {"source1", "source2", "exchange"}
+
+    def test_list_relations(self, server):
+        response = server.handle(Request("list_relations"))
+        assert response.payload["relations"] == ["r1", "r2", "r3"]
+
+    def test_describe(self, server):
+        response = server.handle(Request("describe", {"relation": "r1"}))
+        assert [a["attribute"] for a in response.payload["attributes"]] == [
+            "cname", "revenue", "currency",
+        ]
+
+    def test_describe_requires_relation(self, server):
+        response = server.handle(Request("describe"))
+        assert not response.ok
+
+    def test_contexts(self, server):
+        response = server.handle(Request("contexts"))
+        assert "c_receiver" in response.payload["contexts"]
+
+
+class TestQueryOperations:
+    def test_query_returns_relation_and_mediation_metadata(self, server):
+        response = server.handle(Request("query", {"sql": PAPER_QUERY, "context": "c_receiver"}))
+        assert response.ok
+        relation = relation_from_payload(response.payload["relation"])
+        assert relation.rows == [("NTT", 9_600_000.0)]
+        assert response.payload["branch_count"] == 3
+        assert len(response.payload["conflicts"]) == 2
+        assert "revenue [currency=USD" in response.payload["column_labels"][1]
+        assert response.payload["execution"]["requests"] >= 6
+
+    def test_query_without_mediation(self, server):
+        response = server.handle(Request("query", {"sql": PAPER_QUERY, "mediate": False}))
+        relation = relation_from_payload(response.payload["relation"])
+        assert relation.rows == []
+
+    def test_mediate_only(self, server):
+        response = server.handle(Request("mediate", {"sql": PAPER_QUERY}))
+        assert response.payload["branch_count"] == 3
+        assert "UNION" in response.payload["mediated_sql"]
+        assert "Context mediation report" in response.payload["explanation"]
+
+    def test_explain(self, server):
+        response = server.handle(Request("explain", {"sql": PAPER_QUERY}))
+        assert "source requests" in response.payload["plan"]
+
+    def test_query_requires_sql(self, server):
+        assert not server.handle(Request("query")).ok
+
+    def test_domain_errors_become_failures(self, server):
+        response = server.handle(Request("query", {"sql": "SELECT nothing.x FROM nothing"}))
+        assert not response.ok
+        assert response.error_kind in ("PlanningError", "MediationError", "CatalogError")
+
+    def test_statistics_count_errors_and_queries(self):
+        server = MediationServer(build_paper_federation().federation)
+        server.handle(Request("query", {"sql": PAPER_QUERY}))
+        server.handle(Request("describe"))
+        stats = server.statistics.snapshot()
+        assert stats["requests"] == 2
+        assert stats["queries"] == 1
+        assert stats["errors"] == 1
+
+
+class TestHttpEntryPoint:
+    def test_http_round_trip(self, server):
+        channel = server.channel()
+        request = Request("contexts").to_json()
+        response = channel.post(MediationServer.ENDPOINT, request)
+        assert response.status == 200
+        parsed = Response.from_json(response.body)
+        assert parsed.ok
+
+    def test_unknown_endpoint_is_404(self, server):
+        channel = server.channel()
+        response = channel.post("/other", Request("contexts").to_json())
+        assert response.status == 404
+
+    def test_bad_request_is_400(self, server):
+        channel = server.channel()
+        response = channel.post(MediationServer.ENDPOINT, "{not json")
+        assert response.status == 400
+
+    def test_domain_error_is_422(self, server):
+        channel = server.channel()
+        body = Request("query", {"sql": "SELECT ghost.x FROM ghost"}).to_json()
+        response = channel.post(MediationServer.ENDPOINT, body)
+        assert response.status == 422

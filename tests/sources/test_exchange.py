@@ -1,0 +1,70 @@
+"""Unit tests for the currency-exchange ancillary source."""
+
+import pytest
+
+from repro.sources.exchange import (
+    DEFAULT_RATES,
+    build_exchange_rate_site,
+    complete_rates,
+    lookup_rate,
+    rates_to_rows,
+)
+
+
+class TestRateTable:
+    def test_complete_rates_adds_identity(self):
+        table = complete_rates({("JPY", "USD"): 0.0096})
+        assert table[("USD", "USD")] == 1.0
+        assert table[("JPY", "JPY")] == 1.0
+
+    def test_complete_rates_adds_inverse(self):
+        table = complete_rates({("GBP", "USD"): 1.6})
+        assert table[("USD", "GBP")] == pytest.approx(1 / 1.6)
+
+    def test_complete_rates_keeps_explicit_inverse(self):
+        table = complete_rates({("JPY", "USD"): 0.0096, ("USD", "JPY"): 104.0})
+        assert table[("USD", "JPY")] == 104.0
+
+    def test_rates_to_rows_sorted(self):
+        rows = rates_to_rows({("JPY", "USD"): 0.0096, ("EUR", "USD"): 1.1})
+        assert rows[0][0] == "EUR"
+        assert all(len(row) == 3 for row in rows)
+
+    def test_default_rates_reproduce_paper_quote(self):
+        assert DEFAULT_RATES[("JPY", "USD")] == 0.0096
+        assert DEFAULT_RATES[("USD", "JPY")] == 104.0
+
+
+class TestLookup:
+    def test_direct_lookup(self):
+        assert lookup_rate(DEFAULT_RATES, "JPY", "USD") == 0.0096
+
+    def test_identity(self):
+        assert lookup_rate(DEFAULT_RATES, "USD", "USD") == 1.0
+
+    def test_derived_through_usd(self):
+        rate = lookup_rate({("GBP", "USD"): 2.0, ("USD", "CHF"): 3.0}, "GBP", "CHF")
+        assert rate == pytest.approx(6.0)
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            lookup_rate({("GBP", "USD"): 2.0}, "GBP", "XXX")
+
+
+class TestExchangeSite:
+    def test_site_structure(self):
+        site = build_exchange_rate_site({("JPY", "USD"): 0.0096})
+        assert site.has_page("index.html")
+        assert site.has_page("rates/jpy.html")
+        assert site.has_page("rates/usd.html")
+
+    def test_quote_page_contains_rate_rows(self):
+        site = build_exchange_rate_site({("JPY", "USD"): 0.0096})
+        page = site.fetch_page("rates/jpy.html")
+        assert "<td>JPY</td><td>USD</td><td>0.009600</td>" in page.content
+
+    def test_index_links_to_all_bases(self):
+        site = build_exchange_rate_site()
+        links = site.fetch_page("index.html").find_links()
+        assert "rates/jpy.html" in links
+        assert "rates/eur.html" in links

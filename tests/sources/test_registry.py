@@ -1,0 +1,55 @@
+"""Unit tests for the source registry."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.sources.memory import MemorySQLSource
+from repro.sources.registry import SourceRegistry
+from repro.sources.web import SimulatedWebSite
+
+
+def make_registry():
+    registry = SourceRegistry()
+    registry.register(MemorySQLSource("source1"))
+    registry.register(MemorySQLSource("source2"))
+    registry.register(SimulatedWebSite("exchange", "http://x.example"))
+    return registry
+
+
+class TestRegistry:
+    def test_register_and_get_case_insensitive(self):
+        registry = make_registry()
+        assert registry.get("SOURCE1").name == "source1"
+        assert registry.has("exchange")
+        assert len(registry) == 3
+
+    def test_names_sorted(self):
+        assert make_registry().names == ["exchange", "source1", "source2"]
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(SourceError):
+            make_registry().get("missing")
+
+    def test_unregister(self):
+        registry = make_registry()
+        registry.unregister("source2")
+        assert not registry.has("source2")
+        registry.unregister("source2")  # idempotent
+
+    def test_re_register_replaces(self):
+        registry = make_registry()
+        replacement = MemorySQLSource("source1", description="new")
+        registry.register(replacement)
+        assert registry.get("source1") is replacement
+        assert len(registry) == 3
+
+    def test_by_kind(self):
+        registry = make_registry()
+        assert {source.name for source in registry.by_kind("database")} == {"source1", "source2"}
+        assert [source.name for source in registry.by_kind("web")] == ["exchange"]
+
+    def test_statistics_snapshot(self):
+        registry = make_registry()
+        stats = registry.statistics()
+        assert set(stats) == {"source1", "source2", "exchange"}
+        assert stats["source1"]["queries"] == 0

@@ -1,0 +1,94 @@
+"""Unit tests for the simulated web sites."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.sources.web import (
+    SimulatedWebSite,
+    WebPage,
+    build_detail_site,
+    build_listing_site,
+    render_row_page,
+    render_table_page,
+)
+
+
+class TestWebPage:
+    def test_find_links_merges_explicit_and_embedded(self):
+        page = WebPage(
+            url="index.html",
+            content='<a href="a.html">a</a> <a href="b.html">b</a>',
+            links=("a.html", "c.html"),
+        )
+        assert page.find_links() == ["a.html", "c.html", "b.html"]
+
+
+class TestSimulatedWebSite:
+    def test_fetch_by_relative_and_absolute_url(self):
+        site = SimulatedWebSite("w", "http://example.com")
+        site.add_page(WebPage(url="index.html", content="hello"))
+        assert site.fetch_page("index.html").content == "hello"
+        assert site.fetch_page("http://example.com/index.html").content == "hello"
+        assert site.has_page("index.html")
+
+    def test_missing_page_raises(self):
+        site = SimulatedWebSite("w", "http://example.com")
+        with pytest.raises(SourceError):
+            site.fetch_page("nope.html")
+
+    def test_fetch_counts_and_latency(self):
+        site = SimulatedWebSite("w", "http://example.com", latency_per_fetch=0.25)
+        site.add_page(WebPage(url="index.html", content="x"))
+        site.fetch_page("index.html")
+        site.fetch_page("index.html")
+        assert site.statistics.pages_fetched == 2
+        assert site.simulated_latency == 0.5
+
+    def test_no_native_relations(self):
+        site = SimulatedWebSite("w", "http://example.com")
+        assert site.relation_names() == []
+        with pytest.raises(SourceError):
+            site.schema_of("anything")
+        with pytest.raises(SourceError):
+            site.fetch("anything")
+
+    def test_scan_only_capabilities(self):
+        site = SimulatedWebSite("w", "http://example.com")
+        assert site.capabilities.selection is False
+        assert site.capabilities.join is False
+
+
+class TestPageRendering:
+    def test_render_row_page(self):
+        text = render_row_page("IBM", {"price": 120.5, "exchange": "NYSE"}, links=["x.html"])
+        assert "<b>price:</b> 120.5" in text
+        assert 'href="x.html"' in text
+
+    def test_render_table_page(self):
+        text = render_table_page("rates", ["from", "to"], [["JPY", "USD"]])
+        assert "<th>from</th>" in text
+        assert "<td>JPY</td><td>USD</td>" in text
+
+
+class TestSiteBuilders:
+    def test_listing_site_paginates(self):
+        rows = [[f"C{i}", i] for i in range(25)]
+        site = build_listing_site("prices", "http://p.example", "prices", ["name", "value"],
+                                  rows, rows_per_page=10)
+        # 1 index page + 3 data pages.
+        assert site.page_count == 4
+        index = site.fetch_page("index.html")
+        assert len(index.find_links()) == 3
+
+    def test_listing_site_with_no_rows(self):
+        site = build_listing_site("empty", "http://p.example", "empty", ["a"], [])
+        assert site.page_count == 2
+
+    def test_detail_site_one_page_per_record(self):
+        records = [{"cname": "IBM", "price": 1}, {"cname": "Big Blue", "price": 2}]
+        site = build_detail_site("quotes", "http://q.example", "prices", "cname", records)
+        assert site.page_count == 3
+        assert site.has_page("prices/ibm.html")
+        assert site.has_page("prices/big_blue.html")
+        detail = site.fetch_page("prices/ibm.html")
+        assert "<b>price:</b> 1" in detail.content

@@ -1,0 +1,133 @@
+"""Unit tests for the programmatic query builder."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql.ast import BinaryOp, ColumnRef, FunctionCall, Literal, Select, Union
+from repro.sql.builder import QueryBuilder, col, func, lit, star
+from repro.sql.printer import to_sql
+
+
+class TestExpressionHelpers:
+    def test_col_qualified_and_bare(self):
+        assert col("r1.revenue").node == ColumnRef("revenue", "r1")
+        assert col("revenue").node == ColumnRef("revenue")
+
+    def test_lit(self):
+        assert lit(42).node == Literal(42)
+        assert lit("USD").node == Literal("USD")
+
+    def test_func(self):
+        node = func("SUM", col("x")).node
+        assert isinstance(node, FunctionCall)
+        assert node.name == "SUM"
+
+    def test_star(self):
+        assert to_sql(star().node) == "*"
+        assert to_sql(star("t").node) == "t.*"
+
+    def test_arithmetic_operators(self):
+        expr = (col("r1.revenue") * 1000 * col("r3.rate")).node
+        assert to_sql(expr) == "r1.revenue * 1000 * r3.rate"
+
+    def test_reverse_operators(self):
+        assert to_sql((2 * col("x")).node) == "2 * x"
+        assert to_sql((1 - col("x")).node) == "1 - x"
+        assert to_sql((1 / col("x")).node) == "1 / x"
+
+    def test_negation(self):
+        assert to_sql((-col("x")).node) == "-x"
+
+    def test_comparisons(self):
+        assert to_sql(col("a").gt(col("b")).node) == "a > b"
+        assert to_sql(col("a").eq(lit("USD")).node) == "a = 'USD'"
+        assert to_sql(col("a").ne(1).node) == "a <> 1"
+        assert to_sql(col("a").le(3).node) == "a <= 3"
+        assert to_sql(col("a").ge(3).node) == "a >= 3"
+        assert to_sql(col("a").lt(3).node) == "a < 3"
+
+    def test_boolean_combinators(self):
+        expr = col("a").eq(1).and_(col("b").eq(2)).or_(col("c").eq(3))
+        assert to_sql(expr.node) == "a = 1 AND b = 2 OR c = 3"
+        assert to_sql(col("a").eq(1).not_().node) == "NOT a = 1"
+
+    def test_predicates(self):
+        assert to_sql(col("x").in_([1, 2]).node) == "x IN (1, 2)"
+        assert to_sql(col("x").like("A%").node) == "x LIKE 'A%'"
+        assert to_sql(col("x").is_null().node) == "x IS NULL"
+        assert to_sql(col("x").is_null(negated=True).node) == "x IS NOT NULL"
+
+
+class TestQueryBuilder:
+    def test_full_query(self):
+        query = (
+            QueryBuilder()
+            .select(col("r1.cname"), col("r1.revenue"))
+            .from_table("r1")
+            .from_table("r2")
+            .where(col("r1.cname").eq(col("r2.cname")))
+            .where(col("r1.revenue").gt(col("r2.expenses")))
+            .build()
+        )
+        assert to_sql(query) == (
+            "SELECT r1.cname, r1.revenue FROM r1, r2 "
+            "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+        )
+
+    def test_select_as_and_aliased_tables(self):
+        query = (
+            QueryBuilder()
+            .select_as(func("COUNT", star()), "n")
+            .from_table("financials", alias="f")
+            .build()
+        )
+        assert to_sql(query) == "SELECT COUNT(*) AS n FROM financials f"
+
+    def test_group_by_having_order_limit(self):
+        query = (
+            QueryBuilder()
+            .select(col("currency"))
+            .select_as(func("SUM", col("revenue")), "total")
+            .from_table("r1")
+            .group_by(col("currency"))
+            .having(func("SUM", col("revenue")).gt(0))
+            .order_by(col("total"), ascending=False)
+            .limit(10)
+            .build()
+        )
+        text = to_sql(query)
+        assert "GROUP BY currency" in text
+        assert "HAVING SUM(revenue) > 0" in text
+        assert "ORDER BY total DESC" in text
+        assert "LIMIT 10" in text
+
+    def test_distinct(self):
+        query = QueryBuilder().select(col("a")).from_table("t").distinct().build()
+        assert to_sql(query).startswith("SELECT DISTINCT")
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(SQLError):
+            QueryBuilder().from_table("t").build()
+
+    def test_union_helper(self):
+        left = QueryBuilder().select(col("a")).from_table("t").build()
+        right = QueryBuilder().select(col("b")).from_table("u").build()
+        union = QueryBuilder.union([left, right])
+        assert isinstance(union, Union)
+        assert to_sql(union) == "SELECT a FROM t UNION SELECT b FROM u"
+
+    def test_union_requires_selects(self):
+        with pytest.raises(SQLError):
+            QueryBuilder.union([])
+
+    def test_built_query_is_parseable(self):
+        from repro.sql.parser import parse
+
+        query = (
+            QueryBuilder()
+            .select(col("r1.cname"))
+            .from_table("r1")
+            .where(col("r1.currency").ne("USD"))
+            .build()
+        )
+        assert parse(to_sql(query)) is not None

@@ -1,0 +1,104 @@
+"""Property-based tests: printing and re-parsing SQL is a fixpoint."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    Select,
+    SelectItem,
+    TableRef,
+    UnaryOp,
+    Union,
+)
+from repro.sql.parser import parse, parse_expression
+from repro.sql.printer import to_sql
+
+# -- expression generators ----------------------------------------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda name: name.upper() not in {
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+        "BETWEEN", "EXISTS", "AS", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS",
+        "ON", "CASE", "WHEN", "THEN", "ELSE", "END", "CREATE", "TABLE", "INSERT",
+        "INTO", "VALUES", "TRUE", "FALSE", "UNION", "ALL", "DISTINCT", "GROUP", "BY",
+        "HAVING", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET",
+    }
+)
+
+literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000).map(Literal),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+    .map(lambda value: Literal(round(value, 3))),
+    st.text(alphabet="abcXYZ 0123", min_size=0, max_size=8).map(Literal),
+    st.booleans().map(Literal),
+    st.just(Literal(None)),
+)
+
+column_references = st.one_of(
+    identifiers.map(lambda name: ColumnRef(name)),
+    st.tuples(identifiers, identifiers).map(lambda pair: ColumnRef(pair[1], pair[0])),
+)
+
+
+def expressions(max_depth: int = 3):
+    def extend(children):
+        arithmetic = st.tuples(st.sampled_from(["+", "-", "*", "/"]), children, children).map(
+            lambda triple: BinaryOp(triple[0], triple[1], triple[2])
+        )
+        comparison = st.tuples(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+                               children, children).map(
+            lambda triple: BinaryOp(triple[0], triple[1], triple[2])
+        )
+        boolean = st.tuples(st.sampled_from(["AND", "OR"]), children, children).map(
+            lambda triple: BinaryOp(triple[0], triple[1], triple[2])
+        )
+        negation = children.map(lambda child: UnaryOp("NOT", child))
+        return st.one_of(arithmetic, comparison, boolean, negation)
+
+    return st.recursive(st.one_of(literals, column_references), extend, max_leaves=max_depth * 4)
+
+
+select_statements = st.builds(
+    lambda items, table, condition: Select(
+        items=tuple(SelectItem(expr) for expr in items),
+        tables=(TableRef(table),),
+        where=condition,
+    ),
+    st.lists(expressions(2), min_size=1, max_size=4),
+    identifiers,
+    st.one_of(st.none(), expressions(2)),
+)
+
+
+class TestExpressionRoundtrip:
+    @settings(max_examples=200, deadline=None)
+    @given(expressions())
+    def test_print_parse_print_is_fixpoint(self, expression):
+        printed = to_sql(expression)
+        reparsed = parse_expression(printed)
+        assert to_sql(reparsed) == printed
+
+    @settings(max_examples=100, deadline=None)
+    @given(expressions())
+    def test_parse_of_print_preserves_structure_of_reprint(self, expression):
+        # Idempotence: a second round trip changes nothing further.
+        once = to_sql(parse_expression(to_sql(expression)))
+        twice = to_sql(parse_expression(once))
+        assert once == twice
+
+
+class TestStatementRoundtrip:
+    @settings(max_examples=100, deadline=None)
+    @given(select_statements)
+    def test_select_roundtrip(self, statement):
+        printed = to_sql(statement)
+        assert to_sql(parse(printed)) == printed
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(select_statements, min_size=2, max_size=3), st.booleans())
+    def test_union_roundtrip(self, selects, use_all):
+        statement = Union(tuple(selects), all=use_all)
+        printed = to_sql(statement)
+        assert to_sql(parse(printed)) == printed

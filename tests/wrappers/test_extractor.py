@@ -1,0 +1,102 @@
+"""Unit tests for regular-expression extraction."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.relational.types import DataType
+from repro.wrappers.extractor import (
+    clean_text,
+    coerce_record,
+    extract_fields,
+    extract_tuples,
+    merge_page_records,
+)
+from repro.wrappers.spec import ExportedRelation, ExtractionRule
+
+RATES_RULE = ExtractionRule(
+    "quotes",
+    r"<tr><td>(?P<fromCur>[A-Z]{3})</td><td>(?P<toCur>[A-Z]{3})</td><td>(?P<rate>[0-9.]+)</td></tr>",
+    "tuple",
+)
+PAGE = (
+    "<table>"
+    "<tr><td>JPY</td><td>USD</td><td>0.0096</td></tr>"
+    "<tr><td>EUR</td><td>USD</td><td>1.10</td></tr>"
+    "</table>"
+)
+
+
+class TestTupleExtraction:
+    def test_one_record_per_match(self):
+        records = extract_tuples(RATES_RULE, PAGE)
+        assert len(records) == 2
+        assert records[0] == {"fromCur": "JPY", "toCur": "USD", "rate": "0.0096"}
+
+    def test_no_matches_yields_empty(self):
+        assert extract_tuples(RATES_RULE, "<p>no table here</p>") == []
+
+
+class TestFieldExtraction:
+    PRICE_RULE = ExtractionRule("detail", r"<b>price:</b>\s*(?P<price>[0-9.]+)", "field")
+
+    def test_first_match_wins(self):
+        context = extract_fields(self.PRICE_RULE, "<b>price:</b> 12.5 ... <b>price:</b> 99")
+        assert context == {"price": "12.5"}
+
+    def test_no_match_gives_empty_context(self):
+        assert extract_fields(self.PRICE_RULE, "nothing") == {}
+
+
+class TestMerging:
+    def test_field_context_merged_into_tuples(self):
+        merged = merge_page_records([{"a": "1"}, {"a": "2"}], {"page": "p1"})
+        assert merged == [{"page": "p1", "a": "1"}, {"page": "p1", "a": "2"}]
+
+    def test_tuple_values_win_over_context(self):
+        merged = merge_page_records([{"a": "explicit"}], {"a": "default"})
+        assert merged == [{"a": "explicit"}]
+
+    def test_field_only_page_yields_one_record(self):
+        assert merge_page_records([], {"a": "1"}) == [{"a": "1"}]
+
+    def test_empty_page_yields_nothing(self):
+        assert merge_page_records([], {}) == []
+
+
+class TestCoercion:
+    RELATION = ExportedRelation("rates", (
+        ("fromCur", DataType.STRING), ("toCur", DataType.STRING), ("rate", DataType.FLOAT),
+    ))
+
+    def test_typed_conversion(self):
+        row = coerce_record({"fromCur": "JPY", "toCur": "USD", "rate": "0.0096"}, self.RELATION)
+        assert row == ["JPY", "USD", 0.0096]
+
+    def test_missing_attribute_becomes_null(self):
+        row = coerce_record({"fromCur": "JPY", "toCur": "USD"}, self.RELATION)
+        assert row == ["JPY", "USD", None]
+
+    def test_bad_value_dropped_by_default(self):
+        assert coerce_record({"fromCur": "JPY", "toCur": "USD", "rate": "n/a"}, self.RELATION) is None
+
+    def test_bad_value_raises_in_strict_mode(self):
+        with pytest.raises(ExtractionError):
+            coerce_record({"fromCur": "JPY", "toCur": "USD", "rate": "n/a"}, self.RELATION, strict=True)
+
+    def test_integers_with_thousands_separators(self):
+        relation = ExportedRelation("t", (("n", DataType.INTEGER),))
+        assert coerce_record({"n": "1,500,000"}, relation) == [1500000]
+
+    def test_boolean_conversion(self):
+        relation = ExportedRelation("t", (("flag", DataType.BOOLEAN),))
+        assert coerce_record({"flag": "yes"}, relation) == [True]
+        assert coerce_record({"flag": "0"}, relation) == [False]
+
+    def test_markup_stripped_from_values(self):
+        relation = ExportedRelation("t", (("name", DataType.STRING),))
+        assert coerce_record({"name": " <b>IBM</b>\n Corp "}, relation) == ["IBM Corp"]
+
+
+class TestCleanText:
+    def test_strips_tags_and_whitespace(self):
+        assert clean_text(" <td> hello <b>world</b> </td> ") == "hello world"

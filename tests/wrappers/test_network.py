@@ -1,0 +1,85 @@
+"""Unit tests for the transition-network crawler."""
+
+import pytest
+
+from repro.errors import WrapperError
+from repro.relational.types import DataType
+from repro.sources.web import SimulatedWebSite, WebPage
+from repro.wrappers.network import TransitionNetworkExecutor
+from repro.wrappers.spec import ExportedRelation, ExtractionRule, Transition, WrapperSpec
+
+
+def two_level_site():
+    site = SimulatedWebSite("w", "http://example.com")
+    site.add_page(WebPage(
+        url="index.html",
+        content='<a href="data/page1.html">1</a> <a href="data/page2.html">2</a> '
+                '<a href="other/skip.html">skip</a>',
+    ))
+    site.add_page(WebPage(url="data/page1.html", content="<tr><td>A</td><td>1</td></tr>"))
+    site.add_page(WebPage(
+        url="data/page2.html",
+        content='<tr><td>B</td><td>2</td></tr> <a href="data/page1.html">back</a>',
+    ))
+    site.add_page(WebPage(url="other/skip.html", content="<tr><td>Z</td><td>9</td></tr>"))
+    return site
+
+
+def table_spec(max_pages=100):
+    return WrapperSpec(
+        relation=ExportedRelation("t", (("name", DataType.STRING), ("value", DataType.INTEGER))),
+        start_url="index.html",
+        start_state="index",
+        transitions=[Transition("index", "data", r"data/.*\.html"),
+                     Transition("data", "data", r"data/.*\.html")],
+        rules=[ExtractionRule("data", r"<tr><td>(?P<name>[A-Z])</td><td>(?P<value>[0-9]+)</td></tr>")],
+        max_pages=max_pages,
+    )
+
+
+class TestCrawl:
+    def test_crawl_follows_matching_links_only(self):
+        records, report = TransitionNetworkExecutor(table_spec(), two_level_site()).crawl()
+        assert sorted(record["name"] for record in records) == ["A", "B"]
+        assert report.pages_visited == 3  # index + two data pages (skip.html not matched)
+        assert report.pages_by_state == {"index": 1, "data": 2}
+
+    def test_cycles_are_not_revisited(self):
+        # page2 links back to page1; (url, state) pairs are visited once.
+        records, report = TransitionNetworkExecutor(table_spec(), two_level_site()).crawl()
+        assert report.visited_urls.count("data/page1.html") == 1
+
+    def test_page_budget_enforced(self):
+        with pytest.raises(WrapperError):
+            TransitionNetworkExecutor(table_spec(max_pages=1), two_level_site()).crawl()
+
+    def test_field_rules_produce_one_record_per_page(self):
+        site = SimulatedWebSite("w", "http://example.com")
+        site.add_page(WebPage(url="index.html", content='<a href="d/a.html">a</a>'))
+        site.add_page(WebPage(url="d/a.html", content="<b>name:</b> IBM</p> <b>price:</b> 12.5</p>"))
+        spec = WrapperSpec(
+            relation=ExportedRelation("p", (("name", DataType.STRING), ("price", DataType.FLOAT))),
+            start_url="index.html",
+            start_state="index",
+            transitions=[Transition("index", "detail", r"d/.*\.html")],
+            rules=[
+                ExtractionRule("detail", r"<b>name:</b>\s*(?P<name>[^<]+)</p>", "field"),
+                ExtractionRule("detail", r"<b>price:</b>\s*(?P<price>[0-9.]+)</p>", "field"),
+            ],
+        )
+        records, report = TransitionNetworkExecutor(spec, site).crawl()
+        assert records == [{"name": "IBM", "price": "12.5"}]
+        assert report.records_extracted == 1
+
+    def test_extraction_on_start_state_page(self):
+        site = SimulatedWebSite("w", "http://example.com")
+        site.add_page(WebPage(url="only.html", content="<tr><td>A</td><td>1</td></tr>"))
+        spec = WrapperSpec(
+            relation=ExportedRelation("t", (("name", DataType.STRING), ("value", DataType.INTEGER))),
+            start_url="only.html",
+            start_state="data",
+            rules=[ExtractionRule("data", r"<tr><td>(?P<name>[A-Z])</td><td>(?P<value>[0-9]+)</td></tr>")],
+        )
+        records, report = TransitionNetworkExecutor(spec, site).crawl()
+        assert records == [{"name": "A", "value": "1"}]
+        assert report.pages_visited == 1

@@ -1,0 +1,127 @@
+"""Unit tests for the declarative wrapper specification language."""
+
+import pytest
+
+from repro.errors import WrapperSpecError
+from repro.relational.types import DataType
+from repro.wrappers.spec import (
+    ExportedRelation,
+    ExtractionRule,
+    Transition,
+    WrapperSpec,
+    make_table_spec,
+    parse_wrapper_spec,
+)
+
+VALID_SPEC = r"""
+# exchange rates wrapper
+EXPORT rates(fromCur string, toCur string, rate float)
+START index.html STATE index
+TRANSITION index -> quotes FOLLOW "rates/.*\.html"
+EXTRACT quotes TUPLE "<tr><td>(?P<fromCur>[A-Z]{3})</td><td>(?P<toCur>[A-Z]{3})</td><td>(?P<rate>[0-9.]+)</td></tr>"
+MAXPAGES 50
+"""
+
+
+class TestParsing:
+    def test_parse_valid_spec(self):
+        spec = parse_wrapper_spec(VALID_SPEC)
+        assert spec.relation.name == "rates"
+        assert spec.relation.attribute_names == ["fromCur", "toCur", "rate"]
+        assert spec.relation.attributes[2][1] is DataType.FLOAT
+        assert spec.start_url == "index.html"
+        assert spec.start_state == "index"
+        assert spec.transitions[0].target == "quotes"
+        assert spec.rules[0].mode == "tuple"
+        assert spec.max_pages == 50
+        assert spec.states == ["index", "quotes"]
+
+    def test_comments_and_blank_lines_ignored(self):
+        spec = parse_wrapper_spec("# comment\n\n" + VALID_SPEC)
+        assert spec.relation.name == "rates"
+
+    def test_default_attribute_type_is_string(self):
+        spec = parse_wrapper_spec(
+            'EXPORT t(a, b int)\nSTART i.html STATE s\nEXTRACT s TUPLE "(?P<a>x)(?P<b>1)"'
+        )
+        assert spec.relation.attributes[0][1] is DataType.STRING
+        assert spec.relation.attributes[1][1] is DataType.INTEGER
+
+    def test_missing_export_raises(self):
+        with pytest.raises(WrapperSpecError):
+            parse_wrapper_spec('START i.html STATE s\nEXTRACT s TUPLE "(?P<a>x)"')
+
+    def test_missing_start_raises(self):
+        with pytest.raises(WrapperSpecError):
+            parse_wrapper_spec('EXPORT t(a)\nEXTRACT s TUPLE "(?P<a>x)"')
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(WrapperSpecError) as excinfo:
+            parse_wrapper_spec(VALID_SPEC + "\nFROBNICATE everything")
+        assert "cannot parse" in str(excinfo.value)
+
+
+class TestValidation:
+    def test_rule_must_reference_known_state(self):
+        spec = WrapperSpec(
+            relation=ExportedRelation("t", (("a", DataType.STRING),)),
+            start_url="i.html",
+            start_state="index",
+            rules=[ExtractionRule("elsewhere", "(?P<a>x)")],
+        )
+        with pytest.raises(WrapperSpecError):
+            spec.validate()
+
+    def test_rule_groups_must_match_attributes(self):
+        with pytest.raises(WrapperSpecError):
+            parse_wrapper_spec(
+                'EXPORT t(a)\nSTART i.html STATE s\nEXTRACT s TUPLE "(?P<wrong>x)"'
+            )
+
+    def test_every_attribute_must_be_extracted(self):
+        with pytest.raises(WrapperSpecError):
+            parse_wrapper_spec(
+                'EXPORT t(a, b)\nSTART i.html STATE s\nEXTRACT s TUPLE "(?P<a>x)"'
+            )
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(WrapperSpecError):
+            parse_wrapper_spec(
+                'EXPORT t(a)\nSTART i.html STATE s\nEXTRACT s TUPLE "(?P<a>[unclosed"'
+            )
+
+    def test_at_least_one_rule_required(self):
+        spec = WrapperSpec(
+            relation=ExportedRelation("t", (("a", DataType.STRING),)),
+            start_url="i.html",
+            start_state="index",
+        )
+        with pytest.raises(WrapperSpecError):
+            spec.validate()
+
+    def test_unknown_mode_rejected(self):
+        spec = WrapperSpec(
+            relation=ExportedRelation("t", (("a", DataType.STRING),)),
+            start_url="i.html",
+            start_state="index",
+            rules=[ExtractionRule("index", "(?P<a>x)", "weird")],
+        )
+        with pytest.raises(WrapperSpecError):
+            spec.validate()
+
+
+class TestHelpers:
+    def test_transitions_from_and_rules_for(self):
+        spec = parse_wrapper_spec(VALID_SPEC)
+        assert len(spec.transitions_from("index")) == 1
+        assert spec.transitions_from("quotes") == []
+        assert len(spec.rules_for("quotes")) == 1
+        assert spec.rules_for("index") == []
+
+    def test_make_table_spec(self):
+        spec = make_table_spec("prices", [("name", "string"), ("price", "float")])
+        assert spec.relation.attribute_names == ["name", "price"]
+        assert spec.states == ["data", "index"]
+        # The generated pattern captures both attributes.
+        assert set(spec.rules[0].group_names) == {"name", "price"}
+        spec.validate()
