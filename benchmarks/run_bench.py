@@ -1,0 +1,96 @@
+"""Entry point for the hot-path benchmark trajectory.
+
+Usage::
+
+    python benchmarks/run_bench.py            # full run, appends to BENCH_hotpath.json
+    python benchmarks/run_bench.py --smoke    # tier-2 check: seconds, no file write
+
+The smoke mode exists so CI (and humans before committing) can exercise the
+whole compiled pipeline — expression compilation, hash joins, indexed
+resolution, mediation — end to end and fail on import errors, runtime errors
+or any divergence between the compiled and interpreted row sets.  The full
+mode additionally appends one entry to the ``BENCH_hotpath.json`` trajectory
+at the repository root so future PRs regress against recorded numbers
+instead of vibes (see PERFORMANCE.md for how to read the file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from bench_hotpath import run_hotpath_benchmarks, verify_run
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(_HERE), "BENCH_hotpath.json")
+
+
+def _print_summary(result) -> None:
+    scan = result["scan_filter_project"]
+    join = result["equi_join"]
+    mediation = result["mediation"]
+    print(f"[hotpath:{result['mode']}] scan-filter-project: "
+          f"{scan['interpreted_rows_per_sec']:.0f} -> {scan['compiled_rows_per_sec']:.0f} rows/s "
+          f"({scan['speedup']}x)")
+    print(f"[hotpath:{result['mode']}] equi-join {join['left_rows']}x{join['right_rows']}: "
+          f"{join['interpreted_elapsed_seconds']}s -> {join['compiled_elapsed_seconds']}s "
+          f"({join['speedup']}x)")
+    print(f"[hotpath:{result['mode']}] mediation solve: "
+          f"{mediation['solves_per_sec']} solves/s, {mediation['answer_rows']} answers "
+          f"(sha256 {mediation['answers_sha256'][:12]}...)")
+
+
+def _append_trajectory(path: str, result) -> None:
+    document = {"benchmark": "hotpath", "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            pass
+    if not isinstance(document.get("runs"), list):
+        document = {"benchmark": "hotpath", "runs": []}
+    entry = dict(result)
+    entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    document["runs"].append(entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[hotpath] appended run #{len(document['runs'])} to {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, no trajectory write; exits non-zero on any failure")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"trajectory file for full runs (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--write", action="store_true",
+                        help="append to the trajectory file even in smoke mode")
+    arguments = parser.parse_args(argv)
+
+    result = run_hotpath_benchmarks(smoke=arguments.smoke)
+    _print_summary(result)
+
+    failures = verify_run(result)
+    for failure in failures:
+        print(f"[hotpath] FAIL: {failure}", file=sys.stderr)
+
+    if failures:
+        # Never record a failing run: the trajectory is a regression
+        # baseline, and numbers from a broken build would poison it.
+        print("[hotpath] not recording this run", file=sys.stderr)
+    elif not arguments.smoke or arguments.write:
+        _append_trajectory(arguments.output, result)
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,3 +12,11 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "hotpath: hot-path performance smoke checks "
+        "(also runnable via `python benchmarks/run_bench.py --smoke`)",
+    )

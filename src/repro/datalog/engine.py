@@ -118,16 +118,26 @@ class Resolver:
 
         resolved_any = False
 
-        # Ordinary resolution against program clauses.
-        for clause in self.kb.rules_for(predicate, arity):
-            renamed = clause.rename_apart()
-            extended = unify_sequences(renamed.head.args, goal_atom.args, substitution)
-            if extended is None:
-                continue
-            resolved_any = True
-            new_goals = list(renamed.body) + rest
-            new_trace = trace + ((renamed.label,) if renamed.label else ())
-            yield from self._solve(new_goals, extended, abduced, new_trace, depth + 1)
+        # Fully-ground goal over an all-facts predicate: resolve by dictionary
+        # lookup (no unification, no substitution copies).
+        fact_clauses = self.kb.facts_matching(goal_atom, substitution)
+        if fact_clauses is not None:
+            for clause in fact_clauses:
+                resolved_any = True
+                new_trace = trace + ((clause.label,) if clause.label else ())
+                yield from self._solve(rest, substitution, abduced, new_trace, depth + 1)
+        else:
+            # Ordinary resolution, visiting only clauses the first-argument
+            # index cannot rule out; ground clauses skip standardizing apart.
+            for _seq, clause, clause_is_ground in self.kb.goal_entries(goal_atom, substitution):
+                renamed = clause if clause_is_ground else clause.rename_apart()
+                extended = unify_sequences(renamed.head.args, goal_atom.args, substitution)
+                if extended is None:
+                    continue
+                resolved_any = True
+                new_goals = list(renamed.body) + rest
+                new_trace = trace + ((renamed.label,) if renamed.label else ())
+                yield from self._solve(new_goals, extended, abduced, new_trace, depth + 1)
 
         # Abduction: assume the literal when it is declared abducible.
         if (predicate, arity) in self.config.abducibles:
@@ -143,7 +153,9 @@ class Resolver:
 
     def _has_solution(self, goal_atom: Atom, substitution: Substitution,
                       abduced: Tuple[Atom, ...], depth: int) -> bool:
-        for _ in self._solve([Literal(goal_atom, True)], dict(substitution), abduced, (), depth + 1):
+        # No defensive copy: substitutions are never mutated downstream (the
+        # unifier extends copies), so the NAF check can share the caller's dict.
+        for _ in self._solve([Literal(goal_atom, True)], substitution, abduced, (), depth + 1):
             return True
         return False
 

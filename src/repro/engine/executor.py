@@ -54,6 +54,71 @@ class RequestExecution:
 
 
 @dataclass
+class OperatorStats:
+    """Row/time counters of one local physical operator.
+
+    ``elapsed_seconds`` is cumulative in the EXPLAIN ANALYZE sense: it covers
+    the operator *and* everything beneath it in the pipeline, because it is
+    measured around the operator's row production."""
+
+    branch: int
+    operator: str
+    detail: str
+    rows_out: int = 0
+    elapsed_seconds: float = 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "branch": self.branch,
+            "operator": self.operator,
+            "detail": self.detail,
+            "rows_out": self.rows_out,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+
+class _InstrumentedOperator(PhysicalOperator):
+    """Transparent wrapper counting rows and production time of its child."""
+
+    def __init__(self, child: PhysicalOperator, stats: OperatorStats):
+        self.child = child
+        self.stats = stats
+
+    @property
+    def operator_name(self) -> str:  # type: ignore[override]
+        return self.child.operator_name
+
+    @property
+    def schema(self):
+        return self.child.schema
+
+    @property
+    def children(self):
+        return self.child.children
+
+    @property
+    def estimated_rows(self) -> int:
+        return self.child.estimated_rows
+
+    def explain(self, indent: int = 0) -> str:
+        return self.child.explain(indent)
+
+    def __iter__(self):
+        stats = self.stats
+        iterator = iter(self.child)
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                stats.elapsed_seconds += time.perf_counter() - started
+                return
+            stats.elapsed_seconds += time.perf_counter() - started
+            stats.rows_out += 1
+            yield row
+
+
+@dataclass
 class ExecutionReport:
     """Execution trace of one statement: per-request facts plus totals."""
 
@@ -62,6 +127,7 @@ class ExecutionReport:
     result_rows: int = 0
     elapsed_seconds: float = 0.0
     temp_storage: Dict[str, int] = field(default_factory=dict)
+    operator_stats: List[OperatorStats] = field(default_factory=list)
 
     @property
     def rows_transferred(self) -> int:
@@ -75,6 +141,7 @@ class ExecutionReport:
             "result_rows": self.result_rows,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "temp_storage": dict(self.temp_storage),
+            "operators": [stats.snapshot() for stats in self.operator_stats],
         }
 
 
@@ -101,8 +168,8 @@ class ExecutionController:
         report = ExecutionReport()
 
         branch_results: List[Relation] = []
-        for branch in plan.branches:
-            branch_relation = self._execute_branch(branch, report)
+        for branch_index, branch in enumerate(plan.branches):
+            branch_relation = self._execute_branch(branch, report, branch_index)
             report.branch_rows.append(len(branch_relation))
             branch_results.append(branch_relation)
 
@@ -119,17 +186,27 @@ class ExecutionController:
 
     # -- branches -----------------------------------------------------------------
 
-    def _execute_branch(self, branch: BranchPlan, report: ExecutionReport) -> Relation:
+    def _execute_branch(self, branch: BranchPlan, report: ExecutionReport,
+                        branch_index: int = 0) -> Relation:
         staged: Dict[int, Relation] = {}
         for index, request in enumerate(branch.requests):
             staged[index] = self._execute_request(request, report)
 
-        pipeline: PhysicalOperator = TableScan(staged[branch.initial_request])
+        def instrument(operator: PhysicalOperator) -> PhysicalOperator:
+            stats = OperatorStats(
+                branch=branch_index,
+                operator=operator.operator_name,
+                detail=operator._explain_details(),
+            )
+            report.operator_stats.append(stats)
+            return _InstrumentedOperator(operator, stats)
+
+        pipeline: PhysicalOperator = instrument(TableScan(staged[branch.initial_request]))
         for step in branch.join_steps:
-            pipeline = self._join(pipeline, staged[step.request_index], step)
+            pipeline = instrument(self._join(pipeline, staged[step.request_index], step))
 
         if branch.post_join_conditions:
-            pipeline = Filter(pipeline, conjoin(list(branch.post_join_conditions)))
+            pipeline = instrument(Filter(pipeline, conjoin(list(branch.post_join_conditions))))
 
         rows = list(pipeline)
         processor = QueryProcessor(self._reject_unknown_table)
@@ -176,8 +253,22 @@ class ExecutionController:
 
     def _join(self, left: PhysicalOperator, right_relation: Relation, step: JoinStep) -> PhysicalOperator:
         right = TableScan(right_relation)
+        if step.hash_join and step.equi_keys:
+            # The planner already oriented the keys (intermediate side, staged
+            # side) and split off the residual conjuncts; use all of them as a
+            # composite hash key.
+            left_keys = [pair[0] for pair in step.equi_keys]
+            right_keys = [pair[1] for pair in step.equi_keys]
+            if all(self._resolvable(key, left) for key in left_keys) and all(
+                self._resolvable(key, right) for key in right_keys
+            ):
+                return HashJoin(
+                    left, right, left_keys, right_keys,
+                    residual=conjoin(list(step.residual_conditions)),
+                )
         conditions = list(step.conditions)
         if step.hash_join:
+            # Plans without key annotations (hand-built steps): derive one key.
             equi, residual = self._split_equi(conditions, left, right)
             if equi is not None:
                 left_key, right_key = equi
@@ -193,10 +284,10 @@ class ExecutionController:
             if not (isinstance(condition.left, ColumnRef) and isinstance(condition.right, ColumnRef)):
                 continue
             left_ref, right_ref = condition.left, condition.right
-            if self._resolvable(left_ref, left) and self._resolvable(right_ref, right):
+            if self._hash_safe(left_ref, left) and self._hash_safe(right_ref, right):
                 residual = conditions[:index] + conditions[index + 1 :]
                 return (left_ref, right_ref), residual
-            if self._resolvable(right_ref, left) and self._resolvable(left_ref, right):
+            if self._hash_safe(right_ref, left) and self._hash_safe(left_ref, right):
                 residual = conditions[:index] + conditions[index + 1 :]
                 return (right_ref, left_ref), residual
         return None, conditions
@@ -208,6 +299,18 @@ class ExecutionController:
             return True
         except Exception:
             return False
+
+    @staticmethod
+    def _hash_safe(ref: ColumnRef, operator: PhysicalOperator) -> bool:
+        """Resolvable, and of a type where bucket equality equals SQL equality
+        (mirrors the planner's key-type guard for unannotated plans)."""
+        from repro.relational.types import DataType
+
+        try:
+            attribute = operator.schema.attribute(ref.name, ref.table)
+        except Exception:
+            return False
+        return attribute.type in (DataType.INTEGER, DataType.FLOAT, DataType.STRING)
 
     @staticmethod
     def _reject_unknown_table(name: str, source: Optional[str]) -> Relation:

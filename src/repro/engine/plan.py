@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cost import CostEstimate
-from repro.sql.ast import Node, Select, Statement
+from repro.sql.ast import ColumnRef, Node, Select, Statement
 from repro.sql.printer import to_sql
 
 
@@ -68,12 +68,27 @@ class JoinStep:
     conditions: Tuple[Node, ...] = ()
     #: True when at least one condition is a simple equi-join usable by a hash join.
     hash_join: bool = False
+    #: Equi-join conjuncts extracted at plan time, oriented as (key over the
+    #: already-joined intermediate, key over this step's staged relation).
+    #: Together they form the composite hash key; ``residual_conditions`` are
+    #: the remaining conjuncts, evaluated on each key-matched pair.
+    equi_keys: Tuple[Tuple[ColumnRef, ColumnRef], ...] = ()
+    residual_conditions: Tuple[Node, ...] = ()
     estimated_rows: int = 0
     cost: CostEstimate = field(default_factory=CostEstimate)
 
     def describe(self, requests: Sequence[SourceRequest]) -> str:
         binding = requests[self.request_index].binding
         method = "hash join" if self.hash_join else "nested-loop join"
+        if self.hash_join and self.equi_keys:
+            keys = " AND ".join(
+                f"{to_sql(left)} = {to_sql(right)}" for left, right in self.equi_keys
+            )
+            text = f"{method} {binding} ON {keys}"
+            if self.residual_conditions:
+                residual = " AND ".join(to_sql(node) for node in self.residual_conditions)
+                text += f" residual {residual}"
+            return f"{text} (~{self.estimated_rows} rows)"
         if self.conditions:
             condition_text = " AND ".join(to_sql(node) for node in self.conditions)
             return f"{method} {binding} ON {condition_text} (~{self.estimated_rows} rows)"

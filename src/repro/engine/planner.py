@@ -112,7 +112,7 @@ class QueryPlanner:
             requests.append(request)
 
         initial_index, join_steps, post_join = self._order_joins(
-            requests, request_index, join_conditions
+            requests, request_index, join_conditions, bindings
         )
         post_join = tuple(list(post_join) + constant_conditions)
 
@@ -311,7 +311,8 @@ class QueryPlanner:
     # -- join ordering ----------------------------------------------------------------------------
 
     def _order_joins(self, requests: List[SourceRequest], request_index: Dict[str, int],
-                     join_conditions: List[Tuple[Node, Set[str]]]):
+                     join_conditions: List[Tuple[Node, Set[str]]],
+                     bindings: Dict[str, str]):
         remaining = set(range(len(requests)))
         pending = [(condition, set(referenced)) for condition, referenced in join_conditions]
 
@@ -326,7 +327,8 @@ class QueryPlanner:
         while remaining:
             candidate = self._pick_next(requests, remaining, joined_bindings, pending)
             remaining.remove(candidate)
-            new_bindings = joined_bindings | {requests[candidate].binding.lower()}
+            candidate_binding = requests[candidate].binding.lower()
+            new_bindings = joined_bindings | {candidate_binding}
 
             applicable = [
                 (condition, referenced)
@@ -336,9 +338,12 @@ class QueryPlanner:
             pending = [entry for entry in pending if entry not in applicable]
             conditions = tuple(condition for condition, _referenced in applicable)
 
-            hash_join = self.config.prefer_hash_joins and any(
-                self._equi_join_parts(condition) is not None for condition in conditions
+            equi_keys, residual = self._split_equi_conditions(
+                conditions, joined_bindings, candidate_binding, bindings
             )
+            hash_join = self.config.prefer_hash_joins and bool(equi_keys)
+            if not hash_join:
+                equi_keys, residual = (), conditions
             estimated = self.cost_model.join_cardinality(
                 current_rows, requests[candidate].estimated_result_rows, bool(conditions)
             )
@@ -349,6 +354,8 @@ class QueryPlanner:
                 request_index=candidate,
                 conditions=conditions,
                 hash_join=hash_join,
+                equi_keys=equi_keys,
+                residual_conditions=residual,
                 estimated_rows=estimated,
                 cost=cost,
             ))
@@ -357,6 +364,63 @@ class QueryPlanner:
 
         post_join = tuple(condition for condition, _referenced in pending)
         return initial, steps, post_join
+
+    def _split_equi_conditions(self, conditions: Sequence[Node], joined_bindings: Set[str],
+                               candidate_binding: str, bindings: Dict[str, str],
+                               ) -> Tuple[Tuple[Tuple[ColumnRef, ColumnRef], ...], Tuple[Node, ...]]:
+        """Partition a join step's conditions into oriented equi-join key pairs
+        (intermediate side, staged side) and residual conditions.
+
+        Every qualifying ``a.x = b.y`` conjunct becomes part of the composite
+        hash key instead of degrading into a per-pair residual check.
+        """
+        equi_keys: List[Tuple[ColumnRef, ColumnRef]] = []
+        residual: List[Node] = []
+        for condition in conditions:
+            parts = self._equi_join_parts(condition)
+            oriented: Optional[Tuple[ColumnRef, ColumnRef]] = None
+            if parts is not None:
+                left_ref, right_ref = parts
+                try:
+                    left_binding = self._resolve_binding(left_ref, bindings)
+                    right_binding = self._resolve_binding(right_ref, bindings)
+                except PlanningError:  # pragma: no cover - classified earlier
+                    left_binding = right_binding = None
+                if not (
+                    self._hash_safe_key(left_ref, left_binding, bindings)
+                    and self._hash_safe_key(right_ref, right_binding, bindings)
+                ):
+                    left_binding = right_binding = None
+                if left_binding in joined_bindings and right_binding == candidate_binding:
+                    oriented = (left_ref, right_ref)
+                elif right_binding in joined_bindings and left_binding == candidate_binding:
+                    oriented = (right_ref, left_ref)
+            if oriented is not None:
+                equi_keys.append(oriented)
+            else:
+                residual.append(condition)
+        return tuple(equi_keys), tuple(residual)
+
+    def _hash_safe_key(self, ref: ColumnRef, binding: Optional[str],
+                       bindings: Dict[str, str]) -> bool:
+        """True when the column's declared type makes hash-bucket equality
+        coincide exactly with SQL equality.
+
+        INTEGER/FLOAT/STRING qualify (numeric float-coercion matches the
+        bucket normalization, strings compare exactly).  BOOLEAN does not —
+        SQL equality coerces booleans against any number (``TRUE = 2`` is
+        true), which buckets cannot reproduce — and ANY may hold such values,
+        so both stay in the residual where they are evaluated per pair.
+        """
+        if binding is None:
+            return False
+        from repro.relational.types import DataType
+
+        try:
+            attribute_type = self.catalog.schema_of(bindings[binding]).attribute(ref.name).type
+        except Exception:
+            return False
+        return attribute_type in (DataType.INTEGER, DataType.FLOAT, DataType.STRING)
 
     def _pick_next(self, requests: List[SourceRequest], remaining: Set[int],
                    joined_bindings: Set[str],

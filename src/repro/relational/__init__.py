@@ -17,6 +17,12 @@ from repro.relational.eval import (
     expression_type,
     like_to_regex,
 )
+from repro.relational.compile import (
+    ExpressionCompiler,
+    compile_expression,
+    compile_predicate,
+    compile_projection,
+)
 from repro.relational.operators import (
     CrossProduct,
     Distinct,
@@ -47,6 +53,10 @@ __all__ = [
     "Row",
     "relation_from_rows",
     "ExpressionEvaluator",
+    "ExpressionCompiler",
+    "compile_expression",
+    "compile_predicate",
+    "compile_projection",
     "evaluate_literal_expression",
     "expression_type",
     "like_to_regex",

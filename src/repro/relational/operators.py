@@ -17,10 +17,11 @@ Every operator exposes:
 
 from __future__ import annotations
 
+from decimal import Decimal
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
-from repro.relational.eval import ExpressionEvaluator
+from repro.relational.compile import ExpressionCompiler
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Attribute, Schema
 from repro.relational.types import DataType, sort_key
@@ -106,7 +107,7 @@ class Filter(PhysicalOperator):
                  subquery_executor: Optional[Callable[[Node], Relation]] = None):
         self.child = child
         self.condition = condition
-        self._evaluator = ExpressionEvaluator(child.schema, subquery_executor)
+        self._predicate = ExpressionCompiler(child.schema, subquery_executor).predicate(condition)
 
     @property
     def schema(self) -> Schema:
@@ -117,7 +118,7 @@ class Filter(PhysicalOperator):
         return (self.child,)
 
     def __iter__(self) -> Iterator[Row]:
-        predicate = self._evaluator.predicate(self.condition)
+        predicate = self._predicate
         for row in self.child:
             if predicate(row) is True:
                 yield row
@@ -146,7 +147,9 @@ class Project(PhysicalOperator):
         self.child = child
         self.expressions = list(expressions)
         self.names = list(names)
-        self._evaluator = ExpressionEvaluator(child.schema, subquery_executor)
+        self._project = ExpressionCompiler(child.schema, subquery_executor).projection(
+            self.expressions
+        )
         from repro.relational.eval import expression_type
 
         self._schema = Schema(
@@ -163,8 +166,9 @@ class Project(PhysicalOperator):
         return (self.child,)
 
     def __iter__(self) -> Iterator[Row]:
+        project = self._project
         for row in self.child:
-            yield tuple(self._evaluator.evaluate(expr, row) for expr in self.expressions)
+            yield project(row)
 
     @property
     def estimated_rows(self) -> int:
@@ -210,7 +214,10 @@ class NestedLoopJoin(PhysicalOperator):
         self.right = right
         self.condition = condition
         self._schema = left.schema.concat(right.schema)
-        self._evaluator = ExpressionEvaluator(self._schema, subquery_executor)
+        self._predicate = (
+            ExpressionCompiler(self._schema, subquery_executor).predicate(condition)
+            if condition is not None else None
+        )
 
     @property
     def schema(self) -> Schema:
@@ -222,11 +229,16 @@ class NestedLoopJoin(PhysicalOperator):
 
     def __iter__(self) -> Iterator[Row]:
         right_rows = list(self.right)
-        predicate = self._evaluator.predicate(self.condition) if self.condition is not None else None
+        predicate = self._predicate
+        if predicate is None:
+            for left_row in self.left:
+                for right_row in right_rows:
+                    yield left_row + right_row
+            return
         for left_row in self.left:
             for right_row in right_rows:
                 combined = left_row + right_row
-                if predicate is None or predicate(combined) is True:
+                if predicate(combined) is True:
                     yield combined
 
     @property
@@ -243,22 +255,45 @@ class NestedLoopJoin(PhysicalOperator):
 
 
 class HashJoin(PhysicalOperator):
-    """Equi-join on one key expression per side, with an optional residual filter."""
+    """Equi-join on one or more key expressions per side, with an optional
+    residual filter.
+
+    ``left_key``/``right_key`` accept a single expression (the historical
+    signature) or an aligned sequence of expressions forming a composite key;
+    the planner emits composite keys when a join step carries several
+    equi-join conjuncts, so none of them degrade into per-pair residual
+    evaluation."""
 
     operator_name = "HashJoin"
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
-                 left_key: Node, right_key: Node, residual: Optional[Node] = None,
+                 left_key, right_key, residual: Optional[Node] = None,
                  subquery_executor: Optional[Callable[[Node], Relation]] = None):
         self.left = left
         self.right = right
-        self.left_key = left_key
-        self.right_key = right_key
+        self.left_keys: List[Node] = list(left_key) if not isinstance(left_key, Node) else [left_key]
+        self.right_keys: List[Node] = list(right_key) if not isinstance(right_key, Node) else [right_key]
+        if len(self.left_keys) != len(self.right_keys) or not self.left_keys:
+            raise ExecutionError("hash join requires aligned, non-empty key lists")
         self.residual = residual
         self._schema = left.schema.concat(right.schema)
-        self._left_eval = ExpressionEvaluator(left.schema, subquery_executor)
-        self._right_eval = ExpressionEvaluator(right.schema, subquery_executor)
-        self._combined_eval = ExpressionEvaluator(self._schema, subquery_executor)
+        left_compiler = ExpressionCompiler(left.schema, subquery_executor)
+        right_compiler = ExpressionCompiler(right.schema, subquery_executor)
+        self._left_key_fns = [left_compiler.compile(key) for key in self.left_keys]
+        self._right_key_fns = [right_compiler.compile(key) for key in self.right_keys]
+        self._residual_predicate = (
+            ExpressionCompiler(self._schema, subquery_executor).predicate(residual)
+            if residual is not None else None
+        )
+
+    # Backwards-compatible single-key views (used by explain and older callers).
+    @property
+    def left_key(self) -> Node:
+        return self.left_keys[0]
+
+    @property
+    def right_key(self) -> Node:
+        return self.right_keys[0]
 
     @property
     def schema(self) -> Schema:
@@ -268,21 +303,34 @@ class HashJoin(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.left, self.right)
 
+    @staticmethod
+    def _composite_key(fns, row) -> Optional[Tuple]:
+        """The normalized bucket key of one row, or None when any part is NULL
+        (SQL equality with NULL can never be true, so the row cannot match)."""
+        parts = []
+        for fn in fns:
+            value = fn(row)
+            if value is None:
+                return None
+            parts.append(_hash_key(value))
+        return tuple(parts)
+
     def __iter__(self) -> Iterator[Row]:
         buckets: Dict[Any, List[Row]] = {}
+        right_fns = self._right_key_fns
         for right_row in self.right:
-            key = self._right_eval.evaluate(self.right_key, right_row)
+            key = self._composite_key(right_fns, right_row)
             if key is None:
                 continue
-            buckets.setdefault(_hash_key(key), []).append(right_row)
-        residual_predicate = (
-            self._combined_eval.predicate(self.residual) if self.residual is not None else None
-        )
+            buckets.setdefault(key, []).append(right_row)
+        residual_predicate = self._residual_predicate
+        left_fns = self._left_key_fns
+        empty: List[Row] = []
         for left_row in self.left:
-            key = self._left_eval.evaluate(self.left_key, left_row)
+            key = self._composite_key(left_fns, left_row)
             if key is None:
                 continue
-            for right_row in buckets.get(_hash_key(key), []):
+            for right_row in buckets.get(key, empty):
                 combined = left_row + right_row
                 if residual_predicate is None or residual_predicate(combined) is True:
                     yield combined
@@ -294,17 +342,23 @@ class HashJoin(PhysicalOperator):
     def _explain_details(self) -> str:
         from repro.sql.printer import to_sql
 
-        detail = f"({to_sql(self.left_key)} = {to_sql(self.right_key)}"
+        keys = " AND ".join(
+            f"{to_sql(lk)} = {to_sql(rk)}"
+            for lk, rk in zip(self.left_keys, self.right_keys)
+        )
+        detail = f"({keys}"
         if self.residual is not None:
             detail += f", residual {to_sql(self.residual)}"
         return detail + ")"
 
 
 def _hash_key(value: Any) -> Any:
-    """Normalize join keys so 1 and 1.0 hash to the same bucket."""
+    """Normalize join keys so 1, 1.0 and Decimal("1") hash to the same bucket."""
     if isinstance(value, bool):
         return ("b", value)
     if isinstance(value, (int, float)):
+        return ("n", float(value))
+    if isinstance(value, Decimal):
         return ("n", float(value))
     return ("s", value)
 
@@ -347,7 +401,10 @@ class Sort(PhysicalOperator):
                  subquery_executor: Optional[Callable[[Node], Relation]] = None):
         self.child = child
         self.keys = list(keys)
-        self._evaluator = ExpressionEvaluator(child.schema, subquery_executor)
+        compiler = ExpressionCompiler(child.schema, subquery_executor)
+        self._key_fns = [
+            (compiler.sort_key(expr), ascending) for expr, ascending in self.keys
+        ]
 
     @property
     def schema(self) -> Schema:
@@ -359,11 +416,8 @@ class Sort(PhysicalOperator):
 
     def __iter__(self) -> Iterator[Row]:
         rows = list(self.child)
-        for expr, ascending in reversed(self.keys):
-            rows.sort(
-                key=lambda row: sort_key(self._evaluator.evaluate(expr, row)),
-                reverse=not ascending,
-            )
+        for key_fn, ascending in reversed(self._key_fns):
+            rows.sort(key=key_fn, reverse=not ascending)
         return iter(rows)
 
     @property
@@ -409,9 +463,11 @@ class Limit(PhysicalOperator):
 
     @property
     def estimated_rows(self) -> int:
+        # Rows skipped by OFFSET never reach the output.
+        available = max(self.child.estimated_rows - self.offset, 0)
         if self.count is None:
-            return self.child.estimated_rows
-        return min(self.child.estimated_rows, self.count)
+            return available
+        return min(available, self.count)
 
     def _explain_details(self) -> str:
         return f"({self.count}, offset {self.offset})"

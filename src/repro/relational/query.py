@@ -18,9 +18,11 @@ the CREATE TABLE / INSERT statements used to load demo data.
 
 from __future__ import annotations
 
+from decimal import Decimal
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import EvaluationError, ExecutionError, SchemaError, SQLUnsupportedError
+from repro.relational.compile import ExpressionCompiler
 from repro.relational.eval import ExpressionEvaluator, expression_type
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Attribute, Schema
@@ -135,11 +137,12 @@ class QueryProcessor:
     def _execute_select(self, select: Select) -> Relation:
         source_relation, source_schema = self._build_from(select)
 
-        evaluator = ExpressionEvaluator(source_schema, self._subquery_executor)
         rows = source_relation
 
         if select.where is not None:
-            predicate = evaluator.predicate(select.where)
+            predicate = ExpressionCompiler(
+                source_schema, self._subquery_executor
+            ).predicate(select.where)
             rows = [row for row in rows if predicate(row) is True]
 
         has_aggregates = any(
@@ -210,9 +213,17 @@ class QueryProcessor:
         left_rows, left_schema = self._table_rows(node.left)
         right_rows, right_schema = self._table_rows(node.right)
         schema = left_schema.concat(right_schema)
-        evaluator = ExpressionEvaluator(schema, self._subquery_executor)
+
+        if node.kind == "INNER" and node.condition is not None:
+            hashed = self._hash_join_rows(
+                node.condition, left_rows, left_schema, right_rows, right_schema
+            )
+            if hashed is not None:
+                return hashed, schema
+
         predicate = (
-            evaluator.predicate(node.condition) if node.condition is not None else None
+            ExpressionCompiler(schema, self._subquery_executor).predicate(node.condition)
+            if node.condition is not None else None
         )
 
         if node.kind in ("INNER", "CROSS"):
@@ -254,35 +265,101 @@ class QueryProcessor:
 
         raise SQLUnsupportedError(f"unsupported join kind {node.kind!r}")
 
+    def _hash_join_rows(self, condition: Node, left_rows: List[Row], left_schema: Schema,
+                        right_rows: List[Row], right_schema: Schema) -> Optional[List[Row]]:
+        """Evaluate an INNER join through a hash join when the condition has
+        equi-join conjuncts; returns None when no conjunct qualifies (the
+        caller falls back to the nested loop).
+
+        The full ON condition is re-evaluated on every bucket match, so the
+        hash buckets are purely a prefilter and the accepted rows are exactly
+        the nested loop's.  Boolean key values force the nested-loop fallback:
+        SQL equality coerces booleans against *any* number (``True = 2`` is
+        true), which no bucket normalization can reproduce."""
+        from repro.relational.operators import HashJoin, TableScan
+        from repro.sql.ast import conjuncts
+
+        combined_schema = left_schema.concat(right_schema)
+
+        def side_of(ref: ColumnRef) -> Optional[str]:
+            # The ref must resolve on exactly one side, and unambiguously in
+            # the combined schema (otherwise evaluation would raise anyway).
+            if not combined_schema.has(ref.name, ref.table):
+                return None
+            in_left = left_schema.has(ref.name, ref.table)
+            in_right = right_schema.has(ref.name, ref.table)
+            if in_left and not in_right:
+                return "left"
+            if in_right and not in_left:
+                return "right"
+            return None
+
+        left_keys: List[ColumnRef] = []
+        right_keys: List[ColumnRef] = []
+        for conjunct in conjuncts(condition):
+            if (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                first, second = side_of(conjunct.left), side_of(conjunct.right)
+                if first == "left" and second == "right":
+                    left_keys.append(conjunct.left)
+                    right_keys.append(conjunct.right)
+                elif first == "right" and second == "left":
+                    left_keys.append(conjunct.right)
+                    right_keys.append(conjunct.left)
+        if not left_keys:
+            return None
+
+        left_positions = [left_schema.index_of(ref.name, ref.table) for ref in left_keys]
+        right_positions = [right_schema.index_of(ref.name, ref.table) for ref in right_keys]
+        if any(
+            type(row[position]) is bool
+            for rows, positions in ((left_rows, left_positions), (right_rows, right_positions))
+            for row in rows
+            for position in positions
+        ):
+            return None
+
+        left_relation = Relation(left_schema, name="join_left", validate=False)
+        left_relation.rows = list(left_rows)
+        right_relation = Relation(right_schema, name="join_right", validate=False)
+        right_relation.rows = list(right_rows)
+        join = HashJoin(
+            TableScan(left_relation), TableScan(right_relation),
+            left_keys, right_keys, residual=condition,
+            subquery_executor=self._subquery_executor,
+        )
+        return list(join)
+
     # -- flat (non-grouped) SELECT ----------------------------------------------
 
     def _execute_flat(self, select: Select, rows: List[Row], schema: Schema):
         items = self._expand_stars(select.items, schema)
-        evaluator = ExpressionEvaluator(schema, self._subquery_executor)
+        project = ExpressionCompiler(schema, self._subquery_executor).projection(
+            [item.expr for item in items]
+        )
         names = _output_names(items)
         output_schema = Schema(
             Attribute(name=name, type=expression_type(item.expr, schema))
             for name, item in zip(names, items)
         )
-        output: List[Tuple[Row, Row]] = []
-        for row in rows:
-            values = tuple(evaluator.evaluate(item.expr, row) for item in items)
-            output.append((values, row))
-        return output, output_schema, schema
+        return [(project(row), row) for row in rows], output_schema, schema
 
     # -- grouped SELECT -----------------------------------------------------------
 
     def _execute_grouped(self, select: Select, rows: List[Row], schema: Schema):
         items = self._expand_stars(select.items, schema)
-        evaluator = ExpressionEvaluator(schema, self._subquery_executor)
+        compiler = ExpressionCompiler(schema, self._subquery_executor)
+        key_fns = [compiler.compile(expr) for expr in select.group_by]
 
         # Group rows by the GROUP BY key (a single global group when absent).
         groups: Dict[Tuple, List[Row]] = {}
         group_order: List[Tuple] = []
         for row in rows:
-            key = tuple(
-                _group_key(evaluator.evaluate(expr, row)) for expr in select.group_by
-            )
+            key = tuple(_group_key(fn(row)) for fn in key_fns)
             if key not in groups:
                 groups[key] = []
                 group_order.append(key)
@@ -305,12 +382,22 @@ class QueryProcessor:
             for name, item in zip(names, items)
         )
 
+        # Compile each distinct aggregate's argument once, not once per group.
+        compiled_calls = []
+        for call in aggregate_calls:
+            signature = _call_signature(call)
+            arg_fn = (
+                compiler.compile(call.args[0])
+                if call.args and not isinstance(call.args[0], Star) else None
+            )
+            compiled_calls.append((signature, call, arg_fn))
+
         output: List[Tuple[Row, Row]] = []
         for key in group_order:
             group_rows = groups[key]
             aggregates = {
-                _call_signature(call): _compute_aggregate(call, group_rows, evaluator)
-                for call in aggregate_calls
+                signature: _compute_aggregate(call, group_rows, arg_fn)
+                for signature, call, arg_fn in compiled_calls
             }
             group_evaluator = _GroupEvaluator(schema, aggregates, group_rows, self._subquery_executor)
 
@@ -332,27 +419,31 @@ class QueryProcessor:
         from repro.relational.types import sort_key as value_sort_key
 
         alias_positions = {name.lower(): index for index, name in enumerate(output_schema.names)}
-        evaluator = ExpressionEvaluator(schema, self._subquery_executor)
+        compiler = ExpressionCompiler(schema, self._subquery_executor)
 
-        def key_value(order_expr: Node, output_row: Row, context_row: Row) -> Any:
+        def key_fn_for(order_expr: Node) -> Callable[[Tuple[Row, Row]], Any]:
+            """Resolve one ORDER BY key to a (output_row, context_row) -> key."""
             # An unqualified column name matching an output alias refers to it.
             if isinstance(order_expr, ColumnRef) and order_expr.table is None:
                 position = alias_positions.get(order_expr.name.lower())
                 if position is not None:
-                    return output_row[position]
+                    return lambda pair: value_sort_key(pair[0][position])
             # A literal integer is a 1-based output position, per SQL convention.
             if isinstance(order_expr, Literal) and isinstance(order_expr.value, int):
-                position = order_expr.value - 1
-                if 0 <= position < len(output_row):
-                    return output_row[position]
-            return evaluator.evaluate(order_expr, context_row)
+                literal_position = order_expr.value - 1
+
+                def positional(pair):
+                    if 0 <= literal_position < len(pair[0]):
+                        return value_sort_key(pair[0][literal_position])
+                    return value_sort_key(order_expr.value)
+
+                return positional
+            compiled = compiler.compile(order_expr)
+            return lambda pair: value_sort_key(compiled(pair[1]))
 
         rows = list(output_rows)
         for order_item in reversed(select.order_by):
-            rows.sort(
-                key=lambda pair: value_sort_key(key_value(order_item.expr, pair[0], pair[1])),
-                reverse=not order_item.ascending,
-            )
+            rows.sort(key=key_fn_for(order_item.expr), reverse=not order_item.ascending)
         return rows
 
     # -- helpers ---------------------------------------------------------------------
@@ -388,15 +479,18 @@ def _call_signature(call: FunctionCall) -> str:
     return to_sql(call)
 
 
-def _compute_aggregate(call: FunctionCall, rows: List[Row], evaluator: ExpressionEvaluator) -> Any:
+def _compute_aggregate(call: FunctionCall, rows: List[Row], arg_fn) -> Any:
+    """Compute one aggregate over a group; ``arg_fn`` is the compiled argument
+    expression (None for COUNT(*) / argument-less calls)."""
     name = call.name.upper()
     if name == "COUNT" and (not call.args or isinstance(call.args[0], Star)):
         return len(rows)
 
     if not call.args:
         raise EvaluationError(f"aggregate {name} requires an argument")
-    values = [evaluator.evaluate(call.args[0], row) for row in rows]
-    values = [value for value in values if value is not None]
+    if arg_fn is None:
+        raise EvaluationError("'*' is only valid inside COUNT(*) or a select list")
+    values = [value for value in (arg_fn(row) for row in rows) if value is not None]
     if call.distinct:
         seen = []
         for value in values:
@@ -446,7 +540,7 @@ def _representative(group_rows: List[Row], schema: Schema) -> Row:
 def _group_key(value: Any) -> Any:
     if isinstance(value, bool):
         return ("b", value)
-    if isinstance(value, (int, float)):
+    if isinstance(value, (int, float, Decimal)):
         return ("n", float(value))
     if value is None:
         return ("null",)

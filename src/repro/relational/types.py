@@ -12,6 +12,7 @@ the predicate is definitely true).
 from __future__ import annotations
 
 import enum
+from decimal import Decimal as _Decimal
 from typing import Any, Optional
 
 from repro.errors import TypeMismatchError
@@ -183,5 +184,7 @@ def sort_key(value: Any) -> tuple:
     if isinstance(value, bool):
         return (1, int(value), "")
     if isinstance(value, (int, float)):
+        return (1, float(value), "")
+    if isinstance(value, _Decimal):
         return (1, float(value), "")
     return (2, 0, str(value))

@@ -74,6 +74,55 @@ class TestReports:
         assert by_binding["r3"].request.startswith("FETCH")
         assert by_binding["r1"].request.startswith("SELECT")
 
+    def test_operator_stats_trace_the_local_pipeline(self, engine):
+        result = engine.execute(PAPER_MEDIATED_JPY_BRANCH)
+        stats = result.report.operator_stats
+        names = [entry.operator for entry in stats]
+        # One scan starts the pipeline, each staged relation joins in after.
+        assert names[0] == "Scan"
+        assert names.count("HashJoin") + names.count("NestedLoopJoin") == 2
+        assert all(entry.rows_out >= 0 and entry.elapsed_seconds >= 0 for entry in stats)
+        # The final operator's output matches the branch's joined row count.
+        snapshot = result.report.snapshot()
+        assert snapshot["operators"] == [entry.snapshot() for entry in stats]
+
+    def test_equi_join_steps_execute_as_hash_joins(self, engine):
+        result = engine.execute(
+            "SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname"
+        )
+        operators = [entry.operator for entry in result.report.operator_stats]
+        assert "HashJoin" in operators
+        assert "NestedLoopJoin" not in operators
+
+    def test_boolean_join_keys_keep_sql_equality_semantics(self):
+        # SQL equality coerces booleans against any number (TRUE = 2 is
+        # true); the planner must keep such conjuncts out of hash-key
+        # position so they are evaluated per pair, not bucket-matched.
+        from repro.relational import relation_from_rows
+
+        source = MemorySQLSource("boolsrc")
+        source.add_relation(relation_from_rows(
+            "flags", ["name:string", "active:boolean"],
+            [("on2", True), ("off", False)], qualifier=None,
+        ))
+        source.add_relation(relation_from_rows(
+            "nums", ["num:integer", "tag:string"],
+            [(2, "two"), (0, "zero")], qualifier=None,
+        ))
+        engine = MultiDatabaseEngine()
+        engine.register_wrapper(RelationalWrapper(source))
+
+        plan = engine.plan(
+            "SELECT flags.name, nums.tag FROM flags, nums WHERE flags.active = nums.num"
+        )
+        assert plan.branches[0].join_steps[0].equi_keys == ()
+
+        result = engine.execute(
+            "SELECT flags.name, nums.tag FROM flags, nums WHERE flags.active = nums.num"
+        )
+        # True = 2 (truthy) and False = 0 (falsy) both hold under sql_equal.
+        assert sorted(result.relation.rows) == [("off", "zero"), ("on2", "two")]
+
     def test_statistics_accumulate(self):
         engine = build_paper_federation().federation.engine
         before = engine.statistics.snapshot()

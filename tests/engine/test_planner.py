@@ -59,6 +59,42 @@ class TestDecomposition:
         assert len(step.conditions) == 2
         assert step.hash_join is True
 
+    def test_join_step_carries_oriented_equi_keys(self, catalog):
+        query_plan = plan(
+            catalog,
+            "SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses",
+        )
+        step = query_plan.branches[0].join_steps[0]
+        assert len(step.equi_keys) == 1
+        left_ref, right_ref = step.equi_keys[0]
+        # Keys are oriented (already-joined intermediate, newly staged side).
+        assert {left_ref.table, right_ref.table} == {"r1", "r2"}
+        assert len(step.residual_conditions) == 1
+        assert step.residual_conditions[0].op == ">"
+
+    def test_multiple_equi_conjuncts_form_composite_key(self, catalog):
+        query_plan = plan(
+            catalog,
+            "SELECT r1.cname FROM r1, r2 "
+            "WHERE r1.cname = r2.cname AND r1.currency = r2.cname",
+        )
+        step = query_plan.branches[0].join_steps[0]
+        assert len(step.equi_keys) == 2
+        assert step.residual_conditions == ()
+
+    def test_hash_joins_disabled_leaves_keys_empty(self, catalog):
+        from repro.engine.planner import PlannerConfig, QueryPlanner
+        from repro.sql.parser import parse
+
+        planner = QueryPlanner(catalog, config=PlannerConfig(prefer_hash_joins=False))
+        query_plan = planner.plan(parse(
+            "SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname"
+        ))
+        step = query_plan.branches[0].join_steps[0]
+        assert step.hash_join is False
+        assert step.equi_keys == ()
+        assert step.residual_conditions == step.conditions
+
     def test_union_planned_branch_by_branch(self, catalog, federation):
         mediated = federation.mediate_only(
             "SELECT r1.cname, r1.revenue FROM r1, r2 "

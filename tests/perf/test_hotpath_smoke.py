@@ -1,0 +1,30 @@
+"""Tier-2 hot-path smoke check (same code path as ``run_bench.py --smoke``).
+
+Marked ``hotpath`` so it can be deselected with ``-m "not hotpath"``; it runs
+the three benchmark scenarios at tiny sizes and fails on any divergence
+between the compiled pipeline and the interpreted reference.
+"""
+
+import os
+import sys
+
+import pytest
+
+_BENCHMARKS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+if _BENCHMARKS not in sys.path:
+    sys.path.insert(0, _BENCHMARKS)
+
+from bench_hotpath import run_hotpath_benchmarks, verify_run
+
+
+@pytest.mark.hotpath
+def test_hotpath_smoke_is_equivalent_and_faster():
+    result = run_hotpath_benchmarks(smoke=True)
+    assert verify_run(result) == []
+    # The hash join must beat the interpreted nested loop even at smoke sizes.
+    assert result["equi_join"]["speedup"] > 1.0
+    assert result["scan_filter_project"]["identical"] is True
+    assert result["mediation"]["answer_rows"] >= 1
