@@ -1,13 +1,18 @@
 """Hot-path microbenchmarks: compiled pipeline vs. per-row interpretation.
 
-Three scenarios trace the executor's hot paths (see PERFORMANCE.md):
+Four scenarios trace the executor's hot paths (see PERFORMANCE.md):
 
 * **scan-filter-project** — a WHERE + select-list pass over one relation;
 * **equi-join** — a two-relation equi-join (the baseline is the interpreted
   nested loop the seed executor fell back to, the measured path is the
   planner-emitted compiled hash join);
 * **mediation solve** — the paper's mediated query end to end, covering the
-  indexed datalog resolution and the engine pipeline together.
+  indexed datalog resolution and the engine pipeline together;
+* **federation** — a multi-branch mediated-style query over latency-bearing
+  sources: the serial one-fetch-per-branch-request baseline (the pre-scheduler
+  executor, re-enacted via ``deduplicate_requests=False`` +
+  ``max_concurrent_requests=1``) vs. the concurrent deduplicating scheduler,
+  plus a cache-warm repeat.
 
 The *baseline* numbers re-enact the seed implementation faithfully: the same
 loops the seed operators ran, driven by the (still present) interpreted
@@ -25,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import os
 import sys
+import threading
 import time
 from typing import Any, Dict, List
 
@@ -33,12 +39,17 @@ _SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.engine.engine import MultiDatabaseEngine
+from repro.engine.request_cache import SourceResultCache
 from repro.relational.eval import ExpressionEvaluator
 from repro.relational.operators import Filter, HashJoin, Project, TableScan
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.sources.base import SourceCapabilities
+from repro.sources.memory import MemorySQLSource
 from repro.sql.ast import ColumnRef
 from repro.sql.parser import parse
+from repro.wrappers.wrapper import RelationalWrapper
 
 #: Default problem sizes; ``--smoke`` shrinks them to run in well under a second.
 FULL_SCAN_ROWS = 120_000
@@ -47,6 +58,12 @@ FULL_JOIN_ROWS = 1_000
 SMOKE_JOIN_ROWS = 120
 FULL_MEDIATION_REPEATS = 5
 SMOKE_MEDIATION_REPEATS = 1
+#: Federation scenario: per-round-trip source latency (real ``time.sleep``,
+#: because wall clock is the measured quantity here).
+FULL_FEDERATION_LATENCY = 0.04
+SMOKE_FEDERATION_LATENCY = 0.01
+FEDERATION_BRANCHES = 3
+FEDERATION_SOURCES = 3
 
 _CATEGORIES = ("retail", "wholesale", "export", "internal")
 
@@ -217,21 +234,146 @@ def bench_mediation(repeats: int = FULL_MEDIATION_REPEATS) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Scenario 4: federated scheduling (dedup + concurrency + cache)
+# ---------------------------------------------------------------------------
+
+
+class _LatencyWrapper(RelationalWrapper):
+    """A wrapper whose every round trip costs real wall-clock latency.
+
+    The simulated web sites keep latency as a counter so most benchmarks stay
+    fast; this scenario measures wall clock, so each fetch/query sleeps like a
+    remote source would.
+    """
+
+    def __init__(self, source, latency: float):
+        super().__init__(source)
+        self.latency = latency
+        self.round_trips = 0
+        self._lock = threading.Lock()
+
+    def _pay_round_trip(self) -> None:
+        with self._lock:
+            self.round_trips += 1
+        time.sleep(self.latency)
+
+    def fetch(self, relation):
+        self._pay_round_trip()
+        return super().fetch(relation)
+
+    def query(self, statement):
+        self._pay_round_trip()
+        return super().query(statement)
+
+
+def _federation_query(branches: int, sources: int) -> str:
+    """A UNION of ``branches`` branches, each joining all ``sources`` relations.
+
+    The sources are scan-only, so every branch issues one FETCH per relation —
+    byte-identical across branches (the dedup target) — while each branch
+    keeps a *different* local filter (which must survive deduplication).
+    """
+    tables = ", ".join(f"s{index}" for index in range(1, sources + 1))
+    joins = " AND ".join(
+        f"s{index}.k = s{index + 1}.k" for index in range(1, sources)
+    )
+    selects = []
+    for branch in range(branches):
+        column = f"s{branch % sources + 1}.v{branch % sources + 1}"
+        selects.append(
+            f"SELECT s1.k, {column} AS measure FROM {tables} "
+            f"WHERE {joins} AND {column} > {branch * 10}"
+        )
+    return " UNION ".join(selects)
+
+
+def _federation_engine(latency: float, sources: int, **engine_kwargs):
+    """A fresh engine over ``sources`` scan-only sources with real latency."""
+    engine = MultiDatabaseEngine(**engine_kwargs)
+    wrappers = []
+    for index in range(1, sources + 1):
+        source = MemorySQLSource(f"fed{index}",
+                                 capabilities=SourceCapabilities.scan_only())
+        values = ", ".join(
+            f"({key}, {float(key * index)})" for key in range(40)
+        )
+        source.load_sql(
+            f"CREATE TABLE s{index} (k integer, v{index} float)",
+            f"INSERT INTO s{index} VALUES {values}",
+        )
+        wrapper = _LatencyWrapper(source, latency)
+        engine.register_wrapper(wrapper, estimate_rows=False)
+        wrappers.append(wrapper)
+    return engine, wrappers
+
+
+def bench_federation(latency: float = FULL_FEDERATION_LATENCY,
+                     branches: int = FEDERATION_BRANCHES,
+                     sources: int = FEDERATION_SOURCES) -> Dict[str, Any]:
+    query = _federation_query(branches, sources)
+
+    # Serial baseline: the pre-scheduler executor re-enacted — one round trip
+    # per branch request, dispatched one at a time, no result sharing.
+    serial_engine, serial_wrappers = _federation_engine(
+        latency, sources, deduplicate_requests=False, max_concurrent_requests=1,
+    )
+    serial_result, serial_elapsed = _timed(lambda: serial_engine.execute(query))
+
+    # Concurrent + dedup, plus a source-result cache for the warm repeat.
+    concurrent_engine, concurrent_wrappers = _federation_engine(
+        latency, sources, request_cache=SourceResultCache(capacity=64),
+    )
+    concurrent_result, concurrent_elapsed = _timed(
+        lambda: concurrent_engine.execute(query)
+    )
+    round_trips_cold = sum(w.round_trips for w in concurrent_wrappers)
+    cached_result, cached_elapsed = _timed(lambda: concurrent_engine.execute(query))
+    round_trips_warm = sum(w.round_trips for w in concurrent_wrappers)
+
+    serial_rows = list(serial_result.relation.rows)
+    concurrent_rows = list(concurrent_result.relation.rows)
+    report = concurrent_result.report
+    return {
+        "branches": branches,
+        "sources": sources,
+        "latency_per_round_trip_seconds": latency,
+        "request_units": branches * sources,
+        "distinct_requests": report.distinct_requests,
+        "dedup_hits": report.dedup_hits,
+        "max_in_flight": report.max_in_flight,
+        "serial_round_trips": sum(w.round_trips for w in serial_wrappers),
+        "concurrent_round_trips": round_trips_cold,
+        "repeat_round_trips": round_trips_warm - round_trips_cold,
+        "cache_hits_on_repeat": cached_result.report.cache_hits,
+        "identical": serial_rows == concurrent_rows == list(cached_result.relation.rows),
+        "answers_sha256": _digest(concurrent_rows),
+        "answer_rows": len(concurrent_rows),
+        "serial_elapsed_seconds": round(serial_elapsed, 6),
+        "concurrent_elapsed_seconds": round(concurrent_elapsed, 6),
+        "cached_elapsed_seconds": round(cached_elapsed, 6),
+        "speedup": round(serial_elapsed / concurrent_elapsed, 2),
+        "cached_speedup": round(serial_elapsed / cached_elapsed, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Harness entry point
 # ---------------------------------------------------------------------------
 
 
 def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
-    """Run all three scenarios; smoke mode shrinks sizes to finish in seconds."""
+    """Run all four scenarios; smoke mode shrinks sizes to finish in seconds."""
     scan_rows = SMOKE_SCAN_ROWS if smoke else FULL_SCAN_ROWS
     join_rows = SMOKE_JOIN_ROWS if smoke else FULL_JOIN_ROWS
     repeats = SMOKE_MEDIATION_REPEATS if smoke else FULL_MEDIATION_REPEATS
+    latency = SMOKE_FEDERATION_LATENCY if smoke else FULL_FEDERATION_LATENCY
     return {
         "mode": "smoke" if smoke else "full",
         "python": sys.version.split()[0],
         "scan_filter_project": bench_scan_filter_project(scan_rows),
         "equi_join": bench_equi_join(join_rows),
         "mediation": bench_mediation(repeats),
+        "federation": bench_federation(latency),
     }
 
 
@@ -244,4 +386,20 @@ def verify_run(result: Dict[str, Any]) -> List[str]:
         failures.append("equi-join: hash-join rows differ from nested-loop rows")
     if result["mediation"]["answer_rows"] <= 0:
         failures.append("mediation: paper query returned no answers")
+    federation = result["federation"]
+    if not federation["identical"]:
+        failures.append("federation: concurrent/cached answers differ from the serial baseline")
+    if federation["concurrent_round_trips"] > federation["distinct_requests"]:
+        failures.append(
+            "federation: more round trips than distinct (wrapper, request) pairs "
+            f"({federation['concurrent_round_trips']} > {federation['distinct_requests']})"
+        )
+    if federation["repeat_round_trips"] != 0:
+        failures.append("federation: the cache-warm repeat still issued round trips")
+    # Wall-clock gate only on full runs: smoke latencies are too small for a
+    # stable ratio, and the trajectory records full runs only.
+    if result["mode"] == "full" and federation["speedup"] < 3.0:
+        failures.append(
+            f"federation: concurrent speedup {federation['speedup']}x below the 3x gate"
+        )
     return failures

@@ -44,6 +44,14 @@ def _print_summary(result) -> None:
     print(f"[hotpath:{result['mode']}] mediation solve: "
           f"{mediation['solves_per_sec']} solves/s, {mediation['answer_rows']} answers "
           f"(sha256 {mediation['answers_sha256'][:12]}...)")
+    federation = result["federation"]
+    print(f"[hotpath:{result['mode']}] federation {federation['branches']} branches x "
+          f"{federation['sources']} sources: serial {federation['serial_elapsed_seconds']}s "
+          f"({federation['serial_round_trips']} round trips) -> concurrent+dedup "
+          f"{federation['concurrent_elapsed_seconds']}s "
+          f"({federation['concurrent_round_trips']} round trips, {federation['speedup']}x) "
+          f"-> cached {federation['cached_elapsed_seconds']}s "
+          f"({federation['cached_speedup']}x)")
 
 
 def _append_trajectory(path: str, result) -> None:

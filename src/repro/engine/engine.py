@@ -11,14 +11,20 @@ go in, relational answers and execution reports come out.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union as TUnion
 
 from repro.errors import EngineError
 from repro.engine.catalog import Catalog
 from repro.engine.cost import CostModel
-from repro.engine.executor import EngineResult, ExecutionController
+from repro.engine.executor import (
+    DEFAULT_MAX_CONCURRENT_REQUESTS,
+    EngineResult,
+    ExecutionController,
+)
 from repro.engine.plan import QueryPlan
+from repro.engine.request_cache import SourceResultCache
 from repro.engine.planner import PlannerConfig, QueryPlanner
 from repro.relational.relation import Relation
 from repro.relational.storage import TemporaryStore
@@ -34,6 +40,10 @@ class EngineStatistics:
     statements_executed: int = 0
     plans_built: int = 0
     source_requests: int = 0
+    #: Round trips actually issued to sources (after dedup and cache hits).
+    source_round_trips: int = 0
+    dedup_hits: int = 0
+    cache_hits: int = 0
     rows_transferred: int = 0
     rows_returned: int = 0
 
@@ -42,6 +52,9 @@ class EngineStatistics:
             "statements_executed": self.statements_executed,
             "plans_built": self.plans_built,
             "source_requests": self.source_requests,
+            "source_round_trips": self.source_round_trips,
+            "dedup_hits": self.dedup_hits,
+            "cache_hits": self.cache_hits,
             "rows_transferred": self.rows_transferred,
             "rows_returned": self.rows_returned,
         }
@@ -53,18 +66,56 @@ class MultiDatabaseEngine:
     def __init__(self, catalog: Optional[Catalog] = None,
                  cost_model: Optional[CostModel] = None,
                  planner_config: Optional[PlannerConfig] = None,
-                 temp_store: Optional[TemporaryStore] = None):
+                 temp_store: Optional[TemporaryStore] = None,
+                 request_cache: Optional[SourceResultCache] = None,
+                 max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
+                 deduplicate_requests: bool = True):
         self.catalog = catalog if catalog is not None else Catalog()
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.planner = QueryPlanner(self.catalog, self.cost_model, planner_config)
-        self.controller = ExecutionController(self.catalog, temp_store)
+        self.controller = ExecutionController(
+            self.catalog, temp_store,
+            request_cache=request_cache,
+            max_concurrent_requests=max_concurrent_requests,
+            deduplicate=deduplicate_requests,
+        )
         self.statistics = EngineStatistics()
+
+    @property
+    def request_cache(self) -> Optional[SourceResultCache]:
+        return self.controller.request_cache
 
     # -- registration ------------------------------------------------------------
 
     def register_wrapper(self, wrapper: Wrapper, estimate_rows: bool = True) -> None:
         """Register a wrapper and catalog its relations."""
         self.catalog.register_wrapper(wrapper, estimate_rows=estimate_rows)
+        # A (re)registered wrapper means fresh data behind its name: any
+        # memoized results for it are no longer trustworthy — and wrapper-level
+        # invalidations (e.g. WebWrapper.invalidate after a site change) must
+        # reach this engine's cache too.
+        self.invalidate_source_cache(wrapper=wrapper.name)
+
+        # Subscribe via weakref: a long-lived wrapper must not pin every
+        # engine it was ever registered to (returning False prunes the
+        # listener once this engine is gone).
+        engine_ref = weakref.ref(self)
+
+        def _cache_invalidator(name: str) -> bool:
+            engine = engine_ref()
+            if engine is None:
+                return False
+            engine.invalidate_source_cache(wrapper=name)
+            return True
+
+        wrapper.add_invalidation_listener(_cache_invalidator)
+
+    def invalidate_source_cache(self, wrapper: Optional[str] = None,
+                                relation: Optional[str] = None) -> int:
+        """Drop memoized source results (all, per wrapper, or per relation)."""
+        if self.controller.request_cache is None:
+            return 0
+        return self.controller.request_cache.invalidate(wrapper=wrapper, relation=relation)
 
     # -- dictionary services ----------------------------------------------------------
 
@@ -95,6 +146,9 @@ class MultiDatabaseEngine:
         result = self.controller.execute(plan)
         self.statistics.statements_executed += 1
         self.statistics.source_requests += len(result.report.requests)
+        self.statistics.source_round_trips += result.report.source_round_trips
+        self.statistics.dedup_hits += result.report.dedup_hits
+        self.statistics.cache_hits += result.report.cache_hits
         self.statistics.rows_transferred += result.report.rows_transferred
         self.statistics.rows_returned += result.report.result_rows
         return result

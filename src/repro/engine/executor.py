@@ -3,30 +3,44 @@
 "Controlling the execution of the resulting query execution plan and executing
 the necessary local operations (e.g. joins across sources)."
 
-For every branch of a plan the controller
+The controller executes a plan in two phases.
 
-1. issues each source request through the corresponding wrapper (pushed-down
-   SQL when available, a plain fetch otherwise), applies any residual
-   per-binding filters, and stages the result in the engine's temporary
-   storage;
+**Phase 1 — federated request scheduling.**  The source requests of *all*
+branches are collected up front, canonicalized into request keys (wrapper +
+pushed SQL / FETCH target, see :mod:`repro.engine.request_cache`), and
+deduplicated: N branches asking one wrapper for byte-identical requests cost
+one round trip.  The distinct set is then resolved against the (optional)
+source-result cache, and the remaining fetches are dispatched concurrently on
+a bounded thread pool — wall clock approaches the slowest source instead of
+the sum of all round trips.  Results are handed back to branches in plan
+order, so answers and reports are deterministic regardless of completion
+order.
+
+**Phase 2 — local processing, per branch.**  Each branch
+
+1. stages its (shared) fetched relations in temporary storage, applying any
+   residual per-binding filters locally;
 2. joins the staged intermediates in the planned order with hash or
    nested-loop physical operators;
 3. applies residual cross-source conditions;
 4. finishes the SELECT (projection, aggregation, ordering, limit) with the
    local SQL processor;
 
-and finally combines the branch results with UNION (ALL) semantics.
+and finally the branch results combine with UNION (ALL) semantics.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.engine.catalog import Catalog
 from repro.engine.plan import BranchPlan, JoinStep, QueryPlan, SourceRequest
+from repro.engine.request_cache import RequestKey, SourceResultCache, request_key
 from repro.relational.operators import (
     Filter,
     HashJoin,
@@ -38,12 +52,23 @@ from repro.relational.query import QueryProcessor
 from repro.relational.relation import Relation
 from repro.relational.storage import TemporaryStore
 from repro.sql.ast import BinaryOp, ColumnRef, Node, conjoin
-from repro.sql.printer import to_sql
+
+#: Default bound on concurrently in-flight source requests per statement.
+DEFAULT_MAX_CONCURRENT_REQUESTS = 8
 
 
 @dataclass
 class RequestExecution:
-    """What actually happened for one source request."""
+    """What actually happened for one source request.
+
+    One entry is recorded per *plan* request (branch × binding), in plan
+    order.  When several plan requests share one round trip, the entry that
+    first used the shared fetch carries its ``fetch_seconds``; the others are
+    marked ``dedup_hit`` (and ``cache_hit`` when the fetch was answered from
+    the source-result cache without any round trip at all).
+    ``elapsed_seconds`` covers this entry's own work: local filtering and
+    staging, plus the shared fetch for the entry that triggered it.
+    """
 
     binding: str
     wrapper_name: str
@@ -51,6 +76,13 @@ class RequestExecution:
     rows_returned: int
     rows_after_local_filters: int
     elapsed_seconds: float
+    branch: int = 0
+    dedup_hit: bool = False
+    cache_hit: bool = False
+    #: Time the fetch spent queued behind the concurrency bound.
+    wait_seconds: float = 0.0
+    #: Wrapper round-trip time of the shared fetch this entry relied on.
+    fetch_seconds: float = 0.0
 
 
 @dataclass
@@ -128,10 +160,28 @@ class ExecutionReport:
     elapsed_seconds: float = 0.0
     temp_storage: Dict[str, int] = field(default_factory=dict)
     operator_stats: List[OperatorStats] = field(default_factory=list)
+    #: Scheduler outcome: how many distinct round trips the plan's requests
+    #: collapsed into, and how they were served.
+    distinct_requests: int = 0
+    dedup_hits: int = 0
+    cache_hits: int = 0
+    #: Peak number of fetches simultaneously in flight on the pool.
+    max_in_flight: int = 0
 
     @property
     def rows_transferred(self) -> int:
-        return sum(request.rows_returned for request in self.requests)
+        """Rows actually shipped from sources: dedup'd and cached request
+        entries reused rows that already crossed the wire, so only the entry
+        that triggered a real round trip counts its rows."""
+        return sum(
+            request.rows_returned for request in self.requests
+            if not request.dedup_hit and not request.cache_hit
+        )
+
+    @property
+    def source_round_trips(self) -> int:
+        """Round trips actually issued: distinct requests minus cache hits."""
+        return self.distinct_requests - self.cache_hits
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -142,6 +192,19 @@ class ExecutionReport:
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "temp_storage": dict(self.temp_storage),
             "operators": [stats.snapshot() for stats in self.operator_stats],
+            "scheduler": {
+                "distinct_requests": self.distinct_requests,
+                "source_round_trips": self.source_round_trips,
+                "dedup_hits": self.dedup_hits,
+                "cache_hits": self.cache_hits,
+                "max_in_flight": self.max_in_flight,
+                "wait_seconds": round(
+                    sum(request.wait_seconds for request in self.requests), 6
+                ),
+                "fetch_seconds": round(
+                    sum(request.fetch_seconds for request in self.requests), 6
+                ),
+            },
         }
 
 
@@ -154,12 +217,55 @@ class EngineResult:
     report: ExecutionReport
 
 
-class ExecutionController:
-    """Interprets :class:`QueryPlan` objects against the catalog's wrappers."""
+class _InFlightGauge:
+    """Thread-safe high-water mark of concurrently running fetches."""
 
-    def __init__(self, catalog: Catalog, temp_store: Optional[TemporaryStore] = None):
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current = 0
+        self.peak = 0
+
+    def __enter__(self) -> "_InFlightGauge":
+        with self._lock:
+            self._current += 1
+            if self._current > self.peak:
+                self.peak = self._current
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._lock:
+            self._current -= 1
+
+
+@dataclass
+class _FetchOutcome:
+    """The shared result of one distinct source round trip (or cache hit)."""
+
+    relation: Relation
+    request_text: str
+    cache_hit: bool = False
+    fetch_seconds: float = 0.0
+    wait_seconds: float = 0.0
+
+
+class ExecutionController:
+    """Interprets :class:`QueryPlan` objects against the catalog's wrappers.
+
+    ``max_concurrent_requests`` bounds the fetch thread pool (1 = serial
+    dispatch).  ``deduplicate=False`` disables request coalescing *and* the
+    cache — every plan request costs its own round trip, re-enacting the
+    pre-scheduler behaviour for baselines and ablations.
+    """
+
+    def __init__(self, catalog: Catalog, temp_store: Optional[TemporaryStore] = None,
+                 request_cache: Optional[SourceResultCache] = None,
+                 max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
+                 deduplicate: bool = True):
         self.catalog = catalog
         self.temp_store = temp_store or TemporaryStore("engine-temp")
+        self.request_cache = request_cache
+        self.max_concurrent_requests = max(1, int(max_concurrent_requests))
+        self.deduplicate = deduplicate
 
     # -- public API -------------------------------------------------------------
 
@@ -167,9 +273,20 @@ class ExecutionController:
         started = time.perf_counter()
         report = ExecutionReport()
 
+        if not plan.branches:
+            raise ExecutionError(
+                "cannot execute a plan with no branches: the planner produced "
+                "an empty UNION (no SELECT branch to evaluate)"
+            )
+
+        outcomes = self._dispatch_requests(plan, report)
+
+        consumed_keys: set = set()
         branch_results: List[Relation] = []
         for branch_index, branch in enumerate(plan.branches):
-            branch_relation = self._execute_branch(branch, report, branch_index)
+            branch_relation = self._execute_branch(
+                branch, report, branch_index, outcomes, consumed_keys
+            )
             report.branch_rows.append(len(branch_relation))
             branch_results.append(branch_relation)
 
@@ -184,13 +301,113 @@ class ExecutionController:
         report.temp_storage = self.temp_store.statistics.snapshot()
         return EngineResult(relation=combined, plan=plan, report=report)
 
+    # -- request scheduling -------------------------------------------------------
+
+    def _plan_key(self, request: SourceRequest, branch_index: int,
+                  request_index: int) -> RequestKey:
+        if self.deduplicate:
+            return request_key(request)
+        # Baseline mode: make every plan request its own round trip.
+        return RequestKey(
+            wrapper=request.wrapper_name.lower(),
+            relation=request.relation.lower(),
+            text=f"{request.request_text} #branch{branch_index}.{request_index}",
+        )
+
+    def _dispatch_requests(self, plan: QueryPlan,
+                           report: ExecutionReport) -> Dict[RequestKey, _FetchOutcome]:
+        """Phase 1: dedup, cache-resolve, and concurrently fetch all requests."""
+        distinct: "Dict[RequestKey, SourceRequest]" = {}
+        total_units = 0
+        for branch_index, branch in enumerate(plan.branches):
+            for request_index, request in enumerate(branch.requests):
+                total_units += 1
+                key = self._plan_key(request, branch_index, request_index)
+                if key not in distinct:
+                    distinct[key] = request
+        report.distinct_requests = len(distinct)
+        report.dedup_hits = total_units - len(distinct)
+
+        outcomes: Dict[RequestKey, _FetchOutcome] = {}
+        pending: List[RequestKey] = []
+        cache = self.request_cache if self.deduplicate else None
+        for key, request in distinct.items():
+            cached = cache.get(key) if cache is not None else None
+            if cached is not None:
+                outcomes[key] = _FetchOutcome(
+                    relation=cached, request_text=request.request_text, cache_hit=True
+                )
+                report.cache_hits += 1
+            else:
+                pending.append(key)
+
+        gauge = _InFlightGauge()
+
+        def fetch(key: RequestKey, queued_at: float) -> _FetchOutcome:
+            request = distinct[key]
+            wrapper = self.catalog.wrappers.get(request.wrapper_name)
+            with gauge:
+                fetch_started = time.perf_counter()
+                if request.sql is not None:
+                    fetched = wrapper.query(request.sql)
+                else:
+                    fetched = wrapper.fetch(request.relation)
+                fetch_elapsed = time.perf_counter() - fetch_started
+            return _FetchOutcome(
+                relation=fetched,
+                request_text=request.request_text,
+                fetch_seconds=fetch_elapsed,
+                wait_seconds=fetch_started - queued_at,
+            )
+
+        if self.max_concurrent_requests > 1 and len(pending) > 1:
+            workers = min(self.max_concurrent_requests, len(pending))
+            with ThreadPoolExecutor(max_workers=workers,
+                                    thread_name_prefix="source-fetch") as pool:
+                queued_at = time.perf_counter()
+                futures: List[Tuple[RequestKey, "Future[_FetchOutcome]"]] = [
+                    (key, pool.submit(fetch, key, queued_at)) for key in pending
+                ]
+                try:
+                    # Collect in submission (= plan) order: errors surface
+                    # deterministically no matter which fetch fails first.
+                    for key, future in futures:
+                        outcomes[key] = future.result()
+                except BaseException:
+                    # Don't charge the sources for an answer that will be
+                    # discarded: queued fetches are cancelled (in-flight ones
+                    # cannot be interrupted and are awaited by pool exit).
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        else:
+            for key in pending:
+                outcomes[key] = fetch(key, time.perf_counter())
+        report.max_in_flight = gauge.peak
+
+        for key, request in distinct.items():
+            outcome = outcomes[key]
+            if cache is not None and not outcome.cache_hit:
+                cache.put(key, outcome.relation)
+            # Keep estimates honest for subsequent planning rounds — once per
+            # distinct request, so branch fan-out does not skew the estimate.
+            self.catalog.update_estimate(
+                request.relation, max(len(outcome.relation), 1)
+            )
+        return outcomes
+
     # -- branches -----------------------------------------------------------------
 
     def _execute_branch(self, branch: BranchPlan, report: ExecutionReport,
-                        branch_index: int = 0) -> Relation:
+                        branch_index: int, outcomes: Dict[RequestKey, _FetchOutcome],
+                        consumed_keys: set) -> Relation:
         staged: Dict[int, Relation] = {}
         for index, request in enumerate(branch.requests):
-            staged[index] = self._execute_request(request, report)
+            key = self._plan_key(request, branch_index, index)
+            staged[index] = self._stage_request(
+                request, report, branch_index, outcomes[key],
+                first_use=key not in consumed_keys,
+            )
+            consumed_keys.add(key)
 
         def instrument(operator: PhysicalOperator) -> PhysicalOperator:
             stats = OperatorStats(
@@ -214,16 +431,12 @@ class ExecutionController:
 
     # -- source requests ---------------------------------------------------------------
 
-    def _execute_request(self, request: SourceRequest, report: ExecutionReport) -> Relation:
-        wrapper = self.catalog.wrappers.get(request.wrapper_name)
+    def _stage_request(self, request: SourceRequest, report: ExecutionReport,
+                       branch_index: int, outcome: _FetchOutcome,
+                       first_use: bool) -> Relation:
+        """Phase 2: qualify, locally filter, and stage one shared fetch result."""
         started = time.perf_counter()
-
-        if request.sql is not None:
-            fetched = wrapper.query(request.sql)
-            request_text = to_sql(request.sql)
-        else:
-            fetched = wrapper.fetch(request.relation)
-            request_text = f"FETCH {request.relation}"
+        fetched = outcome.relation
         rows_returned = len(fetched)
 
         qualified = fetched.with_qualifier(request.binding)
@@ -236,16 +449,22 @@ class ExecutionController:
 
         handle = self.temp_store.materialize(staged_relation, label=f"{request.binding}_stage")
         staged = self.temp_store.read(handle)
-        # Keep estimates honest for subsequent planning rounds.
-        self.catalog.update_estimate(request.relation, max(rows_returned, 1))
 
+        staging_elapsed = time.perf_counter() - started
         report.requests.append(RequestExecution(
             binding=request.binding,
             wrapper_name=request.wrapper_name,
-            request=request_text,
+            request=outcome.request_text,
             rows_returned=rows_returned,
             rows_after_local_filters=len(staged),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=staging_elapsed + (outcome.fetch_seconds if first_use else 0.0),
+            branch=branch_index,
+            dedup_hit=not first_use,
+            cache_hit=outcome.cache_hit and first_use,
+            wait_seconds=outcome.wait_seconds if first_use else 0.0,
+            # Only the first-use entry carries the shared round trip's time,
+            # so summing fetch_seconds over a report never double-counts it.
+            fetch_seconds=outcome.fetch_seconds if first_use else 0.0,
         ))
         return staged
 

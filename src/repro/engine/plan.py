@@ -20,6 +20,7 @@ them for humans and for the planner benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cost import CostEstimate
@@ -47,12 +48,22 @@ class SourceRequest:
     estimated_result_rows: int = 0
     cost: CostEstimate = field(default_factory=CostEstimate)
 
-    def describe(self) -> str:
+    @cached_property
+    def request_text(self) -> str:
+        """The request as sent to the wrapper: rendered SQL or a FETCH.
+
+        This string is also the canonical form the scheduler deduplicates and
+        caches on (see :mod:`repro.engine.request_cache`): two branches whose
+        requests render identically share one source round trip.  Cached
+        because the scheduler consults it several times per execution and the
+        planner never mutates a request after building it.
+        """
         if self.sql is not None:
-            request = to_sql(self.sql)
-        else:
-            request = f"FETCH {self.relation}"
-        parts = [f"{self.wrapper_name}: {request}"]
+            return to_sql(self.sql)
+        return f"FETCH {self.relation}"
+
+    def describe(self) -> str:
+        parts = [f"{self.wrapper_name}: {self.request_text}"]
         if self.local_filters:
             filters = " AND ".join(to_sql(node) for node in self.local_filters)
             parts.append(f"then filter locally: {filters}")

@@ -18,8 +18,9 @@ from typing import Dict, List, Optional, Union as TUnion
 from repro.errors import MediationError
 from repro.coin.system import CoinSystem
 from repro.engine.engine import MultiDatabaseEngine
-from repro.engine.executor import EngineResult
+from repro.engine.executor import DEFAULT_MAX_CONCURRENT_REQUESTS, EngineResult
 from repro.engine.planner import PlannerConfig
+from repro.engine.request_cache import SourceResultCache
 from repro.mediation.answers import AnswerTransformer, ColumnAnnotation
 from repro.mediation.mediator import ContextMediator
 from repro.mediation.rewriter import MediationResult
@@ -53,10 +54,27 @@ class Federation:
     """A mediated federation: knowledge system + wrappers + engine + mediator."""
 
     def __init__(self, system: CoinSystem, default_receiver_context: Optional[str] = None,
-                 planner_config: Optional[PlannerConfig] = None, name: str = "federation"):
+                 planner_config: Optional[PlannerConfig] = None, name: str = "federation",
+                 request_cache_size: int = 256,
+                 max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS):
+        """Wire up a federation.
+
+        ``request_cache_size`` bounds the source-result cache that lets
+        repeated receiver queries skip source round trips entirely (0 disables
+        caching — every statement re-fetches).  ``max_concurrent_requests``
+        bounds how many source fetches one statement keeps in flight at once
+        (1 forces serial dispatch).
+        """
         self.name = name
         self.system = system
-        self.engine = MultiDatabaseEngine(planner_config=planner_config)
+        self.request_cache = (
+            SourceResultCache(request_cache_size) if request_cache_size > 0 else None
+        )
+        self.engine = MultiDatabaseEngine(
+            planner_config=planner_config,
+            request_cache=self.request_cache,
+            max_concurrent_requests=max_concurrent_requests,
+        )
         self.mediator = ContextMediator(system, default_receiver_context)
         self.transformer = AnswerTransformer(system)
 
@@ -65,6 +83,18 @@ class Federation:
     def register_wrapper(self, wrapper: Wrapper, estimate_rows: bool = True) -> None:
         """Make a wrapped source's relations available to queries."""
         self.engine.register_wrapper(wrapper, estimate_rows=estimate_rows)
+
+    # -- cache control -----------------------------------------------------------
+
+    def invalidate_source_cache(self, wrapper: Optional[str] = None,
+                                relation: Optional[str] = None) -> int:
+        """Drop memoized source results after a source's data changed.
+
+        Sources are autonomous: the federation cannot observe their updates,
+        so whoever knows a source changed calls this (all entries, one
+        wrapper's, or one relation's).  Returns the number of dropped entries.
+        """
+        return self.engine.invalidate_source_cache(wrapper=wrapper, relation=relation)
 
     # -- dictionary services -----------------------------------------------------------
 
@@ -154,7 +184,10 @@ class Federation:
         return self.system.integration_effort()
 
     def statistics(self) -> Dict[str, Dict[str, int]]:
-        return {
+        stats = {
             "mediator": self.mediator.statistics.snapshot(),
             "engine": self.engine.statistics.snapshot(),
         }
+        if self.request_cache is not None:
+            stats["request_cache"] = self.request_cache.snapshot()
+        return stats

@@ -16,6 +16,7 @@ queries/pages each experiment issued.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -87,22 +88,37 @@ class SourceCapabilities:
 
 @dataclass
 class SourceStatistics:
-    """Access counters maintained by every source."""
+    """Access counters maintained by every source.
+
+    The engine's scheduler issues fetches from a thread pool, so the mutating
+    paths take a lock — plain ``+=`` on these counters would drop updates
+    under concurrent access.  Prefer the ``record_*`` methods over direct
+    attribute writes.
+    """
 
     queries: int = 0
     rows_returned: int = 0
     pages_fetched: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record_query(self, rows: int) -> None:
-        self.queries += 1
-        self.rows_returned += rows
+        with self._lock:
+            self.queries += 1
+            self.rows_returned += rows
+
+    def record_pages(self, pages: int = 1) -> None:
+        with self._lock:
+            self.pages_fetched += pages
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "queries": self.queries,
-            "rows_returned": self.rows_returned,
-            "pages_fetched": self.pages_fetched,
-        }
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "rows_returned": self.rows_returned,
+                "pages_fetched": self.pages_fetched,
+            }
 
 
 class Source:

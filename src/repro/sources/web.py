@@ -17,6 +17,7 @@ content.  Nothing in the wrapper knows the pages are synthetic.
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -63,6 +64,9 @@ class SimulatedWebSite(Source):
         #: Simulated clock: total latency "spent" fetching pages.  Kept as a
         #: counter instead of sleeping so benchmarks stay fast and exact.
         self.simulated_latency = 0.0
+        #: Concurrent wrappers may fetch pages from worker threads; the
+        #: simulated clock is guarded so no latency increment is lost.
+        self._latency_lock = threading.Lock()
         if pages:
             for page in pages:
                 self.add_page(page)
@@ -95,8 +99,9 @@ class SimulatedWebSite(Source):
         page = self._pages.get(normalized)
         if page is None:
             raise SourceError(f"{self.name}: no such page {url!r}")
-        self.statistics.pages_fetched += 1
-        self.simulated_latency += self.latency_per_fetch
+        self.statistics.record_pages()
+        with self._latency_lock:
+            self.simulated_latency += self.latency_per_fetch
         return page
 
     def has_page(self, url: str) -> bool:

@@ -21,6 +21,7 @@ Two wrapper families are implemented:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import CapabilityError, WrapperError
@@ -43,6 +44,27 @@ class Wrapper:
     def __init__(self, name: str, capabilities: SourceCapabilities):
         self.name = name
         self.capabilities = capabilities
+        self._invalidation_listeners: List = []
+
+    # -- invalidation ------------------------------------------------------------
+
+    def add_invalidation_listener(self, listener) -> None:
+        """Register ``listener(wrapper_name)`` to fire when this wrapper's
+        data is known to have changed.
+
+        Engines subscribe their source-result caches here, so a wrapper-level
+        invalidation (e.g. :meth:`WebWrapper.invalidate`) also drops any
+        engine-level memoized results for this wrapper.  A listener that
+        returns ``False`` declares itself dead and is removed.
+        """
+        self._invalidation_listeners.append(listener)
+
+    def notify_invalidated(self) -> None:
+        """Tell every registered listener this wrapper's data changed."""
+        self._invalidation_listeners = [
+            listener for listener in list(self._invalidation_listeners)
+            if listener(self.name) is not False
+        ]
 
     # -- metadata ---------------------------------------------------------------
 
@@ -151,6 +173,9 @@ class WebWrapper(Wrapper):
         self.cache_results = cache_results
         self.strict = strict
         self._cache: Optional[Relation] = None
+        #: The engine dispatches source requests from a thread pool; two
+        #: distinct queries against this wrapper must not crawl concurrently.
+        self._materialize_lock = threading.Lock()
         self.last_report: Optional[CrawlReport] = None
 
     # -- metadata ---------------------------------------------------------------
@@ -169,21 +194,31 @@ class WebWrapper(Wrapper):
         """Crawl the site (or reuse the cache) and build the exported relation."""
         if self._cache is not None and self.cache_results and not force:
             return self._cache
-        executor = TransitionNetworkExecutor(self.spec, self.site)
-        raw_records, report = executor.crawl()
-        self.last_report = report
-        relation = Relation(self.spec.relation.schema, name=self.spec.relation.name)
-        for record in raw_records:
-            row = coerce_record(record, self.spec.relation, strict=self.strict)
-            if row is not None:
-                relation.append(row)
-        if self.cache_results:
-            self._cache = relation
-        return relation
+        with self._materialize_lock:
+            # Re-check under the lock: a concurrent caller may have finished
+            # the crawl while this one waited.
+            if self._cache is not None and self.cache_results and not force:
+                return self._cache
+            executor = TransitionNetworkExecutor(self.spec, self.site)
+            raw_records, report = executor.crawl()
+            self.last_report = report
+            relation = Relation(self.spec.relation.schema, name=self.spec.relation.name)
+            for record in raw_records:
+                row = coerce_record(record, self.spec.relation, strict=self.strict)
+                if row is not None:
+                    relation.append(row)
+            if self.cache_results:
+                self._cache = relation
+            return relation
 
     def invalidate(self) -> None:
-        """Drop the cached crawl (e.g. when the site is known to have changed)."""
+        """Drop the cached crawl (e.g. when the site is known to have changed).
+
+        Also notifies subscribed engines so their source-result caches drop
+        this wrapper's memoized answers — the next query re-crawls.
+        """
         self._cache = None
+        self.notify_invalidated()
 
     # -- data access ---------------------------------------------------------------
 

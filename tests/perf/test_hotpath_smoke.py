@@ -28,3 +28,13 @@ def test_hotpath_smoke_is_equivalent_and_faster():
     assert result["equi_join"]["speedup"] > 1.0
     assert result["scan_filter_project"]["identical"] is True
     assert result["mediation"]["answer_rows"] >= 1
+    # Federated scheduling: answers match the serial baseline, distinct round
+    # trips stay at the number of unique (wrapper, request) pairs, the cached
+    # repeat issues none, and even at smoke latencies concurrency+dedup wins.
+    federation = result["federation"]
+    assert federation["identical"] is True
+    assert federation["concurrent_round_trips"] == federation["distinct_requests"]
+    assert federation["serial_round_trips"] == federation["request_units"]
+    assert federation["repeat_round_trips"] == 0
+    assert federation["cache_hits_on_repeat"] == federation["distinct_requests"]
+    assert federation["speedup"] > 1.0
