@@ -64,6 +64,9 @@ FULL_FEDERATION_LATENCY = 0.04
 SMOKE_FEDERATION_LATENCY = 0.01
 FEDERATION_BRANCHES = 3
 FEDERATION_SOURCES = 3
+#: Mediation-pipeline scenario: repeated receiver queries per measured path.
+FULL_PIPELINE_REPEATS = 200
+SMOKE_PIPELINE_REPEATS = 25
 
 _CATEGORIES = ("retail", "wholesale", "export", "internal")
 
@@ -357,16 +360,109 @@ def bench_federation(latency: float = FULL_FEDERATION_LATENCY,
 
 
 # ---------------------------------------------------------------------------
+# Scenario 5: mediation pipeline (plan/mediation caching + prepared queries)
+# ---------------------------------------------------------------------------
+
+
+def bench_mediation_pipeline(repeats: int = FULL_PIPELINE_REPEATS) -> Dict[str, Any]:
+    """Warm-path receiver traffic: cached pipeline vs. re-mediate-and-re-plan.
+
+    Two identical paper federations answer the same receiver query
+    ``repeats`` times.  The *uncached* one has the pipeline's statement,
+    mediation and plan caches disabled — every call re-parses, re-runs
+    conflict detection and abduction, and re-plans, which is exactly what
+    every call paid before the pipeline existed.  The *cached* one compiles
+    once and serves the rest warm; the prepared path additionally skips the
+    per-call statement lookup.  Both share the default source-result cache,
+    so the comparison isolates mediation + planning work.
+    """
+    from repro.demo.datasets import PAPER_QUERY
+    from repro.demo.scenarios import build_paper_federation
+    from repro.pipeline import QueryPipeline
+
+    uncached = build_paper_federation().federation
+    uncached.pipeline = QueryPipeline(
+        uncached.mediator, uncached.engine,
+        plan_cache_size=0, mediation_cache_size=0, statement_cache_size=0,
+    )
+
+    cached = build_paper_federation().federation
+
+    # One cold solve each: populate source-result caches and catalog estimates
+    # (and, for the cached path, compile the pipeline product).
+    uncached_cold = uncached.query(PAPER_QUERY)
+    cached_cold = cached.query(PAPER_QUERY)
+
+    def run(federation) -> List[tuple]:
+        rows = None
+        for _ in range(repeats):
+            answer = federation.query(PAPER_QUERY)
+            if rows is None:
+                rows = list(answer.relation.rows)
+            elif list(answer.relation.rows) != rows:
+                raise AssertionError("pipeline answers changed between repeats")
+        return rows
+
+    warm_mediations_before = cached.mediator.statistics.snapshot()["queries_mediated"]
+    warm_plans_before = cached.engine.statistics.snapshot()["plans_built"]
+
+    uncached_rows, uncached_elapsed = _timed(lambda: run(uncached))
+    cached_rows, cached_elapsed = _timed(lambda: run(cached))
+
+    warm_mediations = (
+        cached.mediator.statistics.snapshot()["queries_mediated"] - warm_mediations_before
+    )
+    warm_plans = cached.engine.statistics.snapshot()["plans_built"] - warm_plans_before
+
+    prepared = cached.prepare(PAPER_QUERY)
+    prepared.execute()
+
+    def run_prepared() -> List[tuple]:
+        rows = None
+        for _ in range(repeats):
+            answer = prepared.execute()
+            if rows is None:
+                rows = list(answer.relation.rows)
+            elif list(answer.relation.rows) != rows:
+                raise AssertionError("prepared answers changed between repeats")
+        return rows
+
+    prepared_rows, prepared_elapsed = _timed(run_prepared)
+
+    return {
+        "repeats": repeats,
+        "branches": cached_cold.mediation.branch_count,
+        "identical": (
+            uncached_rows == cached_rows == prepared_rows
+            == list(uncached_cold.relation.rows) == list(cached_cold.relation.rows)
+        ),
+        "answers_sha256": _digest(cached_rows),
+        "answer_rows": len(cached_rows),
+        "warm_mediations": warm_mediations,
+        "warm_plans": warm_plans,
+        "uncached_elapsed_seconds": round(uncached_elapsed, 6),
+        "warm_elapsed_seconds": round(cached_elapsed, 6),
+        "prepared_elapsed_seconds": round(prepared_elapsed, 6),
+        "uncached_queries_per_sec": round(repeats / uncached_elapsed, 1),
+        "warm_queries_per_sec": round(repeats / cached_elapsed, 1),
+        "prepared_queries_per_sec": round(repeats / prepared_elapsed, 1),
+        "speedup": round(uncached_elapsed / cached_elapsed, 2),
+        "prepared_speedup": round(uncached_elapsed / prepared_elapsed, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Harness entry point
 # ---------------------------------------------------------------------------
 
 
 def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
-    """Run all four scenarios; smoke mode shrinks sizes to finish in seconds."""
+    """Run all five scenarios; smoke mode shrinks sizes to finish in seconds."""
     scan_rows = SMOKE_SCAN_ROWS if smoke else FULL_SCAN_ROWS
     join_rows = SMOKE_JOIN_ROWS if smoke else FULL_JOIN_ROWS
     repeats = SMOKE_MEDIATION_REPEATS if smoke else FULL_MEDIATION_REPEATS
     latency = SMOKE_FEDERATION_LATENCY if smoke else FULL_FEDERATION_LATENCY
+    pipeline_repeats = SMOKE_PIPELINE_REPEATS if smoke else FULL_PIPELINE_REPEATS
     return {
         "mode": "smoke" if smoke else "full",
         "python": sys.version.split()[0],
@@ -374,6 +470,7 @@ def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         "equi_join": bench_equi_join(join_rows),
         "mediation": bench_mediation(repeats),
         "federation": bench_federation(latency),
+        "mediation_pipeline": bench_mediation_pipeline(pipeline_repeats),
     }
 
 
@@ -401,5 +498,24 @@ def verify_run(result: Dict[str, Any]) -> List[str]:
     if result["mode"] == "full" and federation["speedup"] < 3.0:
         failures.append(
             f"federation: concurrent speedup {federation['speedup']}x below the 3x gate"
+        )
+    pipeline = result["mediation_pipeline"]
+    if not pipeline["identical"]:
+        failures.append(
+            "mediation-pipeline: warm/prepared answers differ from the uncached path"
+        )
+    if pipeline["warm_mediations"] != 0:
+        failures.append(
+            f"mediation-pipeline: warm path still mediated {pipeline['warm_mediations']} time(s)"
+        )
+    if pipeline["warm_plans"] != 0:
+        failures.append(
+            f"mediation-pipeline: warm path still planned {pipeline['warm_plans']} time(s)"
+        )
+    # Wall-clock gate only on full runs (smoke repeats are too few for a
+    # stable ratio): the PR-3 acceptance bar is a 5x warm-path speedup.
+    if result["mode"] == "full" and pipeline["speedup"] < 5.0:
+        failures.append(
+            f"mediation-pipeline: warm speedup {pipeline['speedup']}x below the 5x gate"
         )
     return failures

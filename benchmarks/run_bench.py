@@ -52,6 +52,12 @@ def _print_summary(result) -> None:
           f"({federation['concurrent_round_trips']} round trips, {federation['speedup']}x) "
           f"-> cached {federation['cached_elapsed_seconds']}s "
           f"({federation['cached_speedup']}x)")
+    pipeline = result["mediation_pipeline"]
+    print(f"[hotpath:{result['mode']}] mediation pipeline x{pipeline['repeats']}: "
+          f"uncached {pipeline['uncached_queries_per_sec']} q/s -> warm "
+          f"{pipeline['warm_queries_per_sec']} q/s ({pipeline['speedup']}x) -> prepared "
+          f"{pipeline['prepared_queries_per_sec']} q/s ({pipeline['prepared_speedup']}x), "
+          f"{pipeline['warm_mediations']} warm mediations / {pipeline['warm_plans']} warm plans")
 
 
 def _append_trajectory(path: str, result) -> None:

@@ -152,12 +152,16 @@ class Context:
         self.name = name
         self.description = description
         self._declarations: Dict[Tuple[str, str], ModifierDeclaration] = {}
+        #: Bumped on every (re)declaration; rolled up into the knowledge
+        #: generation that keys the mediation and plan caches.
+        self.generation = 0
 
     # -- construction -----------------------------------------------------------
 
     def declare(self, declaration: ModifierDeclaration) -> "Context":
         key = (declaration.semantic_type, declaration.modifier)
         self._declarations[key] = declaration
+        self.generation += 1
         return self
 
     def declare_constant(self, semantic_type: str, modifier: str, value: Any) -> "Context":
@@ -224,12 +228,28 @@ class ContextRegistry:
 
     def __init__(self, contexts: Iterable[Context] = ()):
         self._contexts: Dict[str, Context] = {}
+        self._registrations = 0
         for context in contexts:
             self.register(context)
 
     def register(self, context: Context) -> Context:
+        replaced = self._contexts.get(context.name)
+        if replaced is not None and replaced is not context:
+            # Fold the replaced context's count into the base so the summed
+            # generation stays monotonic (the newcomer restarts at 0).
+            self._registrations += replaced.generation
         self._contexts[context.name] = context
+        self._registrations += 1
         return context
+
+    @property
+    def generation(self) -> int:
+        """Registrations plus every member context's own declaration count —
+        changes (monotonically) whenever any knowledge a mediation could
+        consult changes, including replacing a registered context."""
+        return self._registrations + sum(
+            context.generation for context in self._contexts.values()
+        )
 
     def create(self, name: str, description: str = "") -> Context:
         if name in self._contexts:

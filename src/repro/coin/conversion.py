@@ -340,10 +340,14 @@ class ConversionRegistry:
     def __init__(self, domain_model: Optional[DomainModel] = None):
         self._domain_model = domain_model
         self._functions: Dict[Tuple[str, str], ConversionFunction] = {}
+        #: Bumped on every registration; part of the knowledge generation that
+        #: keys the mediation and plan caches.
+        self.generation = 0
 
     def register(self, semantic_type: str, modifier: str,
                  function: ConversionFunction) -> ConversionFunction:
         self._functions[(semantic_type, modifier)] = function
+        self.generation += 1
         return function
 
     def lookup(self, semantic_type: str, modifier: str) -> ConversionFunction:

@@ -63,6 +63,9 @@ class DomainModel:
     def __init__(self, name: str = "domain", types: Iterable[SemanticType] = ()):
         self.name = name
         self._types: Dict[str, SemanticType] = {}
+        #: Bumped on every added type; part of the knowledge generation that
+        #: keys the mediation and plan caches.
+        self.generation = 0
         for primitive in PRIMITIVE_TYPES:
             self._types[primitive.name] = primitive
         for semantic_type in types:
@@ -80,6 +83,7 @@ class DomainModel:
                 f"{semantic_type.parent!r}"
             )
         self._types[semantic_type.name] = semantic_type
+        self.generation += 1
         return semantic_type
 
     def add_type(self, name: str, parent: Optional[str] = ROOT_TYPE,

@@ -71,6 +71,9 @@ class ElevationRegistry:
 
     def __init__(self, axioms: Iterable[ElevationAxiom] = ()):
         self._by_relation: Dict[str, ElevationAxiom] = {}
+        #: Bumped on register/replace; part of the knowledge generation that
+        #: keys the mediation and plan caches.
+        self.generation = 0
         for axiom in axioms:
             self.register(axiom)
 
@@ -81,6 +84,7 @@ class ElevationRegistry:
         if key in self._by_relation:
             raise ElevationError(f"relation {axiom.relation!r} is already elevated")
         self._by_relation[key] = axiom
+        self.generation += 1
         return axiom
 
     def elevate(self, source: str, relation: str, context: str,
@@ -100,6 +104,7 @@ class ElevationRegistry:
     def replace(self, axiom: ElevationAxiom) -> ElevationAxiom:
         """Replace an existing elevation (extensibility scenario: schema change)."""
         self._by_relation[axiom.relation.lower()] = axiom
+        self.generation += 1
         return axiom
 
     # -- lookup -------------------------------------------------------------------

@@ -67,6 +67,23 @@ class CoinSystem:
         self.elevations = elevations if elevations is not None else ElevationRegistry()
         self.conversions = conversions if conversions is not None else ConversionRegistry(domain_model)
 
+    @property
+    def generation(self) -> int:
+        """Monotonic version of the mediation-relevant knowledge.
+
+        Rolls up the domain model, context, elevation and conversion
+        registries (including declarations added to already-registered
+        contexts), so cached mediations and plans keyed on it are
+        invalidated by construction whenever the knowledge they consulted
+        could have changed.
+        """
+        return (
+            self.domain_model.generation
+            + self.contexts.generation
+            + self.elevations.generation
+            + self.conversions.generation
+        )
+
     # -- construction conveniences ------------------------------------------------
 
     def add_context(self, context: Context) -> Context:

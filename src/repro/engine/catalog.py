@@ -51,6 +51,18 @@ class Catalog:
         self.wrappers = wrappers if wrappers is not None else WrapperRegistry()
         self._entries: Dict[str, CatalogEntry] = {}
         self.dictionary = DictionaryStore()
+        #: Monotonic dictionary version.  Bumped whenever the set of relations
+        #: a plan could read changes — wrapper/relation (re)registration and
+        #: explicit source invalidation — so cached plans and prepared queries
+        #: keyed on it can never consult a stale dictionary.  Cardinality
+        #: feedback (:meth:`update_estimate`) deliberately does *not* bump it:
+        #: estimates only steer costs, never correctness.
+        self.generation = 0
+
+    def bump_generation(self) -> int:
+        """Advance the dictionary version and return the new value."""
+        self.generation += 1
+        return self.generation
 
     # -- registration -----------------------------------------------------------
 
@@ -81,6 +93,7 @@ class Catalog:
             )
             self._register_entry(entry)
             entries.append(entry)
+        self.bump_generation()
         return entries
 
     def register_relation(self, relation: str, wrapper_name: str, schema: Schema,
@@ -96,6 +109,7 @@ class Catalog:
             estimated_rows=estimated_rows if estimated_rows is not None else self.DEFAULT_ESTIMATED_ROWS,
         )
         self._register_entry(entry)
+        self.bump_generation()
         return entry
 
     def _register_entry(self, entry: CatalogEntry) -> None:

@@ -11,9 +11,10 @@ go in, relational answers and execution reports come out.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union as TUnion
+from typing import Dict, List, Optional, Sequence, Union as TUnion
 
 from repro.errors import EngineError
 from repro.engine.catalog import Catalog
@@ -35,7 +36,12 @@ from repro.wrappers.wrapper import Wrapper
 
 @dataclass
 class EngineStatistics:
-    """Aggregate counters over the life of an engine instance."""
+    """Aggregate counters over the life of an engine instance.
+
+    Increments go through the ``record_*`` methods, which hold a lock:
+    concurrent server sessions execute statements on the same engine, and
+    unguarded ``+=`` on these façade counters loses updates.
+    """
 
     statements_executed: int = 0
     plans_built: int = 0
@@ -46,18 +52,36 @@ class EngineStatistics:
     cache_hits: int = 0
     rows_transferred: int = 0
     rows_returned: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
+
+    def record_plan(self) -> None:
+        with self._lock:
+            self.plans_built += 1
+
+    def record_execution(self, report) -> None:
+        """Fold one execution report's totals into the aggregate counters."""
+        with self._lock:
+            self.statements_executed += 1
+            self.source_requests += len(report.requests)
+            self.source_round_trips += report.source_round_trips
+            self.dedup_hits += report.dedup_hits
+            self.cache_hits += report.cache_hits
+            self.rows_transferred += report.rows_transferred
+            self.rows_returned += report.result_rows
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "statements_executed": self.statements_executed,
-            "plans_built": self.plans_built,
-            "source_requests": self.source_requests,
-            "source_round_trips": self.source_round_trips,
-            "dedup_hits": self.dedup_hits,
-            "cache_hits": self.cache_hits,
-            "rows_transferred": self.rows_transferred,
-            "rows_returned": self.rows_returned,
-        }
+        with self._lock:
+            return {
+                "statements_executed": self.statements_executed,
+                "plans_built": self.plans_built,
+                "source_requests": self.source_requests,
+                "source_round_trips": self.source_round_trips,
+                "dedup_hits": self.dedup_hits,
+                "cache_hits": self.cache_hits,
+                "rows_transferred": self.rows_transferred,
+                "rows_returned": self.rows_returned,
+            }
 
 
 class MultiDatabaseEngine:
@@ -112,7 +136,14 @@ class MultiDatabaseEngine:
 
     def invalidate_source_cache(self, wrapper: Optional[str] = None,
                                 relation: Optional[str] = None) -> int:
-        """Drop memoized source results (all, per wrapper, or per relation)."""
+        """Drop memoized source results (all, per wrapper, or per relation).
+
+        Invalidation also advances the catalog generation: it is the signal
+        that source data changed, and anything keyed on the generation
+        (cached plans, prepared queries) must re-derive rather than trust
+        estimates and artifacts from before the change.
+        """
+        self.catalog.bump_generation()
         if self.controller.request_cache is None:
             return 0
         return self.controller.request_cache.invalidate(wrapper=wrapper, relation=relation)
@@ -134,7 +165,20 @@ class MultiDatabaseEngine:
         """Plan a statement without executing it."""
         parsed = self._parse(statement)
         plan = self.planner.plan(parsed)
-        self.statistics.plans_built += 1
+        self.statistics.record_plan()
+        return plan
+
+    def plan_branches(self, selects: Sequence[Select], union_all: bool = False,
+                      statement: Optional[Statement] = None) -> QueryPlan:
+        """Plan already-separated SELECT branches (the pipeline's entry point).
+
+        The mediator hands its branch list straight to the planner — no UNION
+        re-parse, no re-discovery of branch boundaries — and identical
+        requests across branches are shared at plan time.
+        """
+        plan = self.planner.plan_branches(selects, union_all=union_all,
+                                          statement=statement)
+        self.statistics.record_plan()
         return plan
 
     def execute(self, statement: TUnion[str, Statement, QueryPlan]) -> EngineResult:
@@ -144,13 +188,7 @@ class MultiDatabaseEngine:
         else:
             plan = self.plan(statement)
         result = self.controller.execute(plan)
-        self.statistics.statements_executed += 1
-        self.statistics.source_requests += len(result.report.requests)
-        self.statistics.source_round_trips += result.report.source_round_trips
-        self.statistics.dedup_hits += result.report.dedup_hits
-        self.statistics.cache_hits += result.report.cache_hits
-        self.statistics.rows_transferred += result.report.rows_transferred
-        self.statistics.rows_returned += result.report.result_rows
+        self.statistics.record_execution(result.report)
         return result
 
     def query(self, statement: TUnion[str, Statement]) -> Relation:

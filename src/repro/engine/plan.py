@@ -148,6 +148,10 @@ class QueryPlan:
     branches: List[BranchPlan]
     union_all: bool = False
     cost: CostEstimate = field(default_factory=CostEstimate)
+    #: How many branch requests were recognized at plan time as identical to a
+    #: request of an earlier branch (common subplans of the mediated UNION)
+    #: and share one :class:`SourceRequest` object with it.
+    shared_requests: int = 0
 
     @property
     def request_count(self) -> int:

@@ -68,23 +68,55 @@ class QueryPlanner:
     def plan(self, statement: Statement) -> QueryPlan:
         """Plan a SELECT or UNION statement."""
         if isinstance(statement, Union):
-            branches = [self._plan_branch(select) for select in statement.selects]
-            union_all = statement.all
-        elif isinstance(statement, Select):
-            branches = [self._plan_branch(statement)]
-            union_all = False
-        else:
-            raise PlanningError(
-                f"cannot plan statement of type {type(statement).__name__}"
-            )
+            return self.plan_branches(statement.selects, union_all=statement.all,
+                                      statement=statement)
+        if isinstance(statement, Select):
+            return self.plan_branches([statement], statement=statement)
+        raise PlanningError(
+            f"cannot plan statement of type {type(statement).__name__}"
+        )
+
+    def plan_branches(self, selects: Sequence[Select], union_all: bool = False,
+                      statement: Optional[Statement] = None) -> QueryPlan:
+        """Plan each SELECT branch individually and combine with UNION semantics.
+
+        This is the structured entry point the query pipeline uses: the
+        mediator already knows the branch boundaries of the mediated UNION,
+        so its :class:`~repro.mediation.rewriter.BranchQuery` selects flow in
+        directly — no SQL round trip, no re-discovery of branch structure.
+
+        Branches are planned against a shared request pool: when a branch's
+        source request is structurally identical to one an earlier branch
+        built (same relation, pushed conditions, residual filters and
+        projection — the common conversion joins of a mediated UNION), the
+        two branches share one :class:`SourceRequest` object.  The executor's
+        scheduler then recognizes the shared round trip without re-rendering
+        and re-comparing request SQL, and ``plan.shared_requests`` records
+        how much of the UNION was common subplans.
+        """
+        if not selects:
+            raise PlanningError("cannot plan a statement with no SELECT branches")
+        request_pool: Dict[tuple, SourceRequest] = {}
+        shared = [0]
+        branches = [
+            self._plan_branch(select, request_pool, shared) for select in selects
+        ]
+        if statement is None:
+            if len(selects) == 1:
+                statement = selects[0]
+            else:
+                statement = Union(tuple(selects), all=union_all)
         total = CostEstimate()
         for branch in branches:
             total = total.add(branch.cost)
-        return QueryPlan(statement=statement, branches=branches, union_all=union_all, cost=total)
+        return QueryPlan(statement=statement, branches=branches, union_all=union_all,
+                         cost=total, shared_requests=shared[0])
 
     # -- branch planning ------------------------------------------------------------
 
-    def _plan_branch(self, select: Select) -> BranchPlan:
+    def _plan_branch(self, select: Select,
+                     request_pool: Optional[Dict[tuple, SourceRequest]] = None,
+                     shared_counter: Optional[List[int]] = None) -> BranchPlan:
         bindings = self._bindings(select)
         if not bindings:
             raise PlanningError("queries without a FROM clause are not executable by the engine")
@@ -108,6 +140,8 @@ class QueryPlanner:
                 per_binding_conditions.get(binding, []),
                 needed_columns.get(binding, []),
             )
+            if request_pool is not None:
+                request = self._pool_request(request, request_pool, shared_counter)
             request_index[binding] = len(requests)
             requests.append(request)
 
@@ -135,6 +169,33 @@ class QueryPlanner:
             estimated_rows=estimated_rows,
             cost=cost,
         )
+
+    @staticmethod
+    def _pool_request(request: SourceRequest, pool: Dict[tuple, SourceRequest],
+                      shared_counter: Optional[List[int]]) -> SourceRequest:
+        """Reuse a structurally identical request built for an earlier branch.
+
+        The AST nodes are frozen dataclasses, so structural equality (and
+        hashability) come for free; anything unhashable simply stays
+        branch-private.
+        """
+        key = (
+            request.binding.lower(),
+            request.relation.lower(),
+            request.sql,
+            request.local_filters,
+            request.projected_columns,
+        )
+        try:
+            pooled = pool.get(key)
+        except TypeError:  # pragma: no cover - defensive: unhashable literal
+            return request
+        if pooled is not None:
+            if shared_counter is not None:
+                shared_counter[0] += 1
+            return pooled
+        pool[key] = request
+        return request
 
     # -- FROM analysis ---------------------------------------------------------------
 

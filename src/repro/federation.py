@@ -6,6 +6,15 @@ engine and the context mediator — and exposes the operation receivers actually
 perform: *pose a naive SQL query in my context and get back the correct
 answer* (plus, on request, the mediated SQL and an explanation).
 
+Queries flow through the staged :class:`~repro.pipeline.QueryPipeline`:
+mediation and planning are compiled once per (statement, receiver context,
+catalog/knowledge generation) and memoized, so the warm path of repeated
+receiver queries — the dominant serving pattern — performs zero mediation and
+zero planning work.  :meth:`Federation.prepare` exposes the same machinery as
+an explicit prepared-query handle (mediate+plan once, execute many), which
+the server protocol surfaces as ``prepare`` / ``execute_prepared`` /
+``close_prepared``.
+
 This is the object the mediation server (:mod:`repro.server`) serves remotely
 and the object the examples and benchmarks script against locally.
 """
@@ -13,7 +22,7 @@ and the object the examples and benchmarks script against locally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union as TUnion
+from typing import Dict, List, Optional, Tuple, Union as TUnion
 
 from repro.errors import MediationError
 from repro.coin.system import CoinSystem
@@ -24,6 +33,7 @@ from repro.engine.request_cache import SourceResultCache
 from repro.mediation.answers import AnswerTransformer, ColumnAnnotation
 from repro.mediation.mediator import ContextMediator
 from repro.mediation.rewriter import MediationResult
+from repro.pipeline import MediatedPlan, QueryPipeline
 from repro.relational.relation import Relation
 from repro.sql.ast import Select
 from repro.wrappers.wrapper import Wrapper
@@ -50,20 +60,62 @@ class FederationAnswer:
         return self.mediation.explain()
 
 
+@dataclass
+class PreparedQuery:
+    """A receiver statement compiled once — mediated and planned — for reuse.
+
+    ``execute()`` revalidates the compiled plan against the federation's
+    catalog and knowledge generations: while nothing changed, execution skips
+    mediation and planning entirely; after a wrapper (re)registration, source
+    invalidation or knowledge change, the statement is transparently
+    recompiled, so a prepared query can never read a stale dictionary.
+    """
+
+    federation: "Federation"
+    plan: MediatedPlan
+
+    @property
+    def sql(self) -> str:
+        return self.plan.mediation.original_sql
+
+    @property
+    def mediated_sql(self) -> str:
+        return self.plan.mediation.sql
+
+    @property
+    def receiver_context(self) -> str:
+        return self.plan.receiver_context
+
+    @property
+    def fingerprint(self) -> str:
+        return self.plan.fingerprint
+
+    def execute(self) -> FederationAnswer:
+        self.plan = self.federation.pipeline.refresh(self.plan)
+        return self.federation._run(self.plan)
+
+    def close(self) -> None:
+        """Prepared queries hold no external resources; provided for symmetry
+        with the server protocol's explicit close."""
+
+
 class Federation:
     """A mediated federation: knowledge system + wrappers + engine + mediator."""
 
     def __init__(self, system: CoinSystem, default_receiver_context: Optional[str] = None,
                  planner_config: Optional[PlannerConfig] = None, name: str = "federation",
                  request_cache_size: int = 256,
-                 max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS):
+                 max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
+                 plan_cache_size: int = 128):
         """Wire up a federation.
 
         ``request_cache_size`` bounds the source-result cache that lets
         repeated receiver queries skip source round trips entirely (0 disables
         caching — every statement re-fetches).  ``max_concurrent_requests``
         bounds how many source fetches one statement keeps in flight at once
-        (1 forces serial dispatch).
+        (1 forces serial dispatch).  ``plan_cache_size`` bounds the mediation
+        and plan caches of the query pipeline (0 disables them — every
+        statement re-mediates and re-plans).
         """
         self.name = name
         self.system = system
@@ -77,6 +129,14 @@ class Federation:
         )
         self.mediator = ContextMediator(system, default_receiver_context)
         self.transformer = AnswerTransformer(system)
+        self.pipeline = QueryPipeline(
+            self.mediator, self.engine,
+            plan_cache_size=plan_cache_size,
+            mediation_cache_size=plan_cache_size,
+        )
+        #: (wrapper, relation) the answer transformer's rate lookup was built
+        #: from; consulted on invalidation so conversions never use stale rates.
+        self._rate_environment_source: Optional[Tuple[str, str]] = None
 
     # -- registration ------------------------------------------------------------
 
@@ -93,8 +153,29 @@ class Federation:
         Sources are autonomous: the federation cannot observe their updates,
         so whoever knows a source changed calls this (all entries, one
         wrapper's, or one relation's).  Returns the number of dropped entries.
+
+        Invalidation also bumps the catalog generation (stale plans become
+        unreachable) and, when it covers the ancillary exchange-rate relation,
+        resets the answer transformer's rate lookup so subsequent answer
+        conversions re-resolve fresh rates.
         """
-        return self.engine.invalidate_source_cache(wrapper=wrapper, relation=relation)
+        dropped = self.engine.invalidate_source_cache(wrapper=wrapper, relation=relation)
+        self._maybe_reset_rate_environment(wrapper, relation)
+        return dropped
+
+    def _maybe_reset_rate_environment(self, wrapper: Optional[str],
+                                      relation: Optional[str]) -> None:
+        if self._rate_environment_source is None:
+            return
+        rate_wrapper, rate_relation = self._rate_environment_source
+        if wrapper is not None and wrapper.lower() != rate_wrapper.lower():
+            return
+        if relation is not None and relation.lower() != rate_relation.lower():
+            return
+        from repro.coin.conversion import ConversionEnvironment
+
+        self.transformer.environment = ConversionEnvironment()
+        self._rate_environment_source = None
 
     # -- dictionary services -----------------------------------------------------------
 
@@ -118,18 +199,31 @@ class Federation:
         """Answer a receiver query.
 
         With ``mediate=False`` the query is executed verbatim (the "naive"
-        answer the paper contrasts against); otherwise it is first rewritten
-        by the context mediator.
+        answer the paper contrasts against) — a fast path that skips conflict
+        detection and abduction entirely; otherwise it is rewritten by the
+        context mediator.  Either way the compiled pipeline product is
+        memoized, so repeating a statement against an unchanged federation
+        costs only execution.
         """
-        mediation = self.mediator.mediate(sql, receiver_context)
-        statement = mediation.mediated if mediate else mediation.original
-        execution = self.engine.execute(statement)
+        prepared = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
+        return self._run(prepared)
+
+    def prepare(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
+                mediate: bool = True) -> PreparedQuery:
+        """Compile a receiver statement once for repeated execution."""
+        plan = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
+        return PreparedQuery(federation=self, plan=plan)
+
+    def _run(self, prepared: MediatedPlan) -> FederationAnswer:
+        execution = self.engine.execute(prepared.plan)
         annotations = self.transformer.annotate(
-            execution.relation, mediation.column_semantics, mediation.receiver_context
+            execution.relation,
+            prepared.mediation.column_semantics,
+            prepared.mediation.receiver_context,
         )
         return FederationAnswer(
             relation=execution.relation,
-            mediation=mediation,
+            mediation=prepared.mediation,
             execution=execution,
             annotations=annotations,
         )
@@ -137,13 +231,12 @@ class Federation:
     def mediate_only(self, sql: TUnion[str, Select],
                      receiver_context: Optional[str] = None) -> MediationResult:
         """Rewrite a query without executing it (used by the QBE "show SQL" view)."""
-        return self.mediator.mediate(sql, receiver_context)
+        return self.pipeline.mediate(sql, receiver_context)
 
     def explain_plan(self, sql: TUnion[str, Select],
                      receiver_context: Optional[str] = None) -> str:
         """Mediate, plan, and render the execution plan."""
-        mediation = self.mediator.mediate(sql, receiver_context)
-        return self.engine.explain(mediation.mediated)
+        return self.pipeline.prepare(sql, receiver_context).plan.explain()
 
     # -- answer post-processing ------------------------------------------------------------------
 
@@ -162,7 +255,8 @@ class Federation:
 
         Value-mode currency conversions consult the same exchange-rate relation
         the mediated queries join against; the lookup is built lazily the first
-        time an answer conversion needs it.
+        time an answer conversion needs it and rebuilt after the rate relation
+        is invalidated (see :meth:`invalidate_source_cache`).
         """
         if self.transformer.environment.rate_lookup is not None:
             return
@@ -176,6 +270,7 @@ class Federation:
             self.transformer.environment = environment_from_relation(
                 rates, function.from_column, function.to_column, function.rate_column
             )
+            self._rate_environment_source = (wrapper.name, function.ancillary_relation)
             return
 
     # -- effort accounting (scalability / extensibility benchmarks) ------------------------------
@@ -187,6 +282,7 @@ class Federation:
         stats = {
             "mediator": self.mediator.statistics.snapshot(),
             "engine": self.engine.statistics.snapshot(),
+            "pipeline": self.pipeline.snapshot(),
         }
         if self.request_cache is not None:
             stats["request_cache"] = self.request_cache.snapshot()

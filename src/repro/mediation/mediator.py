@@ -14,6 +14,7 @@ that the benchmarks read.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union as TUnion
 
@@ -26,20 +27,37 @@ from repro.sql.parser import parse
 
 @dataclass
 class MediatorStatistics:
-    """Aggregate counters over the life of a mediator instance."""
+    """Aggregate counters over the life of a mediator instance.
+
+    Increments go through :meth:`record`, which holds a lock: concurrent
+    server sessions mediate on the same instance, and unguarded ``+=`` on
+    these façade counters loses updates.
+    """
 
     queries_mediated: int = 0
     branches_produced: int = 0
     conflicts_detected: int = 0
     queries_unchanged: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
+
+    def record(self, result: MediationResult) -> None:
+        """Fold one rewriting's facts into the aggregate counters."""
+        with self._lock:
+            self.queries_mediated += 1
+            self.branches_produced += result.branch_count
+            self.conflicts_detected += result.conflict_count
+            if not result.is_rewritten:
+                self.queries_unchanged += 1
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "queries_mediated": self.queries_mediated,
-            "branches_produced": self.branches_produced,
-            "conflicts_detected": self.conflicts_detected,
-            "queries_unchanged": self.queries_unchanged,
-        }
+        with self._lock:
+            return {
+                "queries_mediated": self.queries_mediated,
+                "branches_produced": self.branches_produced,
+                "conflicts_detected": self.conflicts_detected,
+                "queries_unchanged": self.queries_unchanged,
+            }
 
 
 class ContextMediator:
@@ -61,19 +79,18 @@ class ContextMediator:
         UNION queries are rejected: receivers pose naive single-block queries;
         unions are what mediation *produces*.
         """
+        context_name = self.resolve_context(receiver_context)
+        select = self._as_select(query)
+        result = self.rewriter.rewrite(select, context_name)
+        self.statistics.record(result)
+        return result
+
+    def resolve_context(self, receiver_context: Optional[str] = None) -> str:
+        """The effective receiver context (explicit or the configured default)."""
         context_name = receiver_context or self.default_receiver_context
         if context_name is None:
             raise MediationError("no receiver context given and no default configured")
-
-        select = self._as_select(query)
-        result = self.rewriter.rewrite(select, context_name)
-
-        self.statistics.queries_mediated += 1
-        self.statistics.branches_produced += result.branch_count
-        self.statistics.conflicts_detected += result.conflict_count
-        if not result.is_rewritten:
-            self.statistics.queries_unchanged += 1
-        return result
+        return context_name
 
     def mediate_to_sql(self, query: TUnion[str, Select],
                        receiver_context: Optional[str] = None) -> str:

@@ -19,6 +19,7 @@ between the context assumptions and their resolution".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple, Union as TUnion
 
 from repro.errors import MediationError
@@ -60,6 +61,14 @@ class BranchQuery:
     def sql(self) -> str:
         return to_sql(self.select)
 
+    @cached_property
+    def fingerprint(self) -> str:
+        """Canonical AST digest of this branch — the per-branch identity of
+        the mediated-plan IR (computed on demand, memoized)."""
+        from repro.sql.normalize import statement_fingerprint
+
+        return statement_fingerprint(self.select)
+
     @property
     def guards(self) -> Tuple[Guard, ...]:
         return self.branch.guards
@@ -81,6 +90,14 @@ class MediationResult:
     #: Semantic type (or None) of each output column of the query, used by
     #: answer post-processing and by clients that display units.
     column_semantics: List[Optional[str]]
+    #: Canonical AST digest of the *original* statement — the identity the
+    #: query pipeline caches this rewriting (and its plan) under.  Filled in
+    #: by the pipeline, which computes it once per statement; ``None`` when
+    #: the rewriter was driven directly.
+    fingerprint: Optional[str] = None
+    #: False for the ``mediate=False`` passthrough, which skips conflict
+    #: detection and abduction entirely.
+    mediated_by_rewriter: bool = True
 
     @property
     def sql(self) -> str:
@@ -147,6 +164,26 @@ class QueryRewriter:
             branches=branch_queries,
             mediated=mediated,
             column_semantics=self._column_semantics(select),
+        )
+
+    def unmediated(self, select: Select, receiver_context: str) -> MediationResult:
+        """A passthrough result: the statement will run verbatim.
+
+        Only the column-semantics scan runs (the answer annotator needs it);
+        conflict detection and abduction are skipped, which is what makes
+        ``mediate=False`` a fast path rather than a mediation whose output is
+        discarded.
+        """
+        if not self.system.contexts.has(receiver_context):
+            raise MediationError(f"unknown receiver context {receiver_context!r}")
+        return MediationResult(
+            original=select,
+            receiver_context=receiver_context,
+            analyses=[],
+            branches=[],
+            mediated=select,
+            column_semantics=self._column_semantics(select),
+            mediated_by_rewriter=False,
         )
 
     # -- branch construction --------------------------------------------------------

@@ -1,0 +1,303 @@
+"""The staged query-lifecycle pipeline: parse → mediate → plan, compiled once.
+
+The paper's mediator "intercepts a query … and rewrites it" before the
+multi-database engine plans it.  The seed implementation made that handoff an
+SQL-text round trip: the rewriter assembled a UNION statement, the engine
+re-parsed its structure, and every call re-paid conflict detection, abduction
+and planning even for a statement it had answered a moment earlier.
+
+:class:`QueryPipeline` replaces that with a staged compilation pipeline over
+a shared :class:`MediatedPlan` IR:
+
+1. **parse** — SQL text becomes an AST once; a bounded statement cache maps
+   exact text to (AST, fingerprint) so repeated receiver statements skip the
+   lexer entirely.  Fingerprints are canonical AST digests
+   (:mod:`repro.sql.normalize`), so textually different but structurally
+   identical statements share all downstream work.
+2. **mediate** — the context mediator produces structured
+   :class:`~repro.mediation.rewriter.BranchQuery` objects; results are
+   memoized per (fingerprint, receiver context, knowledge generation).
+3. **plan** — the branch SELECTs flow *directly* into the planner
+   (``plan_branches``): no SQL re-parse, no re-discovery of branch
+   boundaries, and structurally identical source requests across branches
+   are shared at plan time.  The finished :class:`MediatedPlan` is memoized
+   per (fingerprint, receiver context, mediate flag, catalog generation,
+   knowledge generation) in an :class:`~repro.engine.plan_cache.PlanCache`.
+
+Because the generation counters are part of every cache key, a wrapper
+(re)registration, a source invalidation or a knowledge-base change makes all
+previously cached artifacts unreachable — cached plans can never read a
+stale dictionary.  The warm path — the dominant serving pattern of repeated
+receiver queries — therefore performs **zero mediation and zero planning
+work**, observable through the mediator's and engine's counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union as TUnion
+
+from repro.engine.engine import MultiDatabaseEngine
+from repro.engine.plan import QueryPlan
+from repro.engine.plan_cache import PlanCache, PlanCacheKey
+from repro.mediation.mediator import ContextMediator
+from repro.mediation.rewriter import MediationResult
+from repro.sql.ast import Select, Union
+from repro.sql.normalize import statement_fingerprint
+
+#: Bound on the exact-text statement cache (parse memo).
+DEFAULT_STATEMENT_CACHE_SIZE = 512
+
+
+@dataclass
+class MediatedPlan:
+    """The pipeline's IR: one statement, mediated and planned, versioned.
+
+    Everything downstream needs is here — the structured mediation (branch
+    queries, column semantics, explanations) and the executable plan — plus
+    the cache key whose generation counters say which catalog/knowledge state
+    the artifact was compiled against.
+    """
+
+    key: PlanCacheKey
+    mediation: MediationResult
+    plan: QueryPlan
+
+    @property
+    def fingerprint(self) -> str:
+        return self.key.fingerprint
+
+    @property
+    def receiver_context(self) -> str:
+        return self.key.receiver_context
+
+    @property
+    def mediate(self) -> bool:
+        return self.key.mediate
+
+    @property
+    def select(self) -> Select:
+        """The original receiver statement this plan answers."""
+        return self.mediation.original
+
+
+@dataclass
+class PipelineStatistics:
+    """Counters over one pipeline's lifetime (lock-guarded; servers share it)."""
+
+    prepares: int = 0
+    statement_cache_hits: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    mediation_hits: int = 0
+    mediation_misses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
+
+    def record(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                if name.startswith("_") or not hasattr(self, name):
+                    raise AttributeError(f"unknown counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "prepares": self.prepares,
+                "statement_cache_hits": self.statement_cache_hits,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "mediation_hits": self.mediation_hits,
+                "mediation_misses": self.mediation_misses,
+            }
+
+
+class QueryPipeline:
+    """Compiles receiver statements into :class:`MediatedPlan` objects.
+
+    ``plan_cache_size`` / ``mediation_cache_size`` of 0 disable the
+    respective memo (every call recompiles) — the ablation baseline the
+    benchmarks measure against.
+    """
+
+    def __init__(self, mediator: ContextMediator, engine: MultiDatabaseEngine,
+                 plan_cache_size: int = 128, mediation_cache_size: int = 128,
+                 statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE):
+        self.mediator = mediator
+        self.engine = engine
+        self.plan_cache = PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+        self.mediation_cache = (
+            PlanCache(mediation_cache_size) if mediation_cache_size > 0 else None
+        )
+        self._statement_cache_size = max(0, statement_cache_size)
+        self._statements: "OrderedDict[str, Tuple[Select, str]]" = OrderedDict()
+        self._statement_lock = threading.Lock()
+        self.statistics = PipelineStatistics()
+
+    # -- generations -------------------------------------------------------------
+
+    @property
+    def catalog_generation(self) -> int:
+        return self.engine.catalog.generation
+
+    @property
+    def knowledge_generation(self) -> int:
+        return self.mediator.system.generation
+
+    def is_current(self, plan: MediatedPlan) -> bool:
+        """True while the plan's generations match the live counters."""
+        return (plan.key.catalog_generation == self.catalog_generation
+                and plan.key.knowledge_generation == self.knowledge_generation)
+
+    # -- the staged pipeline -----------------------------------------------------
+
+    def prepare(self, query: TUnion[str, Select], receiver_context: Optional[str] = None,
+                mediate: bool = True) -> MediatedPlan:
+        """Run (or recall) the full pipeline for one receiver statement."""
+        context = self.mediator.resolve_context(receiver_context)
+        select, fingerprint = self._parse(query)
+        key = PlanCacheKey(
+            fingerprint=fingerprint,
+            receiver_context=context,
+            mediate=mediate,
+            catalog_generation=self.catalog_generation,
+            knowledge_generation=self.knowledge_generation,
+        )
+        self.statistics.record(prepares=1)
+        if self.plan_cache is not None:
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                self.statistics.record(plan_hits=1)
+                return cached
+        self.statistics.record(plan_misses=1)
+
+        mediation = self._mediate_stage(select, key)
+        plan = self._plan_stage(mediation)
+        product = MediatedPlan(key=key, mediation=mediation, plan=plan)
+        if self.plan_cache is not None:
+            self.plan_cache.put(key, product)
+        return product
+
+    def refresh(self, plan: MediatedPlan) -> MediatedPlan:
+        """Revalidate a (possibly stale) plan against the live generations.
+
+        A current plan is returned as-is — the prepared-query warm path.  A
+        stale one is transparently recompiled from its original statement.
+        """
+        if self.is_current(plan):
+            return plan
+        return self.prepare(plan.select, plan.receiver_context, mediate=plan.mediate)
+
+    def mediate(self, query: TUnion[str, Select],
+                receiver_context: Optional[str] = None) -> MediationResult:
+        """The mediation stage alone (the QBE "show SQL" view)."""
+        context = self.mediator.resolve_context(receiver_context)
+        select, fingerprint = self._parse(query)
+        key = PlanCacheKey(
+            fingerprint=fingerprint,
+            receiver_context=context,
+            mediate=True,
+            catalog_generation=0,  # mediation does not read the catalog
+            knowledge_generation=self.knowledge_generation,
+        )
+        return self._cached_mediation(select, key)
+
+    # -- stages ------------------------------------------------------------------
+
+    def _parse(self, query: TUnion[str, Select]) -> Tuple[Select, str]:
+        if not isinstance(query, str):
+            select = self.mediator._as_select(query)
+            return select, statement_fingerprint(select)
+        with self._statement_lock:
+            hit = self._statements.get(query)
+            if hit is not None:
+                self._statements.move_to_end(query)
+        if hit is not None:
+            self.statistics.record(statement_cache_hits=1)
+            return hit
+        select = self.mediator._as_select(query)
+        entry = (select, statement_fingerprint(select))
+        if self._statement_cache_size > 0:
+            with self._statement_lock:
+                self._statements[query] = entry
+                self._statements.move_to_end(query)
+                while len(self._statements) > self._statement_cache_size:
+                    self._statements.popitem(last=False)
+        return entry
+
+    def _mediate_stage(self, select: Select, key: PlanCacheKey) -> MediationResult:
+        if not key.mediate:
+            # The passthrough runs no conflict detection and no abduction;
+            # it is cheap enough to skip the memo entirely.
+            mediation = self.mediator.rewriter.unmediated(select, key.receiver_context)
+            mediation.fingerprint = key.fingerprint
+            return mediation
+        mediation_key = PlanCacheKey(
+            fingerprint=key.fingerprint,
+            receiver_context=key.receiver_context,
+            mediate=True,
+            catalog_generation=0,  # mediation does not read the catalog
+            knowledge_generation=key.knowledge_generation,
+        )
+        return self._cached_mediation(select, mediation_key)
+
+    def _cached_mediation(self, select: Select, key: PlanCacheKey) -> MediationResult:
+        if self.mediation_cache is not None:
+            cached = self.mediation_cache.get(key)
+            if cached is not None:
+                self.statistics.record(mediation_hits=1)
+                return cached
+        self.statistics.record(mediation_misses=1)
+        mediation = self.mediator.mediate(select, key.receiver_context)
+        mediation.fingerprint = key.fingerprint
+        if self.mediation_cache is not None:
+            self.mediation_cache.put(key, mediation)
+        return mediation
+
+    def _plan_stage(self, mediation: MediationResult) -> QueryPlan:
+        if mediation.branches:
+            selects = [branch.select for branch in mediation.branches]
+        else:
+            selects = [mediation.original]
+        union_all = (
+            mediation.mediated.all if isinstance(mediation.mediated, Union) else False
+        )
+        return self.engine.plan_branches(
+            selects, union_all=union_all, statement=mediation.mediated
+        )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every memoized mediation and plan; returns the drop count."""
+        dropped = 0
+        if self.plan_cache is not None:
+            dropped += self.plan_cache.clear()
+        if self.mediation_cache is not None:
+            dropped += self.mediation_cache.clear()
+        return dropped
+
+    def prune_stale(self) -> int:
+        """Eagerly free entries from generations that can no longer be read."""
+        dropped = 0
+        if self.plan_cache is not None:
+            dropped += self.plan_cache.prune(
+                catalog_generation=self.catalog_generation,
+                knowledge_generation=self.knowledge_generation,
+            )
+        if self.mediation_cache is not None:
+            dropped += self.mediation_cache.prune(
+                knowledge_generation=self.knowledge_generation,
+            )
+        return dropped
+
+    def snapshot(self) -> Dict[str, object]:
+        data: Dict[str, object] = dict(self.statistics.snapshot())
+        if self.plan_cache is not None:
+            data["plan_cache"] = self.plan_cache.snapshot()
+        if self.mediation_cache is not None:
+            data["mediation_cache"] = self.mediation_cache.snapshot()
+        return data

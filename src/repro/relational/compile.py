@@ -26,12 +26,21 @@ mirrors one branch of :meth:`ExpressionEvaluator._eval` — and
 same answers (and the same errors) over mixed-type rows.  Uncorrelated
 subqueries are executed at most once per compiled expression instead of once
 per row; their results cannot differ because the dialect has no correlation.
+
+Compiled closures are additionally **memoized** across operator instances: a
+bounded LRU keyed by (entry point, expression AST, schema attributes) lets a
+cached plan executed many times — the prepared-query warm path — reuse the
+closures compiled on the first execution instead of re-walking the same
+frozen AST per statement.  Expressions containing subqueries are never
+memoized: their folded results are pinned to one evaluation context.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from operator import itemgetter
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import EvaluationError
 from repro.relational.eval import _SCALAR_FUNCTIONS, like_to_regex
@@ -80,6 +89,66 @@ def _is_constant(node: Node) -> bool:
     return not any(
         isinstance(n, (ColumnRef, Star, Subquery, Exists)) for n in walk(node)
     )
+
+
+class _CompiledMemo:
+    """Bounded, thread-safe LRU of compiled closures shared across operators.
+
+    Keys use the **identity** of the expression nodes — cached plans are
+    immutable, so re-executing one presents the same AST objects every time,
+    and identity lookups skip re-hashing the whole tree per operator.  Each
+    entry stores a strong reference to its nodes: while an entry lives, its
+    ids cannot be recycled, and a lookup additionally verifies the stored
+    nodes *are* the probe nodes, so an id reused after eviction can only
+    miss.  Closures are pure functions of (expression, schema) — except when
+    the expression contains a subquery, in which case the entry records
+    "never memoize" (the closure folds the subquery's result for its own
+    lifetime).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Tuple[tuple, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable, nodes: tuple) -> Tuple[bool, Any]:
+        """Return (found, fn); ``fn`` None means "compile privately"."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False, None
+            stored_nodes, fn = entry
+            if len(stored_nodes) != len(nodes) or any(
+                stored is not probe for stored, probe in zip(stored_nodes, nodes)
+            ):
+                # id recycled after eviction of the original nodes.
+                del self._entries[key]
+                return False, None
+            self._entries.move_to_end(key)
+            return True, fn
+
+    def put(self, key: Hashable, nodes: tuple, fn: Any) -> None:
+        with self._lock:
+            self._entries[key] = (nodes, fn)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_MEMO = _CompiledMemo()
+
+
+def clear_compiled_memo() -> None:
+    """Drop every memoized closure (test isolation hook)."""
+    _MEMO.clear()
 
 
 def _fold(fn: CompiledExpr) -> CompiledExpr:
@@ -138,15 +207,41 @@ class ExpressionCompiler:
         self.schema = schema
         self._subquery_executor = subquery_executor
 
+    # -- memoization ---------------------------------------------------------
+
+    def _memoized(self, kind: str, nodes: tuple, build: Callable[[], Any]) -> Any:
+        """Build-or-recall a closure for ``nodes`` against this schema.
+
+        Subquery-bearing expressions fold their subquery's result into the
+        closure, so they are bound to this compiler's executor and lifetime
+        — the memo records them as never-memoize and rebuilds each time.
+        """
+        key = (kind, tuple(map(id, nodes)), self.schema.memo_token)
+        found, fn = _MEMO.get(key, nodes)
+        if found:
+            return fn if fn is not None else build()
+        private = any(
+            isinstance(n, (Subquery, Exists)) for root in nodes for n in walk(root)
+        )
+        fn = build()
+        _MEMO.put(key, nodes, None if private else fn)
+        return fn
+
     # -- public API ----------------------------------------------------------
 
     def compile(self, node: Node) -> CompiledExpr:
+        return self._memoized("expr", (node,), lambda: self._compile_root(node))
+
+    def _compile_root(self, node: Node) -> CompiledExpr:
         fn = self._compile(node)
         if _is_constant(node):
-            return _fold(fn)
+            fn = _fold(fn)
         return fn
 
     def predicate(self, node: Node) -> Callable[[Row], Optional[bool]]:
+        return self._memoized("pred", (node,), lambda: self._predicate(node))
+
+    def _predicate(self, node: Node) -> Callable[[Row], Optional[bool]]:
         fn = self.compile(node)
         if _returns_bool(node):
             # The compiled closure already yields True/False/None.
@@ -166,6 +261,11 @@ class ExpressionCompiler:
         All-column projections use :func:`operator.itemgetter`, which builds
         the output tuple without re-entering Python per column.
         """
+        expressions = tuple(expressions)
+        return self._memoized("proj", expressions,
+                              lambda: self._projection(expressions))
+
+    def _projection(self, expressions: Sequence[Node]) -> Callable[[Row], tuple]:
         if expressions and all(isinstance(expr, ColumnRef) for expr in expressions):
             try:
                 positions = [

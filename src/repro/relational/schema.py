@@ -51,6 +51,45 @@ class Schema:
         self._index: Dict[str, List[int]] = {}
         for position, attribute in enumerate(self.attributes):
             self._index.setdefault(attribute.name.lower(), []).append(position)
+        # Lazily built caches; schemas are immutable, so derived schemas and
+        # the memo token can be computed once and shared (the executor's warm
+        # path re-derives the same schemas for every execution of a plan).
+        # The derivation memo is bounded: long-lived catalog schemas see one
+        # entry per distinct alias/join partner, which clients control.
+        self._token: Optional[tuple] = None
+        self._derived: Dict[object, object] = {}
+
+    #: Bound on per-schema derivation memo entries (oldest evicted first).
+    DERIVED_CACHE_SIZE = 128
+
+    def _remember_derived(self, key: object, value: object) -> None:
+        # Lock-free on purpose (schemas are constructed on hot paths, so no
+        # per-instance lock): dict get/set are atomic under the GIL, and the
+        # eviction pop tolerates losing a race — dropping a memo entry only
+        # costs a recomputation, never correctness.
+        derived = self._derived
+        while len(derived) >= self.DERIVED_CACHE_SIZE:
+            try:
+                derived.pop(next(iter(derived)))
+            except (KeyError, StopIteration, RuntimeError):
+                break
+        derived[key] = value
+
+    @property
+    def memo_token(self) -> tuple:
+        """A cheap-to-hash structural identity (plain nested tuples).
+
+        Used as the schema component of compiled-closure memo keys: hashing
+        primitive tuples is several times cheaper than re-hashing dataclass
+        attributes on every operator construction.
+        """
+        token = self._token
+        if token is None:
+            token = tuple(
+                (a.name, a.type.value, a.qualifier) for a in self.attributes
+            )
+            self._token = token
+        return token
 
     # -- constructors -------------------------------------------------------
 
@@ -132,12 +171,36 @@ class Schema:
     # -- derivations --------------------------------------------------------
 
     def with_qualifier(self, qualifier: Optional[str]) -> "Schema":
-        """Re-qualify every attribute (used when a table is aliased)."""
-        return Schema(attribute.with_qualifier(qualifier) for attribute in self.attributes)
+        """Re-qualify every attribute (used when a table is aliased).
+
+        Memoized per qualifier: staging the same fetched relation under the
+        same binding on every execution of a cached plan yields the *same*
+        schema object, keeping downstream identity-based memos warm.
+        """
+        key = ("qualify", qualifier)
+        derived = self._derived.get(key)
+        if derived is None:
+            derived = Schema(
+                attribute.with_qualifier(qualifier) for attribute in self.attributes
+            )
+            self._remember_derived(key, derived)
+        return derived
 
     def concat(self, other: "Schema") -> "Schema":
-        """Concatenate two schemas (the schema of a join result)."""
-        return Schema(self.attributes + other.attributes)
+        """Concatenate two schemas (the schema of a join result).
+
+        Memoized per right-hand schema identity (with the operand kept alive
+        by the entry, so its id cannot be recycled while cached).
+        """
+        key = ("concat", id(other))
+        entry = self._derived.get(key)
+        if entry is not None:
+            operand, derived = entry  # type: ignore[misc]
+            if operand is other:
+                return derived
+        derived = Schema(self.attributes + other.attributes)
+        self._remember_derived(key, (other, derived))
+        return derived
 
     def project(self, positions: Sequence[int]) -> "Schema":
         """Schema of a projection given attribute positions."""

@@ -15,6 +15,7 @@ simulates those two stores:
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -79,34 +80,42 @@ class TemporaryStore:
         self._database = Database(name)
         self._counter = itertools.count(1)
         self.statistics = StorageStatistics()
+        # Concurrent statements (server sessions) stage into one shared
+        # store.  Handle assignment must be atomic: an unguarded
+        # has_table/register pair lets two threads claim the same label and
+        # silently read each other's staged rows.
+        self._lock = threading.Lock()
 
     # -- write -----------------------------------------------------------------
 
     def materialize(self, relation: Relation, label: Optional[str] = None) -> str:
         """Store a copy of ``relation`` and return its handle name."""
-        handle = label or f"tmp_{next(self._counter)}"
-        if self._database.has_table(handle):
-            handle = f"{handle}_{next(self._counter)}"
-        stored = Relation(relation.schema, name=handle)
+        stored = Relation(relation.schema)
         stored.rows = list(relation.rows)
-        self._database.register(stored, handle)
-        self.statistics.tables_created += 1
-        self.statistics.rows_written += len(stored)
-        self.statistics.bytes_written += _estimate_row_bytes(stored) * len(stored)
-        self.statistics.peak_tables = max(
-            self.statistics.peak_tables, len(self._database.tables)
-        )
+        with self._lock:
+            handle = label or f"tmp_{next(self._counter)}"
+            if self._database.has_table(handle):
+                handle = f"{handle}_{next(self._counter)}"
+            stored.name = handle
+            self._database.register(stored, handle)
+            self.statistics.tables_created += 1
+            self.statistics.rows_written += len(stored)
+            self.statistics.bytes_written += _estimate_row_bytes(stored) * len(stored)
+            self.statistics.peak_tables = max(
+                self.statistics.peak_tables, len(self._database.tables)
+            )
         return handle
 
     # -- read ------------------------------------------------------------------
 
     def read(self, handle: str) -> Relation:
         """Fetch a stored relation by handle."""
-        try:
-            relation = self._database.table(handle)
-        except Exception as exc:
-            raise StorageError(f"unknown temporary relation {handle!r}") from exc
-        self.statistics.rows_read += len(relation)
+        with self._lock:
+            try:
+                relation = self._database.table(handle)
+            except Exception as exc:
+                raise StorageError(f"unknown temporary relation {handle!r}") from exc
+            self.statistics.rows_read += len(relation)
         return relation
 
     def has(self, handle: str) -> bool:
@@ -119,9 +128,10 @@ class TemporaryStore:
     # -- drop ------------------------------------------------------------------
 
     def drop(self, handle: str) -> None:
-        if self._database.has_table(handle):
-            self._database.drop_table(handle)
-            self.statistics.tables_dropped += 1
+        with self._lock:
+            if self._database.has_table(handle):
+                self._database.drop_table(handle)
+                self.statistics.tables_dropped += 1
 
     def clear(self) -> None:
         for handle in list(self._database.tables):

@@ -15,6 +15,9 @@ Extensions beyond DB-API (all optional keyword paths):
 * ``cursor.execute(sql, mediate=False)`` — skip mediation (naive answers);
 * ``cursor.mediated_sql`` / ``cursor.conflicts`` — inspect what the mediator
   did to the last query;
+* ``connection.prepare(sql, ...)`` — compile a statement once server-side;
+  the returned :class:`PreparedStatement` executes many times without
+  re-mediating or re-planning, and ``close()`` releases the server handle;
 * ``connection.catalog()`` helpers for schema discovery.
 """
 
@@ -94,6 +97,19 @@ class Connection:
     def contexts(self) -> List[str]:
         return self._call("contexts")["contexts"]
 
+    # -- prepared statements ----------------------------------------------------------
+
+    def prepare(self, sql: str, context: Optional[str] = None,
+                mediate: bool = True) -> "PreparedStatement":
+        """Compile a statement once server-side for repeated execution."""
+        payload = self._call(
+            "prepare",
+            sql=sql,
+            context=context or self.context,
+            mediate=mediate,
+        )
+        return PreparedStatement(self, payload)
+
     # -- plumbing ---------------------------------------------------------------------
 
     def _ensure_open(self) -> None:
@@ -140,6 +156,10 @@ class Cursor:
             context=context or self.connection.context,
             mediate=mediate,
         )
+        return self._load(payload)
+
+    def _load(self, payload: Dict[str, Any]) -> "Cursor":
+        """Populate the cursor from a query/execute_prepared response payload."""
         relation = relation_from_payload(payload["relation"])
         self._rows = [tuple(row) for row in relation.rows]
         self._position = 0
@@ -188,6 +208,46 @@ class Cursor:
             if row is None:
                 return
             yield row
+
+
+class PreparedStatement:
+    """A server-side compiled statement: execute many, mediate/plan never.
+
+    Mirrors the prepared-statement shape of ODBC drivers: the server keeps
+    the mediated, planned form under ``statement_id``; each ``execute()``
+    ships only the handle and returns a fresh populated :class:`Cursor`.
+    """
+
+    def __init__(self, connection: Connection, payload: Dict[str, Any]):
+        self.connection = connection
+        self.statement_id: Optional[str] = payload["statement_id"]
+        self.original_sql: str = payload.get("original_sql", "")
+        self.mediated_sql: str = payload.get("mediated_sql", "")
+        self.branch_count: int = payload.get("branch_count", 0)
+        self.conflicts: List[str] = payload.get("conflicts", [])
+        self.receiver_context: Optional[str] = payload.get("receiver_context")
+
+    def execute(self) -> Cursor:
+        """Run the prepared statement; returns a populated cursor."""
+        if self.statement_id is None:
+            raise ClientError("prepared statement is closed")
+        payload = self.connection._call(
+            "execute_prepared", statement_id=self.statement_id
+        )
+        return Cursor(self.connection)._load(payload)
+
+    def close(self) -> None:
+        """Release the server-side handle (idempotent)."""
+        if self.statement_id is None:
+            return
+        self.connection._call("close_prepared", statement_id=self.statement_id)
+        self.statement_id = None
+
+    def __enter__(self) -> "PreparedStatement":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _quote(value: Any) -> str:

@@ -17,6 +17,9 @@ operation             meaning
 ``query``             mediate + execute a SQL query in a receiver context
 ``mediate``           mediate only; return the rewritten SQL and explanation
 ``explain``           mediate + plan; return the execution plan text
+``prepare``           compile a statement once; returns a statement handle
+``execute_prepared``  execute a prepared statement (no mediation/planning)
+``close_prepared``    discard a prepared statement handle
 ====================  =======================================================
 
 Result relations travel as ``{"columns": [...], "types": [...], "rows": [...]}``.
@@ -42,6 +45,9 @@ OPERATIONS = (
     "query",
     "mediate",
     "explain",
+    "prepare",
+    "execute_prepared",
+    "close_prepared",
 )
 
 PROTOCOL_VERSION = "1.0"

@@ -8,11 +8,14 @@ driver and the HTML QBE front end — never touch the federation directly.
 
 from __future__ import annotations
 
+import itertools
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
-from repro.federation import Federation
+from repro.federation import Federation, PreparedQuery
 from repro.mediation.explain import conflict_summary
 from repro.server.http import HttpChannel, HttpRequest, HttpResponse
 from repro.server.protocol import Request, Response, relation_to_payload
@@ -20,14 +23,37 @@ from repro.server.protocol import Request, Response, relation_to_payload
 
 @dataclass
 class ServerStatistics:
-    """Request counters kept by the server."""
+    """Request counters kept by the server.
+
+    Increments go through :meth:`record`, which holds a lock: concurrent
+    client sessions dispatch against one server instance, and unguarded
+    ``+=`` on shared counters loses updates.
+    """
 
     requests: int = 0
     queries: int = 0
     errors: int = 0
+    prepared_statements: int = 0
+    prepared_executions: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
+
+    def record(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                if name.startswith("_") or not hasattr(self, name):
+                    raise AttributeError(f"unknown counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
 
     def snapshot(self) -> Dict[str, int]:
-        return {"requests": self.requests, "queries": self.queries, "errors": self.errors}
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "queries": self.queries,
+                "errors": self.errors,
+                "prepared_statements": self.prepared_statements,
+                "prepared_executions": self.prepared_executions,
+            }
 
 
 class MediationServer:
@@ -36,9 +62,18 @@ class MediationServer:
     #: Path under which the tunnel accepts requests (mirrors the prototype's CGI endpoint).
     ENDPOINT = "/coin/api"
 
+    #: Bound on concurrently open prepared statements (leak protection:
+    #: clients that never close are evicted oldest-first).
+    MAX_PREPARED_STATEMENTS = 256
+
     def __init__(self, federation: Federation):
         self.federation = federation
         self.statistics = ServerStatistics()
+        #: LRU of open prepared statements: executing one refreshes it, so
+        #: eviction under pressure removes genuinely idle handles first.
+        self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+        self._prepared_lock = threading.Lock()
+        self._statement_ids = itertools.count(1)
 
     # -- transport-level entry points ---------------------------------------------
 
@@ -54,7 +89,7 @@ class MediationServer:
         try:
             protocol_request = Request.from_json(request.body)
         except ReproError as exc:
-            self.statistics.errors += 1
+            self.statistics.record(errors=1)
             return HttpResponse(status=400, reason="Bad Request",
                                 body=Response.failure(str(exc), "protocol").to_json())
         response = self.handle(protocol_request)
@@ -65,18 +100,18 @@ class MediationServer:
 
     def handle(self, request: Request) -> Response:
         """Handle one protocol request object (transport already stripped)."""
-        self.statistics.requests += 1
+        self.statistics.record(requests=1)
         try:
             handler = getattr(self, f"_handle_{request.operation}")
             response = handler(request.parameters)
             if not response.ok:
-                self.statistics.errors += 1
+                self.statistics.record(errors=1)
             return response
         except ReproError as exc:
-            self.statistics.errors += 1
+            self.statistics.record(errors=1)
             return Response.failure(str(exc), type(exc).__name__)
         except Exception as exc:  # pragma: no cover - defensive catch-all
-            self.statistics.errors += 1
+            self.statistics.record(errors=1)
             return Response.failure(f"internal error: {exc}", "internal")
 
     # -- operations ------------------------------------------------------------------------
@@ -107,7 +142,7 @@ class MediationServer:
         context = parameters.get("context")
         mediate = bool(parameters.get("mediate", True))
         answer = self.federation.query(sql, context, mediate=mediate)
-        self.statistics.queries += 1
+        self.statistics.record(queries=1)
         return Response.success(
             relation=relation_to_payload(answer.relation),
             mediated_sql=answer.mediated_sql,
@@ -116,6 +151,66 @@ class MediationServer:
             column_labels=[annotation.label() for annotation in answer.annotations],
             execution=answer.execution.report.snapshot(),
         )
+
+    def _handle_prepare(self, parameters: Dict[str, Any]) -> Response:
+        sql = parameters.get("sql")
+        if not sql:
+            return Response.failure("'prepare' requires a 'sql' parameter", "protocol")
+        context = parameters.get("context")
+        mediate = bool(parameters.get("mediate", True))
+        prepared = self.federation.prepare(sql, context, mediate=mediate)
+        statement_id = f"stmt-{next(self._statement_ids)}"
+        with self._prepared_lock:
+            self._prepared[statement_id] = prepared
+            while len(self._prepared) > self.MAX_PREPARED_STATEMENTS:
+                self._prepared.popitem(last=False)
+        self.statistics.record(prepared_statements=1)
+        return Response.success(
+            statement_id=statement_id,
+            original_sql=prepared.sql,
+            mediated_sql=prepared.mediated_sql,
+            branch_count=prepared.plan.mediation.branch_count,
+            conflicts=conflict_summary(prepared.plan.mediation),
+            receiver_context=prepared.receiver_context,
+        )
+
+    def _handle_execute_prepared(self, parameters: Dict[str, Any]) -> Response:
+        statement_id = parameters.get("statement_id")
+        if not statement_id:
+            return Response.failure(
+                "'execute_prepared' requires a 'statement_id' parameter", "protocol"
+            )
+        with self._prepared_lock:
+            prepared = self._prepared.get(statement_id)
+            if prepared is not None:
+                self._prepared.move_to_end(statement_id)
+        if prepared is None:
+            return Response.failure(
+                f"unknown or closed prepared statement {statement_id!r}", "protocol"
+            )
+        answer = prepared.execute()
+        self.statistics.record(queries=1, prepared_executions=1)
+        return Response.success(
+            statement_id=statement_id,
+            relation=relation_to_payload(answer.relation),
+            mediated_sql=answer.mediated_sql,
+            branch_count=answer.mediation.branch_count,
+            conflicts=conflict_summary(answer.mediation),
+            column_labels=[annotation.label() for annotation in answer.annotations],
+            execution=answer.execution.report.snapshot(),
+        )
+
+    def _handle_close_prepared(self, parameters: Dict[str, Any]) -> Response:
+        statement_id = parameters.get("statement_id")
+        if not statement_id:
+            return Response.failure(
+                "'close_prepared' requires a 'statement_id' parameter", "protocol"
+            )
+        with self._prepared_lock:
+            prepared = self._prepared.pop(statement_id, None)
+        if prepared is not None:
+            prepared.close()
+        return Response.success(statement_id=statement_id, closed=prepared is not None)
 
     def _handle_mediate(self, parameters: Dict[str, Any]) -> Response:
         sql = parameters.get("sql")

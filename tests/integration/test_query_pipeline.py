@@ -1,0 +1,324 @@
+"""The staged query pipeline: caching, generations, prepared queries, threads.
+
+These tests pin the PR-3 contract: the warm path of repeated receiver
+queries performs **zero mediation and zero planning work** (verified through
+the mediator's and engine's counters), answers stay byte-identical across
+the cold and warm paths, catalog/knowledge generation bumps invalidate
+exactly what they must, and the whole lifecycle is safe under concurrent
+sessions.
+"""
+
+import hashlib
+import threading
+
+import pytest
+
+from repro.demo.datasets import PAPER_QUERY
+from repro.demo.scenarios import build_paper_federation
+from repro.engine.engine import MultiDatabaseEngine
+from repro.sources.base import SourceCapabilities
+from repro.sources.memory import MemorySQLSource
+from repro.wrappers.wrapper import RelationalWrapper
+
+
+def digest(relation) -> str:
+    payload = repr(sorted(repr(row) for row in relation.rows)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+@pytest.fixture
+def federation():
+    return build_paper_federation().federation
+
+
+def mediations(federation) -> int:
+    return federation.mediator.statistics.snapshot()["queries_mediated"]
+
+
+def plans(federation) -> int:
+    return federation.engine.statistics.snapshot()["plans_built"]
+
+
+class TestWarmPath:
+    def test_repeat_query_skips_mediation_and_planning(self, federation):
+        cold = federation.query(PAPER_QUERY)
+        med, pln = mediations(federation), plans(federation)
+        warm = federation.query(PAPER_QUERY)
+        assert mediations(federation) == med, "warm path must not mediate"
+        assert plans(federation) == pln, "warm path must not plan"
+        assert digest(warm.relation) == digest(cold.relation)
+
+    def test_textually_different_equivalent_statements_share_one_plan(self, federation):
+        federation.query(PAPER_QUERY)
+        med, pln = mediations(federation), plans(federation)
+        reformatted = PAPER_QUERY.replace("SELECT", "select   ").replace("FROM", "from")
+        federation.query(reformatted)
+        assert mediations(federation) == med
+        assert plans(federation) == pln
+
+    def test_contexts_cache_independently(self, federation):
+        federation.query(PAPER_QUERY, receiver_context="c_receiver")
+        med = mediations(federation)
+        federation.query(PAPER_QUERY, receiver_context="c_receiver_jpy")
+        assert mediations(federation) == med + 1  # different context: new work
+        federation.query(PAPER_QUERY, receiver_context="c_receiver_jpy")
+        assert mediations(federation) == med + 1  # …memoized per context
+
+    def test_warm_answers_reuse_mediation_result(self, federation):
+        first = federation.query(PAPER_QUERY)
+        second = federation.query(PAPER_QUERY)
+        assert second.mediation is first.mediation
+        assert second.mediated_sql == first.mediated_sql
+
+
+class TestGenerationInvalidation:
+    def test_source_invalidation_replans_but_does_not_remediate(self, federation):
+        federation.query(PAPER_QUERY)
+        med, pln = mediations(federation), plans(federation)
+        federation.invalidate_source_cache(relation="r1")
+        answer = federation.query(PAPER_QUERY)
+        assert plans(federation) == pln + 1, "catalog bump must replan"
+        assert mediations(federation) == med, "mediation does not read the catalog"
+        assert len(answer.relation) == 1
+
+    def test_wrapper_registration_bumps_catalog_generation(self, federation):
+        before = federation.engine.catalog.generation
+        extra = MemorySQLSource("extra")
+        extra.load_sql("CREATE TABLE extra_rel (k integer)", "INSERT INTO extra_rel VALUES (1)")
+        federation.register_wrapper(RelationalWrapper(extra))
+        assert federation.engine.catalog.generation > before
+
+    def test_knowledge_change_remediates(self, federation):
+        federation.query(PAPER_QUERY)
+        med = mediations(federation)
+        # Re-declaring a receiver constant is a knowledge change, even to the
+        # same value: the mediation cache must not trust its old entries.
+        federation.system.contexts.get("c_receiver").declare_constant(
+            "companyFinancials", "scaleFactor", 1
+        )
+        federation.query(PAPER_QUERY)
+        assert mediations(federation) == med + 1
+
+    def test_replacing_a_context_keeps_generation_monotonic(self, federation):
+        from repro.coin.context import Context
+
+        contexts = federation.system.contexts
+        contexts.get("c_receiver").declare_constant(
+            "companyFinancials", "scaleFactor", 1
+        )
+        before = federation.system.generation
+        # A fresh replacement context restarts its own declaration count at
+        # zero; the roll-up must still move forward, or cached plans from the
+        # old knowledge would become reachable again.
+        replacement = Context("c_receiver", "replaced")
+        replacement.declare_constant("companyFinancials", "currency", "USD")
+        replacement.declare_constant("companyFinancials", "scaleFactor", 1)
+        contexts.register(replacement)
+        assert federation.system.generation > before
+
+    def test_pipeline_stamps_the_mediation_fingerprint(self, federation):
+        answer = federation.query(PAPER_QUERY)
+        assert answer.mediation.fingerprint is not None
+        assert answer.mediation.fingerprint == federation.prepare(PAPER_QUERY).fingerprint
+        # Each branch of the IR carries its own (distinct) identity.
+        branch_prints = {branch.fingerprint for branch in answer.mediation.branches}
+        assert len(branch_prints) == answer.mediation.branch_count
+
+    def test_prune_stale_frees_unreachable_entries(self, federation):
+        federation.query(PAPER_QUERY)
+        federation.invalidate_source_cache()
+        federation.query(PAPER_QUERY)
+        assert federation.pipeline.prune_stale() >= 1
+
+
+class TestPreparedQueries:
+    def test_prepared_reuse_returns_byte_identical_answers(self, federation):
+        prepared = federation.prepare(PAPER_QUERY)
+        first = prepared.execute()
+        med, pln = mediations(federation), plans(federation)
+        digests = {digest(prepared.execute().relation) for _ in range(5)}
+        assert digests == {digest(first.relation)}
+        assert mediations(federation) == med
+        assert plans(federation) == pln
+
+    def test_stale_prepared_query_recompiles_transparently(self, federation):
+        prepared = federation.prepare(PAPER_QUERY)
+        prepared.execute()
+        pln = plans(federation)
+        federation.invalidate_source_cache(relation="r2")
+        answer = prepared.execute()
+        assert plans(federation) == pln + 1
+        assert len(answer.relation) == 1
+        # Once refreshed, it is warm again.
+        prepared.execute()
+        assert plans(federation) == pln + 1
+
+    def test_prepared_exposes_mediation_metadata(self, federation):
+        prepared = federation.prepare(PAPER_QUERY)
+        assert "UNION" in prepared.mediated_sql
+        assert prepared.receiver_context == "c_receiver"
+        assert prepared.sql == prepared.plan.mediation.original_sql
+
+
+class TestNaiveFastPath:
+    def test_unmediated_query_runs_verbatim(self, federation):
+        naive = federation.query(PAPER_QUERY, mediate=False)
+        assert naive.records == []
+        assert naive.mediated_sql == naive.mediation.original_sql
+
+    def test_unmediated_query_skips_conflict_detection_and_abduction(self, federation):
+        med = mediations(federation)
+        naive = federation.query(PAPER_QUERY, mediate=False)
+        assert mediations(federation) == med, "passthrough must not mediate"
+        assert naive.mediation.analyses == []
+        assert naive.mediation.branch_count == 0
+        assert naive.mediation.mediated_by_rewriter is False
+
+    def test_unmediated_and_mediated_cache_separately(self, federation):
+        federation.query(PAPER_QUERY, mediate=False)
+        mediated = federation.query(PAPER_QUERY, mediate=True)
+        assert len(mediated.relation) == 1  # not served from the naive entry
+
+
+class TestConcurrentQueries:
+    THREADS = 8
+    ROUNDS = 5
+
+    def test_threaded_queries_agree_and_count_exactly(self, federation):
+        warm = federation.query(PAPER_QUERY)
+        expected = digest(warm.relation)
+        med, pln = mediations(federation), plans(federation)
+        executed_before = federation.engine.statistics.snapshot()["statements_executed"]
+
+        results, errors = [], []
+
+        def worker():
+            try:
+                for _ in range(self.ROUNDS):
+                    results.append(digest(federation.query(PAPER_QUERY).relation))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert set(results) == {expected}
+        assert mediations(federation) == med
+        assert plans(federation) == pln
+        executed = federation.engine.statistics.snapshot()["statements_executed"]
+        assert executed == executed_before + self.THREADS * self.ROUNDS
+
+
+class TestConcurrentDistinctStatements:
+    """Different statements stage under the same binding labels; the shared
+    temporary store must not let one session read another's staged rows."""
+
+    COMPANIES = ("NTT", "IBM")
+    ROUNDS = 25
+
+    def test_interleaved_statements_never_swap_answers(self, federation):
+        queries = {
+            company: f"SELECT r1.revenue FROM r1 WHERE r1.cname = '{company}'"
+            for company in self.COMPANIES
+        }
+        expected = {
+            company: digest(federation.query(sql, mediate=False).relation)
+            for company, sql in queries.items()
+        }
+        mismatches, errors = [], []
+
+        def worker(company):
+            try:
+                for _ in range(self.ROUNDS):
+                    got = digest(federation.query(queries[company], mediate=False).relation)
+                    if got != expected[company]:
+                        mismatches.append(company)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(company,))
+            for company in self.COMPANIES for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert mismatches == []
+
+
+class TestRateEnvironmentStaleness:
+    def test_invalidation_of_rate_relation_resets_the_lookup(self, federation):
+        answer = federation.query(PAPER_QUERY)
+        federation.convert_answer(answer, "c_receiver_jpy")
+        assert federation._rate_environment_source is not None
+        assert federation.transformer.environment.rate_lookup is not None
+
+        federation.invalidate_source_cache(relation="r1")  # unrelated relation
+        assert federation.transformer.environment.rate_lookup is not None
+
+        federation.invalidate_source_cache(relation="r3")  # the rate relation
+        assert federation.transformer.environment.rate_lookup is None
+        assert federation._rate_environment_source is None
+
+    def test_conversion_after_invalidation_consults_fresh_rates(self, federation):
+        answer = federation.query(PAPER_QUERY)
+        baseline = federation.convert_answer(answer, "c_receiver_jpy").rows[0][1]
+
+        # The source publishes new rates: double every quote.
+        wrapper = federation.engine.catalog.wrapper_for("r3")
+        original_fetch = wrapper.fetch
+
+        def doubled_fetch(relation):
+            rates = original_fetch(relation)
+            doubled = rates.rename(rates.schema.names)
+            doubled.rows = [
+                tuple(value * 2 if isinstance(value, (int, float)) else value
+                      for value in row)
+                for row in rates.rows
+            ]
+            return doubled
+
+        wrapper.fetch = doubled_fetch
+        try:
+            # Without invalidation the stale lookup would still be used.
+            federation.invalidate_source_cache(relation="r3")
+            refreshed = federation.convert_answer(answer, "c_receiver_jpy").rows[0][1]
+        finally:
+            wrapper.fetch = original_fetch
+        assert refreshed == pytest.approx(baseline * 2)
+
+    def test_full_invalidation_also_resets_the_lookup(self, federation):
+        answer = federation.query(PAPER_QUERY)
+        federation.convert_answer(answer, "c_receiver_jpy")
+        federation.invalidate_source_cache()
+        assert federation.transformer.environment.rate_lookup is None
+
+
+class TestCrossBranchCommonSubplans:
+    def test_identical_scan_requests_are_shared_across_branches(self):
+        engine = MultiDatabaseEngine()
+        for index in (1, 2):
+            source = MemorySQLSource(f"src{index}",
+                                     capabilities=SourceCapabilities.scan_only())
+            source.load_sql(
+                f"CREATE TABLE t{index} (k integer, v{index} float)",
+                f"INSERT INTO t{index} VALUES (1, {index}.5), (2, {index * 2}.5)",
+            )
+            engine.register_wrapper(RelationalWrapper(source), estimate_rows=False)
+
+        plan = engine.plan(
+            "SELECT t1.k FROM t1, t2 WHERE t1.k = t2.k AND t1.v1 > t2.v2 "
+            "UNION "
+            "SELECT t1.k FROM t1, t2 WHERE t1.k = t2.k AND t1.v1 < t2.v2"
+        )
+        # Both branches FETCH the same two relations: the second branch's
+        # requests are recognized at plan time and shared.
+        assert plan.shared_requests == 2
+        shared = plan.branches[0].requests[0]
+        assert plan.branches[1].requests[0] is shared

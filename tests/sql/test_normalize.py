@@ -1,0 +1,69 @@
+"""Canonical forms and fingerprints (the cache keys of the query pipeline)."""
+
+import pytest
+
+from repro.errors import SQLUnsupportedError
+from repro.sql.normalize import canonical_form, statement_fingerprint
+from repro.sql.parser import parse
+
+
+def fingerprint(sql: str) -> str:
+    return statement_fingerprint(parse(sql))
+
+
+class TestFingerprintStability:
+    def test_whitespace_and_keyword_case_are_ignored(self):
+        a = fingerprint("SELECT r1.revenue FROM r1 WHERE r1.cname = 'NTT'")
+        b = fingerprint("select   r1.revenue\nfrom r1   where r1.cname = 'NTT'")
+        assert a == b
+
+    def test_table_name_case_is_folded(self):
+        assert fingerprint("SELECT r1.revenue FROM r1") == fingerprint(
+            "SELECT r1.revenue FROM R1"
+        )
+
+    def test_conjunct_order_matters(self):
+        # AND short-circuits left-to-right: swapping conjuncts can change
+        # which evaluation error a row surfaces, so the orderings must not
+        # share one cached plan.
+        a = fingerprint("SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname AND r1.revenue > 5")
+        b = fingerprint("SELECT r1.cname FROM r1, r2 WHERE r1.revenue > 5 AND r1.cname = r2.cname")
+        assert a != b
+
+    def test_union_branch_order_matters(self):
+        a = fingerprint("SELECT r1.a FROM r1 UNION SELECT r2.b FROM r2")
+        b = fingerprint("SELECT r2.b FROM r2 UNION SELECT r1.a FROM r1")
+        assert a != b
+
+
+class TestFingerprintDiscrimination:
+    def test_different_constants_differ(self):
+        assert fingerprint("SELECT r1.a FROM r1 WHERE r1.b > 5") != fingerprint(
+            "SELECT r1.a FROM r1 WHERE r1.b > 6"
+        )
+
+    def test_literal_types_are_distinguished(self):
+        assert fingerprint("SELECT r1.a FROM r1 WHERE r1.b = 1") != fingerprint(
+            "SELECT r1.a FROM r1 WHERE r1.b = '1'"
+        )
+
+    def test_output_column_case_is_preserved(self):
+        # The select-list name decides the output schema, so case matters.
+        assert fingerprint("SELECT r1.Revenue FROM r1") != fingerprint(
+            "SELECT r1.revenue FROM r1"
+        )
+
+    def test_distinct_and_limit_are_part_of_the_identity(self):
+        base = fingerprint("SELECT r1.a FROM r1")
+        assert base != fingerprint("SELECT DISTINCT r1.a FROM r1")
+        assert base != fingerprint("SELECT r1.a FROM r1 LIMIT 3")
+
+
+class TestCanonicalForm:
+    def test_canonical_form_is_deterministic(self):
+        sql = "SELECT r1.cname, r1.revenue FROM r1, r2 WHERE r1.cname = r2.cname"
+        assert canonical_form(parse(sql)) == canonical_form(parse(sql))
+
+    def test_non_query_statements_are_rejected(self):
+        with pytest.raises(SQLUnsupportedError):
+            statement_fingerprint(parse("CREATE TABLE t (a integer)"))
