@@ -67,6 +67,18 @@ FEDERATION_SOURCES = 3
 #: Mediation-pipeline scenario: repeated receiver queries per measured path.
 FULL_PIPELINE_REPEATS = 200
 SMOKE_PIPELINE_REPEATS = 25
+#: Streaming top-k scenario: a large fast source UNION ALL a slow one, with
+#: ORDER BY ... LIMIT per branch.  The memory budget is sized to force the
+#: pushdown-disabled Sort to spill; the slow source's latency is what the
+#: eager path must wait out before its first row.
+FULL_TOPK_ROWS = 30_000
+SMOKE_TOPK_ROWS = 4_000
+TOPK_LIMIT = 10
+FULL_TOPK_BUDGET_BYTES = 256 * 1024
+SMOKE_TOPK_BUDGET_BYTES = 64 * 1024
+FULL_TOPK_SLOW_LATENCY = 0.5
+SMOKE_TOPK_SLOW_LATENCY = 0.12
+TOPK_BIG_LATENCY = 0.005
 
 _CATEGORIES = ("retail", "wholesale", "export", "internal")
 
@@ -253,6 +265,8 @@ class _LatencyWrapper(RelationalWrapper):
         super().__init__(source)
         self.latency = latency
         self.round_trips = 0
+        #: Round trips whose latency was fully paid (the result arrived).
+        self.completed_round_trips = 0
         self._lock = threading.Lock()
 
     def _pay_round_trip(self) -> None:
@@ -260,13 +274,18 @@ class _LatencyWrapper(RelationalWrapper):
             self.round_trips += 1
         time.sleep(self.latency)
 
+    def _arrived(self, result):
+        with self._lock:
+            self.completed_round_trips += 1
+        return result
+
     def fetch(self, relation):
         self._pay_round_trip()
-        return super().fetch(relation)
+        return self._arrived(super().fetch(relation))
 
     def query(self, statement):
         self._pay_round_trip()
-        return super().query(statement)
+        return self._arrived(super().query(statement))
 
 
 def _federation_query(branches: int, sources: int) -> str:
@@ -452,17 +471,153 @@ def bench_mediation_pipeline(repeats: int = FULL_PIPELINE_REPEATS) -> Dict[str, 
 
 
 # ---------------------------------------------------------------------------
+# Scenario 6: streaming top-k (cursors, limit push-down, budgeted spilling)
+# ---------------------------------------------------------------------------
+
+
+def _topk_engine(rows: int, slow_latency: float, **engine_kwargs):
+    """A big fast full-SQL source plus a small slow scan-only source."""
+    from repro.engine.engine import MultiDatabaseEngine as Engine
+
+    engine = Engine(**engine_kwargs)
+    big = MemorySQLSource("bigsrc")
+    big.load_sql("CREATE TABLE big (k integer, v float)")
+    # 7919 is coprime with the modulus, so v values are unique: the top-k
+    # order is total and every path must produce identical rows.
+    big.database.table("big").rows = [
+        (index, float((index * 7919) % 999983)) for index in range(rows)
+    ]
+    slow = MemorySQLSource("slowsrc", capabilities=SourceCapabilities.scan_only())
+    slow.load_sql("CREATE TABLE slow_t (k integer, v float)")
+    slow.database.table("slow_t").rows = [
+        (index, float((index * 104729) % 999979)) for index in range(200)
+    ]
+    engine.register_wrapper(_LatencyWrapper(big, TOPK_BIG_LATENCY),
+                            estimate_rows=False)
+    slow_wrapper = _LatencyWrapper(slow, slow_latency)
+    engine.register_wrapper(slow_wrapper, estimate_rows=False)
+    return engine, slow_wrapper
+
+
+def _topk_plan(engine):
+    branches = [
+        parse(f"SELECT big.k, big.v FROM big ORDER BY big.v DESC LIMIT {TOPK_LIMIT}"),
+        parse(f"SELECT slow_t.k, slow_t.v FROM slow_t "
+              f"ORDER BY slow_t.v DESC LIMIT {TOPK_LIMIT}"),
+    ]
+    return engine.planner.plan_branches(branches, union_all=True)
+
+
+def bench_streaming_topk(rows: int = FULL_TOPK_ROWS,
+                         budget_bytes: int = FULL_TOPK_BUDGET_BYTES,
+                         slow_latency: float = FULL_TOPK_SLOW_LATENCY) -> Dict[str, Any]:
+    """First-row latency and bounded memory of the streaming execution core.
+
+    Three paths answer the same two-branch top-k union:
+
+    * **eager** — limit push-down disabled and the materialized ``execute()``:
+      the client's first row arrives only after *every* branch (including the
+      slow source) fetched, staged, sorted and materialized — the pre-
+      streaming behaviour.
+    * **streamed** — ``execute_stream()`` with push-down on: the planner
+      ships ``ORDER BY ... LIMIT`` to the capable source, the first batch is
+      served while the slow source's fetch is still in flight, and the
+      consumer keeps pulling to drain the full answer.
+    * **spilled** — push-down disabled again but with a memory budget small
+      enough that the local Sort over the big source must spill; answers must
+      stay byte-identical and the operator peak under the budget.
+    """
+    from repro.engine.planner import PlannerConfig
+
+    no_push = PlannerConfig(push_fetch_limits=False)
+
+    eager_engine, _ = _topk_engine(rows, slow_latency, planner_config=no_push)
+    eager_result, eager_elapsed = _timed(
+        lambda: eager_engine.execute(_topk_plan(eager_engine))
+    )
+    eager_rows = list(eager_result.relation.rows)
+
+    streamed_engine, slow_wrapper = _topk_engine(rows, slow_latency)
+    stream = streamed_engine.execute_stream(_topk_plan(streamed_engine))
+    started = time.perf_counter()
+    first_batch = stream.fetchmany(TOPK_LIMIT)
+    first_batch_elapsed = time.perf_counter() - started
+    slow_fetches_done_at_first_batch = slow_wrapper.completed_round_trips
+    streamed_rows = list(first_batch) + stream.fetchall()
+    streamed_report = stream.report
+
+    spilled_engine, _ = _topk_engine(rows, slow_latency, planner_config=no_push,
+                                     memory_budget_bytes=budget_bytes)
+    spilled_result, spilled_elapsed = _timed(
+        lambda: spilled_engine.execute(_topk_plan(spilled_engine))
+    )
+    spilled_rows = list(spilled_result.relation.rows)
+    spilled_report = spilled_result.report
+
+    # Streamed warm path through the federation: the mediation/plan caches
+    # from the query-lifecycle pipeline must stay cold-free on cursors too.
+    from repro.demo.datasets import PAPER_QUERY
+    from repro.demo.scenarios import build_paper_federation
+
+    federation = build_paper_federation().federation
+    with federation.query(PAPER_QUERY, stream=True) as cold_cursor:
+        cold_rows = cold_cursor.fetchall()
+    warm_mediations_before = federation.mediator.statistics.snapshot()["queries_mediated"]
+    warm_plans_before = federation.engine.statistics.snapshot()["plans_built"]
+    with federation.query(PAPER_QUERY, stream=True) as warm_cursor:
+        warm_rows = warm_cursor.fetchall()
+    warm_mediations = (
+        federation.mediator.statistics.snapshot()["queries_mediated"]
+        - warm_mediations_before
+    )
+    warm_plans = (
+        federation.engine.statistics.snapshot()["plans_built"] - warm_plans_before
+    )
+
+    return {
+        "big_rows": rows,
+        "limit": TOPK_LIMIT,
+        "slow_source_latency_seconds": slow_latency,
+        "budget_bytes": budget_bytes,
+        "identical": eager_rows == streamed_rows == spilled_rows,
+        "answers_sha256": _digest(streamed_rows),
+        "answer_rows": len(streamed_rows),
+        "pushed_request": _topk_plan(streamed_engine).branches[0].requests[0].request_text,
+        "rows_transferred_eager": eager_result.report.rows_transferred,
+        "rows_transferred_streamed": streamed_report.rows_transferred,
+        "slow_fetches_done_at_first_batch": slow_fetches_done_at_first_batch,
+        "first_batch_before_slow_fetch": (
+            slow_fetches_done_at_first_batch == 0
+            and first_batch_elapsed < slow_latency
+        ),
+        "first_row_seconds_eager": round(eager_elapsed, 6),
+        "first_row_seconds_streamed": round(first_batch_elapsed, 6),
+        "first_row_speedup": round(eager_elapsed / max(first_batch_elapsed, 1e-9), 2),
+        "spill_count": spilled_report.spill_count,
+        "spilled_rows": spilled_report.spilled_rows,
+        "peak_memory_bytes_spilled": spilled_report.peak_memory_bytes,
+        "spilled_elapsed_seconds": round(spilled_elapsed, 6),
+        "streamed_warm_rows_identical": cold_rows == warm_rows,
+        "warm_mediations": warm_mediations,
+        "warm_plans": warm_plans,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Harness entry point
 # ---------------------------------------------------------------------------
 
 
 def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
-    """Run all five scenarios; smoke mode shrinks sizes to finish in seconds."""
+    """Run all six scenarios; smoke mode shrinks sizes to finish in seconds."""
     scan_rows = SMOKE_SCAN_ROWS if smoke else FULL_SCAN_ROWS
     join_rows = SMOKE_JOIN_ROWS if smoke else FULL_JOIN_ROWS
     repeats = SMOKE_MEDIATION_REPEATS if smoke else FULL_MEDIATION_REPEATS
     latency = SMOKE_FEDERATION_LATENCY if smoke else FULL_FEDERATION_LATENCY
     pipeline_repeats = SMOKE_PIPELINE_REPEATS if smoke else FULL_PIPELINE_REPEATS
+    topk_rows = SMOKE_TOPK_ROWS if smoke else FULL_TOPK_ROWS
+    topk_budget = SMOKE_TOPK_BUDGET_BYTES if smoke else FULL_TOPK_BUDGET_BYTES
+    topk_latency = SMOKE_TOPK_SLOW_LATENCY if smoke else FULL_TOPK_SLOW_LATENCY
     return {
         "mode": "smoke" if smoke else "full",
         "python": sys.version.split()[0],
@@ -471,6 +626,7 @@ def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         "mediation": bench_mediation(repeats),
         "federation": bench_federation(latency),
         "mediation_pipeline": bench_mediation_pipeline(pipeline_repeats),
+        "streaming_topk": bench_streaming_topk(topk_rows, topk_budget, topk_latency),
     }
 
 
@@ -517,5 +673,36 @@ def verify_run(result: Dict[str, Any]) -> List[str]:
     if result["mode"] == "full" and pipeline["speedup"] < 5.0:
         failures.append(
             f"mediation-pipeline: warm speedup {pipeline['speedup']}x below the 5x gate"
+        )
+    topk = result["streaming_topk"]
+    if not topk["identical"]:
+        failures.append(
+            "streaming-topk: eager/streamed/spilled answers differ"
+        )
+    if not topk["first_batch_before_slow_fetch"]:
+        failures.append(
+            "streaming-topk: the first batch waited for the slow source's fetch"
+        )
+    if topk["spill_count"] <= 0:
+        failures.append("streaming-topk: the budgeted run did not spill")
+    # The budget allows one force-reserved row of slack, nothing more.
+    if topk["peak_memory_bytes_spilled"] > topk["budget_bytes"] + 1024:
+        failures.append(
+            f"streaming-topk: spilled run peaked at {topk['peak_memory_bytes_spilled']} "
+            f"bytes, above the {topk['budget_bytes']}-byte budget"
+        )
+    if not topk["streamed_warm_rows_identical"]:
+        failures.append("streaming-topk: streamed warm answers differ from cold")
+    if topk["warm_mediations"] != 0 or topk["warm_plans"] != 0:
+        failures.append(
+            "streaming-topk: the streamed warm path re-mediated or re-planned "
+            f"({topk['warm_mediations']} mediations, {topk['warm_plans']} plans)"
+        )
+    # Wall-clock gate only on full runs; the acceptance bar is a 2x
+    # first-row-latency improvement (in practice the margin is ~10x+).
+    if result["mode"] == "full" and topk["first_row_speedup"] < 2.0:
+        failures.append(
+            f"streaming-topk: first-row speedup {topk['first_row_speedup']}x "
+            "below the 2x gate"
         )
     return failures

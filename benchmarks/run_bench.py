@@ -58,6 +58,14 @@ def _print_summary(result) -> None:
           f"{pipeline['warm_queries_per_sec']} q/s ({pipeline['speedup']}x) -> prepared "
           f"{pipeline['prepared_queries_per_sec']} q/s ({pipeline['prepared_speedup']}x), "
           f"{pipeline['warm_mediations']} warm mediations / {pipeline['warm_plans']} warm plans")
+    topk = result["streaming_topk"]
+    print(f"[hotpath:{result['mode']}] streaming top-{topk['limit']} over "
+          f"{topk['big_rows']} rows: first row eager {topk['first_row_seconds_eager']}s "
+          f"-> streamed {topk['first_row_seconds_streamed']}s "
+          f"({topk['first_row_speedup']}x, slow fetch outstanding: "
+          f"{topk['first_batch_before_slow_fetch']}); spilled run: "
+          f"{topk['spill_count']} spills, peak {topk['peak_memory_bytes_spilled']}B "
+          f"of {topk['budget_bytes']}B budget")
 
 
 def _append_trajectory(path: str, result) -> None:

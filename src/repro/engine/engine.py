@@ -52,12 +52,21 @@ class EngineStatistics:
     cache_hits: int = 0
     rows_transferred: int = 0
     rows_returned: int = 0
+    #: Statements served through an explicit cursor, the rows they streamed,
+    #: and fetches early-terminated streams cancelled before dispatch.
+    streams_opened: int = 0
+    rows_streamed: int = 0
+    cancelled_fetches: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
 
     def record_plan(self) -> None:
         with self._lock:
             self.plans_built += 1
+
+    def record_stream_opened(self) -> None:
+        with self._lock:
+            self.streams_opened += 1
 
     def record_execution(self, report) -> None:
         """Fold one execution report's totals into the aggregate counters."""
@@ -69,6 +78,8 @@ class EngineStatistics:
             self.cache_hits += report.cache_hits
             self.rows_transferred += report.rows_transferred
             self.rows_returned += report.result_rows
+            self.rows_streamed += report.rows_streamed
+            self.cancelled_fetches += report.cancelled_fetches
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
@@ -81,6 +92,9 @@ class EngineStatistics:
                 "cache_hits": self.cache_hits,
                 "rows_transferred": self.rows_transferred,
                 "rows_returned": self.rows_returned,
+                "streams_opened": self.streams_opened,
+                "rows_streamed": self.rows_streamed,
+                "cancelled_fetches": self.cancelled_fetches,
             }
 
 
@@ -93,7 +107,8 @@ class MultiDatabaseEngine:
                  temp_store: Optional[TemporaryStore] = None,
                  request_cache: Optional[SourceResultCache] = None,
                  max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
-                 deduplicate_requests: bool = True):
+                 deduplicate_requests: bool = True,
+                 memory_budget_bytes: Optional[int] = None):
         self.catalog = catalog if catalog is not None else Catalog()
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.planner = QueryPlanner(self.catalog, self.cost_model, planner_config)
@@ -102,6 +117,7 @@ class MultiDatabaseEngine:
             request_cache=request_cache,
             max_concurrent_requests=max_concurrent_requests,
             deduplicate=deduplicate_requests,
+            memory_budget_bytes=memory_budget_bytes,
         )
         self.statistics = EngineStatistics()
 
@@ -190,6 +206,22 @@ class MultiDatabaseEngine:
         result = self.controller.execute(plan)
         self.statistics.record_execution(result.report)
         return result
+
+    def execute_stream(self, statement: TUnion[str, Statement, QueryPlan]):
+        """Plan (if needed) and open a pull-based cursor over the result.
+
+        Returns a :class:`~repro.engine.stream.ResultStream`; the engine's
+        aggregate statistics fold the execution report in when the stream
+        finishes (exhaustion or :meth:`~repro.engine.stream.ResultStream.close`).
+        """
+        if isinstance(statement, QueryPlan):
+            plan = statement
+        else:
+            plan = self.plan(statement)
+        stream = self.controller.execute_stream(plan)
+        self.statistics.record_stream_opened()
+        stream.on_close(self.statistics.record_execution)
+        return stream
 
     def query(self, statement: TUnion[str, Statement]) -> Relation:
         """Execute and return only the answer relation."""

@@ -27,20 +27,29 @@ order.
    local SQL processor;
 
 and finally the branch results combine with UNION (ALL) semantics.
+
+Since the streaming rework, both phases are driven by a pull-based
+:class:`~repro.engine.stream.ResultStream`: fetches are dispatched
+asynchronously, branches are staged and finalized lazily as the consumer
+pulls rows, and a shared :class:`~repro.relational.budget.MemoryBudget`
+bounds operator memory (spilling `Sort`/`Distinct`/`HashJoin` state to
+temporary files when exceeded).  :meth:`ExecutionController.execute` is a
+thin eager wrapper that drains the stream, so materialized callers see the
+historical behaviour unchanged.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.engine.catalog import Catalog
-from repro.engine.plan import BranchPlan, JoinStep, QueryPlan, SourceRequest
+from repro.engine.plan import JoinStep, QueryPlan, SourceRequest
 from repro.engine.request_cache import RequestKey, SourceResultCache, request_key
+from repro.relational.budget import MemoryBudget
 from repro.relational.operators import (
     Filter,
     HashJoin,
@@ -48,7 +57,6 @@ from repro.relational.operators import (
     PhysicalOperator,
     TableScan,
 )
-from repro.relational.query import QueryProcessor
 from repro.relational.relation import Relation
 from repro.relational.storage import TemporaryStore
 from repro.sql.ast import BinaryOp, ColumnRef, Node, conjoin
@@ -167,6 +175,21 @@ class ExecutionReport:
     cache_hits: int = 0
     #: Peak number of fetches simultaneously in flight on the pool.
     max_in_flight: int = 0
+    #: Streaming counters: rows actually pulled through the cursor, the wall
+    #: clock until the first of them, and fetches a closed/limit-satisfied
+    #: stream cancelled before they were ever issued.
+    rows_streamed: int = 0
+    first_row_seconds: float = 0.0
+    cancelled_fetches: int = 0
+    #: Memory accounting: the configured operator budget (0 = unbounded), the
+    #: observed operator peak, bytes staged in temporary storage, and what
+    #: spilled to secondary storage when the budget was exceeded.
+    memory_limit_bytes: int = 0
+    peak_memory_bytes: int = 0
+    staged_bytes: int = 0
+    spill_count: int = 0
+    spilled_rows: int = 0
+    spilled_bytes: int = 0
 
     @property
     def rows_transferred(self) -> int:
@@ -205,6 +228,19 @@ class ExecutionReport:
                     sum(request.fetch_seconds for request in self.requests), 6
                 ),
             },
+            "streaming": {
+                "rows_streamed": self.rows_streamed,
+                "first_row_seconds": round(self.first_row_seconds, 6),
+                "cancelled_fetches": self.cancelled_fetches,
+            },
+            "memory": {
+                "limit_bytes": self.memory_limit_bytes,
+                "peak_bytes": self.peak_memory_bytes,
+                "staged_bytes": self.staged_bytes,
+                "spill_count": self.spill_count,
+                "spilled_rows": self.spilled_rows,
+                "spilled_bytes": self.spilled_bytes,
+            },
         }
 
 
@@ -239,11 +275,18 @@ class _InFlightGauge:
 
 @dataclass
 class _FetchOutcome:
-    """The shared result of one distinct source round trip (or cache hit)."""
+    """The shared result of one distinct source round trip (or cache hit).
+
+    ``frozen`` marks relations that are private copies (the source-result
+    cache hands out a fresh copy per hit): their row lists can be staged by
+    reference.  Relations straight from a wrapper may be live views of the
+    source's table and must be copied once when staged.
+    """
 
     relation: Relation
     request_text: str
     cache_hit: bool = False
+    frozen: bool = False
     fetch_seconds: float = 0.0
     wait_seconds: float = 0.0
 
@@ -260,46 +303,42 @@ class ExecutionController:
     def __init__(self, catalog: Catalog, temp_store: Optional[TemporaryStore] = None,
                  request_cache: Optional[SourceResultCache] = None,
                  max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
-                 deduplicate: bool = True):
+                 deduplicate: bool = True,
+                 memory_budget_bytes: Optional[int] = None):
         self.catalog = catalog
         self.temp_store = temp_store or TemporaryStore("engine-temp")
         self.request_cache = request_cache
         self.max_concurrent_requests = max(1, int(max_concurrent_requests))
         self.deduplicate = deduplicate
+        #: Per-statement operator memory budget (None = unbounded).  Sorts,
+        #: distincts and hash-join build sides spill to temporary files
+        #: rather than exceed it.
+        self.memory_budget_bytes = memory_budget_bytes
 
     # -- public API -------------------------------------------------------------
 
     def execute(self, plan: QueryPlan) -> EngineResult:
-        started = time.perf_counter()
-        report = ExecutionReport()
+        """Plan interpretation, eagerly: drain the stream into a relation."""
+        stream = self.execute_stream(plan)
+        try:
+            relation = stream.to_relation()
+            return EngineResult(relation=relation, plan=plan, report=stream.report)
+        finally:
+            stream.close()
 
-        if not plan.branches:
-            raise ExecutionError(
-                "cannot execute a plan with no branches: the planner produced "
-                "an empty UNION (no SELECT branch to evaluate)"
-            )
+    def execute_stream(self, plan: QueryPlan):
+        """Open a pull-based cursor over the plan's result.
 
-        outcomes = self._dispatch_requests(plan, report)
+        Source fetches are dispatched concurrently up front (or lazily, when
+        the pool is bounded to one request), but branches are staged,
+        joined and finalized only as the consumer pulls rows — closing the
+        stream early cancels fetches that were never consumed and releases
+        staged temporaries.  Returns a
+        :class:`~repro.engine.stream.ResultStream`.
+        """
+        from repro.engine.stream import ResultStream
 
-        consumed_keys: set = set()
-        branch_results: List[Relation] = []
-        for branch_index, branch in enumerate(plan.branches):
-            branch_relation = self._execute_branch(
-                branch, report, branch_index, outcomes, consumed_keys
-            )
-            report.branch_rows.append(len(branch_relation))
-            branch_results.append(branch_relation)
-
-        combined = branch_results[0]
-        for other in branch_results[1:]:
-            combined = combined.union(other, all=plan.union_all)
-        # Column names follow the first branch (SQL convention).
-        combined = combined.rename(branch_results[0].schema.names)
-
-        report.result_rows = len(combined)
-        report.elapsed_seconds = time.perf_counter() - started
-        report.temp_storage = self.temp_store.statistics.snapshot()
-        return EngineResult(relation=combined, plan=plan, report=report)
+        return ResultStream(self, plan)
 
     # -- request scheduling -------------------------------------------------------
 
@@ -314,127 +353,19 @@ class ExecutionController:
             text=f"{request.request_text} #branch{branch_index}.{request_index}",
         )
 
-    def _dispatch_requests(self, plan: QueryPlan,
-                           report: ExecutionReport) -> Dict[RequestKey, _FetchOutcome]:
-        """Phase 1: dedup, cache-resolve, and concurrently fetch all requests."""
-        distinct: "Dict[RequestKey, SourceRequest]" = {}
-        total_units = 0
-        for branch_index, branch in enumerate(plan.branches):
-            for request_index, request in enumerate(branch.requests):
-                total_units += 1
-                key = self._plan_key(request, branch_index, request_index)
-                if key not in distinct:
-                    distinct[key] = request
-        report.distinct_requests = len(distinct)
-        report.dedup_hits = total_units - len(distinct)
-
-        outcomes: Dict[RequestKey, _FetchOutcome] = {}
-        pending: List[RequestKey] = []
-        cache = self.request_cache if self.deduplicate else None
-        for key, request in distinct.items():
-            cached = cache.get(key) if cache is not None else None
-            if cached is not None:
-                outcomes[key] = _FetchOutcome(
-                    relation=cached, request_text=request.request_text, cache_hit=True
-                )
-                report.cache_hits += 1
-            else:
-                pending.append(key)
-
-        gauge = _InFlightGauge()
-
-        def fetch(key: RequestKey, queued_at: float) -> _FetchOutcome:
-            request = distinct[key]
-            wrapper = self.catalog.wrappers.get(request.wrapper_name)
-            with gauge:
-                fetch_started = time.perf_counter()
-                if request.sql is not None:
-                    fetched = wrapper.query(request.sql)
-                else:
-                    fetched = wrapper.fetch(request.relation)
-                fetch_elapsed = time.perf_counter() - fetch_started
-            return _FetchOutcome(
-                relation=fetched,
-                request_text=request.request_text,
-                fetch_seconds=fetch_elapsed,
-                wait_seconds=fetch_started - queued_at,
-            )
-
-        if self.max_concurrent_requests > 1 and len(pending) > 1:
-            workers = min(self.max_concurrent_requests, len(pending))
-            with ThreadPoolExecutor(max_workers=workers,
-                                    thread_name_prefix="source-fetch") as pool:
-                queued_at = time.perf_counter()
-                futures: List[Tuple[RequestKey, "Future[_FetchOutcome]"]] = [
-                    (key, pool.submit(fetch, key, queued_at)) for key in pending
-                ]
-                try:
-                    # Collect in submission (= plan) order: errors surface
-                    # deterministically no matter which fetch fails first.
-                    for key, future in futures:
-                        outcomes[key] = future.result()
-                except BaseException:
-                    # Don't charge the sources for an answer that will be
-                    # discarded: queued fetches are cancelled (in-flight ones
-                    # cannot be interrupted and are awaited by pool exit).
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
-        else:
-            for key in pending:
-                outcomes[key] = fetch(key, time.perf_counter())
-        report.max_in_flight = gauge.peak
-
-        for key, request in distinct.items():
-            outcome = outcomes[key]
-            if cache is not None and not outcome.cache_hit:
-                cache.put(key, outcome.relation)
-            # Keep estimates honest for subsequent planning rounds — once per
-            # distinct request, so branch fan-out does not skew the estimate.
-            self.catalog.update_estimate(
-                request.relation, max(len(outcome.relation), 1)
-            )
-        return outcomes
-
-    # -- branches -----------------------------------------------------------------
-
-    def _execute_branch(self, branch: BranchPlan, report: ExecutionReport,
-                        branch_index: int, outcomes: Dict[RequestKey, _FetchOutcome],
-                        consumed_keys: set) -> Relation:
-        staged: Dict[int, Relation] = {}
-        for index, request in enumerate(branch.requests):
-            key = self._plan_key(request, branch_index, index)
-            staged[index] = self._stage_request(
-                request, report, branch_index, outcomes[key],
-                first_use=key not in consumed_keys,
-            )
-            consumed_keys.add(key)
-
-        def instrument(operator: PhysicalOperator) -> PhysicalOperator:
-            stats = OperatorStats(
-                branch=branch_index,
-                operator=operator.operator_name,
-                detail=operator._explain_details(),
-            )
-            report.operator_stats.append(stats)
-            return _InstrumentedOperator(operator, stats)
-
-        pipeline: PhysicalOperator = instrument(TableScan(staged[branch.initial_request]))
-        for step in branch.join_steps:
-            pipeline = instrument(self._join(pipeline, staged[step.request_index], step))
-
-        if branch.post_join_conditions:
-            pipeline = instrument(Filter(pipeline, conjoin(list(branch.post_join_conditions))))
-
-        rows = list(pipeline)
-        processor = QueryProcessor(self._reject_unknown_table)
-        return processor.finalize_select(branch.select, rows, pipeline.schema)
-
     # -- source requests ---------------------------------------------------------------
 
     def _stage_request(self, request: SourceRequest, report: ExecutionReport,
                        branch_index: int, outcome: _FetchOutcome,
-                       first_use: bool) -> Relation:
-        """Phase 2: qualify, locally filter, and stage one shared fetch result."""
+                       first_use: bool) -> Tuple[Relation, str]:
+        """Phase 2: qualify, locally filter, and stage one shared fetch result.
+
+        Returns the staged relation and its temporary-store handle (the
+        stream drops the handle when it closes).  Staging copies rows at most
+        once: a filtered result is materialized by the filter itself, an
+        unfiltered fetch is copied once (wrappers may return live views of
+        their tables), and a frozen cache copy is staged purely by reference.
+        """
         started = time.perf_counter()
         fetched = outcome.relation
         rows_returned = len(fetched)
@@ -445,9 +376,11 @@ class ExecutionController:
             staged_relation = filtered.to_relation(name=f"{request.binding}_staged")
         else:
             staged_relation = Relation(qualified.schema, name=f"{request.binding}_staged")
-            staged_relation.rows = list(qualified.rows)
+            staged_relation.rows = qualified.rows if outcome.frozen else list(qualified.rows)
 
-        handle = self.temp_store.materialize(staged_relation, label=f"{request.binding}_stage")
+        handle = self.temp_store.materialize(
+            staged_relation, label=f"{request.binding}_stage", copy=False
+        )
         staged = self.temp_store.read(handle)
 
         staging_elapsed = time.perf_counter() - started
@@ -466,11 +399,12 @@ class ExecutionController:
             # so summing fetch_seconds over a report never double-counts it.
             fetch_seconds=outcome.fetch_seconds if first_use else 0.0,
         ))
-        return staged
+        return staged, handle
 
     # -- joins ----------------------------------------------------------------------------
 
-    def _join(self, left: PhysicalOperator, right_relation: Relation, step: JoinStep) -> PhysicalOperator:
+    def _join(self, left: PhysicalOperator, right_relation: Relation, step: JoinStep,
+              budget: Optional[MemoryBudget] = None) -> PhysicalOperator:
         right = TableScan(right_relation)
         if step.hash_join and step.equi_keys:
             # The planner already oriented the keys (intermediate side, staged
@@ -484,6 +418,7 @@ class ExecutionController:
                 return HashJoin(
                     left, right, left_keys, right_keys,
                     residual=conjoin(list(step.residual_conditions)),
+                    budget=budget,
                 )
         conditions = list(step.conditions)
         if step.hash_join:
@@ -491,7 +426,8 @@ class ExecutionController:
             equi, residual = self._split_equi(conditions, left, right)
             if equi is not None:
                 left_key, right_key = equi
-                return HashJoin(left, right, left_key, right_key, residual=conjoin(residual))
+                return HashJoin(left, right, left_key, right_key,
+                                residual=conjoin(residual), budget=budget)
         return NestedLoopJoin(left, right, conjoin(conditions))
 
     def _split_equi(self, conditions: List[Node], left: PhysicalOperator,

@@ -117,6 +117,12 @@ class BranchPlan:
     join_steps: List[JoinStep]
     #: Conditions that could not be attached to any join step (evaluated last).
     post_join_conditions: Tuple[Node, ...] = ()
+    #: Safe upper bound on rows this branch can contribute (LIMIT + OFFSET of
+    #: a branch whose limit provably commutes with finalization).  The
+    #: streaming executor turns it into a bounded top-k Sort, and when the
+    #: branch is a single pushable request the planner also pushes it into
+    #: the request SQL so the source ships only the needed prefix.
+    fetch_limit: Optional[int] = None
     estimated_rows: int = 0
     cost: CostEstimate = field(default_factory=CostEstimate)
 
@@ -134,6 +140,8 @@ class BranchPlan:
         if self.post_join_conditions:
             residual = " AND ".join(to_sql(node) for node in self.post_join_conditions)
             lines.append(f"{pad}  residual filter: {residual}")
+        if self.fetch_limit is not None:
+            lines.append(f"{pad}  fetch limit: {self.fetch_limit}")
         lines.append(
             f"{pad}  estimated rows: {self.estimated_rows}, cost: {self.cost.snapshot()}"
         )

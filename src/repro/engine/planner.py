@@ -16,7 +16,7 @@ locally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PlanningError
@@ -39,6 +39,7 @@ from repro.sql.ast import (
     column_refs,
     conjoin,
     conjuncts,
+    is_aggregate_call,
     walk,
 )
 from repro.sql.parser import DerivedTable
@@ -52,6 +53,9 @@ class PlannerConfig:
     push_projections: bool = True
     prefer_hash_joins: bool = True
     max_branch_tables: int = 12
+    #: Push safe LIMIT/OFFSET bounds into branch plans (top-k sorts) and, when
+    #: a branch is a single fully-pushed request, into the request SQL itself.
+    push_fetch_limits: bool = True
 
 
 class QueryPlanner:
@@ -150,6 +154,18 @@ class QueryPlanner:
         )
         post_join = tuple(list(post_join) + constant_conditions)
 
+        fetch_limit = self._branch_fetch_limit(select)
+        if (fetch_limit is not None and len(requests) == 1 and not post_join
+                and not requests[0].local_filters and requests[0].sql is not None):
+            limited = self._push_fetch_limit(select, requests[0], fetch_limit, bindings)
+            if limited is not None:
+                if request_pool is not None:
+                    # Re-pool under the limited request's identity so other
+                    # branches with the same bound still share the round trip
+                    # (no shared_counter: this is the same logical request).
+                    limited = self._pool_request(limited, request_pool, None)
+                requests[0] = limited
+
         estimated_rows = requests[initial_index].estimated_result_rows
         cost = CostEstimate()
         for request in requests:
@@ -166,8 +182,78 @@ class QueryPlanner:
             initial_request=initial_index,
             join_steps=join_steps,
             post_join_conditions=post_join,
+            fetch_limit=fetch_limit,
             estimated_rows=estimated_rows,
             cost=cost,
+        )
+
+    # -- fetch-limit push-down -------------------------------------------------------
+
+    def _branch_fetch_limit(self, select: Select) -> Optional[int]:
+        """The branch's safe row bound, or None when LIMIT does not commute.
+
+        A LIMIT commutes with finalization only when no phase after it can
+        change the row count: DISTINCT, GROUP BY, HAVING and aggregates all
+        disqualify the branch (they collapse rows after the bound would have
+        truncated them).
+        """
+        if not self.config.push_fetch_limits or select.limit is None:
+            return None
+        if select.distinct or select.group_by or select.having is not None:
+            return None
+        if any(
+            is_aggregate_call(node)
+            for item in select.items
+            for node in walk(item.expr)
+        ):
+            return None
+        return select.limit + (select.offset or 0)
+
+    def _push_fetch_limit(self, select: Select, request: SourceRequest,
+                          fetch_limit: int, bindings: Dict[str, str],
+                          ) -> Optional[SourceRequest]:
+        """Rebuild a single-request branch's pushed SQL with its row bound.
+
+        Without ORDER BY any ``fetch_limit`` rows satisfy the branch, so the
+        bound is always pushable.  With ORDER BY the source must be able to
+        sort, and every key must be a plain column of this binding — the
+        source then ships exactly the prefix the engine's final (identical)
+        sort would keep.  Output-alias and expression keys stay local.
+        """
+        entry = self.catalog.entry(request.relation)
+        capabilities = entry.capabilities
+        order_by = request.sql.order_by
+        if select.order_by:
+            if not capabilities.order_by:
+                return None
+            table_binding = request.sql.tables[0].binding
+            rebuilt = []
+            for item in select.order_by:
+                expr = item.expr
+                if not isinstance(expr, ColumnRef):
+                    return None
+                try:
+                    binding = self._resolve_binding(expr, bindings)
+                except PlanningError:
+                    # Unqualified name that is an output alias, not a column.
+                    return None
+                if binding != request.binding.lower():
+                    return None
+                rebuilt.append(replace(
+                    item, expr=ColumnRef(name=expr.name, table=table_binding)
+                ))
+            order_by = tuple(rebuilt)
+        limited_rows = (
+            min(request.estimated_result_rows, fetch_limit)
+            if request.estimated_result_rows else fetch_limit
+        )
+        return replace(
+            request,
+            sql=replace(request.sql, order_by=order_by, limit=fetch_limit),
+            estimated_result_rows=limited_rows,
+            cost=self.cost_model.source_query_cost(
+                capabilities, request.estimated_base_rows, limited_rows
+            ),
         )
 
     @staticmethod

@@ -1,0 +1,497 @@
+"""The streaming execution core: a pull-based cursor over a query plan.
+
+A :class:`ResultStream` turns plan interpretation inside-out.  Instead of
+fetching everything, joining everything and materializing the answer, it
+
+* dispatches the plan's (deduplicated) source fetches **asynchronously** on
+  the bounded pool — or lazily, one at a time, when the pool is bounded to a
+  single request — and awaits each result only when a branch actually needs
+  it staged;
+* stages and finalizes branches **lazily**, in plan order, through the same
+  physical operators and the same finalization semantics as the eager path —
+  the common non-aggregated shape streams through ``Project`` → ``Sort`` →
+  ``Distinct`` → ``Limit`` operator by operator, while grouped/aggregated
+  branches fall back to the materializing finalizer per branch;
+* threads one shared :class:`~repro.relational.budget.MemoryBudget` through
+  every memory-hungry operator, so the statement's operator memory is bounded
+  and spills are observable in the execution report;
+* **terminates early**: a consumer that stops pulling (a satisfied LIMIT, an
+  explicit :meth:`close`) cancels source fetches that were never consumed,
+  drops the staged temporaries, and releases the fetch pool mid-query.
+
+``ExecutionController.execute`` drains a stream to re-create the historical
+eager behaviour byte for byte: same rows, same order, same report fields —
+plus the new streaming and memory counters.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ExecutionError, SchemaError
+from repro.engine.executor import (
+    ExecutionReport,
+    OperatorStats,
+    _FetchOutcome,
+    _InFlightGauge,
+    _InstrumentedOperator,
+)
+from repro.engine.plan import BranchPlan, QueryPlan, SourceRequest
+from repro.engine.request_cache import RequestKey
+from repro.relational.budget import MemoryBudget, estimate_row_bytes
+from repro.relational.operators import (
+    Distinct,
+    Filter,
+    Limit,
+    PhysicalOperator,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.relational.query import (
+    QueryProcessor,
+    expand_star_items,
+    finalize_distinct_key,
+    output_names,
+)
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Schema
+from repro.relational.types import sort_key as value_sort_key
+from repro.sql.ast import ColumnRef, Literal, Select, conjoin, is_aggregate_call, walk
+
+
+def _relation_bytes(relation: Relation) -> int:
+    """Sample-based byte estimate of a staged relation (accounting only)."""
+    if not relation.rows:
+        return 0
+    return estimate_row_bytes(relation.rows[0]) * len(relation.rows)
+
+
+class ResultStream:
+    """A pull-based cursor over one plan execution.
+
+    Iterate it, or drive it DB-API style with :meth:`fetchone` /
+    :meth:`fetchmany` / :meth:`fetchall`.  The stream closes itself on
+    exhaustion; close it explicitly (or use it as a context manager) when
+    abandoning it early so outstanding fetches are cancelled and staged
+    temporaries released.  ``report`` is filled progressively and finalized
+    (elapsed, peaks, temp-storage snapshot) when the stream finishes.
+    """
+
+    def __init__(self, controller, plan: QueryPlan):
+        if not plan.branches:
+            raise ExecutionError(
+                "cannot execute a plan with no branches: the planner produced "
+                "an empty UNION (no SELECT branch to evaluate)"
+            )
+        self.controller = controller
+        self.plan = plan
+        self.report = ExecutionReport()
+        self.budget = MemoryBudget(controller.memory_budget_bytes)
+        self.report.memory_limit_bytes = controller.memory_budget_bytes or 0
+
+        self._started = time.perf_counter()
+        self._closed = False
+        self._exhausted = False
+        self._first_row_seen = False
+        self._schema: Optional[Schema] = None
+        self._first_branch: Optional[Tuple[Iterator[Row], Schema]] = None
+        self._staged_handles: List[str] = []
+        self._staged_released = False
+        #: Keys already staged at least once (drives dedup_hit bookkeeping).
+        self._consumed_keys: set = set()
+        #: Keys whose fetch result was consumed (cache put + estimate done).
+        self._finalized_keys: set = set()
+        self._gauge = _InFlightGauge()
+        self._close_callbacks: List[Callable[[ExecutionReport], None]] = []
+        self._processor = QueryProcessor(controller._reject_unknown_table)
+
+        # -- phase 1: dedup, cache-resolve, dispatch ---------------------------
+        self._distinct: Dict[RequestKey, SourceRequest] = {}
+        total_units = 0
+        for branch_index, branch in enumerate(plan.branches):
+            for request_index, request in enumerate(branch.requests):
+                total_units += 1
+                key = controller._plan_key(request, branch_index, request_index)
+                if key not in self._distinct:
+                    self._distinct[key] = request
+        self.report.distinct_requests = len(self._distinct)
+        self.report.dedup_hits = total_units - len(self._distinct)
+
+        self._cache = controller.request_cache if controller.deduplicate else None
+        self._outcomes: Dict[RequestKey, _FetchOutcome] = {}
+        pending: List[RequestKey] = []
+        for key, request in self._distinct.items():
+            cached = self._cache.get(key) if self._cache is not None else None
+            if cached is not None:
+                self._outcomes[key] = _FetchOutcome(
+                    relation=cached, request_text=request.request_text,
+                    cache_hit=True, frozen=True,
+                )
+                self.report.cache_hits += 1
+            else:
+                pending.append(key)
+
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._futures: Dict[RequestKey, "Future[_FetchOutcome]"] = {}
+        if controller.max_concurrent_requests > 1 and len(pending) > 1:
+            workers = min(controller.max_concurrent_requests, len(pending))
+            self._pool = ThreadPoolExecutor(max_workers=workers,
+                                            thread_name_prefix="source-fetch")
+            queued_at = time.perf_counter()
+            for key in pending:
+                self._futures[key] = self._pool.submit(self._fetch, key, queued_at)
+        # else: remaining fetches happen lazily, serially, on first staging —
+        # branches a satisfied LIMIT never reaches cost no round trip at all.
+
+        self._rows = self._generate()
+
+    # -- fetching ------------------------------------------------------------------
+
+    def _fetch(self, key: RequestKey, queued_at: float) -> _FetchOutcome:
+        request = self._distinct[key]
+        wrapper = self.controller.catalog.wrappers.get(request.wrapper_name)
+        with self._gauge:
+            fetch_started = time.perf_counter()
+            if request.sql is not None:
+                fetched = wrapper.query(request.sql)
+            else:
+                fetched = wrapper.fetch(request.relation)
+            fetch_elapsed = time.perf_counter() - fetch_started
+        return _FetchOutcome(
+            relation=fetched,
+            request_text=request.request_text,
+            fetch_seconds=fetch_elapsed,
+            wait_seconds=fetch_started - queued_at,
+        )
+
+    def _outcome(self, key: RequestKey) -> _FetchOutcome:
+        """The fetch result for ``key``, awaiting or issuing it if needed."""
+        outcome = self._outcomes.get(key)
+        if outcome is None:
+            future = self._futures.get(key)
+            if future is not None:
+                outcome = future.result()
+            else:
+                outcome = self._fetch(key, time.perf_counter())
+            self._outcomes[key] = outcome
+        self._consume_outcome(key, outcome)
+        return outcome
+
+    def _consume_outcome(self, key: RequestKey, outcome: _FetchOutcome) -> None:
+        """One-time bookkeeping per distinct fetch: cache put + estimate."""
+        if key in self._finalized_keys:
+            return
+        self._finalized_keys.add(key)
+        request = self._distinct[key]
+        if self._cache is not None and not outcome.cache_hit:
+            self._cache.put(key, outcome.relation)
+        # Keep estimates honest for subsequent planning rounds — once per
+        # distinct request, so branch fan-out does not skew the estimate.
+        self.controller.catalog.update_estimate(
+            request.relation, max(len(outcome.relation), 1)
+        )
+
+    # -- branch pipelines ----------------------------------------------------------
+
+    def _build_branch(self, branch_index: int) -> Tuple[Iterator[Row], Schema]:
+        """Stage one branch's inputs and build its (streaming) pipeline."""
+        controller = self.controller
+        branch: BranchPlan = self.plan.branches[branch_index]
+        report = self.report
+
+        staged: Dict[int, Relation] = {}
+        for index, request in enumerate(branch.requests):
+            key = controller._plan_key(request, branch_index, index)
+            outcome = self._outcome(key)
+            relation, handle = controller._stage_request(
+                request, report, branch_index, outcome,
+                first_use=key not in self._consumed_keys,
+            )
+            self._consumed_keys.add(key)
+            self._staged_handles.append(handle)
+            report.staged_bytes += _relation_bytes(relation)
+            staged[index] = relation
+
+        def instrument(operator: PhysicalOperator) -> PhysicalOperator:
+            stats = OperatorStats(
+                branch=branch_index,
+                operator=operator.operator_name,
+                detail=operator._explain_details(),
+            )
+            report.operator_stats.append(stats)
+            return _InstrumentedOperator(operator, stats)
+
+        pipeline: PhysicalOperator = instrument(TableScan(staged[branch.initial_request]))
+        for step in branch.join_steps:
+            pipeline = instrument(
+                controller._join(pipeline, staged[step.request_index], step, self.budget)
+            )
+        if branch.post_join_conditions:
+            pipeline = instrument(
+                Filter(pipeline, conjoin(list(branch.post_join_conditions)))
+            )
+
+        streaming = self._streaming_finalizer(branch, pipeline, instrument)
+        if streaming is not None:
+            return streaming
+        # Grouped/aggregated (or alias-opaque ORDER BY) branches: finalize
+        # with the materializing processor — semantics identical to the eager
+        # path, streamed to the consumer as one branch-sized chunk.
+        relation = self._processor.finalize_select(
+            branch.select, list(pipeline), pipeline.schema
+        )
+        return iter(relation.rows), relation.schema
+
+    def _streaming_finalizer(self, branch: BranchPlan, pipeline: PhysicalOperator,
+                             instrument: Callable[[PhysicalOperator], PhysicalOperator],
+                             ) -> Optional[Tuple[Iterator[Row], Schema]]:
+        """Build the operator form of SELECT finalization, when it streams.
+
+        Mirrors ``QueryProcessor.finalize_select`` exactly for the eligible
+        shape: no GROUP BY, no aggregates, no HAVING, and every ORDER BY key
+        resolvable against the *output* row (alias or 1-based position).
+        Anything else returns None and finalizes materialized.
+        """
+        select: Select = branch.select
+        has_aggregates = any(
+            is_aggregate_call(node)
+            for item in select.items
+            for node in walk(item.expr)
+        )
+        if select.group_by or has_aggregates or select.having is not None:
+            return None
+
+        items = expand_star_items(list(select.items), pipeline.schema)
+        names = output_names(items)
+        subquery_executor = self._processor._subquery_executor
+        project = Project(pipeline, [item.expr for item in items], names,
+                          subquery_executor)
+        output_schema = project.schema
+        operator: PhysicalOperator = instrument(project)
+
+        if select.order_by:
+            alias_positions = {
+                name.lower(): index
+                for index, name in enumerate(output_schema.names)
+            }
+            # An ORDER BY key structurally identical to a projected expression
+            # yields exactly the value sitting at that output position, so it
+            # can be ordered post-projection without the source context row.
+            expression_positions: Dict[object, int] = {}
+            for index, item in enumerate(items):
+                expression_positions.setdefault(item.expr, index)
+            key_functions: List[Tuple[Callable[[Row], object], bool]] = []
+            for item in select.order_by:
+                expr = item.expr
+                position: Optional[int] = None
+                if (isinstance(expr, ColumnRef) and expr.table is None
+                        and expr.name.lower() in alias_positions):
+                    position = alias_positions[expr.name.lower()]
+                elif (isinstance(expr, Literal) and isinstance(expr.value, int)
+                        and not isinstance(expr.value, bool)):
+                    literal_position = expr.value - 1
+
+                    def positional(row: Row, position=literal_position,
+                                   literal=expr.value):
+                        if 0 <= position < len(row):
+                            return value_sort_key(row[position])
+                        return value_sort_key(literal)
+
+                    key_functions.append((positional, item.ascending))
+                    continue
+                elif expr in expression_positions:
+                    position = expression_positions[expr]
+                if position is None:
+                    # The key needs the pre-projection context row; only the
+                    # materializing finalizer carries that context.
+                    return None
+                key_functions.append((
+                    lambda row, position=position: value_sort_key(row[position]),
+                    item.ascending,
+                ))
+            top_k = branch.fetch_limit if not select.distinct else None
+            operator = instrument(Sort(
+                operator,
+                [(item.expr, item.ascending) for item in select.order_by],
+                key_functions=key_functions,
+                budget=self.budget,
+                limit=top_k,
+            ))
+
+        if select.distinct:
+            operator = instrument(Distinct(
+                operator, budget=self.budget, key=finalize_distinct_key
+            ))
+
+        if select.limit is not None or select.offset is not None:
+            operator = instrument(Limit(operator, select.limit, select.offset or 0))
+
+        return iter(operator), output_schema
+
+    def _ensure_first_branch(self) -> None:
+        if self._first_branch is None:
+            self._first_branch = self._build_branch(0)
+            self._schema = self._first_branch[1]
+
+    # -- row production --------------------------------------------------------------
+
+    def _generate(self) -> Iterator[Row]:
+        self._ensure_first_branch()
+        rows_iter, _schema = self._first_branch
+        base_arity = len(self._schema)
+        union_distinct = len(self.plan.branches) > 1 and not self.plan.union_all
+        seen = set() if union_distinct else None
+        report = self.report
+
+        for branch_index in range(len(self.plan.branches)):
+            if branch_index > 0:
+                rows_iter, branch_schema = self._build_branch(branch_index)
+                if len(branch_schema) != base_arity:
+                    raise SchemaError("UNION requires relations of the same arity")
+            branch_count = 0
+            for row in rows_iter:
+                branch_count += 1
+                if seen is not None:
+                    key = tuple(row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                yield row
+            report.branch_rows.append(branch_count)
+
+    # -- consumer API ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The result schema (stages the first branch's inputs if needed)."""
+        self._ensure_first_branch()
+        return self._schema
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __iter__(self) -> "ResultStream":
+        return self
+
+    def __next__(self) -> Row:
+        if self._exhausted:
+            raise StopIteration
+        if self._closed:
+            raise ExecutionError("cannot fetch from a closed result stream")
+        try:
+            row = next(self._rows)
+        except StopIteration:
+            self._exhausted = True
+            self.close()
+            raise
+        except BaseException:
+            # Mid-stream failure: release resources and cancel outstanding
+            # fetches so a broken statement never pins the scheduler.
+            self.close()
+            raise
+        if not self._first_row_seen:
+            self._first_row_seen = True
+            self.report.first_row_seconds = time.perf_counter() - self._started
+        self.report.rows_streamed += 1
+        return row
+
+    def fetchone(self) -> Optional[Row]:
+        try:
+            return next(self)
+        except StopIteration:
+            return None
+
+    def fetchmany(self, size: int = 1) -> List[Row]:
+        rows: List[Row] = []
+        for _ in range(max(0, size)):
+            row = self.fetchone()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def fetchall(self) -> List[Row]:
+        return list(self)
+
+    def to_relation(self, name: Optional[str] = None) -> Relation:
+        """Drain the remaining rows into a materialized relation."""
+        rows = self.fetchall()
+        relation = Relation(self.schema, name=name)
+        relation.rows = rows
+        return relation
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def on_close(self, callback: Callable[[ExecutionReport], None]) -> None:
+        """Run ``callback(report)`` once, when the stream finishes or closes."""
+        self._close_callbacks.append(callback)
+
+    def close(self) -> None:
+        """Finish the stream: cancel what was never consumed, free resources.
+
+        Idempotent.  Outstanding fetches that already completed are banked
+        (cached, estimates updated) since their round trip was paid; queued
+        ones are cancelled and counted in ``report.cancelled_fetches``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+
+        for key, future in self._futures.items():
+            if key in self._finalized_keys:
+                continue
+            if future.cancel():
+                self.report.cancelled_fetches += 1
+            elif future.done():
+                try:
+                    outcome = future.result()
+                except BaseException:
+                    continue  # a failed fetch of a never-consumed branch
+                self._outcomes[key] = outcome
+                self._consume_outcome(key, outcome)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+        self.report.max_in_flight = self._gauge.peak
+        self.report.result_rows = self.report.rows_streamed
+        self.report.elapsed_seconds = time.perf_counter() - self._started
+        self.report.temp_storage = self.controller.temp_store.statistics.snapshot()
+        memory = self.budget.snapshot()
+        self.report.peak_memory_bytes = memory["peak_bytes"]
+        self.report.spill_count = memory["spill_count"]
+        self.report.spilled_rows = memory["spilled_rows"]
+        self.report.spilled_bytes = memory["spilled_bytes"]
+
+        self._release_staged()
+
+        callbacks, self._close_callbacks = self._close_callbacks, []
+        for callback in callbacks:
+            callback(self.report)
+
+    def _release_staged(self) -> None:
+        if self._staged_released:
+            return
+        self._staged_released = True
+        for handle in self._staged_handles:
+            self.controller.temp_store.drop(handle)
+        self._staged_handles = []
+
+    def __enter__(self) -> "ResultStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - safety net for abandoned streams
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -60,6 +60,90 @@ class FederationAnswer:
         return self.mediation.explain()
 
 
+class FederationCursor:
+    """A streaming answer: rows pulled on demand instead of materialized.
+
+    Wraps the engine's :class:`~repro.engine.stream.ResultStream` with the
+    mediation metadata a receiver needs (mediated SQL, conflict explanations,
+    column annotations).  ``fetchmany``/``fetchone``/``fetchall`` pull rows;
+    ``close()`` cancels still-outstanding source fetches, releases staged
+    temporaries and the statement's fetch-pool slots mid-query.  Annotations
+    and the description are schema-level, so they are available before (and
+    without) draining the result.
+    """
+
+    def __init__(self, federation: "Federation", prepared: MediatedPlan, stream):
+        self.federation = federation
+        self.prepared = prepared
+        self.stream = stream
+        self._annotations: Optional[List[ColumnAnnotation]] = None
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def mediation(self) -> MediationResult:
+        return self.prepared.mediation
+
+    @property
+    def mediated_sql(self) -> str:
+        return self.prepared.mediation.sql
+
+    @property
+    def schema(self):
+        return self.stream.schema
+
+    @property
+    def description(self) -> List[Tuple]:
+        """DB-API style 7-tuples for the result columns."""
+        return [
+            (attribute.name, attribute.type.value, None, None, None, None, None)
+            for attribute in self.stream.schema
+        ]
+
+    @property
+    def annotations(self) -> List[ColumnAnnotation]:
+        if self._annotations is None:
+            self._annotations = self.federation.transformer.annotate(
+                Relation(self.stream.schema),
+                self.prepared.column_semantics,
+                self.prepared.mediation.receiver_context,
+            )
+        return self._annotations
+
+    @property
+    def report(self):
+        return self.stream.report
+
+    @property
+    def exhausted(self) -> bool:
+        return self.stream.exhausted
+
+    # -- fetching ----------------------------------------------------------------
+
+    def fetchone(self):
+        return self.stream.fetchone()
+
+    def fetchmany(self, size: int = 1):
+        return self.stream.fetchmany(size)
+
+    def fetchall(self):
+        return self.stream.fetchall()
+
+    def __iter__(self):
+        return iter(self.stream)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self.stream.close()
+
+    def __enter__(self) -> "FederationCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 @dataclass
 class PreparedQuery:
     """A receiver statement compiled once — mediated and planned — for reuse.
@@ -90,8 +174,12 @@ class PreparedQuery:
     def fingerprint(self) -> str:
         return self.plan.fingerprint
 
-    def execute(self) -> FederationAnswer:
+    def execute(self, stream: bool = False):
+        """Run the statement: a materialized answer, or (``stream=True``) a
+        :class:`FederationCursor` pulling rows on demand."""
         self.plan = self.federation.pipeline.refresh(self.plan)
+        if stream:
+            return self.federation._run_stream(self.plan)
         return self.federation._run(self.plan)
 
     def close(self) -> None:
@@ -106,7 +194,8 @@ class Federation:
                  planner_config: Optional[PlannerConfig] = None, name: str = "federation",
                  request_cache_size: int = 256,
                  max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
-                 plan_cache_size: int = 128):
+                 plan_cache_size: int = 128,
+                 memory_budget_bytes: Optional[int] = None):
         """Wire up a federation.
 
         ``request_cache_size`` bounds the source-result cache that lets
@@ -115,7 +204,10 @@ class Federation:
         bounds how many source fetches one statement keeps in flight at once
         (1 forces serial dispatch).  ``plan_cache_size`` bounds the mediation
         and plan caches of the query pipeline (0 disables them — every
-        statement re-mediates and re-plans).
+        statement re-mediates and re-plans).  ``memory_budget_bytes`` bounds
+        per-statement operator memory: sorts, distincts and hash-join build
+        sides spill to temporary files instead of exceeding it (None =
+        unbounded).
         """
         self.name = name
         self.system = system
@@ -126,6 +218,7 @@ class Federation:
             planner_config=planner_config,
             request_cache=self.request_cache,
             max_concurrent_requests=max_concurrent_requests,
+            memory_budget_bytes=memory_budget_bytes,
         )
         self.mediator = ContextMediator(system, default_receiver_context)
         self.transformer = AnswerTransformer(system)
@@ -195,7 +288,7 @@ class Federation:
     # -- the core operation -----------------------------------------------------------------
 
     def query(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
-              mediate: bool = True) -> FederationAnswer:
+              mediate: bool = True, stream: bool = False):
         """Answer a receiver query.
 
         With ``mediate=False`` the query is executed verbatim (the "naive"
@@ -204,8 +297,16 @@ class Federation:
         context mediator.  Either way the compiled pipeline product is
         memoized, so repeating a statement against an unchanged federation
         costs only execution.
+
+        With ``stream=True`` the answer is a :class:`FederationCursor`
+        instead of a materialized :class:`FederationAnswer`: rows are pulled
+        with ``fetchmany``/``fetchone``, first rows arrive while slower
+        branches are still fetching, and closing the cursor early cancels
+        outstanding source round trips.
         """
         prepared = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
+        if stream:
+            return self._run_stream(prepared)
         return self._run(prepared)
 
     def prepare(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
@@ -213,6 +314,10 @@ class Federation:
         """Compile a receiver statement once for repeated execution."""
         plan = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
         return PreparedQuery(federation=self, plan=plan)
+
+    def _run_stream(self, prepared: MediatedPlan) -> FederationCursor:
+        stream = self.engine.execute_stream(prepared.plan)
+        return FederationCursor(federation=self, prepared=prepared, stream=stream)
 
     def _run(self, prepared: MediatedPlan) -> FederationAnswer:
         execution = self.engine.execute(prepared.plan)

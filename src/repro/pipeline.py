@@ -82,6 +82,12 @@ class MediatedPlan:
         """The original receiver statement this plan answers."""
         return self.mediation.original
 
+    @property
+    def column_semantics(self):
+        """Per-column semantic types (consumed by answer annotation, both for
+        materialized answers and for streaming cursors)."""
+        return self.mediation.column_semantics
+
 
 @dataclass
 class PipelineStatistics:

@@ -17,10 +17,12 @@ Every operator exposes:
 
 from __future__ import annotations
 
+import heapq
 from decimal import Decimal
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
+from repro.relational.budget import MemoryBudget, SpillFile, estimate_row_bytes
 from repro.relational.compile import ExpressionCompiler
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Attribute, Schema
@@ -266,11 +268,18 @@ class HashJoin(PhysicalOperator):
 
     operator_name = "HashJoin"
 
+    #: Build-side partitions used by the spilled (Grace) fallback.
+    SPILL_PARTITIONS = 32
+
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
                  left_key, right_key, residual: Optional[Node] = None,
-                 subquery_executor: Optional[Callable[[Node], Relation]] = None):
+                 subquery_executor: Optional[Callable[[Node], Relation]] = None,
+                 budget: Optional[MemoryBudget] = None):
         self.left = left
         self.right = right
+        self.budget = budget
+        #: True once an iteration had to fall back to partitioned spilling.
+        self.spilled = False
         self.left_keys: List[Node] = list(left_key) if not isinstance(left_key, Node) else [left_key]
         self.right_keys: List[Node] = list(right_key) if not isinstance(right_key, Node) else [right_key]
         if len(self.left_keys) != len(self.right_keys) or not self.left_keys:
@@ -318,22 +327,84 @@ class HashJoin(PhysicalOperator):
     def __iter__(self) -> Iterator[Row]:
         buckets: Dict[Any, List[Row]] = {}
         right_fns = self._right_key_fns
-        for right_row in self.right:
-            key = self._composite_key(right_fns, right_row)
-            if key is None:
-                continue
-            buckets.setdefault(key, []).append(right_row)
-        residual_predicate = self._residual_predicate
-        left_fns = self._left_key_fns
-        empty: List[Row] = []
-        for left_row in self.left:
-            key = self._composite_key(left_fns, left_row)
-            if key is None:
-                continue
-            for right_row in buckets.get(key, empty):
-                combined = left_row + right_row
-                if residual_predicate is None or residual_predicate(combined) is True:
-                    yield combined
+        budget = self.budget
+        build_bytes = 0
+        build_rows = 0
+        build_spill: Optional[List[SpillFile]] = None
+        try:
+            for right_row in self.right:
+                key = self._composite_key(right_fns, right_row)
+                if key is None:
+                    continue
+                if build_spill is None and budget is not None:
+                    nbytes = estimate_row_bytes(right_row)
+                    if budget.try_reserve(nbytes):
+                        build_bytes += nbytes
+                    else:
+                        # The build side outgrew the budget: switch to Grace
+                        # partitioning — flush the buckets built so far to
+                        # per-partition spill files and keep partitioning.
+                        build_spill = [SpillFile("hashjoin-build-")
+                                       for _ in range(self.SPILL_PARTITIONS)]
+                        for built_key, built_rows in buckets.items():
+                            partition = build_spill[hash(built_key) % self.SPILL_PARTITIONS]
+                            for built_row in built_rows:
+                                partition.append((built_key, built_row))
+                        budget.record_spill(build_rows, build_bytes)
+                        budget.release(build_bytes)
+                        build_bytes = 0
+                        buckets = {}
+                        self.spilled = True
+                if build_spill is not None:
+                    build_spill[hash(key) % self.SPILL_PARTITIONS].append((key, right_row))
+                else:
+                    buckets.setdefault(key, []).append(right_row)
+                    build_rows += 1
+
+            residual_predicate = self._residual_predicate
+            left_fns = self._left_key_fns
+            if build_spill is None:
+                empty: List[Row] = []
+                for left_row in self.left:
+                    key = self._composite_key(left_fns, left_row)
+                    if key is None:
+                        continue
+                    for right_row in buckets.get(key, empty):
+                        combined = left_row + right_row
+                        if residual_predicate is None or residual_predicate(combined) is True:
+                            yield combined
+                return
+
+            # Grace fallback: partition the (streamed-once) probe side by the
+            # same hash, then join partition by partition.  Output order is
+            # deterministic — partitions in index order, probe order within
+            # each — but differs from the in-memory build's probe order.
+            probe_spill = [SpillFile("hashjoin-probe-")
+                           for _ in range(self.SPILL_PARTITIONS)]
+            try:
+                for left_row in self.left:
+                    key = self._composite_key(left_fns, left_row)
+                    if key is None:
+                        continue
+                    probe_spill[hash(key) % self.SPILL_PARTITIONS].append((key, left_row))
+                for index in range(self.SPILL_PARTITIONS):
+                    partition_buckets: Dict[Any, List[Row]] = {}
+                    for key, right_row in build_spill[index].read():
+                        partition_buckets.setdefault(key, []).append(right_row)
+                    for key, left_row in probe_spill[index].read():
+                        for right_row in partition_buckets.get(key, ()):
+                            combined = left_row + right_row
+                            if residual_predicate is None or residual_predicate(combined) is True:
+                                yield combined
+            finally:
+                for spill in probe_spill:
+                    spill.close()
+        finally:
+            if build_spill is not None:
+                for spill in build_spill:
+                    spill.close()
+            if budget is not None and build_bytes:
+                budget.release(build_bytes)
 
     @property
     def estimated_rows(self) -> int:
@@ -363,13 +434,36 @@ def _hash_key(value: Any) -> Any:
     return ("s", value)
 
 
+def _default_distinct_key(row: Row) -> Tuple:
+    return tuple(_hash_key(value) if value is not None else None for value in row)
+
+
 class Distinct(PhysicalOperator):
-    """Remove duplicate rows, preserving first-occurrence order."""
+    """Remove duplicate rows, preserving first-occurrence order.
+
+    ``key`` customizes the duplicate test (a callable mapping a row to a
+    hashable, picklable key); the default normalizes numerics the same way the
+    hash join does.  With a :class:`MemoryBudget`, a seen-set that outgrows
+    the budget triggers an external two-phase dedup: seen keys and the
+    remaining input are hash-partitioned to spill files, each partition is
+    deduplicated independently, and survivors merge back **in original input
+    order** — the spilled path yields exactly the rows, in exactly the order,
+    of the in-memory path.
+    """
 
     operator_name = "Distinct"
 
-    def __init__(self, child: PhysicalOperator):
+    #: Partition fan-out of the spilled dedup.
+    SPILL_PARTITIONS = 32
+
+    def __init__(self, child: PhysicalOperator,
+                 budget: Optional[MemoryBudget] = None,
+                 key: Optional[Callable[[Row], Tuple]] = None):
         self.child = child
+        self.budget = budget
+        self._key = key or _default_distinct_key
+        #: True once an iteration had to fall back to partitioned spilling.
+        self.spilled = False
 
     @property
     def schema(self) -> Schema:
@@ -380,31 +474,166 @@ class Distinct(PhysicalOperator):
         return (self.child,)
 
     def __iter__(self) -> Iterator[Row]:
+        key_fn = self._key
+        budget = self.budget
         seen = set()
-        for row in self.child:
-            key = tuple(_hash_key(value) if value is not None else None for value in row)
-            if key not in seen:
+        seen_bytes = 0
+        iterator = enumerate(iter(self.child))
+        try:
+            for sequence, row in iterator:
+                key = key_fn(row)
+                if key in seen:
+                    continue
+                nbytes = estimate_row_bytes(row)
+                if budget is not None and not budget.try_reserve(nbytes):
+                    # The spill path releases (and re-accounts) the seen-set
+                    # itself; zero the local so the finally does not double-release.
+                    spill_bytes, seen_bytes = seen_bytes, 0
+                    yield from self._spill_remainder(
+                        iterator, seen, spill_bytes, sequence, row, key
+                    )
+                    return
                 seen.add(key)
+                seen_bytes += nbytes
                 yield row
+        finally:
+            # Runs on exhaustion *and* on early termination (a downstream
+            # LIMIT closing this generator): the reservation never outlives
+            # the operator.
+            if budget is not None and seen_bytes:
+                budget.release(seen_bytes)
+
+    def _spill_remainder(self, iterator, seen, seen_bytes: int,
+                         sequence: int, row: Row, key) -> Iterator[Row]:
+        """External dedup of everything not yet emitted.
+
+        Keys already emitted become suppression markers in their partitions
+        (they sort before any row, being written first); remaining rows carry
+        their input sequence number so the surviving first occurrences can be
+        merged back into global input order.
+        """
+        budget = self.budget
+        self.spilled = True
+        partitions = [SpillFile("distinct-") for _ in range(self.SPILL_PARTITIONS)]
+        survivors = [SpillFile("distinct-out-") for _ in range(self.SPILL_PARTITIONS)]
+        try:
+            for emitted_key in seen:
+                partitions[hash(emitted_key) % self.SPILL_PARTITIONS].append(
+                    (None, emitted_key)
+                )
+            budget.record_spill(len(seen), seen_bytes)
+            budget.release(seen_bytes)
+            seen.clear()
+
+            partitions[hash(key) % self.SPILL_PARTITIONS].append((sequence, row, key))
+            for later_sequence, later_row in iterator:
+                later_key = self._key(later_row)
+                partitions[hash(later_key) % self.SPILL_PARTITIONS].append(
+                    (later_sequence, later_row, later_key)
+                )
+
+            # Phase 2: per-partition dedup (markers first, then rows in input
+            # order); survivors stream out per partition, already
+            # sequence-sorted because partition files preserve write order.
+            for index in range(self.SPILL_PARTITIONS):
+                local_seen = set()
+                for item in partitions[index].read():
+                    if item[0] is None:
+                        local_seen.add(item[1])
+                        continue
+                    item_sequence, item_row, item_key = item
+                    if item_key in local_seen:
+                        continue
+                    local_seen.add(item_key)
+                    survivors[index].append((item_sequence, item_row))
+                partitions[index].close()
+
+            merged = heapq.merge(
+                *[survivor.read() for survivor in survivors],
+                key=lambda pair: pair[0],
+            )
+            for _sequence, survivor_row in merged:
+                yield survivor_row
+        finally:
+            for spill in partitions:
+                spill.close()
+            for spill in survivors:
+                spill.close()
 
     @property
     def estimated_rows(self) -> int:
         return self.child.estimated_rows
 
 
+class _Descending:
+    """Wraps a sort key so ascending comparisons produce descending order.
+
+    ``sort_key`` values are totally ordered tuples, so inverting ``<`` is
+    enough for ``list.sort``, ``heapq.merge`` and ``heapq.nsmallest``.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.value < self.value
+
+    def __le__(self, other: "_Descending") -> bool:
+        return not self.value < other.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Descending) and self.value == other.value
+
+
 class Sort(PhysicalOperator):
-    """Materializing sort on a list of (expression, ascending) keys."""
+    """Sort on a list of (expression, ascending) keys.
+
+    By default the input is buffered and sorted in memory (the historical
+    behaviour).  Two extensions serve the streaming execution core:
+
+    * ``budget`` — a shared :class:`MemoryBudget`; when buffering the input
+      would exceed it, the buffered prefix is sorted and spilled as a run,
+      and the final output is an external merge over the (sorted) runs.  The
+      merged order is byte-identical to the in-memory sort, including
+      stability: runs partition the input by arrival time and
+      :func:`heapq.merge` is stable across its inputs.
+    * ``limit`` — a top-k bound (LIMIT + OFFSET already combined by the
+      caller): only the ``limit`` smallest rows are kept, in a bounded heap
+      that never spills.
+
+    ``key_functions`` overrides the compiled per-key functions — an aligned
+    list of ``(row -> orderable, ascending)`` pairs — used by the streaming
+    finalizer to order by output positions instead of expressions.
+    """
 
     operator_name = "Sort"
 
+    #: Smallest buffer worth spilling as a run.  Without a floor, a budget
+    #: pinned by *another* operator would degenerate into one run (one open
+    #: temp file) per input row; with it, runs are at least
+    #: ``min(this, limit/2)`` bytes, bounding open files to input/run size.
+    MIN_SPILL_RUN_BYTES = 32 * 1024
+
     def __init__(self, child: PhysicalOperator, keys: Sequence[Tuple[Node, bool]],
-                 subquery_executor: Optional[Callable[[Node], Relation]] = None):
+                 subquery_executor: Optional[Callable[[Node], Relation]] = None,
+                 budget: Optional[MemoryBudget] = None,
+                 limit: Optional[int] = None,
+                 key_functions: Optional[Sequence[Tuple[Callable[[Row], Any], bool]]] = None):
         self.child = child
         self.keys = list(keys)
-        compiler = ExpressionCompiler(child.schema, subquery_executor)
-        self._key_fns = [
-            (compiler.sort_key(expr), ascending) for expr, ascending in self.keys
-        ]
+        self.budget = budget
+        self.limit = limit
+        if key_functions is not None:
+            self._key_fns = list(key_functions)
+        else:
+            compiler = ExpressionCompiler(child.schema, subquery_executor)
+            self._key_fns = [
+                (compiler.sort_key(expr), ascending) for expr, ascending in self.keys
+            ]
+        #: How many sorted runs the last iteration spilled (0 = in memory).
+        self.spill_runs = 0
 
     @property
     def schema(self) -> Schema:
@@ -414,20 +643,93 @@ class Sort(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
+    def _composite_key(self) -> Callable[[Row], Any]:
+        """One total-order key equivalent to the per-key stable sort cascade."""
+        key_fns = self._key_fns
+        if len(key_fns) == 1 and key_fns[0][1]:
+            return key_fns[0][0]
+
+        def composite(row: Row) -> Tuple:
+            return tuple(
+                fn(row) if ascending else _Descending(fn(row))
+                for fn, ascending in key_fns
+            )
+
+        return composite
+
     def __iter__(self) -> Iterator[Row]:
-        rows = list(self.child)
-        for key_fn, ascending in reversed(self._key_fns):
-            rows.sort(key=key_fn, reverse=not ascending)
-        return iter(rows)
+        key = self._composite_key()
+        budget = self.budget
+
+        if self.limit is not None:
+            # Top-k: nsmallest is stable (documented equivalent to
+            # sorted(...)[:n]) and holds at most ``limit`` rows.
+            rows = heapq.nsmallest(self.limit, self.child, key=key)
+            held = sum(estimate_row_bytes(row) for row in rows)
+            if budget is not None:
+                budget.reserve(held)
+            try:
+                yield from rows
+            finally:
+                if budget is not None:
+                    budget.release(held)
+            return
+
+        buffer: List[Row] = []
+        buffer_bytes = 0
+        runs: List[SpillFile] = []
+        self.spill_runs = 0
+        min_run_bytes = self.MIN_SPILL_RUN_BYTES
+        if budget is not None and budget.limit_bytes is not None:
+            min_run_bytes = min(min_run_bytes, max(1, budget.limit_bytes // 2))
+        try:
+            for row in self.child:
+                nbytes = estimate_row_bytes(row)
+                if budget is not None and not budget.try_reserve(nbytes):
+                    if buffer_bytes >= min_run_bytes:
+                        buffer.sort(key=key)
+                        run = SpillFile("sort-run-")
+                        run.extend(buffer)
+                        runs.append(run)
+                        self.spill_runs += 1
+                        budget.record_spill(len(buffer), buffer_bytes)
+                        budget.release(buffer_bytes)
+                        buffer = []
+                        buffer_bytes = 0
+                    # The row must be held somewhere even when other operators
+                    # occupy the whole budget (or the buffer is still below a
+                    # useful run size).
+                    budget.reserve(nbytes)
+                buffer.append(row)
+                buffer_bytes += nbytes
+
+            buffer.sort(key=key)
+            if not runs:
+                yield from buffer
+                return
+            # Stable k-way merge: runs in spill order, the in-memory tail
+            # last, mirrors one stable sort of the whole input.
+            streams = [run.read() for run in runs]
+            streams.append(iter(buffer))
+            yield from heapq.merge(*streams, key=key)
+        finally:
+            for run in runs:
+                run.close()
+            if budget is not None and buffer_bytes:
+                budget.release(buffer_bytes)
 
     @property
     def estimated_rows(self) -> int:
+        if self.limit is not None:
+            return min(self.child.estimated_rows, self.limit)
         return self.child.estimated_rows
 
     def _explain_details(self) -> str:
         from repro.sql.printer import to_sql
 
         parts = [f"{to_sql(expr)}{'' if asc else ' DESC'}" for expr, asc in self.keys]
+        if self.limit is not None:
+            parts.append(f"top {self.limit}")
         return f"({', '.join(parts)})"
 
 

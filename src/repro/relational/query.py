@@ -449,24 +449,48 @@ class QueryProcessor:
     # -- helpers ---------------------------------------------------------------------
 
     def _expand_stars(self, items: Sequence[SelectItem], schema: Schema) -> List[SelectItem]:
-        expanded: List[SelectItem] = []
-        for item in items:
-            if isinstance(item.expr, Star):
-                table = item.expr.table
-                for attribute in schema:
-                    if table is None or (attribute.qualifier or "").lower() == table.lower():
-                        expanded.append(
-                            SelectItem(ColumnRef(name=attribute.name, table=attribute.qualifier))
-                        )
-                if not expanded:
-                    raise SchemaError(f"'*' expansion found no columns for {table!r}")
-            else:
-                expanded.append(item)
-        return expanded
+        return expand_star_items(items, schema)
 
     def _subquery_executor(self, select: Select) -> Relation:
         """Execute an uncorrelated subquery (correlation is not supported)."""
         return self._execute_select(select)
+
+
+# ---------------------------------------------------------------------------
+# Finalization helpers shared with the streaming executor
+# ---------------------------------------------------------------------------
+
+
+def expand_star_items(items: Sequence[SelectItem], schema: Schema) -> List[SelectItem]:
+    """Expand ``*`` / ``t.*`` select items against the input schema."""
+    expanded: List[SelectItem] = []
+    for item in items:
+        if isinstance(item.expr, Star):
+            table = item.expr.table
+            for attribute in schema:
+                if table is None or (attribute.qualifier or "").lower() == table.lower():
+                    expanded.append(
+                        SelectItem(ColumnRef(name=attribute.name, table=attribute.qualifier))
+                    )
+            if not expanded:
+                raise SchemaError(f"'*' expansion found no columns for {table!r}")
+        else:
+            expanded.append(item)
+    return expanded
+
+
+def output_names(items: Sequence[SelectItem]) -> List[str]:
+    """Public name of :func:`_output_names` (select-list output columns)."""
+    return _output_names(items)
+
+
+def finalize_distinct_key(row: Sequence[Any]) -> Tuple:
+    """The duplicate-detection key SELECT DISTINCT finalization uses.
+
+    The streaming executor's Distinct operator must use exactly this key so
+    streamed answers are byte-identical to the materialized finalizer's.
+    """
+    return tuple(_group_key(value) for value in row)
 
 
 # ---------------------------------------------------------------------------

@@ -88,10 +88,18 @@ class TemporaryStore:
 
     # -- write -----------------------------------------------------------------
 
-    def materialize(self, relation: Relation, label: Optional[str] = None) -> str:
-        """Store a copy of ``relation`` and return its handle name."""
+    def materialize(self, relation: Relation, label: Optional[str] = None,
+                    copy: bool = True) -> str:
+        """Store ``relation`` and return its handle name.
+
+        ``copy=False`` registers the caller's row list by reference instead of
+        duplicating it — callers use it when the rows are already a private
+        materialization (an operator output, a frozen cache copy) that nothing
+        else will mutate, eliminating a full row copy per staged relation.
+        The accounting is identical either way.
+        """
         stored = Relation(relation.schema)
-        stored.rows = list(relation.rows)
+        stored.rows = relation.rows if not copy else list(relation.rows)
         with self._lock:
             handle = label or f"tmp_{next(self._counter)}"
             if self._database.has_table(handle):

@@ -47,19 +47,41 @@ class HttpRequest:
 
 @dataclass
 class HttpResponse:
-    """An HTTP response message."""
+    """An HTTP response message.
+
+    A response either carries a plain ``body`` (with ``Content-Length``) or a
+    sequence of ``chunks`` serialized with ``Transfer-Encoding: chunked`` —
+    the framing streaming endpoints use to ship result batches one at a time.
+    Each chunk is an independently parseable payload (here: one JSON
+    document per batch); ``body`` on a parsed chunked response is the chunk
+    concatenation, kept for byte accounting.
+    """
 
     status: int = 200
     reason: str = "OK"
     headers: Dict[str, str] = field(default_factory=dict)
     body: str = ""
+    chunks: Optional[List[str]] = None
 
     def serialize(self) -> str:
-        headers = dict(headers_default(self.body))
-        headers.update(self.headers)
+        if self.chunks is not None:
+            headers = {
+                "Content-Type": "application/json",
+                "Transfer-Encoding": "chunked",
+                "X-Coin-Tunnel": "odbc",
+            }
+            headers.update(self.headers)
+            payload = "".join(
+                f"{len(chunk.encode('utf-8')):x}\r\n{chunk}\r\n"
+                for chunk in self.chunks
+            ) + "0\r\n\r\n"
+        else:
+            headers = dict(headers_default(self.body))
+            headers.update(self.headers)
+            payload = self.body
         lines = [f"HTTP/1.0 {self.status} {self.reason}"]
         lines.extend(f"{name}: {value}" for name, value in headers.items())
-        return "\r\n".join(lines) + "\r\n\r\n" + self.body
+        return "\r\n".join(lines) + "\r\n\r\n" + payload
 
     @classmethod
     def parse(cls, text: str) -> "HttpResponse":
@@ -71,7 +93,12 @@ class HttpResponse:
         status = int(parts[1])
         reason = parts[2] if len(parts) > 2 else ""
         headers = _parse_headers(lines[1:])
-        return cls(status=status, reason=reason, headers=headers, body=body)
+        chunks: Optional[List[str]] = None
+        if headers.get("Transfer-Encoding", "").lower() == "chunked":
+            chunks = _parse_chunked(body)
+            body = "".join(chunks)
+        return cls(status=status, reason=reason, headers=headers, body=body,
+                   chunks=chunks)
 
 
 def headers_default(body: str) -> Dict[str, str]:
@@ -80,6 +107,32 @@ def headers_default(body: str) -> Dict[str, str]:
         "Content-Length": str(len(body.encode("utf-8"))),
         "X-Coin-Tunnel": "odbc",
     }
+
+
+def _parse_chunked(body: str) -> List[str]:
+    """Decode a ``Transfer-Encoding: chunked`` payload into its chunks."""
+    data = body.encode("utf-8")
+    chunks: List[str] = []
+    position = 0
+    while True:
+        newline = data.find(b"\r\n", position)
+        if newline < 0:
+            raise ProtocolError("malformed chunked payload: missing size line")
+        size_text = data[position:newline].strip()
+        try:
+            size = int(size_text, 16)
+        except ValueError as exc:
+            raise ProtocolError(
+                f"malformed chunked payload: bad chunk size {size_text!r}"
+            ) from exc
+        position = newline + 2
+        if size == 0:
+            return chunks
+        chunk = data[position:position + size]
+        if len(chunk) != size:
+            raise ProtocolError("malformed chunked payload: truncated chunk")
+        chunks.append(chunk.decode("utf-8"))
+        position += size + 2
 
 
 def _parse_headers(lines: List[str]) -> Dict[str, str]:

@@ -128,9 +128,24 @@ class Connection:
 
 
 class Cursor:
-    """A DB-API style cursor issuing mediated queries."""
+    """A DB-API style cursor issuing mediated queries.
+
+    Two execution modes share one fetching surface:
+
+    * the default materialized mode ships the whole result in the ``query``
+      response (the historical behaviour);
+    * ``execute(sql, stream=True)`` opens a **server-side cursor** instead:
+      the response carries only the description, and ``fetchone`` /
+      ``fetchmany`` / ``fetchall`` pull row batches over ``fetch_cursor`` on
+      demand — first rows arrive while the server is still fetching slower
+      sources, and ``close()`` releases the server cursor (cancelling
+      outstanding source round trips) without draining it.
+    """
 
     arraysize = 1
+
+    #: Rows pulled per ``fetch_cursor`` round trip in streaming mode.
+    DEFAULT_STREAM_BATCH = 128
 
     def __init__(self, connection: Connection):
         self.connection = connection
@@ -142,14 +157,29 @@ class Cursor:
         self.mediated_sql: Optional[str] = None
         self.conflicts: List[str] = []
         self.column_labels: List[str] = []
+        #: Streaming state: the open server cursor (None in materialized mode).
+        self._cursor_id: Optional[str] = None
+        self._stream_done = True
+        self._batch_size = self.DEFAULT_STREAM_BATCH
+        #: Rows already consumed and trimmed from the buffer (streaming mode).
+        self._stream_consumed = 0
 
     # -- execution -----------------------------------------------------------------
 
     def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None,
-                context: Optional[str] = None, mediate: bool = True) -> "Cursor":
+                context: Optional[str] = None, mediate: bool = True,
+                stream: bool = False, batch_size: Optional[int] = None) -> "Cursor":
         """Execute a query; ``parameters`` are pyformat-substituted client-side."""
         if parameters:
             sql = sql % {name: _quote(value) for name, value in parameters.items()}
+        if stream:
+            payload = self.connection._call(
+                "open_cursor",
+                sql=sql,
+                context=context or self.connection.context,
+                mediate=mediate,
+            )
+            return self._open_stream(payload, batch_size)
         payload = self.connection._call(
             "query",
             sql=sql,
@@ -160,6 +190,7 @@ class Cursor:
 
     def _load(self, payload: Dict[str, Any]) -> "Cursor":
         """Populate the cursor from a query/execute_prepared response payload."""
+        self._release_stream()
         relation = relation_from_payload(payload["relation"])
         self._rows = [tuple(row) for row in relation.rows]
         self._position = 0
@@ -173,6 +204,26 @@ class Cursor:
         self.column_labels = payload.get("column_labels", [])
         return self
 
+    def _open_stream(self, payload: Dict[str, Any],
+                     batch_size: Optional[int]) -> "Cursor":
+        """Bind this cursor to a freshly opened server-side cursor."""
+        self._release_stream()
+        self._rows = []
+        self._position = 0
+        self.rowcount = -1
+        self._cursor_id = payload["cursor_id"]
+        self._stream_done = False
+        self._stream_consumed = 0
+        self._batch_size = batch_size or self.DEFAULT_STREAM_BATCH
+        self.description = [
+            (column, type_name, None, None, None, None, None)
+            for column, type_name in zip(payload["columns"], payload["types"])
+        ]
+        self.mediated_sql = payload.get("mediated_sql")
+        self.conflicts = payload.get("conflicts", [])
+        self.column_labels = payload.get("column_labels", [])
+        return self
+
     def executemany(self, sql: str, seq_of_parameters: Sequence[Dict[str, Any]]) -> "Cursor":
         for parameters in seq_of_parameters:
             self.execute(sql, parameters)
@@ -180,7 +231,37 @@ class Cursor:
 
     # -- fetching --------------------------------------------------------------------
 
+    def _buffered(self) -> int:
+        return len(self._rows) - self._position
+
+    def _fill(self, needed: Optional[int]) -> None:
+        """Pull server batches until ``needed`` rows are buffered (None = all).
+
+        The consumed prefix is trimmed before each pull, so client memory in
+        streaming mode is bounded by the unconsumed tail (typically one
+        batch), not the full result — the point of streaming in the first
+        place.
+        """
+        while not self._stream_done and (needed is None or self._buffered() < needed):
+            if self._position:
+                self._stream_consumed += self._position
+                del self._rows[: self._position]
+                self._position = 0
+            count = self._batch_size
+            if needed is not None:
+                count = max(count, needed - self._buffered())
+            payload = self.connection._call(
+                "fetch_cursor", cursor_id=self._cursor_id, count=count
+            )
+            self._rows.extend(tuple(row) for row in payload.get("rows", []))
+            if payload.get("done"):
+                # The server discards exhausted cursors itself.
+                self._stream_done = True
+                self._cursor_id = None
+                self.rowcount = self._stream_consumed + len(self._rows)
+
     def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        self._fill(1)
         if self._position >= len(self._rows):
             return None
         row = self._rows[self._position]
@@ -189,18 +270,34 @@ class Cursor:
 
     def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
         count = size if size is not None else self.arraysize
+        self._fill(count)
         rows = self._rows[self._position : self._position + count]
         self._position += len(rows)
         return rows
 
     def fetchall(self) -> List[Tuple[Any, ...]]:
+        self._fill(None)
         rows = self._rows[self._position :]
         self._position = len(self._rows)
         return rows
 
     def close(self) -> None:
+        """Release buffered rows and any open server cursor (idempotent)."""
+        self._release_stream()
         self._rows = []
         self.description = None
+
+    def _release_stream(self) -> None:
+        if self._cursor_id is None:
+            return
+        cursor_id, self._cursor_id = self._cursor_id, None
+        self._stream_done = True
+        try:
+            self.connection._call("close_cursor", cursor_id=cursor_id)
+        except ClientError:
+            # Server-side close is idempotent; a failed close (evicted
+            # handle, dropped connection) leaves nothing to release.
+            pass
 
     def __iter__(self):
         while True:
@@ -227,10 +324,21 @@ class PreparedStatement:
         self.conflicts: List[str] = payload.get("conflicts", [])
         self.receiver_context: Optional[str] = payload.get("receiver_context")
 
-    def execute(self) -> Cursor:
-        """Run the prepared statement; returns a populated cursor."""
+    def execute(self, stream: bool = False,
+                batch_size: Optional[int] = None) -> Cursor:
+        """Run the prepared statement; returns a populated cursor.
+
+        ``stream=True`` opens a server-side cursor on the prepared plan
+        instead of shipping the whole result: the returned cursor pulls
+        batches on demand exactly like ``Cursor.execute(..., stream=True)``.
+        """
         if self.statement_id is None:
             raise ClientError("prepared statement is closed")
+        if stream:
+            payload = self.connection._call(
+                "open_cursor", statement_id=self.statement_id
+            )
+            return Cursor(self.connection)._open_stream(payload, batch_size)
         payload = self.connection._call(
             "execute_prepared", statement_id=self.statement_id
         )

@@ -20,9 +20,16 @@ operation             meaning
 ``prepare``           compile a statement once; returns a statement handle
 ``execute_prepared``  execute a prepared statement (no mediation/planning)
 ``close_prepared``    discard a prepared statement handle
+``open_cursor``       start a streaming query; returns a cursor handle +
+                      result description (no rows yet)
+``fetch_cursor``      pull the next batch of rows from an open cursor
+``close_cursor``      discard a cursor, cancelling still-outstanding source
+                      fetches (idempotent)
 ====================  =======================================================
 
-Result relations travel as ``{"columns": [...], "types": [...], "rows": [...]}``.
+Result relations travel as ``{"columns": [...], "types": [...], "rows": [...]}``;
+cursor batches travel as bare ``{"rows": [...], "done": bool}`` payloads
+against the description returned by ``open_cursor``.
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ OPERATIONS = (
     "prepare",
     "execute_prepared",
     "close_prepared",
+    "open_cursor",
+    "fetch_cursor",
+    "close_cursor",
 )
 
 PROTOCOL_VERSION = "1.0"
@@ -144,8 +154,21 @@ def relation_to_payload(relation: Relation) -> Dict[str, Any]:
     return {
         "columns": relation.schema.names,
         "types": [attribute.type.value for attribute in relation.schema],
-        "rows": [list(row) for row in relation.rows],
+        "rows": rows_to_payload(relation.rows),
     }
+
+
+def schema_to_payload(schema: Schema) -> Dict[str, Any]:
+    """Serialize a result description (no rows) — what ``open_cursor`` returns."""
+    return {
+        "columns": schema.names,
+        "types": [attribute.type.value for attribute in schema],
+    }
+
+
+def rows_to_payload(rows) -> List[List[Any]]:
+    """Serialize a row batch (cursor fetches ship rows without a schema)."""
+    return [list(row) for row in rows]
 
 
 def relation_from_payload(payload: Dict[str, Any], name: Optional[str] = None) -> Relation:

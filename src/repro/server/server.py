@@ -14,11 +14,17 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.errors import ReproError
-from repro.federation import Federation, PreparedQuery
+from repro.errors import ProtocolError, ReproError
+from repro.federation import Federation, FederationCursor, PreparedQuery
 from repro.mediation.explain import conflict_summary
 from repro.server.http import HttpChannel, HttpRequest, HttpResponse
-from repro.server.protocol import Request, Response, relation_to_payload
+from repro.server.protocol import (
+    Request,
+    Response,
+    relation_to_payload,
+    rows_to_payload,
+    schema_to_payload,
+)
 
 
 @dataclass
@@ -35,6 +41,9 @@ class ServerStatistics:
     errors: int = 0
     prepared_statements: int = 0
     prepared_executions: int = 0
+    cursors_opened: int = 0
+    cursor_fetches: int = 0
+    rows_streamed: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
 
@@ -53,7 +62,30 @@ class ServerStatistics:
                 "errors": self.errors,
                 "prepared_statements": self.prepared_statements,
                 "prepared_executions": self.prepared_executions,
+                "cursors_opened": self.cursors_opened,
+                "cursor_fetches": self.cursor_fetches,
+                "rows_streamed": self.rows_streamed,
             }
+
+
+@dataclass
+class _OpenCursor:
+    """One server-side streaming cursor plus its validity generations.
+
+    Like prepared statements, cursors are generation-checked: a catalog or
+    knowledge change after the cursor opened makes its remaining rows
+    untrustworthy (they would mix pre- and post-change data), so the next
+    fetch fails and the cursor is discarded.
+
+    ``fetch_lock`` serializes fetches on one handle: the underlying stream
+    is a generator, and two clients (or one client's retry) driving it
+    concurrently would race with 'generator already executing'.
+    """
+
+    cursor: FederationCursor
+    catalog_generation: int
+    knowledge_generation: int
+    fetch_lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 class MediationServer:
@@ -61,10 +93,18 @@ class MediationServer:
 
     #: Path under which the tunnel accepts requests (mirrors the prototype's CGI endpoint).
     ENDPOINT = "/coin/api"
+    #: Path answering query requests with chunked result batches.
+    STREAM_ENDPOINT = "/coin/api/stream"
 
     #: Bound on concurrently open prepared statements (leak protection:
     #: clients that never close are evicted oldest-first).
     MAX_PREPARED_STATEMENTS = 256
+    #: Bound on concurrently open cursors; eviction closes the underlying
+    #: stream, cancelling its outstanding source fetches.
+    MAX_OPEN_CURSORS = 64
+    #: Default/maximum rows per cursor fetch.
+    DEFAULT_CURSOR_BATCH = 256
+    MAX_CURSOR_BATCH = 10_000
 
     def __init__(self, federation: Federation):
         self.federation = federation
@@ -74,6 +114,11 @@ class MediationServer:
         self._prepared: "OrderedDict[str, PreparedQuery]" = OrderedDict()
         self._prepared_lock = threading.Lock()
         self._statement_ids = itertools.count(1)
+        #: LRU of open cursors, mirror of the prepared-statement registry:
+        #: lock-guarded, bounded, fetched handles refresh their position.
+        self._cursors: "OrderedDict[str, _OpenCursor]" = OrderedDict()
+        self._cursor_lock = threading.Lock()
+        self._cursor_ids = itertools.count(1)
 
     # -- transport-level entry points ---------------------------------------------
 
@@ -83,6 +128,8 @@ class MediationServer:
 
     def handle_http(self, request: HttpRequest) -> HttpResponse:
         """Handle one HTTP-tunnelled protocol request."""
+        if request.method == "POST" and request.path == self.STREAM_ENDPOINT:
+            return self.handle_http_stream(request)
         if request.path != self.ENDPOINT or request.method != "POST":
             return HttpResponse(status=404, reason="Not Found",
                                 body=Response.failure("unknown endpoint").to_json())
@@ -95,6 +142,87 @@ class MediationServer:
         response = self.handle(protocol_request)
         status, reason = (200, "OK") if response.ok else (422, "Unprocessable Entity")
         return HttpResponse(status=status, reason=reason, body=response.to_json())
+
+    def handle_http_stream(self, request: HttpRequest) -> HttpResponse:
+        """Answer one query request with chunked result batches.
+
+        The first chunk is the result description (columns, types, mediation
+        metadata), each following chunk one batch of rows, and the final
+        chunk a summary with the execution report — every chunk its own JSON
+        document, framed with genuine ``Transfer-Encoding: chunked`` byte
+        framing on the wire.
+        """
+        import json
+
+        try:
+            protocol_request = Request.from_json(request.body)
+            if protocol_request.operation != "query":
+                raise ProtocolError(
+                    "the streaming endpoint accepts only 'query' requests"
+                )
+            parameters = protocol_request.parameters
+            sql = parameters.get("sql")
+            if not sql:
+                raise ProtocolError("'query' requires a 'sql' parameter")
+            batch_size = self._batch_size(parameters.get("batch_size"))
+        except ReproError as exc:
+            self.statistics.record(errors=1)
+            return HttpResponse(status=400, reason="Bad Request",
+                                body=Response.failure(str(exc), "protocol").to_json())
+
+        self.statistics.record(requests=1)
+        try:
+            cursor = self.federation.query(
+                sql, parameters.get("context"),
+                mediate=bool(parameters.get("mediate", True)), stream=True,
+            )
+        except ReproError as exc:
+            self.statistics.record(errors=1)
+            return HttpResponse(status=422, reason="Unprocessable Entity",
+                                body=Response.failure(str(exc), type(exc).__name__).to_json())
+
+        chunks: List[str] = []
+        try:
+            header = schema_to_payload(cursor.schema)
+            header.update(
+                mediated_sql=cursor.mediated_sql,
+                branch_count=cursor.mediation.branch_count,
+                conflicts=conflict_summary(cursor.mediation),
+                column_labels=[annotation.label() for annotation in cursor.annotations],
+            )
+            chunks.append(json.dumps(header))
+            row_count = 0
+            while True:
+                rows = cursor.fetchmany(batch_size)
+                if not rows:
+                    break
+                row_count += len(rows)
+                chunks.append(json.dumps({"rows": rows_to_payload(rows)}))
+            chunks.append(json.dumps({
+                "done": True,
+                "row_count": row_count,
+                "execution": cursor.report.snapshot(),
+            }))
+            self.statistics.record(queries=1, rows_streamed=row_count)
+        except ReproError as exc:
+            self.statistics.record(errors=1)
+            return HttpResponse(status=422, reason="Unprocessable Entity",
+                                body=Response.failure(str(exc), type(exc).__name__).to_json())
+        finally:
+            cursor.close()
+        return HttpResponse(status=200, reason="OK", chunks=chunks)
+
+    @classmethod
+    def _batch_size(cls, raw) -> int:
+        if raw is None:
+            return cls.DEFAULT_CURSOR_BATCH
+        try:
+            size = int(raw)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid batch size {raw!r}") from exc
+        if size <= 0:
+            raise ProtocolError(f"batch size must be positive, got {size}")
+        return min(size, cls.MAX_CURSOR_BATCH)
 
     # -- protocol-level dispatch ---------------------------------------------------------
 
@@ -211,6 +339,127 @@ class MediationServer:
         if prepared is not None:
             prepared.close()
         return Response.success(statement_id=statement_id, closed=prepared is not None)
+
+    # -- cursors -----------------------------------------------------------------------------
+
+    def _handle_open_cursor(self, parameters: Dict[str, Any]) -> Response:
+        statement_id = parameters.get("statement_id")
+        sql = parameters.get("sql")
+        if bool(statement_id) == bool(sql):
+            return Response.failure(
+                "'open_cursor' requires exactly one of 'sql' or 'statement_id'",
+                "protocol",
+            )
+        if statement_id:
+            with self._prepared_lock:
+                prepared = self._prepared.get(statement_id)
+                if prepared is not None:
+                    self._prepared.move_to_end(statement_id)
+            if prepared is None:
+                return Response.failure(
+                    f"unknown or closed prepared statement {statement_id!r}", "protocol"
+                )
+            cursor = prepared.execute(stream=True)
+        else:
+            cursor = self.federation.query(
+                sql, parameters.get("context"),
+                mediate=bool(parameters.get("mediate", True)), stream=True,
+            )
+
+        try:
+            description = schema_to_payload(cursor.schema)
+            labels = [annotation.label() for annotation in cursor.annotations]
+        except ReproError:
+            cursor.close()
+            raise
+        cursor_id = f"cur-{next(self._cursor_ids)}"
+        entry = _OpenCursor(
+            cursor=cursor,
+            catalog_generation=self.federation.pipeline.catalog_generation,
+            knowledge_generation=self.federation.pipeline.knowledge_generation,
+        )
+        evicted: List[_OpenCursor] = []
+        with self._cursor_lock:
+            self._cursors[cursor_id] = entry
+            while len(self._cursors) > self.MAX_OPEN_CURSORS:
+                _key, doomed = self._cursors.popitem(last=False)
+                evicted.append(doomed)
+        for doomed in evicted:
+            doomed.cursor.close()
+        self.statistics.record(cursors_opened=1)
+        payload = dict(description)
+        payload.update(
+            cursor_id=cursor_id,
+            mediated_sql=cursor.mediated_sql,
+            branch_count=cursor.mediation.branch_count,
+            conflicts=conflict_summary(cursor.mediation),
+            column_labels=labels,
+            receiver_context=cursor.mediation.receiver_context,
+        )
+        return Response.success(**payload)
+
+    def _handle_fetch_cursor(self, parameters: Dict[str, Any]) -> Response:
+        cursor_id = parameters.get("cursor_id")
+        if not cursor_id:
+            return Response.failure(
+                "'fetch_cursor' requires a 'cursor_id' parameter", "protocol"
+            )
+        count = self._batch_size(parameters.get("count"))
+        with self._cursor_lock:
+            entry = self._cursors.get(cursor_id)
+            if entry is not None:
+                self._cursors.move_to_end(cursor_id)
+        if entry is None:
+            return Response.failure(
+                f"unknown or closed cursor {cursor_id!r}", "cursor"
+            )
+        # Generation check, mirroring prepared statements: a catalog or
+        # knowledge change mid-stream would splice pre- and post-change rows
+        # into one answer, so the cursor dies instead.
+        if (entry.catalog_generation != self.federation.pipeline.catalog_generation
+                or entry.knowledge_generation != self.federation.pipeline.knowledge_generation):
+            self._discard_cursor(cursor_id)
+            return Response.failure(
+                f"cursor {cursor_id!r} invalidated by a catalog or knowledge "
+                "change; re-issue the query", "cursor"
+            )
+        try:
+            with entry.fetch_lock:
+                rows = entry.cursor.fetchmany(count)
+                done = entry.cursor.exhausted
+        except ReproError:
+            # A mid-stream failure poisons the cursor: release its resources
+            # and let the error surface to the client.
+            self._discard_cursor(cursor_id)
+            raise
+        self.statistics.record(cursor_fetches=1, rows_streamed=len(rows))
+        payload: Dict[str, Any] = {
+            "cursor_id": cursor_id,
+            "rows": rows_to_payload(rows),
+            "done": done,
+        }
+        if done:
+            self._discard_cursor(cursor_id)
+            payload["execution"] = entry.cursor.report.snapshot()
+        return Response.success(**payload)
+
+    def _handle_close_cursor(self, parameters: Dict[str, Any]) -> Response:
+        cursor_id = parameters.get("cursor_id")
+        if not cursor_id:
+            return Response.failure(
+                "'close_cursor' requires a 'cursor_id' parameter", "protocol"
+            )
+        closed = self._discard_cursor(cursor_id)
+        # Idempotent: closing an unknown/already-closed cursor succeeds.
+        return Response.success(cursor_id=cursor_id, closed=closed)
+
+    def _discard_cursor(self, cursor_id: str) -> bool:
+        with self._cursor_lock:
+            entry = self._cursors.pop(cursor_id, None)
+        if entry is None:
+            return False
+        entry.cursor.close()
+        return True
 
     def _handle_mediate(self, parameters: Dict[str, Any]) -> Response:
         sql = parameters.get("sql")
