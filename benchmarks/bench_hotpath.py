@@ -1,6 +1,6 @@
 """Hot-path microbenchmarks: compiled pipeline vs. per-row interpretation.
 
-Four scenarios trace the executor's hot paths (see PERFORMANCE.md):
+Seven scenarios trace the executor's hot paths (see PERFORMANCE.md):
 
 * **scan-filter-project** — a WHERE + select-list pass over one relation;
 * **equi-join** — a two-relation equi-join (the baseline is the interpreted
@@ -12,7 +12,14 @@ Four scenarios trace the executor's hot paths (see PERFORMANCE.md):
   sources: the serial one-fetch-per-branch-request baseline (the pre-scheduler
   executor, re-enacted via ``deduplicate_requests=False`` +
   ``max_concurrent_requests=1``) vs. the concurrent deduplicating scheduler,
-  plus a cache-warm repeat.
+  plus a cache-warm repeat;
+* **mediation pipeline** — repeated receiver queries: uncached vs. warm vs.
+  prepared through the staged query-lifecycle pipeline;
+* **streaming top-k** — eager vs. streamed vs. budget-spilled execution of a
+  two-branch top-k union (first-row latency, limit push-down, spilling);
+* **consistency CQA** — violation scanning and certain/possible answering
+  over clean vs. 5%-dirty keyed sources, with the rewrite verified against
+  brute-force repair enumeration.
 
 The *baseline* numbers re-enact the seed implementation faithfully: the same
 loops the seed operators ran, driven by the (still present) interpreted
@@ -79,6 +86,14 @@ SMOKE_TOPK_BUDGET_BYTES = 64 * 1024
 FULL_TOPK_SLOW_LATENCY = 0.5
 SMOKE_TOPK_SLOW_LATENCY = 0.12
 TOPK_BIG_LATENCY = 0.005
+#: Consistency scenario: rows in the big keyed relation, with 1-in-20 (5%)
+#: keys duplicated under a conflicting balance; the small relation keeps few
+#: enough conflict clusters that brute-force repair enumeration stays cheap.
+FULL_CQA_ROWS = 20_000
+SMOKE_CQA_ROWS = 2_000
+CQA_DIRTY_EVERY = 20
+CQA_SMALL_ROWS = 48
+CQA_SMALL_CLUSTERS = 6
 
 _CATEGORIES = ("retail", "wholesale", "export", "internal")
 
@@ -604,12 +619,192 @@ def bench_streaming_topk(rows: int = FULL_TOPK_ROWS,
 
 
 # ---------------------------------------------------------------------------
+# Scenario 7: consistent query answering over dirty replicated sources
+# ---------------------------------------------------------------------------
+
+
+def _consistency_federation(rows: int, dirty: bool):
+    """A two-source federation with declared keys; optionally 5%-dirty.
+
+    ``ledger.accounts`` is the large keyed relation (every ``CQA_DIRTY_EVERY``-th
+    key duplicated with a conflicting balance when dirty); ``reviews.ratings``
+    is small enough that brute-force repair enumeration over its conflict
+    clusters is feasible, which is what verifies the rewrite's exactness.
+    Returns (federation, planted_account_dups, planted_rating_dups).
+    """
+    from repro.coin.context import Context, ContextRegistry
+    from repro.coin.domain import build_financial_domain_model
+    from repro.coin.system import CoinSystem
+    from repro.consistency import PrimaryKey
+    from repro.federation import Federation
+
+    contexts = ContextRegistry()
+    contexts.register(Context("c_ops", "operations workspace (no conversions)"))
+    system = CoinSystem(build_financial_domain_model(), contexts, name="consistency")
+    federation = Federation(system, default_receiver_context="c_ops",
+                            name="consistency")
+
+    regions = ("eu", "us", "apac")
+    ledger = MemorySQLSource("ledger")
+    ledger.load_sql(
+        "CREATE TABLE accounts (id integer, owner string, balance float, region string)"
+    )
+    account_rows = [
+        (index, f"owner{index}", float((index * 7919) % 9973), regions[index % 3])
+        for index in range(rows)
+    ]
+    planted_accounts = 0
+    if dirty:
+        for index in range(0, rows, CQA_DIRTY_EVERY):
+            account_rows.append((
+                index, f"owner{index}",
+                float((index * 7919) % 9973 + 5000.0), regions[index % 3],
+            ))
+            planted_accounts += 1
+    ledger.database.table("accounts").rows = account_rows
+
+    reviews = MemorySQLSource("reviews")
+    reviews.load_sql("CREATE TABLE ratings (id integer, score float)")
+    rating_rows = [(index, float(index % 5)) for index in range(CQA_SMALL_ROWS)]
+    planted_ratings = 0
+    if dirty:
+        for index in range(CQA_SMALL_CLUSTERS):
+            rating_rows.append((index, float(index % 5) + 1.0))
+            planted_ratings += 1
+    reviews.database.table("ratings").rows = rating_rows
+
+    federation.register_wrapper(RelationalWrapper(ledger), estimate_rows=False)
+    federation.register_wrapper(RelationalWrapper(reviews), estimate_rows=False)
+    federation.register_constraint(
+        PrimaryKey("accounts_pk", relation="accounts", columns=("id",))
+    )
+    federation.register_constraint(
+        PrimaryKey("ratings_pk", relation="ratings", columns=("id",))
+    )
+    return federation, planted_accounts, planted_ratings
+
+
+def bench_consistency_cqa(rows: int = FULL_CQA_ROWS) -> Dict[str, Any]:
+    """Violation scanning and certain/possible answering, clean vs 5%-dirty.
+
+    Four measurements over replicated federations:
+
+    * the **violation scanner** must find exactly the planted duplicates and
+      attribute them to the right sources, and the second scan must be a
+      generation-keyed cache hit;
+    * the **certain-answer rewrite** over the large dirty relation: one
+      ordinary pipeline execution plus a group-quantified filter, timed
+      against the raw answer (whose ``answers_sha256`` is the regression
+      anchor: consistency modes must never perturb raw answers);
+    * **exactness**: on the small relation the rewrite's certain/possible
+      answers are compared against brute-force repair enumeration
+      (``force_strategy="fallback"``), and a self-join query exercises the
+      fallback through the public surface;
+    * the **clean twin** federation, where certain answers must equal raw.
+    """
+    dirty, planted_accounts, planted_ratings = _consistency_federation(rows, dirty=True)
+    clean, _zero_a, _zero_r = _consistency_federation(rows, dirty=False)
+
+    # -- violation scanning (cold, then generation-keyed cache hit) ---------
+    scan, scan_elapsed = _timed(lambda: dirty.scan_violations())
+    scan_cached, scan_cached_elapsed = _timed(lambda: dirty.scan_violations())
+    scanner_stats = dirty.scanner.snapshot()
+
+    ledger_query = (
+        "SELECT accounts.owner, accounts.balance FROM accounts "
+        "WHERE accounts.balance > 100"
+    )
+    raw, raw_elapsed = _timed(lambda: dirty.query(ledger_query, mediate=False))
+    certain, certain_elapsed = _timed(
+        lambda: dirty.query(ledger_query, mediate=False, consistency="certain")
+    )
+    possible, possible_elapsed = _timed(
+        lambda: dirty.query(ledger_query, mediate=False, consistency="possible")
+    )
+    raw_rows = list(raw.relation.rows)
+    raw_set = {tuple(row) for row in raw_rows}
+    certain_set = {tuple(row) for row in certain.relation.rows}
+    possible_set = {tuple(row) for row in possible.relation.rows}
+    certain_report = certain.execution.report.consistency or {}
+
+    # -- exactness on the small relation: rewrite vs brute-force repairs ----
+    ratings_query = (
+        "SELECT ratings.id, ratings.score FROM ratings WHERE ratings.score > 1"
+    )
+    rewrite_answer, rewrite_elapsed = _timed(
+        lambda: dirty.query(ratings_query, mediate=False, consistency="certain")
+    )
+    prepared = dirty.pipeline.prepare(ratings_query, None, mediate=False)
+    brute, brute_elapsed = _timed(
+        lambda: dirty.cqa.execute(prepared, "certain", force_strategy="fallback")
+    )
+    brute_possible = dirty.cqa.execute(prepared, "possible", force_strategy="fallback")
+    small_possible = dirty.query(ratings_query, mediate=False, consistency="possible")
+    rewrite_matches = (
+        {tuple(row) for row in rewrite_answer.relation.rows}
+        == {tuple(row) for row in brute.relation.rows}
+    ) and (
+        {tuple(row) for row in small_possible.relation.rows}
+        == {tuple(row) for row in brute_possible.relation.rows}
+    )
+
+    fallback_query = (
+        "SELECT r1.id FROM ratings r1, ratings r2 "
+        "WHERE r1.id = r2.id AND r1.score > 1"
+    )
+    fallback_answer = dirty.query(fallback_query, mediate=False, consistency="certain")
+    fallback_report = fallback_answer.execution.report.consistency or {}
+
+    # -- the clean twin: certainty must cost no answers ---------------------
+    clean_raw = clean.query(ledger_query, mediate=False)
+    clean_certain = clean.query(ledger_query, mediate=False, consistency="certain")
+    clean_identical = (
+        {tuple(row) for row in clean_raw.relation.rows}
+        == {tuple(row) for row in clean_certain.relation.rows}
+    )
+
+    return {
+        "rows": rows,
+        "dirty_every": CQA_DIRTY_EVERY,
+        "planted_account_duplicates": planted_accounts,
+        "planted_rating_duplicates": planted_ratings,
+        "found_violations": scan.total_violations,
+        "violations_by_source": scan.by_source(),
+        "scan_elapsed_seconds": round(scan_elapsed, 6),
+        "scan_cached_elapsed_seconds": round(scan_cached_elapsed, 6),
+        "scan_cache_hit": (
+            scan_cached is scan and scanner_stats["cache_hits"] >= 1
+        ),
+        "raw_rows": len(raw_rows),
+        "certain_rows": len(certain_set),
+        "possible_rows": len(possible_set),
+        "tuples_dropped": certain_report.get("tuples_dropped"),
+        "clusters": certain_report.get("clusters"),
+        "certain_strategy": certain_report.get("strategy"),
+        "fallback_strategy": fallback_report.get("strategy"),
+        "fallback_repairs": fallback_report.get("repairs_enumerated"),
+        "certain_subset_of_raw": certain_set <= raw_set,
+        "raw_subset_of_possible": raw_set <= possible_set,
+        "rewrite_matches_bruteforce": rewrite_matches,
+        "brute_repairs": (brute.report.consistency or {}).get("repairs_enumerated"),
+        "clean_certain_equals_raw": clean_identical,
+        "answers_sha256": _digest(raw_rows),
+        "raw_elapsed_seconds": round(raw_elapsed, 6),
+        "certain_elapsed_seconds": round(certain_elapsed, 6),
+        "possible_elapsed_seconds": round(possible_elapsed, 6),
+        "rewrite_elapsed_seconds": round(rewrite_elapsed, 6),
+        "bruteforce_elapsed_seconds": round(brute_elapsed, 6),
+        "certain_overhead_vs_raw": round(certain_elapsed / max(raw_elapsed, 1e-9), 2),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Harness entry point
 # ---------------------------------------------------------------------------
 
 
 def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
-    """Run all six scenarios; smoke mode shrinks sizes to finish in seconds."""
+    """Run all seven scenarios; smoke mode shrinks sizes to finish in seconds."""
     scan_rows = SMOKE_SCAN_ROWS if smoke else FULL_SCAN_ROWS
     join_rows = SMOKE_JOIN_ROWS if smoke else FULL_JOIN_ROWS
     repeats = SMOKE_MEDIATION_REPEATS if smoke else FULL_MEDIATION_REPEATS
@@ -618,6 +813,7 @@ def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
     topk_rows = SMOKE_TOPK_ROWS if smoke else FULL_TOPK_ROWS
     topk_budget = SMOKE_TOPK_BUDGET_BYTES if smoke else FULL_TOPK_BUDGET_BYTES
     topk_latency = SMOKE_TOPK_SLOW_LATENCY if smoke else FULL_TOPK_SLOW_LATENCY
+    cqa_rows = SMOKE_CQA_ROWS if smoke else FULL_CQA_ROWS
     return {
         "mode": "smoke" if smoke else "full",
         "python": sys.version.split()[0],
@@ -627,6 +823,7 @@ def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         "federation": bench_federation(latency),
         "mediation_pipeline": bench_mediation_pipeline(pipeline_repeats),
         "streaming_topk": bench_streaming_topk(topk_rows, topk_budget, topk_latency),
+        "consistency_cqa": bench_consistency_cqa(cqa_rows),
     }
 
 
@@ -704,5 +901,36 @@ def verify_run(result: Dict[str, Any]) -> List[str]:
         failures.append(
             f"streaming-topk: first-row speedup {topk['first_row_speedup']}x "
             "below the 2x gate"
+        )
+    cqa = result["consistency_cqa"]
+    planted = cqa["planted_account_duplicates"] + cqa["planted_rating_duplicates"]
+    if cqa["found_violations"] != planted:
+        failures.append(
+            f"consistency-cqa: scanner found {cqa['found_violations']} violations, "
+            f"planted {planted}"
+        )
+    if not cqa["scan_cache_hit"]:
+        failures.append("consistency-cqa: the repeated scan missed the report cache")
+    if not cqa["certain_subset_of_raw"] or not cqa["raw_subset_of_possible"]:
+        failures.append(
+            "consistency-cqa: certain ⊆ raw ⊆ possible containment violated"
+        )
+    if not cqa["rewrite_matches_bruteforce"]:
+        failures.append(
+            "consistency-cqa: the certain-answer rewrite disagrees with "
+            "brute-force repair enumeration"
+        )
+    if not cqa["clean_certain_equals_raw"]:
+        failures.append(
+            "consistency-cqa: certain answers over the clean twin differ from raw"
+        )
+    if cqa["certain_strategy"] != "rewrite" or cqa["fallback_strategy"] != "fallback":
+        failures.append(
+            "consistency-cqa: unexpected strategies "
+            f"({cqa['certain_strategy']}/{cqa['fallback_strategy']})"
+        )
+    if not cqa["tuples_dropped"] or cqa["tuples_dropped"] <= 0:
+        failures.append(
+            "consistency-cqa: the dirty run dropped no tuples from certainty"
         )
     return failures

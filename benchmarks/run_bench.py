@@ -66,6 +66,15 @@ def _print_summary(result) -> None:
           f"{topk['first_batch_before_slow_fetch']}); spilled run: "
           f"{topk['spill_count']} spills, peak {topk['peak_memory_bytes_spilled']}B "
           f"of {topk['budget_bytes']}B budget")
+    cqa = result["consistency_cqa"]
+    print(f"[hotpath:{result['mode']}] consistency over {cqa['rows']} rows "
+          f"(1/{cqa['dirty_every']} dirty): scan found {cqa['found_violations']} "
+          f"violations in {cqa['scan_elapsed_seconds']}s (cached "
+          f"{cqa['scan_cached_elapsed_seconds']}s); certain {cqa['certain_rows']} "
+          f"of {cqa['raw_rows']} raw rows ({cqa['tuples_dropped']} dropped, "
+          f"{cqa['certain_overhead_vs_raw']}x raw cost, strategy "
+          f"{cqa['certain_strategy']}); rewrite==bruteforce: "
+          f"{cqa['rewrite_matches_bruteforce']} ({cqa['brute_repairs']} repairs)")
 
 
 def _append_trajectory(path: str, result) -> None:

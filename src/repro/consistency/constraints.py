@@ -1,0 +1,290 @@
+"""Declarative integrity constraints over federated source relations.
+
+The COIN prototype mediates *semantic* conflicts; this module supplies the
+vocabulary for *instance-level* dirtiness — the constraints the sources are
+supposed to satisfy but, being autonomous, routinely do not:
+
+* :class:`PrimaryKey` — at most one tuple per key value;
+* :class:`FunctionalDependency` — determinant columns fix dependent columns;
+* :class:`InclusionDependency` — referential integrity across (possibly
+  cross-source) relations;
+* :class:`DenialConstraint` — an arbitrary forbidden pattern expressed as the
+  body of a datalog rule over relation predicates (negation-as-failure and
+  the procedural builtins of :mod:`repro.datalog.builtins` are available),
+  after Decker's rule-based integrity checking.
+
+Constraints are *declared*, not enforced: sources stay autonomous.  They are
+registered per relation in the engine's :class:`~repro.engine.catalog.Catalog`
+(which versions them through its generation counter, so cached plans,
+mediations and violation reports keyed on the generation can never consult a
+stale constraint set), scanned by
+:class:`~repro.consistency.violations.ViolationScanner`, and consumed by the
+consistent-query-answering rewriter (:mod:`repro.consistency.cqa`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConstraintError
+from repro.datalog.builtins import is_builtin
+from repro.datalog.clause import Literal
+from repro.datalog.terms import Variable
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Base class: a named integrity condition over catalogued relations."""
+
+    name: str
+
+    #: Short identifier of the constraint family (filled by subclasses).
+    kind = "constraint"
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        """Every relation whose instance this constraint reads."""
+        raise NotImplementedError
+
+    def validate(self, schema_of) -> None:
+        """Check the constraint against catalog schemas.
+
+        ``schema_of`` maps a relation name to its :class:`Schema`; raises
+        :class:`ConstraintError` on unknown relations/columns or structural
+        problems (e.g. an empty key).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable identity used in cache keys."""
+        return f"{self.kind}:{self.name}:{self.describe()}"
+
+
+def _require_columns(constraint: str, relation: str, schema: Schema,
+                     columns: Sequence[str]) -> None:
+    if not columns:
+        raise ConstraintError(f"constraint {constraint!r} declares no columns")
+    seen = set()
+    for column in columns:
+        if not schema.has(column):
+            raise ConstraintError(
+                f"constraint {constraint!r}: relation {relation!r} has no "
+                f"column {column!r}"
+            )
+        lowered = column.lower()
+        if lowered in seen:
+            raise ConstraintError(
+                f"constraint {constraint!r} lists column {column!r} twice"
+            )
+        seen.add(lowered)
+
+
+@dataclass(frozen=True)
+class PrimaryKey(Constraint):
+    """``columns`` form a key of ``relation``: one tuple per key value."""
+
+    relation: str = ""
+    columns: Tuple[str, ...] = ()
+
+    kind = "primary_key"
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        return (self.relation,)
+
+    def validate(self, schema_of) -> None:
+        _require_columns(self.name, self.relation, schema_of(self.relation), self.columns)
+
+    def describe(self) -> str:
+        return f"KEY {self.relation}({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class FunctionalDependency(Constraint):
+    """``determinants -> dependents`` must hold on ``relation``."""
+
+    relation: str = ""
+    determinants: Tuple[str, ...] = ()
+    dependents: Tuple[str, ...] = ()
+
+    kind = "functional_dependency"
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        return (self.relation,)
+
+    def validate(self, schema_of) -> None:
+        schema = schema_of(self.relation)
+        _require_columns(self.name, self.relation, schema, self.determinants)
+        _require_columns(self.name, self.relation, schema, self.dependents)
+        overlap = {c.lower() for c in self.determinants} & {c.lower() for c in self.dependents}
+        if overlap:
+            raise ConstraintError(
+                f"constraint {self.name!r}: columns {sorted(overlap)} appear on "
+                "both sides of the dependency"
+            )
+
+    def describe(self) -> str:
+        return (f"FD {self.relation}: {', '.join(self.determinants)} -> "
+                f"{', '.join(self.dependents)}")
+
+
+@dataclass(frozen=True)
+class InclusionDependency(Constraint):
+    """``relation[columns] ⊆ referenced[referenced_columns]`` (referential)."""
+
+    relation: str = ""
+    columns: Tuple[str, ...] = ()
+    referenced_relation: str = ""
+    referenced_columns: Tuple[str, ...] = ()
+
+    kind = "inclusion"
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        return (self.relation, self.referenced_relation)
+
+    def validate(self, schema_of) -> None:
+        _require_columns(self.name, self.relation, schema_of(self.relation), self.columns)
+        _require_columns(self.name, self.referenced_relation,
+                         schema_of(self.referenced_relation), self.referenced_columns)
+        if len(self.columns) != len(self.referenced_columns):
+            raise ConstraintError(
+                f"constraint {self.name!r}: {len(self.columns)} referencing "
+                f"column(s) vs {len(self.referenced_columns)} referenced"
+            )
+
+    def describe(self) -> str:
+        return (f"{self.relation}({', '.join(self.columns)}) IN "
+                f"{self.referenced_relation}({', '.join(self.referenced_columns)})")
+
+
+@dataclass(frozen=True)
+class DenialConstraint(Constraint):
+    """A forbidden conjunctive pattern, written as a datalog rule body.
+
+    Each positive/negative literal over a predicate named like a catalogued
+    relation ranges over that relation's tuples (arguments bind the columns
+    in schema order); builtins (``lt``, ``ne``, ``eval``...) are evaluated
+    procedurally.  A solution of the body *is* a violation; the terms listed
+    in ``witness`` are reported per solution.
+    """
+
+    body: Tuple[Literal, ...] = ()
+    witness: Tuple[Variable, ...] = ()
+
+    kind = "denial"
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for literal in self.body:
+            atom = literal.atom
+            if is_builtin(atom.predicate, atom.arity):
+                continue
+            if atom.predicate not in names:
+                names.append(atom.predicate)
+        return tuple(names)
+
+    def validate(self, schema_of) -> None:
+        if not self.body:
+            raise ConstraintError(f"constraint {self.name!r} has an empty body")
+        positive_relational = False
+        bound = set()
+        for literal in self.body:
+            atom = literal.atom
+            if literal.positive:
+                # Positive literals (relational or builtin) are the only
+                # binding occurrences; negation-as-failure binds nothing.
+                bound.update(atom.variables())
+            if is_builtin(atom.predicate, atom.arity):
+                continue
+            schema = schema_of(atom.predicate)
+            if atom.arity != len(schema):
+                raise ConstraintError(
+                    f"constraint {self.name!r}: literal {atom.predicate}/{atom.arity} "
+                    f"does not match relation arity {len(schema)}"
+                )
+            if literal.positive:
+                positive_relational = True
+        if not positive_relational:
+            raise ConstraintError(
+                f"constraint {self.name!r} needs at least one positive relation "
+                "literal (negation-as-failure alone has no range)"
+            )
+        unbound = [variable for variable in self.witness if variable not in bound]
+        if unbound:
+            raise ConstraintError(
+                f"constraint {self.name!r}: witness variable(s) "
+                f"{', '.join(str(v) for v in unbound)} never occur in a "
+                "positive body literal, so no solution can ground them"
+            )
+
+    def describe(self) -> str:
+        return "DENY " + ", ".join(str(literal) for literal in self.body)
+
+
+@dataclass
+class ConstraintSet:
+    """The per-catalog registry of declared constraints.
+
+    Lives inside the :class:`~repro.engine.catalog.Catalog`; registration is
+    validated against the catalogued schemas and bumps the catalog generation
+    (the caller's job), which transitively invalidates cached plans, prepared
+    statements and memoized violation reports.
+    """
+
+    _by_name: Dict[str, Constraint] = field(default_factory=dict)
+    _by_relation: Dict[str, List[Constraint]] = field(default_factory=dict)
+
+    def register(self, constraint: Constraint, schema_of) -> Constraint:
+        if not constraint.name:
+            raise ConstraintError("constraints must be named")
+        key = constraint.name.lower()
+        if key in self._by_name:
+            raise ConstraintError(f"constraint {constraint.name!r} is already registered")
+        constraint.validate(schema_of)
+        self._by_name[key] = constraint
+        for relation in constraint.relations:
+            self._by_relation.setdefault(relation.lower(), []).append(constraint)
+        return constraint
+
+    def get(self, name: str) -> Constraint:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError as exc:
+            raise ConstraintError(f"unknown constraint {name!r}") from exc
+
+    def for_relation(self, relation: str) -> List[Constraint]:
+        return list(self._by_relation.get(relation.lower(), []))
+
+    def key_of(self, relation: str) -> Optional[PrimaryKey]:
+        """The relation's primary key constraint, when exactly one is declared."""
+        keys = [c for c in self.for_relation(relation) if isinstance(c, PrimaryKey)]
+        if not keys:
+            return None
+        if len(keys) > 1:
+            raise ConstraintError(
+                f"relation {relation!r} declares {len(keys)} primary keys"
+            )
+        return keys[0]
+
+    @property
+    def all(self) -> List[Constraint]:
+        return [self._by_name[key] for key in sorted(self._by_name)]
+
+    @property
+    def fingerprint(self) -> str:
+        return "|".join(constraint.fingerprint for constraint in self.all)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        return iter(self.all)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import CatalogError
+from repro.consistency.constraints import Constraint, ConstraintSet, PrimaryKey
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.storage import DictionaryStore
@@ -51,6 +52,10 @@ class Catalog:
         self.wrappers = wrappers if wrappers is not None else WrapperRegistry()
         self._entries: Dict[str, CatalogEntry] = {}
         self.dictionary = DictionaryStore()
+        #: Declared integrity constraints over the catalogued relations.
+        #: Registration bumps the generation, so everything keyed on it
+        #: (cached plans, prepared statements, violation reports) re-derives.
+        self.constraints = ConstraintSet()
         #: Monotonic dictionary version.  Bumped whenever the set of relations
         #: a plan could read changes — wrapper/relation (re)registration and
         #: explicit source invalidation — so cached plans and prepared queries
@@ -129,6 +134,30 @@ class Catalog:
             return int(value) if value is not None else default
         except Exception:
             return default
+
+    # -- integrity constraints ----------------------------------------------------
+
+    def register_constraint(self, constraint: Constraint) -> Constraint:
+        """Declare an integrity constraint over catalogued relations.
+
+        Every relation the constraint reads must already be catalogued (the
+        constraint is validated against the live schemas).  Registration is a
+        dictionary change: the generation is bumped so cached plans and
+        memoized violation reports from before the declaration become
+        unreachable.
+        """
+        registered = self.constraints.register(constraint, self.schema_of)
+        self.bump_generation()
+        return registered
+
+    def constraints_for(self, relation: str) -> List[Constraint]:
+        """Constraints reading the given relation (empty when undeclared)."""
+        self.entry(relation)  # unknown relations fail loudly, as elsewhere
+        return self.constraints.for_relation(relation)
+
+    def key_of(self, relation: str) -> Optional[PrimaryKey]:
+        """The relation's declared primary key, or None."""
+        return self.constraints.key_of(relation)
 
     # -- lookup -------------------------------------------------------------------
 

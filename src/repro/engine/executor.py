@@ -190,6 +190,11 @@ class ExecutionReport:
     spill_count: int = 0
     spilled_rows: int = 0
     spilled_bytes: int = 0
+    #: Consistent-query-answering outcome, populated only for statements run
+    #: under ``consistency="certain"``/``"possible"``: mode, strategy
+    #: (rewrite / fallback / clean), conflict clusters touched, repairs
+    #: enumerated, raw row count, and how many raw rows certainty dropped.
+    consistency: Optional[Dict[str, object]] = None
 
     @property
     def rows_transferred(self) -> int:
@@ -207,7 +212,7 @@ class ExecutionReport:
         return self.distinct_requests - self.cache_hits
 
     def snapshot(self) -> Dict[str, object]:
-        return {
+        snapshot: Dict[str, object] = {
             "requests": len(self.requests),
             "rows_transferred": self.rows_transferred,
             "branch_rows": list(self.branch_rows),
@@ -242,6 +247,9 @@ class ExecutionReport:
                 "spilled_bytes": self.spilled_bytes,
             },
         }
+        if self.consistency is not None:
+            snapshot["consistency"] = dict(self.consistency)
+        return snapshot
 
 
 @dataclass

@@ -152,6 +152,24 @@ class ExecutionError(EngineError):
 
 
 # ---------------------------------------------------------------------------
+# Consistency subsystem
+# ---------------------------------------------------------------------------
+
+
+class ConsistencyError(ReproError):
+    """Base class of errors raised by the consistency subsystem."""
+
+
+class ConstraintError(ConsistencyError):
+    """A malformed integrity constraint (unknown relation/column, bad key...)."""
+
+
+class RepairEnumerationError(ConsistencyError):
+    """Consistent query answering gave up: the conflict clusters admit more
+    repairs than the configured enumeration bound."""
+
+
+# ---------------------------------------------------------------------------
 # Sources and wrappers
 # ---------------------------------------------------------------------------
 

@@ -21,11 +21,20 @@ and the object the examples and benchmarks script against locally.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union as TUnion
 
 from repro.errors import MediationError
 from repro.coin.system import CoinSystem
+from repro.consistency.constraints import Constraint
+from repro.consistency.cqa import (
+    DEFAULT_MAX_REPAIRS,
+    ConsistentQueryExecutor,
+    MaterializedStream,
+    validate_mode,
+)
+from repro.consistency.violations import ViolationReport, ViolationScanner
 from repro.engine.engine import MultiDatabaseEngine
 from repro.engine.executor import DEFAULT_MAX_CONCURRENT_REQUESTS, EngineResult
 from repro.engine.planner import PlannerConfig
@@ -157,6 +166,9 @@ class PreparedQuery:
 
     federation: "Federation"
     plan: MediatedPlan
+    #: Consistency mode the statement was prepared under ("raw", "certain"
+    #: or "possible"); every execution answers in this mode.
+    consistency: str = "raw"
 
     @property
     def sql(self) -> str:
@@ -178,6 +190,10 @@ class PreparedQuery:
         """Run the statement: a materialized answer, or (``stream=True``) a
         :class:`FederationCursor` pulling rows on demand."""
         self.plan = self.federation.pipeline.refresh(self.plan)
+        if self.consistency != "raw":
+            return self.federation._run_consistent(
+                self.plan, self.consistency, stream=stream
+            )
         if stream:
             return self.federation._run_stream(self.plan)
         return self.federation._run(self.plan)
@@ -195,7 +211,8 @@ class Federation:
                  request_cache_size: int = 256,
                  max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
                  plan_cache_size: int = 128,
-                 memory_budget_bytes: Optional[int] = None):
+                 memory_budget_bytes: Optional[int] = None,
+                 max_repairs: int = DEFAULT_MAX_REPAIRS):
         """Wire up a federation.
 
         ``request_cache_size`` bounds the source-result cache that lets
@@ -207,7 +224,8 @@ class Federation:
         statement re-mediates and re-plans).  ``memory_budget_bytes`` bounds
         per-statement operator memory: sorts, distincts and hash-join build
         sides spill to temporary files instead of exceeding it (None =
-        unbounded).
+        unbounded).  ``max_repairs`` bounds the repair enumeration the
+        consistent-query-answering fallback may perform before refusing.
         """
         self.name = name
         self.system = system
@@ -227,6 +245,14 @@ class Federation:
             plan_cache_size=plan_cache_size,
             mediation_cache_size=plan_cache_size,
         )
+        self.cqa = ConsistentQueryExecutor(self.engine, max_repairs=max_repairs)
+        #: Built lazily on the first scan; shares the engine's request cache
+        #: and runs its scan plans under the federation's memory budget.
+        #: Creation is lock-guarded: concurrent first scans must agree on
+        #: one scanner (and its report cache / counters).
+        self._scanner: Optional[ViolationScanner] = None
+        self._scanner_budget = memory_budget_bytes
+        self._scanner_lock = threading.Lock()
         #: (wrapper, relation) the answer transformer's rate lookup was built
         #: from; consulted on invalidation so conversions never use stale rates.
         self._rate_environment_source: Optional[Tuple[str, str]] = None
@@ -236,6 +262,31 @@ class Federation:
     def register_wrapper(self, wrapper: Wrapper, estimate_rows: bool = True) -> None:
         """Make a wrapped source's relations available to queries."""
         self.engine.register_wrapper(wrapper, estimate_rows=estimate_rows)
+
+    def register_constraint(self, constraint: Constraint) -> Constraint:
+        """Declare an integrity constraint over catalogued relations.
+
+        Registration bumps the catalog generation, so cached plans, prepared
+        statements and memoized violation reports compiled before the
+        declaration transparently recompile/rescan.
+        """
+        return self.engine.catalog.register_constraint(constraint)
+
+    # -- violation scanning --------------------------------------------------------
+
+    @property
+    def scanner(self) -> ViolationScanner:
+        with self._scanner_lock:
+            if self._scanner is None:
+                self._scanner = ViolationScanner(
+                    self.engine, memory_budget_bytes=self._scanner_budget
+                )
+            return self._scanner
+
+    def scan_violations(self, relations: Optional[List[str]] = None,
+                        use_cache: bool = True) -> ViolationReport:
+        """Scan declared constraints for violations (memoized per generation)."""
+        return self.scanner.scan(relations, use_cache=use_cache)
 
     # -- cache control -----------------------------------------------------------
 
@@ -288,7 +339,7 @@ class Federation:
     # -- the core operation -----------------------------------------------------------------
 
     def query(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
-              mediate: bool = True, stream: bool = False):
+              mediate: bool = True, stream: bool = False, consistency: str = "raw"):
         """Answer a receiver query.
 
         With ``mediate=False`` the query is executed verbatim (the "naive"
@@ -303,21 +354,58 @@ class Federation:
         with ``fetchmany``/``fetchone``, first rows arrive while slower
         branches are still fetching, and closing the cursor early cancels
         outstanding source round trips.
+
+        ``consistency`` selects how declared key constraints are honoured:
+        ``"raw"`` (default) answers over the instances as-is, ``"certain"``
+        returns only rows true in *every* repair of the key-violating
+        sources, ``"possible"`` rows true in at least one (both use set
+        semantics; see PERFORMANCE.md, "Consistency and repairs").
         """
+        validate_mode(consistency)
         prepared = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
+        if consistency != "raw":
+            return self._run_consistent(prepared, consistency, stream=stream)
         if stream:
             return self._run_stream(prepared)
         return self._run(prepared)
 
     def prepare(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
-                mediate: bool = True) -> PreparedQuery:
+                mediate: bool = True, consistency: str = "raw") -> PreparedQuery:
         """Compile a receiver statement once for repeated execution."""
+        validate_mode(consistency)
         plan = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
-        return PreparedQuery(federation=self, plan=plan)
+        return PreparedQuery(federation=self, plan=plan, consistency=consistency)
 
     def _run_stream(self, prepared: MediatedPlan) -> FederationCursor:
         stream = self.engine.execute_stream(prepared.plan)
         return FederationCursor(federation=self, prepared=prepared, stream=stream)
+
+    def _run_consistent(self, prepared: MediatedPlan, consistency: str,
+                        stream: bool = False):
+        """Answer in certain/possible mode via the CQA executor.
+
+        Consistent answers are group- or repair-quantified, so they
+        materialize before the first row can leave; ``stream=True`` still
+        returns a :class:`FederationCursor` (over the materialized rows) so
+        cursor-shaped consumers work identically in every mode.
+        """
+        execution = self.cqa.execute(prepared, consistency)
+        if stream:
+            return FederationCursor(
+                federation=self, prepared=prepared,
+                stream=MaterializedStream(execution.relation, execution.report),
+            )
+        annotations = self.transformer.annotate(
+            execution.relation,
+            prepared.mediation.column_semantics,
+            prepared.mediation.receiver_context,
+        )
+        return FederationAnswer(
+            relation=execution.relation,
+            mediation=prepared.mediation,
+            execution=execution,
+            annotations=annotations,
+        )
 
     def _run(self, prepared: MediatedPlan) -> FederationAnswer:
         execution = self.engine.execute(prepared.plan)
@@ -391,4 +479,6 @@ class Federation:
         }
         if self.request_cache is not None:
             stats["request_cache"] = self.request_cache.snapshot()
+        if self._scanner is not None:
+            stats["violation_scanner"] = self._scanner.snapshot()
         return stats

@@ -88,6 +88,16 @@ class MediatedPlan:
         materialized answers and for streaming cursors)."""
         return self.mediation.column_semantics
 
+    @property
+    def branch_selects(self):
+        """The planned branch SELECTs, in execution order.
+
+        This is the surface the consistent-query-answering executor works
+        from: for mediated statements these are the mediator's branch
+        queries, for passthrough statements the original select.
+        """
+        return [branch.select for branch in self.plan.branches]
+
 
 @dataclass
 class PipelineStatistics:

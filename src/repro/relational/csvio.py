@@ -36,18 +36,29 @@ def relation_from_csv(text: str, schema: Optional[Schema] = None, name: Optional
     When ``schema`` is omitted, the header row provides attribute names and
     types are inferred per column from the data (INTEGER ⊂ FLOAT ⊂ STRING);
     empty fields become NULL.
+
+    Arity is guarded at the door: against a *declared* schema every row must
+    have exactly the declared arity, and even in inferred mode a row wider
+    than the header is rejected — both raise :class:`SchemaError` naming the
+    offending row instead of silently truncating (or failing rows deep
+    inside join/filter operators later).  Inferred-mode rows *shorter* than
+    the header keep the historical NULL padding, a deliberate convenience
+    for small hand-written snippets.
     """
     reader = csv.reader(io.StringIO(text), delimiter=delimiter)
     rows = [row for row in reader if row]
     if not rows:
         return Relation(schema or Schema([]), name=name)
 
+    declared = schema is not None
     if has_header:
         header, data = rows[0], rows[1:]
+        first_data_line = 2
     else:
         if schema is None:
             raise SchemaError("headerless CSV requires an explicit schema")
         header, data = schema.names, rows
+        first_data_line = 1
 
     if schema is None:
         columns = list(zip(*data)) if data else [[] for _ in header]
@@ -61,9 +72,15 @@ def relation_from_csv(text: str, schema: Optional[Schema] = None, name: Optional
         )
 
     relation = Relation(schema, name=name)
-    for row in data:
+    for index, row in enumerate(data):
+        if len(row) > len(schema) or (declared and len(row) < len(schema)):
+            raise SchemaError(
+                f"CSV row {first_data_line + index} has {len(row)} field(s) "
+                f"but the {'declared schema' if declared else 'header'} "
+                f"declares {len(schema)}"
+            )
         values = [_parse_value(field, attribute.type) for field, attribute in zip(row, schema)]
-        # Ragged rows are padded with NULLs so small hand-written snippets stay convenient.
+        # Inferred mode: short rows are padded with NULLs (see docstring).
         while len(values) < len(schema):
             values.append(None)
         relation.append(values)

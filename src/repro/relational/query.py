@@ -668,12 +668,41 @@ class Database:
         from repro.relational.eval import evaluate_literal_expression
 
         relation = self.table(statement.table)
-        for row_exprs in statement.rows:
+        if statement.columns:
+            # Guard the column list up front: a typo'd or extra column would
+            # otherwise silently drop values into the void.
+            known = {attribute.name.lower() for attribute in relation.schema}
+            unknown = [name for name in statement.columns if name.lower() not in known]
+            if unknown:
+                raise SchemaError(
+                    f"INSERT into {statement.table!r} names unknown column(s) "
+                    f"{', '.join(repr(name) for name in unknown)}"
+                )
+            lowered_names = [name.lower() for name in statement.columns]
+            if len(set(lowered_names)) != len(lowered_names):
+                duplicates = sorted({
+                    name for name in lowered_names if lowered_names.count(name) > 1
+                })
+                raise SchemaError(
+                    f"INSERT into {statement.table!r} names column(s) "
+                    f"{', '.join(repr(name) for name in duplicates)} more than once"
+                )
+        for row_number, row_exprs in enumerate(statement.rows, start=1):
             values = [evaluate_literal_expression(expr) for expr in row_exprs]
             if statement.columns:
-                record = dict(zip(statement.columns, values))
-                row = [record.get(attribute.name) for attribute in relation.schema]
+                if len(values) != len(statement.columns):
+                    raise SchemaError(
+                        f"INSERT row {row_number} has {len(values)} value(s) "
+                        f"for {len(statement.columns)} column(s)"
+                    )
+                lowered = {
+                    name.lower(): value
+                    for name, value in zip(statement.columns, values)
+                }
+                row = [lowered.get(attribute.name.lower()) for attribute in relation.schema]
             else:
+                # Schema.validate_row rejects arity mismatches with a clear
+                # SchemaError; nothing reaches the operators malformed.
                 row = values
             relation.append(row)
         return Relation(relation.schema)

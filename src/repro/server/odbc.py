@@ -100,13 +100,19 @@ class Connection:
     # -- prepared statements ----------------------------------------------------------
 
     def prepare(self, sql: str, context: Optional[str] = None,
-                mediate: bool = True) -> "PreparedStatement":
-        """Compile a statement once server-side for repeated execution."""
+                mediate: bool = True,
+                consistency: str = "raw") -> "PreparedStatement":
+        """Compile a statement once server-side for repeated execution.
+
+        ``consistency`` pins the statement's answer mode (``"raw"``,
+        ``"certain"`` or ``"possible"``) for every later execution.
+        """
         payload = self._call(
             "prepare",
             sql=sql,
             context=context or self.context,
             mediate=mediate,
+            consistency=consistency,
         )
         return PreparedStatement(self, payload)
 
@@ -168,8 +174,15 @@ class Cursor:
 
     def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None,
                 context: Optional[str] = None, mediate: bool = True,
-                stream: bool = False, batch_size: Optional[int] = None) -> "Cursor":
-        """Execute a query; ``parameters`` are pyformat-substituted client-side."""
+                stream: bool = False, batch_size: Optional[int] = None,
+                consistency: str = "raw") -> "Cursor":
+        """Execute a query; ``parameters`` are pyformat-substituted client-side.
+
+        ``consistency="certain"``/``"possible"`` answers under the declared
+        integrity constraints instead of over the raw instances; the
+        resulting execution report (``query`` responses) carries the
+        ``consistency`` block describing what the rewrite/fallback did.
+        """
         if parameters:
             sql = sql % {name: _quote(value) for name, value in parameters.items()}
         if stream:
@@ -178,6 +191,7 @@ class Cursor:
                 sql=sql,
                 context=context or self.connection.context,
                 mediate=mediate,
+                consistency=consistency,
             )
             return self._open_stream(payload, batch_size)
         payload = self.connection._call(
@@ -185,6 +199,7 @@ class Cursor:
             sql=sql,
             context=context or self.connection.context,
             mediate=mediate,
+            consistency=consistency,
         )
         return self._load(payload)
 

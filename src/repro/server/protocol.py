@@ -30,6 +30,12 @@ operation             meaning
 Result relations travel as ``{"columns": [...], "types": [...], "rows": [...]}``;
 cursor batches travel as bare ``{"rows": [...], "done": bool}`` payloads
 against the description returned by ``open_cursor``.
+
+``query``, ``prepare`` and ``open_cursor`` accept an optional
+``consistency`` parameter (``"raw"`` | ``"certain"`` | ``"possible"``)
+selecting how declared integrity constraints are honoured; certain/possible
+responses carry the ``consistency`` block of the execution report
+(strategy, conflict clusters, repairs enumerated, tuples dropped).
 """
 
 from __future__ import annotations

@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import html
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.consistency.cqa import CONSISTENCY_MODES
 from repro.errors import ClientError
-from repro.federation import Federation, FederationAnswer
+from repro.engine.executor import EngineResult
+from repro.federation import Federation, FederationAnswer, FederationCursor
 from repro.sql.parser import parse_expression
 from repro.sql.printer import to_sql
 
@@ -39,6 +41,8 @@ class QBEForm:
     joins: List[str]
     context: Optional[str] = None
     distinct: bool = False
+    #: Consistency mode requested by the form ("raw"/"certain"/"possible").
+    consistency: str = "raw"
 
     def to_sql(self) -> str:
         """Assemble the SQL query the form describes."""
@@ -131,6 +135,14 @@ class QBEInterface:
 
         context = fields.get("context") or None
         distinct = str(fields.get("distinct", "")).lower() in ("on", "true", "1")
+        consistency = str(fields.get("consistency", "") or "raw").lower()
+        if consistency not in CONSISTENCY_MODES:
+            # Malformed form input is the client's fault, like every other
+            # field here — keep the QBE error contract (ClientError).
+            raise ClientError(
+                f"the QBE form names an unknown consistency mode "
+                f"{consistency!r}; expected one of {', '.join(CONSISTENCY_MODES)}"
+            )
         return QBEForm(
             relations=relations,
             projections=projections,
@@ -138,6 +150,7 @@ class QBEInterface:
             joins=joins,
             context=context,
             distinct=distinct,
+            consistency=consistency,
         )
 
     def _condition_sql(self, relation: str, column: str, fragment: str) -> str:
@@ -158,11 +171,44 @@ class QBEInterface:
 
     # -- end-to-end ---------------------------------------------------------------------------
 
+    #: Rows pulled per batch when draining or chunk-rendering a cursor.
+    STREAM_BATCH = 256
+
     def submit(self, fields: Dict[str, str]) -> Tuple[QBEForm, FederationAnswer]:
-        """Parse a submission, run the mediated query, return form + answer."""
-        form = self.parse_submission(fields)
-        answer = self.federation.query(form.to_sql(), form.context)
+        """Parse a submission, run the mediated query, return form + answer.
+
+        Since the streaming rework this drives the same ``stream=True``
+        cursor path as the SQL entry points (the engine stages branches
+        lazily and pulls in batches) and only *assembles* the materialized
+        :class:`FederationAnswer` the historical interface promises.
+        """
+        form, cursor = self.submit_stream(fields)
+        with cursor:
+            relation = cursor.stream.to_relation()
+            annotations = cursor.annotations
+        execution = EngineResult(
+            relation=relation, plan=cursor.prepared.plan, report=cursor.report
+        )
+        answer = FederationAnswer(
+            relation=relation,
+            mediation=cursor.mediation,
+            execution=execution,
+            annotations=annotations,
+        )
         return form, answer
+
+    def submit_stream(self, fields: Dict[str, str]) -> Tuple[QBEForm, FederationCursor]:
+        """Parse a submission and open a streaming cursor over its answer.
+
+        The cursor's first rows are available while slower sources are still
+        fetching; closing it early cancels outstanding round trips — parity
+        with ``Federation.query(..., stream=True)``.
+        """
+        form = self.parse_submission(fields)
+        cursor = self.federation.query(
+            form.to_sql(), form.context, stream=True, consistency=form.consistency
+        )
+        return form, cursor
 
     def render_answer(self, answer: FederationAnswer, show_mediation: bool = True) -> str:
         """Render an answer as an HTML table (plus the mediated SQL, optionally)."""
@@ -178,6 +224,43 @@ class QBEInterface:
             return table
         mediated = html.escape(answer.mediated_sql)
         return f"{table}\n<p>Mediated query:</p>\n<pre>{mediated}</pre>"
+
+    def render_answer_stream(self, cursor: FederationCursor,
+                             show_mediation: bool = True,
+                             batch_size: Optional[int] = None) -> Iterator[str]:
+        """Render an open cursor as incrementally-produced HTML chunks.
+
+        The header chunk is emitted before any row arrives (annotations and
+        the description are schema-level), then one chunk per fetched batch —
+        the browser renders rows while slow sources are still in flight —
+        and finally the closing tags (plus the mediated SQL).  The cursor is
+        closed when the generator finishes or is abandoned.
+        """
+        size = batch_size or self.STREAM_BATCH
+        try:
+            header = "".join(
+                f"<th>{html.escape(annotation.label())}</th>"
+                for annotation in cursor.annotations
+            ) or "".join(
+                f"<th>{html.escape(name)}</th>" for name in cursor.schema.names
+            )
+            yield f"<table>\n<tr>{header}</tr>\n"
+            while True:
+                rows = cursor.fetchmany(size)
+                if not rows:
+                    break
+                yield "\n".join(
+                    "<tr>" + "".join(
+                        f"<td>{html.escape(_format(value))}</td>" for value in row
+                    ) + "</tr>"
+                    for row in rows
+                ) + "\n"
+            yield "</table>"
+            if show_mediation:
+                mediated = html.escape(cursor.mediated_sql)
+                yield f"\n<p>Mediated query:</p>\n<pre>{mediated}</pre>"
+        finally:
+            cursor.close()
 
 
 def _looks_numeric(text: str) -> bool:

@@ -175,6 +175,7 @@ class MediationServer:
             cursor = self.federation.query(
                 sql, parameters.get("context"),
                 mediate=bool(parameters.get("mediate", True)), stream=True,
+                consistency=parameters.get("consistency", "raw"),
             )
         except ReproError as exc:
             self.statistics.record(errors=1)
@@ -269,7 +270,10 @@ class MediationServer:
             return Response.failure("'query' requires a 'sql' parameter", "protocol")
         context = parameters.get("context")
         mediate = bool(parameters.get("mediate", True))
-        answer = self.federation.query(sql, context, mediate=mediate)
+        answer = self.federation.query(
+            sql, context, mediate=mediate,
+            consistency=parameters.get("consistency", "raw"),
+        )
         self.statistics.record(queries=1)
         return Response.success(
             relation=relation_to_payload(answer.relation),
@@ -286,7 +290,10 @@ class MediationServer:
             return Response.failure("'prepare' requires a 'sql' parameter", "protocol")
         context = parameters.get("context")
         mediate = bool(parameters.get("mediate", True))
-        prepared = self.federation.prepare(sql, context, mediate=mediate)
+        prepared = self.federation.prepare(
+            sql, context, mediate=mediate,
+            consistency=parameters.get("consistency", "raw"),
+        )
         statement_id = f"stmt-{next(self._statement_ids)}"
         with self._prepared_lock:
             self._prepared[statement_id] = prepared
@@ -300,6 +307,7 @@ class MediationServer:
             branch_count=prepared.plan.mediation.branch_count,
             conflicts=conflict_summary(prepared.plan.mediation),
             receiver_context=prepared.receiver_context,
+            consistency=prepared.consistency,
         )
 
     def _handle_execute_prepared(self, parameters: Dict[str, Any]) -> Response:
@@ -364,6 +372,7 @@ class MediationServer:
             cursor = self.federation.query(
                 sql, parameters.get("context"),
                 mediate=bool(parameters.get("mediate", True)), stream=True,
+                consistency=parameters.get("consistency", "raw"),
             )
 
         try:

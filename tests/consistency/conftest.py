@@ -1,0 +1,10 @@
+"""Fixtures for the consistency-subsystem tests."""
+
+import pytest
+
+from fedbuild import build_consistency_federation
+
+
+@pytest.fixture
+def federation():
+    return build_consistency_federation()

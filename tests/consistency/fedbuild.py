@@ -1,0 +1,50 @@
+"""Shared builders for the consistency-subsystem tests.
+
+The federations here carry no conversion knowledge on purpose: consistency
+is orthogonal to semantic mediation, so the tests pose ``mediate=False``
+queries against a minimal COIN system (one empty receiver context) and two
+wrapped in-memory sources with instance-level dirt planted deliberately.
+"""
+
+from repro.coin.context import Context, ContextRegistry
+from repro.coin.domain import build_financial_domain_model
+from repro.coin.system import CoinSystem
+from repro.federation import Federation
+from repro.sources.memory import MemorySQLSource
+from repro.wrappers.wrapper import RelationalWrapper
+
+
+def build_consistency_federation(max_repairs=512, memory_budget_bytes=None):
+    """A two-source federation with planted key/reference violations.
+
+    ``ledger.accounts(id, owner, balance, region)``: ids 1..6 clean, id 2
+    duplicated with a conflicting balance, id 5 duplicated with an *agreeing*
+    row (exact duplicate — consistent under set semantics).
+    ``reviews.ratings(id, score)``: references account ids, one dangling
+    (99), id 1 rated twice with different scores.
+    """
+    contexts = ContextRegistry()
+    contexts.register(Context("c_plain", "receiver without conventions"))
+    system = CoinSystem(build_financial_domain_model(), contexts, name="consistency-test")
+    federation = Federation(
+        system, default_receiver_context="c_plain", name="consistency-test",
+        max_repairs=max_repairs, memory_budget_bytes=memory_budget_bytes,
+    )
+
+    ledger = MemorySQLSource("ledger")
+    ledger.load_sql(
+        "CREATE TABLE accounts (id integer, owner string, balance float, region string)",
+        "INSERT INTO accounts VALUES "
+        "(1, 'ann', 10.0, 'eu'), (2, 'bob', 20.0, 'us'), (2, 'bob', 25.0, 'us'), "
+        "(3, 'eve', 30.0, 'eu'), (4, 'joe', -5.0, 'us'), "
+        "(5, 'kim', 50.0, 'apac'), (5, 'kim', 50.0, 'apac'), (6, 'lou', 60.0, 'eu')",
+    )
+    reviews = MemorySQLSource("reviews")
+    reviews.load_sql(
+        "CREATE TABLE ratings (id integer, score float)",
+        "INSERT INTO ratings VALUES "
+        "(1, 4.0), (1, 2.0), (2, 5.0), (3, 3.0), (99, 1.0)",
+    )
+    federation.register_wrapper(RelationalWrapper(ledger), estimate_rows=False)
+    federation.register_wrapper(RelationalWrapper(reviews), estimate_rows=False)
+    return federation

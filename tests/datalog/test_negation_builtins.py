@@ -1,0 +1,139 @@
+"""Negation-as-failure / builtin interplay used by denial constraints.
+
+Denial-constraint bodies mix relation literals, negated literals and
+procedural builtins; these tests pin down the resolution behaviour the
+violation scanner depends on — ground-negative literals, builtins inside
+negated subgoals, stratified negation through rules, and the closed-world
+treatment of undefined predicates.
+"""
+
+import pytest
+
+from repro.datalog.clause import KnowledgeBase, atom, fact, neg, pos, rule
+from repro.datalog.engine import Resolver, ResolutionConfig, solve
+from repro.datalog.terms import Variable
+from repro.errors import ResolutionError
+
+X = Variable("X")
+Y = Variable("Y")
+
+
+def _kb(*rules):
+    return KnowledgeBase(rules)
+
+
+class TestGroundNegativeLiterals:
+    def test_ground_negative_literal_succeeds_on_absent_fact(self):
+        kb = _kb(fact("p", 1), fact("p", 2))
+        assert solve(kb, [neg(atom("p", 3))])
+        assert not solve(kb, [neg(atom("p", 1))])
+
+    def test_negation_over_undefined_predicate_is_closed_world(self):
+        kb = _kb(fact("p", 1))
+        # 'q' is entirely undefined: its positive goal fails silently, so
+        # the negative literal succeeds — the closed-world reading denial
+        # constraints rely on when a relation has no facts at all.
+        assert solve(kb, [neg(atom("q", 1))])
+        assert solve(kb, [pos(atom("p", 1)), neg(atom("q", X))])
+
+    def test_negative_literal_after_binding(self):
+        kb = _kb(fact("p", 1), fact("p", 2), fact("bad", 2))
+        solutions = solve(kb, [pos(atom("p", X)), neg(atom("bad", X))])
+        assert [solution.value(X) for solution in solutions] == [1]
+
+    def test_unbound_negation_checks_existence(self):
+        # NAF over an unbound variable asks "does any q exist?" — the
+        # floundering-adjacent behaviour callers must not rely on for
+        # per-binding filtering; documented by this pin.
+        kb = _kb(fact("p", 1), fact("q", 7))
+        assert not solve(kb, [neg(atom("q", X))])
+        assert solve(kb, [neg(atom("r", X))])
+
+
+class TestBuiltinsUnderNegation:
+    def test_negated_builtin_comparison(self):
+        kb = _kb(fact("p", 1), fact("p", 5))
+        solutions = solve(kb, [pos(atom("p", X)), neg(atom("gt", X, 3))])
+        assert [solution.value(X) for solution in solutions] == [1]
+
+    def test_negated_eval(self):
+        from repro.datalog.terms import Compound, Constant
+
+        kb = _kb(fact("p", 2), fact("p", 3))
+        double_is_six = atom("eval", Compound("*", (X, Constant(2))), 6)
+        solutions = solve(kb, [pos(atom("p", X)), neg(double_is_six)])
+        assert [solution.value(X) for solution in solutions] == [2]
+
+    def test_builtin_error_propagates_through_negation(self):
+        kb = _kb(fact("p", "abc"))
+        with pytest.raises(ResolutionError):
+            solve(kb, [pos(atom("p", X)), neg(atom("gt", X, 3))])
+
+    def test_dif_and_ne_in_denial_shape(self):
+        # The canonical key-denial body: two tuples sharing a key with
+        # differing payloads.
+        kb = _kb(
+            fact("r", 1, "a"), fact("r", 1, "b"), fact("r", 2, "c"),
+        )
+        key, left, right = Variable("K"), Variable("L"), Variable("R")
+        body = [
+            pos(atom("r", key, left)),
+            pos(atom("r", key, right)),
+            pos(atom("dif", left, right)),
+        ]
+        solutions = solve(kb, body)
+        assert {(s.value(key), s.value(left), s.value(right)) for s in solutions} == {
+            (1, "a", "b"), (1, "b", "a"),
+        }
+
+
+class TestStratification:
+    def test_stratified_negation_through_rules(self):
+        kb = _kb(
+            fact("node", 1), fact("node", 2), fact("node", 3),
+            fact("edge", 1, 2),
+            rule(atom("reached", Y), [pos(atom("edge", X, Y))]),
+            rule(atom("isolated", X),
+                 [pos(atom("node", X)), neg(atom("reached", X))]),
+        )
+        solutions = solve(kb, [pos(atom("isolated", X))])
+        assert {s.value(X) for s in solutions} == {1, 3}
+
+    def test_double_negation(self):
+        kb = _kb(
+            fact("p", 1), fact("q", 2),
+            rule(atom("notq", X), [pos(atom("p", X)), neg(atom("q", X))]),
+        )
+        assert solve(kb, [neg(atom("notq", 1))]) == []
+        assert solve(kb, [neg(atom("notq", 2))])
+
+    def test_unstratified_recursion_hits_depth_limit(self):
+        # win(X) :- move(X, Y), not win(Y) over a cyclic move graph is the
+        # classic non-stratified program; the SLD engine must fail loudly
+        # (depth bound) instead of looping forever.
+        kb = _kb(
+            fact("move", 1, 1),
+            rule(atom("win", X), [pos(atom("move", X, Y)), neg(atom("win", Y))]),
+        )
+        resolver = Resolver(kb, ResolutionConfig(max_depth=50))
+        with pytest.raises(ResolutionError, match="depth"):
+            list(resolver.solve([pos(atom("win", 1))]))
+
+    def test_negation_inside_rule_body_with_builtin_guard(self):
+        kb = _kb(
+            fact("account", 1, 100),
+            fact("account", 2, -10),
+            fact("whitelisted", 2),
+            rule(
+                atom("suspicious", X),
+                [
+                    pos(atom("account", X, Y)),
+                    pos(atom("lt", Y, 0)),
+                    neg(atom("whitelisted", X)),
+                ],
+            ),
+        )
+        assert solve(kb, [pos(atom("suspicious", X))]) == []
+        kb.add(fact("account", 3, -1))
+        solutions = solve(kb, [pos(atom("suspicious", X))])
+        assert [s.value(X) for s in solutions] == [3]

@@ -58,3 +58,59 @@ class TestImport:
     def test_empty_text(self):
         relation = relation_from_csv("")
         assert len(relation) == 0
+
+
+class TestArityGuards:
+    """Dirty-data guards: arity disagreements fail loudly at load time
+    instead of surfacing as confusing errors deep inside join operators."""
+
+    def test_declared_schema_rejects_short_row(self):
+        schema = Schema.of("a:integer", "b:string")
+        with pytest.raises(SchemaError, match="row 1 has 1 field"):
+            relation_from_csv("1\n", schema=schema, has_header=False)
+
+    def test_declared_schema_rejects_long_row(self):
+        schema = Schema.of("a:integer", "b:string")
+        with pytest.raises(SchemaError, match="declares 2"):
+            relation_from_csv("1,x,extra\n", schema=schema, has_header=False)
+
+    def test_declared_schema_with_header_counts_lines(self):
+        schema = Schema.of("a:integer", "b:string")
+        with pytest.raises(SchemaError, match="row 3"):
+            relation_from_csv("a,b\n1,x\n2\n", schema=schema)
+
+    def test_inferred_schema_rejects_row_wider_than_header(self):
+        with pytest.raises(SchemaError, match="header"):
+            relation_from_csv("a,b\n1,2,3\n")
+
+    def test_insert_arity_mismatch_raises_schema_error(self):
+        from repro.relational.query import Database
+
+        database = Database()
+        database.execute("CREATE TABLE t (a integer, b string)")
+        with pytest.raises(SchemaError, match="arity"):
+            database.execute("INSERT INTO t VALUES (1, 'x', 'extra')")
+        with pytest.raises(SchemaError, match="arity"):
+            database.execute("INSERT INTO t VALUES (1)")
+
+    def test_insert_with_columns_checks_count_and_names(self):
+        from repro.relational.query import Database
+
+        database = Database()
+        database.execute("CREATE TABLE t (a integer, b string)")
+        with pytest.raises(SchemaError, match="unknown column"):
+            database.execute("INSERT INTO t (a, c) VALUES (1, 'x')")
+        with pytest.raises(SchemaError, match="2 value"):
+            database.execute("INSERT INTO t (a) VALUES (1, 'x')")
+        with pytest.raises(SchemaError, match="more than once"):
+            database.execute("INSERT INTO t (a, a) VALUES (1, 2)")
+        database.execute("INSERT INTO t (b, a) VALUES ('x', 1)")
+        assert database.table("t").rows == [(1, "x")]
+
+    def test_memory_source_loading_guarded(self):
+        from repro.sources.memory import MemorySQLSource
+
+        source = MemorySQLSource("s")
+        source.load_sql("CREATE TABLE t (a integer, b string)")
+        with pytest.raises(SchemaError):
+            source.load_sql("INSERT INTO t VALUES (1, 'x', 'y')")
