@@ -1,6 +1,6 @@
 """Hot-path microbenchmarks: compiled pipeline vs. per-row interpretation.
 
-Seven scenarios trace the executor's hot paths (see PERFORMANCE.md):
+Eight scenarios trace the executor's hot paths (see PERFORMANCE.md):
 
 * **scan-filter-project** — a WHERE + select-list pass over one relation;
 * **equi-join** — a two-relation equi-join (the baseline is the interpreted
@@ -19,7 +19,11 @@ Seven scenarios trace the executor's hot paths (see PERFORMANCE.md):
   two-branch top-k union (first-row latency, limit push-down, spilling);
 * **consistency CQA** — violation scanning and certain/possible answering
   over clean vs. 5%-dirty keyed sources, with the rewrite verified against
-  brute-force repair enumeration.
+  brute-force repair enumeration;
+* **resilience** — a flaky three-source federation under deterministic
+  fault schedules: transient failures retried to byte-identical answers,
+  partial-mode degradation labelled per dropped branch, breakers tripping
+  and fast-rejecting repeats.
 
 The *baseline* numbers re-enact the seed implementation faithfully: the same
 loops the seed operators ran, driven by the (still present) interpreted
@@ -799,12 +803,127 @@ def bench_consistency_cqa(rows: int = FULL_CQA_ROWS) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Scenario 8: resilience (retries, partial answers, circuit breakers)
+# ---------------------------------------------------------------------------
+
+#: One branch per source, so a single dead source maps to exactly one branch.
+RESILIENCE_SOURCES = 3
+_RESILIENCE_QUERY = (
+    "SELECT s1.k, s1.v1 AS v FROM s1 WHERE s1.k < 30"
+    " UNION SELECT s2.k, s2.v2 AS v FROM s2 WHERE s2.k < 20"
+    " UNION SELECT s3.k, s3.v3 AS v FROM s3 WHERE s3.k < 10"
+)
+_RESILIENCE_SURVIVOR_QUERY = (
+    "SELECT s1.k, s1.v1 AS v FROM s1 WHERE s1.k < 30"
+    " UNION SELECT s2.k, s2.v2 AS v FROM s2 WHERE s2.k < 20"
+)
+
+
+def _resilience_engine(schedules=None, **policy_kwargs):
+    """Three scan-only sources, each behind a deterministic fault injector."""
+    from repro.engine.resilience import ResiliencePolicy, RetryPolicy
+    from repro.sources.faults import FaultInjectingSource, FaultSchedule
+
+    policy_kwargs.setdefault("retry_policy", RetryPolicy(
+        max_attempts=3, base_delay_seconds=0.002, max_delay_seconds=0.02, seed=7))
+    engine = MultiDatabaseEngine(resilience=ResiliencePolicy(**policy_kwargs))
+    injectors = []
+    for index in range(1, RESILIENCE_SOURCES + 1):
+        source = MemorySQLSource(f"res{index}",
+                                 capabilities=SourceCapabilities.scan_only())
+        values = ", ".join(f"({key}, {float(key * index)})" for key in range(40))
+        source.load_sql(
+            f"CREATE TABLE s{index} (k integer, v{index} float)",
+            f"INSERT INTO s{index} VALUES {values}",
+        )
+        injector = FaultInjectingSource(
+            RelationalWrapper(source),
+            (schedules or {}).get(index, FaultSchedule()),
+        )
+        engine.register_wrapper(injector, estimate_rows=False)
+        injectors.append(injector)
+    return engine, injectors
+
+
+def bench_resilience() -> Dict[str, Any]:
+    """A flaky three-source federation: clean vs. retry-warm vs. partial-degraded.
+
+    * **clean** — no faults; the answer digest anchors the other phases;
+    * **retry-warm** — two sources fail transiently (fail-2 / fail-1 schedules);
+      the retry layer must recover to *byte-identical* answers;
+    * **partial-degraded** — one source is permanently out; partial mode
+      answers from the surviving branches, labels the dropped branch, trips
+      the breaker, and the repeat statement is rejected by the breaker
+      without a source round trip.
+
+    The gates here are identity/accounting gates, not wall-clock gates, so
+    they hold in smoke mode too.
+    """
+    from repro.sources.faults import FaultSchedule
+
+    clean_engine, _ = _resilience_engine()
+    clean_result, clean_elapsed = _timed(lambda: clean_engine.execute(_RESILIENCE_QUERY))
+    clean_rows = list(clean_result.relation.rows)
+    surviving_rows = sorted(
+        clean_engine.execute(_RESILIENCE_SURVIVOR_QUERY).relation.rows)
+
+    # Phase 2: transient failures retried to the same answer.
+    retry_engine, retry_injectors = _resilience_engine(schedules={
+        1: FaultSchedule(fail_first=2),
+        2: FaultSchedule(fail_first=1),
+    })
+    retry_result, retry_elapsed = _timed(lambda: retry_engine.execute(_RESILIENCE_QUERY))
+    retry_rows = list(retry_result.relation.rows)
+    retry_report = retry_result.report.resilience
+    injected_transient = sum(
+        injector.snapshot()["injected_failures"] for injector in retry_injectors)
+
+    # Phase 3: one source permanently out — partial answers + breaker.
+    partial_engine, partial_injectors = _resilience_engine(
+        schedules={3: FaultSchedule(permanent_outage_after=1)},
+        failure_threshold=1, cooldown_seconds=600.0,
+    )
+    partial_result, partial_elapsed = _timed(
+        lambda: partial_engine.execute(_RESILIENCE_QUERY, on_source_error="partial"))
+    partial_rows = sorted(partial_result.relation.rows)
+    degraded = partial_result.report.resilience.snapshot()["degraded_branches"]
+    accesses_after_trip = partial_injectors[2].snapshot()["accesses"]
+    repeat_result, repeat_elapsed = _timed(
+        lambda: partial_engine.execute(_RESILIENCE_QUERY, on_source_error="partial"))
+    repeat_degraded = repeat_result.report.resilience.snapshot()["degraded_branches"]
+    health = partial_engine.source_health()
+
+    return {
+        "sources": RESILIENCE_SOURCES,
+        "answer_rows": len(clean_rows),
+        "answers_sha256": _digest(clean_rows),
+        "clean_elapsed_seconds": round(clean_elapsed, 6),
+        "injected_transient_failures": injected_transient,
+        "retries": retry_report.retries,
+        "retry_identical": retry_rows == clean_rows,
+        "retry_elapsed_seconds": round(retry_elapsed, 6),
+        "partial_rows": len(partial_rows),
+        "partial_identical_to_survivors": partial_rows == surviving_rows,
+        "degraded_branches": len(degraded),
+        "dropped_wrappers": sorted({entry["wrapper"] for entry in degraded}),
+        "breaker_trips": partial_result.report.resilience.breaker_trips,
+        "breaker_state": health["breakers"].get("res3", {}).get("state"),
+        "repeat_degraded_via_breaker": bool(repeat_degraded) and all(
+            "circuit" in entry["error"] for entry in repeat_degraded),
+        "repeat_source_accesses": (
+            partial_injectors[2].snapshot()["accesses"] - accesses_after_trip),
+        "partial_elapsed_seconds": round(partial_elapsed, 6),
+        "repeat_elapsed_seconds": round(repeat_elapsed, 6),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Harness entry point
 # ---------------------------------------------------------------------------
 
 
 def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
-    """Run all seven scenarios; smoke mode shrinks sizes to finish in seconds."""
+    """Run all eight scenarios; smoke mode shrinks sizes to finish in seconds."""
     scan_rows = SMOKE_SCAN_ROWS if smoke else FULL_SCAN_ROWS
     join_rows = SMOKE_JOIN_ROWS if smoke else FULL_JOIN_ROWS
     repeats = SMOKE_MEDIATION_REPEATS if smoke else FULL_MEDIATION_REPEATS
@@ -824,6 +943,7 @@ def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         "mediation_pipeline": bench_mediation_pipeline(pipeline_repeats),
         "streaming_topk": bench_streaming_topk(topk_rows, topk_budget, topk_latency),
         "consistency_cqa": bench_consistency_cqa(cqa_rows),
+        "resilience": bench_resilience(),
     }
 
 
@@ -932,5 +1052,41 @@ def verify_run(result: Dict[str, Any]) -> List[str]:
     if not cqa["tuples_dropped"] or cqa["tuples_dropped"] <= 0:
         failures.append(
             "consistency-cqa: the dirty run dropped no tuples from certainty"
+        )
+    resilience = result["resilience"]
+    # Identity/accounting gates only — no wall clocks — so smoke gates too.
+    if not resilience["retry_identical"]:
+        failures.append(
+            "resilience: retried answers differ from the fault-free run"
+        )
+    if resilience["retries"] != resilience["injected_transient_failures"]:
+        failures.append(
+            f"resilience: {resilience['injected_transient_failures']} injected "
+            f"transient failures but {resilience['retries']} retries booked"
+        )
+    if not resilience["partial_identical_to_survivors"]:
+        failures.append(
+            "resilience: partial answers differ from the surviving branches"
+        )
+    if resilience["degraded_branches"] != 1 or resilience["dropped_wrappers"] != ["res3"]:
+        failures.append(
+            "resilience: partial mode did not drop exactly the dead branch "
+            f"({resilience['degraded_branches']} dropped: "
+            f"{resilience['dropped_wrappers']})"
+        )
+    if resilience["breaker_trips"] < 1 or resilience["breaker_state"] != "open":
+        failures.append(
+            "resilience: the permanent outage did not trip the breaker "
+            f"(trips={resilience['breaker_trips']}, "
+            f"state={resilience['breaker_state']})"
+        )
+    if not resilience["repeat_degraded_via_breaker"]:
+        failures.append(
+            "resilience: the repeat statement was not rejected by the open breaker"
+        )
+    if resilience["repeat_source_accesses"] != 0:
+        failures.append(
+            "resilience: the repeat statement still reached the dead source "
+            f"({resilience['repeat_source_accesses']} accesses)"
         )
     return failures

@@ -75,6 +75,14 @@ def _print_summary(result) -> None:
           f"{cqa['certain_overhead_vs_raw']}x raw cost, strategy "
           f"{cqa['certain_strategy']}); rewrite==bruteforce: "
           f"{cqa['rewrite_matches_bruteforce']} ({cqa['brute_repairs']} repairs)")
+    res = result["resilience"]
+    print(f"[hotpath:{result['mode']}] resilience {res['sources']} flaky sources: "
+          f"retried {res['injected_transient_failures']} transient failures "
+          f"({res['retries']} retries) to identical answers: {res['retry_identical']}; "
+          f"partial mode kept {res['partial_rows']} of {res['answer_rows']} rows, "
+          f"dropped {res['dropped_wrappers']}, breaker {res['breaker_state']} "
+          f"({res['breaker_trips']} trip(s)), repeat rejected fast: "
+          f"{res['repeat_degraded_via_breaker']}")
 
 
 def _append_trajectory(path: str, result) -> None:

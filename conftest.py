@@ -20,3 +20,8 @@ def pytest_configure(config):
         "hotpath: hot-path performance smoke checks "
         "(also runnable via `python benchmarks/run_bench.py --smoke`)",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection suite exercising retries, breakers, "
+        "deadlines and partial answers under deterministic failure schedules",
+    )

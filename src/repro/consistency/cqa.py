@@ -183,25 +183,35 @@ class ConsistentQueryExecutor:
     # -- public API --------------------------------------------------------------
 
     def execute(self, prepared, mode: str,
-                force_strategy: Optional[str] = None) -> EngineResult:
+                force_strategy: Optional[str] = None,
+                timeout_seconds: Optional[float] = None) -> EngineResult:
         """Answer ``prepared`` (a MediatedPlan) with certain/possible rows.
 
         ``force_strategy="fallback"`` bypasses strategy selection and always
         enumerates repairs — the brute-force evaluation of the definition,
         used by tests and benchmarks to verify the rewrite's exactness.
+        ``timeout_seconds`` bounds the *whole* consistent answer: every
+        sub-execution (companion plans, extent fetches) runs under one
+        shared deadline.
         """
         validate_mode(mode)
+        deadline = self.engine.controller.resilience.deadline(timeout_seconds)
         if mode == "raw":  # pragma: no cover - callers route raw elsewhere
-            return self.engine.execute(prepared.plan)
+            return self.engine.execute(prepared.plan, deadline=deadline)
 
         started = time.perf_counter()
         report = ExecutionReport()
+        # CQA refuses partial answers (certainty cannot be quantified over a
+        # degraded branch set), so the statement-level block is always "fail";
+        # counters from every sub-execution fold in via _merge_subreport.
+        report.resilience.mode = "fail"
+        report.resilience.timeout_seconds = deadline.timeout_seconds
         branches = [branch.select for branch in prepared.plan.branches]
         analyses = [self._analyse(select) for select in branches]
 
         strategy = force_strategy or self._statement_strategy(analyses)
         if strategy == "clean":
-            result = self.engine.execute(prepared.plan)
+            result = self.engine.execute(prepared.plan, deadline=deadline)
             self._merge_subreport(report, result.report)
             relation = self._dedup(result.relation)
             consistency: Dict[str, object] = {
@@ -211,16 +221,18 @@ class ConsistentQueryExecutor:
                 "tuples_dropped": 0,
             }
         elif strategy == "rewrite":
-            relation, consistency = self._execute_rewrite(analyses, report, mode)
+            relation, consistency = self._execute_rewrite(analyses, report, mode,
+                                                          deadline)
         else:
             relation, consistency = self._execute_fallback(
-                prepared.plan.statement, analyses, report, mode
+                prepared.plan.statement, analyses, report, mode, deadline
             )
 
         consistency["mode"] = mode
         report.consistency = consistency
         report.result_rows = len(relation)
         report.elapsed_seconds = time.perf_counter() - started
+        report.resilience.deadline_remaining_seconds = deadline.remaining()
         return EngineResult(relation=relation, plan=prepared.plan, report=report)
 
     # -- analysis ----------------------------------------------------------------
@@ -343,7 +355,7 @@ class ConsistentQueryExecutor:
 
     def _execute_rewrite(self, analyses: Sequence[_BranchAnalysis],
                          report: ExecutionReport, mode: str,
-                         ) -> Tuple[Relation, Dict[str, object]]:
+                         deadline=None) -> Tuple[Relation, Dict[str, object]]:
         certain_rows: List[Row] = []
         possible_rows: List[Row] = []
         seen_certain: Set[Tuple] = set()
@@ -354,13 +366,14 @@ class ConsistentQueryExecutor:
 
         for analysis in analyses:
             if analysis.keyed_binding is None:
-                branch_schema, rows = self._execute_clean_branch(analysis, report)
+                branch_schema, rows = self._execute_clean_branch(analysis, report,
+                                                                 deadline)
                 branch_certain = branch_possible = rows
                 branch_clusters = 0
             else:
                 constrained += 1
                 branch_schema, branch_certain, branch_possible, branch_clusters = (
-                    self._rewrite_branch(analysis, report)
+                    self._rewrite_branch(analysis, report, deadline)
                 )
             if schema is None:
                 schema = branch_schema
@@ -392,15 +405,17 @@ class ConsistentQueryExecutor:
         return relation, consistency
 
     def _execute_clean_branch(self, analysis: _BranchAnalysis,
-                              report: ExecutionReport) -> Tuple[Schema, List[Row]]:
+                              report: ExecutionReport,
+                              deadline=None) -> Tuple[Schema, List[Row]]:
         result = self.engine.execute(
-            self.engine.planner.plan_branches([analysis.select])
+            self.engine.planner.plan_branches([analysis.select]),
+            deadline=deadline,
         )
         self._merge_subreport(report, result.report)
         return result.relation.schema, list(result.relation.rows)
 
     def _rewrite_branch(self, analysis: _BranchAnalysis, report: ExecutionReport,
-                        ) -> Tuple[Schema, List[Row], List[Row], int]:
+                        deadline=None) -> Tuple[Schema, List[Row], List[Row], int]:
         """One keyed branch: companion plan + group-quantified certain filter.
 
         Returns (output schema, certain rows, raw/possible rows, conflict
@@ -464,7 +479,8 @@ class ConsistentQueryExecutor:
             tables=select.tables,
             where=conjoin(kept),
         )
-        result = self.engine.execute(planner.plan_branches([companion]))
+        result = self.engine.execute(planner.plan_branches([companion]),
+                                     deadline=deadline)
         self._merge_subreport(report, result.report)
 
         local_schema = Schema(
@@ -625,12 +641,18 @@ class ConsistentQueryExecutor:
         report.spilled_rows += sub.spilled_rows
         report.spilled_bytes += sub.spilled_bytes
         report.staged_bytes += sub.staged_bytes
+        report.resilience.attempts += sub.resilience.attempts
+        report.resilience.retries += sub.resilience.retries
+        report.resilience.failed_requests += sub.resilience.failed_requests
+        report.resilience.breaker_trips += sub.resilience.breaker_trips
+        report.resilience.breaker_rejections += sub.resilience.breaker_rejections
+        report.resilience.degraded_branches.extend(sub.resilience.degraded_branches)
 
     # -- the repair-intersection fallback ----------------------------------------------
 
     def _execute_fallback(self, statement, analyses: Sequence[_BranchAnalysis],
                           report: ExecutionReport, mode: str,
-                          ) -> Tuple[Relation, Dict[str, object]]:
+                          deadline=None) -> Tuple[Relation, Dict[str, object]]:
         catalog = self.engine.catalog
         relations: List[str] = []
         for node in walk(statement):
@@ -642,7 +664,7 @@ class ConsistentQueryExecutor:
 
         tables: Dict[str, Relation] = {}
         for relation in relations:
-            tables[relation] = self._fetch_extent(relation, report)
+            tables[relation] = self._fetch_extent(relation, report, deadline)
 
         # A repair is a *set* of tuples, so every key-constrained relation
         # first collapses exact-duplicate rows (two identical tuples are the
@@ -771,10 +793,12 @@ class ConsistentQueryExecutor:
         }
         return relation, consistency
 
-    def _fetch_extent(self, relation: str, report: ExecutionReport) -> Relation:
+    def _fetch_extent(self, relation: str, report: ExecutionReport,
+                      deadline=None) -> Relation:
         """Fetch one relation's full extent through the ordinary pipeline."""
         select = Select(items=(SelectItem(Star()),), tables=(TableRef(name=relation),))
-        result = self.engine.execute(self.engine.planner.plan_branches([select]))
+        result = self.engine.execute(self.engine.planner.plan_branches([select]),
+                                     deadline=deadline)
         self._merge_subreport(report, result.report)
         base_schema = self.engine.catalog.schema_of(relation)
         extent = Relation(

@@ -152,6 +152,10 @@ class ViolationScanner:
             request_cache=engine.controller.request_cache,
             max_concurrent_requests=engine.controller.max_concurrent_requests,
             memory_budget_bytes=memory_budget_bytes,
+            # Share the engine's resilience policy: scans hit the same
+            # wrappers, so retries, breaker state and health statistics must
+            # be one account, not a parallel book.
+            resilience=engine.controller.resilience,
         )
         self._cache_size = max(0, int(report_cache_size))
         self._cache: "OrderedDict[tuple, ViolationReport]" = OrderedDict()
@@ -162,10 +166,16 @@ class ViolationScanner:
     # -- public API --------------------------------------------------------------
 
     def scan(self, relations: Optional[Sequence[str]] = None,
-             use_cache: bool = True) -> ViolationReport:
+             use_cache: bool = True,
+             timeout_seconds: Optional[float] = None) -> ViolationReport:
         """Scan the declared constraints (optionally only those reading the
-        given relations) and return the memoized or fresh report."""
+        given relations) and return the memoized or fresh report.
+
+        ``timeout_seconds`` bounds the *whole* scan: every constraint's
+        source fetches and streamed evaluation run under one shared
+        deadline (a cache hit returns immediately regardless)."""
         catalog = self.engine.catalog
+        deadline = self.controller.resilience.deadline(timeout_seconds)
         constraints = self._select_constraints(relations)
         key = (
             catalog.generation,
@@ -184,7 +194,8 @@ class ViolationScanner:
         started = time.perf_counter()
         report = ViolationReport(generation=catalog.generation)
         for constraint in constraints:
-            report.findings.append(self._scan_constraint(constraint, report))
+            report.findings.append(self._scan_constraint(constraint, report,
+                                                         deadline))
         report.elapsed_seconds = time.perf_counter() - started
 
         if use_cache and self._cache_size > 0:
@@ -230,10 +241,11 @@ class ViolationScanner:
             distinct=distinct,
         )
 
-    def _stream(self, select: Select, report: ViolationReport) -> Iterator[Row]:
+    def _stream(self, select: Select, report: ViolationReport,
+                deadline=None) -> Iterator[Row]:
         """Plan and stream one scan select under the scanner's budget."""
         plan = self.engine.planner.plan_branches([select])
-        stream = self.controller.execute_stream(plan)
+        stream = self.controller.execute_stream(plan, deadline=deadline)
         try:
             for row in stream:
                 report.rows_scanned += 1
@@ -248,23 +260,26 @@ class ViolationScanner:
     # -- per-family scans -----------------------------------------------------------
 
     def _scan_constraint(self, constraint: Constraint,
-                         report: ViolationReport) -> ConstraintFinding:
+                         report: ViolationReport,
+                         deadline=None) -> ConstraintFinding:
         if isinstance(constraint, PrimaryKey):
             return self._scan_dependency(
                 constraint, report,
                 determinants=constraint.columns,
                 dependents=None,
+                deadline=deadline,
             )
         if isinstance(constraint, FunctionalDependency):
             return self._scan_dependency(
                 constraint, report,
                 determinants=constraint.determinants,
                 dependents=constraint.dependents,
+                deadline=deadline,
             )
         if isinstance(constraint, InclusionDependency):
-            return self._scan_inclusion(constraint, report)
+            return self._scan_inclusion(constraint, report, deadline)
         if isinstance(constraint, DenialConstraint):
-            return self._scan_denial(constraint, report)
+            return self._scan_denial(constraint, report, deadline)
         raise ConsistencyError(
             f"no scan strategy for constraint kind {constraint.kind!r}"
         )
@@ -281,7 +296,8 @@ class ViolationScanner:
 
     def _scan_dependency(self, constraint, report: ViolationReport,
                          determinants: Sequence[str],
-                         dependents: Optional[Sequence[str]]) -> ConstraintFinding:
+                         dependents: Optional[Sequence[str]],
+                         deadline=None) -> ConstraintFinding:
         """Ordered-scan detection for keys (dependents=None: any second tuple
         per key is a violation) and FDs (a second *distinct* dependent combo
         per determinant group is)."""
@@ -305,7 +321,7 @@ class ViolationScanner:
         current_key: Optional[Tuple] = None
         group_first: Optional[Row] = None
         seen_dependents: set = set()
-        for row in self._stream(select, report):
+        for row in self._stream(select, report, deadline):
             key = tuple(value_key(row[position]) for position in positions)
             if key != current_key:
                 current_key = key
@@ -326,7 +342,8 @@ class ViolationScanner:
         return finding
 
     def _scan_inclusion(self, constraint: InclusionDependency,
-                        report: ViolationReport) -> ConstraintFinding:
+                        report: ViolationReport,
+                        deadline=None) -> ConstraintFinding:
         finding = self._finding(constraint, constraint.relation)
         referenced = self._scan_select(
             constraint.referenced_relation, constraint.referenced_columns,
@@ -334,10 +351,10 @@ class ViolationScanner:
         )
         known = {
             tuple(value_key(value) for value in row)
-            for row in self._stream(referenced, report)
+            for row in self._stream(referenced, report, deadline)
         }
         referencing = self._scan_select(constraint.relation, constraint.columns)
-        for row in self._stream(referencing, report):
+        for row in self._stream(referencing, report, deadline):
             if any(value is None for value in row):
                 continue  # SQL FK semantics: NULL references match vacuously
             if tuple(value_key(value) for value in row) not in known:
@@ -345,14 +362,15 @@ class ViolationScanner:
         return finding
 
     def _scan_denial(self, constraint: DenialConstraint,
-                     report: ViolationReport) -> ConstraintFinding:
+                     report: ViolationReport,
+                     deadline=None) -> ConstraintFinding:
         primary = constraint.relations[0]
         finding = self._finding(constraint, primary)
         kb = KnowledgeBase(name=f"denial:{constraint.name}")
         for relation in constraint.relations:
             schema = self.engine.catalog.schema_of(relation)
             select = self._scan_select(relation, list(schema.names))
-            for row in self._stream(select, report):
+            for row in self._stream(select, report, deadline):
                 kb.add(Rule(atom(relation, *row), ()))
         resolver = Resolver(kb, ResolutionConfig(max_solutions=self.max_denial_solutions))
         for solution in resolver.solve(list(constraint.body)):

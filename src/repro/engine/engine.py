@@ -24,6 +24,7 @@ from repro.engine.executor import (
     EngineResult,
     ExecutionController,
 )
+from repro.engine.resilience import Deadline, ResiliencePolicy
 from repro.engine.plan import QueryPlan
 from repro.engine.request_cache import SourceResultCache
 from repro.engine.planner import PlannerConfig, QueryPlanner
@@ -57,6 +58,14 @@ class EngineStatistics:
     streams_opened: int = 0
     rows_streamed: int = 0
     cancelled_fetches: int = 0
+    #: Resilience counters folded from per-statement reports: retried
+    #: fetches, fetches that failed for good, breaker activity, and branches
+    #: dropped by partial-answer degradation.
+    source_retries: int = 0
+    failed_requests: int = 0
+    breaker_trips: int = 0
+    breaker_rejections: int = 0
+    degraded_branches: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
 
@@ -80,6 +89,12 @@ class EngineStatistics:
             self.rows_returned += report.result_rows
             self.rows_streamed += report.rows_streamed
             self.cancelled_fetches += report.cancelled_fetches
+            resilience = report.resilience
+            self.source_retries += resilience.retries
+            self.failed_requests += resilience.failed_requests
+            self.breaker_trips += resilience.breaker_trips
+            self.breaker_rejections += resilience.breaker_rejections
+            self.degraded_branches += len(resilience.degraded_branches)
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
@@ -95,6 +110,11 @@ class EngineStatistics:
                 "streams_opened": self.streams_opened,
                 "rows_streamed": self.rows_streamed,
                 "cancelled_fetches": self.cancelled_fetches,
+                "source_retries": self.source_retries,
+                "failed_requests": self.failed_requests,
+                "breaker_trips": self.breaker_trips,
+                "breaker_rejections": self.breaker_rejections,
+                "degraded_branches": self.degraded_branches,
             }
 
 
@@ -108,7 +128,8 @@ class MultiDatabaseEngine:
                  request_cache: Optional[SourceResultCache] = None,
                  max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
                  deduplicate_requests: bool = True,
-                 memory_budget_bytes: Optional[int] = None):
+                 memory_budget_bytes: Optional[int] = None,
+                 resilience: Optional[ResiliencePolicy] = None):
         self.catalog = catalog if catalog is not None else Catalog()
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.planner = QueryPlanner(self.catalog, self.cost_model, planner_config)
@@ -118,6 +139,7 @@ class MultiDatabaseEngine:
             max_concurrent_requests=max_concurrent_requests,
             deduplicate=deduplicate_requests,
             memory_budget_bytes=memory_budget_bytes,
+            resilience=resilience,
         )
         self.statistics = EngineStatistics()
 
@@ -197,31 +219,64 @@ class MultiDatabaseEngine:
         self.statistics.record_plan()
         return plan
 
-    def execute(self, statement: TUnion[str, Statement, QueryPlan]) -> EngineResult:
-        """Plan (if needed) and execute a statement, returning the full result."""
-        if isinstance(statement, QueryPlan):
-            plan = statement
-        else:
-            plan = self.plan(statement)
-        result = self.controller.execute(plan)
-        self.statistics.record_execution(result.report)
-        return result
+    def execute(self, statement: TUnion[str, Statement, QueryPlan],
+                timeout_seconds: Optional[float] = None,
+                on_source_error: str = "fail",
+                deadline: Optional[Deadline] = None) -> EngineResult:
+        """Plan (if needed) and execute a statement, returning the full result.
 
-    def execute_stream(self, statement: TUnion[str, Statement, QueryPlan]):
-        """Plan (if needed) and open a pull-based cursor over the result.
-
-        Returns a :class:`~repro.engine.stream.ResultStream`; the engine's
-        aggregate statistics fold the execution report in when the stream
-        finishes (exhaustion or :meth:`~repro.engine.stream.ResultStream.close`).
+        ``timeout_seconds`` bounds the statement's wall clock (fetch waits,
+        retry backoff and finalization all count against it); pass an
+        existing ``deadline`` instead to share one bound across several
+        executions (the CQA executor does).  ``on_source_error="partial"``
+        answers from the surviving branches when a source stays dead.
         """
         if isinstance(statement, QueryPlan):
             plan = statement
         else:
             plan = self.plan(statement)
-        stream = self.controller.execute_stream(plan)
+        if deadline is None:
+            deadline = self.controller.resilience.deadline(timeout_seconds)
+        # Drain through a stream with the fold attached to close, so a failed
+        # statement still books its retries, failed requests and breaker
+        # rejections — the streaming path already accounts this way.
+        stream = self.controller.execute_stream(plan, deadline=deadline,
+                                                on_source_error=on_source_error)
+        stream.on_close(self.statistics.record_execution)
+        try:
+            relation = stream.to_relation()
+            return EngineResult(relation=relation, plan=plan, report=stream.report)
+        finally:
+            stream.close()
+
+    def execute_stream(self, statement: TUnion[str, Statement, QueryPlan],
+                       timeout_seconds: Optional[float] = None,
+                       on_source_error: str = "fail",
+                       deadline: Optional[Deadline] = None):
+        """Plan (if needed) and open a pull-based cursor over the result.
+
+        Returns a :class:`~repro.engine.stream.ResultStream`; the engine's
+        aggregate statistics fold the execution report in when the stream
+        finishes (exhaustion or :meth:`~repro.engine.stream.ResultStream.close`).
+        ``timeout_seconds`` / ``on_source_error`` behave as in
+        :meth:`execute`; the deadline also covers streaming finalization,
+        so a stalled consumer-side pull fails rather than hangs.
+        """
+        if isinstance(statement, QueryPlan):
+            plan = statement
+        else:
+            plan = self.plan(statement)
+        if deadline is None:
+            deadline = self.controller.resilience.deadline(timeout_seconds)
+        stream = self.controller.execute_stream(plan, deadline=deadline,
+                                                on_source_error=on_source_error)
         self.statistics.record_stream_opened()
         stream.on_close(self.statistics.record_execution)
         return stream
+
+    def source_health(self) -> Dict[str, object]:
+        """Breaker states and rolling per-wrapper health statistics."""
+        return self.controller.resilience.snapshot()
 
     def query(self, statement: TUnion[str, Statement]) -> Relation:
         """Execute and return only the answer relation."""

@@ -45,10 +45,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, RequestFailedError
 from repro.engine.catalog import Catalog
 from repro.engine.plan import JoinStep, QueryPlan, SourceRequest
 from repro.engine.request_cache import RequestKey, SourceResultCache, request_key
+from repro.engine.resilience import (
+    Deadline,
+    ResiliencePolicy,
+    ResilienceReport,
+    validate_on_source_error,
+)
 from repro.relational.budget import MemoryBudget
 from repro.relational.operators import (
     Filter,
@@ -195,6 +201,10 @@ class ExecutionReport:
     #: (rewrite / fallback / clean), conflict clusters touched, repairs
     #: enumerated, raw row count, and how many raw rows certainty dropped.
     consistency: Optional[Dict[str, object]] = None
+    #: Fault-tolerance outcome: fetch attempts, retries, breaker activity,
+    #: degraded branches and deadline headroom (see
+    #: :class:`~repro.engine.resilience.ResilienceReport`).
+    resilience: ResilienceReport = field(default_factory=ResilienceReport)
 
     @property
     def rows_transferred(self) -> int:
@@ -247,6 +257,7 @@ class ExecutionReport:
                 "spilled_bytes": self.spilled_bytes,
             },
         }
+        snapshot["resilience"] = self.resilience.snapshot()
         if self.consistency is not None:
             snapshot["consistency"] = dict(self.consistency)
         return snapshot
@@ -289,14 +300,57 @@ class _FetchOutcome:
     cache hands out a fresh copy per hit): their row lists can be staged by
     reference.  Relations straight from a wrapper may be live views of the
     source's table and must be copied once when staged.
+
+    ``error`` is set — and ``relation`` is None — when the fetch failed for
+    good (retries exhausted, permanent error, open breaker): a failed
+    outcome is never banked into the source-result cache and never updates
+    catalog estimates, whether it is consumed by a branch or discovered at
+    ``close()`` time.
     """
 
-    relation: Relation
+    relation: Optional[Relation]
     request_text: str
     cache_hit: bool = False
     frozen: bool = False
     fetch_seconds: float = 0.0
     wait_seconds: float = 0.0
+    error: Optional[BaseException] = None
+    attempts: int = 1
+
+
+#: Memoized combined error classes: original error type → context-rich type.
+_REQUEST_ERROR_TYPES: Dict[type, type] = {}
+
+
+def request_failed_error(request: SourceRequest,
+                         error: BaseException) -> RequestFailedError:
+    """The scheduler's terminal fetch error, with full request context.
+
+    The returned error names the wrapper, the relation and the pushed SQL /
+    FETCH text, *and* remains an instance of the original error's type
+    (``RequestFailedError`` is mixed in as an additional base), so handlers
+    catching e.g. :class:`~repro.errors.SourceUnavailableError` keep working
+    while gaining the request context in the message.
+    """
+    message = (
+        f"source request failed on wrapper {request.wrapper_name!r} "
+        f"(relation {request.relation!r}, request: {request.request_text}): "
+        f"{error}"
+    )
+    base = type(error)
+    if issubclass(base, RequestFailedError):
+        return base(message)
+    combined = _REQUEST_ERROR_TYPES.get(base)
+    if combined is None:
+        try:
+            combined = type(
+                f"RequestFailed[{base.__name__}]", (RequestFailedError, base), {}
+            )
+            combined(message)  # probe: the base must accept a lone message
+        except Exception:
+            combined = RequestFailedError
+        _REQUEST_ERROR_TYPES[base] = combined
+    return combined(message)
 
 
 class ExecutionController:
@@ -312,7 +366,8 @@ class ExecutionController:
                  request_cache: Optional[SourceResultCache] = None,
                  max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
                  deduplicate: bool = True,
-                 memory_budget_bytes: Optional[int] = None):
+                 memory_budget_bytes: Optional[int] = None,
+                 resilience: Optional[ResiliencePolicy] = None):
         self.catalog = catalog
         self.temp_store = temp_store or TemporaryStore("engine-temp")
         self.request_cache = request_cache
@@ -322,31 +377,42 @@ class ExecutionController:
         #: distincts and hash-join build sides spill to temporary files
         #: rather than exceed it.
         self.memory_budget_bytes = memory_budget_bytes
+        #: Retry policy, per-wrapper circuit breakers and source health —
+        #: shared across this controller's statements so breaker state and
+        #: health statistics persist between them.
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
 
     # -- public API -------------------------------------------------------------
 
-    def execute(self, plan: QueryPlan) -> EngineResult:
+    def execute(self, plan: QueryPlan, deadline: Optional[Deadline] = None,
+                on_source_error: str = "fail") -> EngineResult:
         """Plan interpretation, eagerly: drain the stream into a relation."""
-        stream = self.execute_stream(plan)
+        stream = self.execute_stream(plan, deadline=deadline,
+                                     on_source_error=on_source_error)
         try:
             relation = stream.to_relation()
             return EngineResult(relation=relation, plan=plan, report=stream.report)
         finally:
             stream.close()
 
-    def execute_stream(self, plan: QueryPlan):
+    def execute_stream(self, plan: QueryPlan, deadline: Optional[Deadline] = None,
+                       on_source_error: str = "fail"):
         """Open a pull-based cursor over the plan's result.
 
         Source fetches are dispatched concurrently up front (or lazily, when
         the pool is bounded to one request), but branches are staged,
         joined and finalized only as the consumer pulls rows — closing the
         stream early cancels fetches that were never consumed and releases
-        staged temporaries.  Returns a
+        staged temporaries.  Every distinct fetch runs under the controller's
+        resilience policy (retries, breakers) and the optional statement
+        ``deadline``; ``on_source_error="partial"`` drops branches whose
+        sources stay dead instead of failing the statement.  Returns a
         :class:`~repro.engine.stream.ResultStream`.
         """
         from repro.engine.stream import ResultStream
 
-        return ResultStream(self, plan)
+        return ResultStream(self, plan, deadline=deadline,
+                            on_source_error=validate_on_source_error(on_source_error))
 
     # -- request scheduling -------------------------------------------------------
 

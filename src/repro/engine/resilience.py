@@ -1,0 +1,601 @@
+"""Fault tolerance for federated execution: retries, breakers, deadlines.
+
+The paper's mediator queries autonomous sources — on-line databases and web
+sites that slow down, flake and vanish without notice.  This module is the
+resilience layer the scheduler threads every distinct source round trip
+through:
+
+* :class:`RetryPolicy` — classifies :class:`~repro.errors.SourceError` /
+  :class:`~repro.errors.WrapperError` failures into *transient* (worth
+  retrying: simulated network blips, sources briefly unavailable) and
+  *permanent* (capability mismatches, malformed wrapper specs — retrying
+  cannot help), and spaces retries with exponential backoff whose jitter is
+  **deterministically seeded** per (request, attempt): fault-injection tests
+  and benchmarks replay byte-identical schedules regardless of thread
+  interleaving.
+* :class:`CircuitBreaker` — one per wrapper, closed → open after a run of
+  consecutive failures, open → half-open after a cooldown, half-open →
+  closed on a successful probe.  An open circuit rejects requests *fast*:
+  a dead source costs nothing per statement instead of a full retry budget.
+* :class:`Deadline` — a per-statement time bound propagated from
+  ``Federation.query(..., timeout_seconds=...)`` through fetch waits, retry
+  backoff sleeps and streaming finalization.  Expiry raises
+  :class:`~repro.errors.DeadlineExceededError` and is never downgraded to a
+  partial answer.
+* :class:`SourceHealth` / :class:`HealthRegistry` — rolling
+  success/failure/latency statistics per wrapper, surfaced through the
+  engine's statistics façade so operators can see which sources are rotten
+  before receivers complain.
+
+Everything time-related goes through an injectable :class:`Clock`
+(``now``/``sleep``), so breaker transitions and backoff schedules are testable
+with a :class:`ManualClock` — no wall-clock sleeps, no flaky timing tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    CapabilityError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ExecutionError,
+    SourceError,
+    WrapperError,
+)
+
+#: Valid values of the ``on_source_error`` execution option.
+ON_SOURCE_ERROR_MODES = ("fail", "partial")
+
+
+def validate_on_source_error(mode: str) -> str:
+    if mode not in ON_SOURCE_ERROR_MODES:
+        raise ExecutionError(
+            f"unknown on_source_error mode {mode!r}; "
+            f"expected one of {', '.join(ON_SOURCE_ERROR_MODES)}"
+        )
+    return mode
+
+
+# ---------------------------------------------------------------------------
+# Clocks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Clock:
+    """The two time primitives the resilience layer uses, injectable."""
+
+    now: Callable[[], float]
+    sleep: Callable[[float], None]
+
+
+SYSTEM_CLOCK = Clock(now=time.monotonic, sleep=time.sleep)
+
+
+class ManualClock:
+    """A deterministic test clock: ``sleep`` advances time instead of waiting.
+
+    Thread-safe; records every sleep so tests can assert exact backoff
+    schedules.  Use ``manual_clock.clock`` wherever a :class:`Clock` is
+    expected.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._lock = threading.Lock()
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += max(0.0, seconds)
+
+    def advance(self, seconds: float) -> None:
+        with self._lock:
+            self._now += max(0.0, seconds)
+
+    @property
+    def clock(self) -> Clock:
+        return Clock(now=self.now, sleep=self.sleep)
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+
+class Deadline:
+    """A statement-wide time bound (``timeout_seconds=None`` = unbounded).
+
+    One deadline is created per statement and handed to every fetch wait,
+    retry sleep and row pull, so a statement's total wall clock — not each
+    individual wait — is what the receiver bounded.
+    """
+
+    __slots__ = ("timeout_seconds", "_expires_at", "_clock")
+
+    def __init__(self, timeout_seconds: Optional[float],
+                 clock: Clock = SYSTEM_CLOCK):
+        if timeout_seconds is not None:
+            timeout_seconds = float(timeout_seconds)
+            if timeout_seconds <= 0:
+                raise ExecutionError(
+                    f"timeout_seconds must be positive, got {timeout_seconds}"
+                )
+        self.timeout_seconds = timeout_seconds
+        self._clock = clock
+        self._expires_at = (
+            clock.now() + timeout_seconds if timeout_seconds is not None else None
+        )
+
+    @classmethod
+    def unbounded(cls, clock: Clock = SYSTEM_CLOCK) -> "Deadline":
+        return cls(None, clock)
+
+    @property
+    def bounded(self) -> bool:
+        return self._expires_at is not None
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (never negative), or None when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self._clock.now())
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and self._clock.now() >= self._expires_at
+
+    def check(self, context: str) -> None:
+        """Raise :class:`DeadlineExceededError` when the deadline has passed."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"statement deadline of {self.timeout_seconds}s exceeded "
+                f"while {context}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.bounded:
+            return "<Deadline unbounded>"
+        return f"<Deadline {self.timeout_seconds}s, {self.remaining():.3f}s left>"
+
+
+# ---------------------------------------------------------------------------
+# Error classification and retry policy
+# ---------------------------------------------------------------------------
+
+
+def classify_error(error: BaseException) -> str:
+    """``"transient"`` (retry may help) or ``"permanent"`` (it cannot).
+
+    An explicit boolean ``transient`` attribute on the exception overrides
+    the class-based rules — fault harnesses and exotic wrappers can tag
+    their failures directly.
+    """
+    override = getattr(error, "transient", None)
+    if isinstance(override, bool):
+        return "transient" if override else "permanent"
+    if isinstance(error, (CircuitOpenError, DeadlineExceededError)):
+        return "permanent"
+    if isinstance(error, CapabilityError):
+        # The source cannot evaluate the request; asking again changes nothing.
+        return "permanent"
+    if isinstance(error, SourceError):
+        # Unavailability and generic source failures model network weather.
+        return "transient"
+    if isinstance(error, WrapperError):
+        # Spec/extraction problems are deterministic: same page, same failure.
+        return "permanent"
+    return "permanent"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient source failures are retried.
+
+    ``backoff_delay`` grows exponentially and is jittered by a PRNG seeded
+    from ``(seed, request_text, attempt)`` — the schedule is a pure function
+    of the request, independent of thread scheduling, so chaos tests and the
+    resilience benchmark replay identically.
+    """
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.02
+    multiplier: float = 2.0
+    max_delay_seconds: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def is_transient(self, error: BaseException) -> bool:
+        return classify_error(error) == "transient"
+
+    def backoff_delay(self, request_text: str, attempt: int) -> float:
+        """Delay before retrying ``attempt`` (1-based count of failures so far)."""
+        delay = min(
+            self.base_delay_seconds * (self.multiplier ** max(0, attempt - 1)),
+            self.max_delay_seconds,
+        )
+        if self.jitter > 0:
+            rng = random.Random(f"{self.seed}|{request_text}|{attempt}")
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+# ---------------------------------------------------------------------------
+# Circuit breakers
+# ---------------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Per-wrapper closed → open → half-open failure gate.
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker open.
+    * **open** — requests are rejected instantly (no round trip, no
+      retries) until ``cooldown_seconds`` elapse.
+    * **half-open** — one probe request is let through at a time; success
+      closes the breaker, failure re-opens it (and restarts the cooldown).
+
+    All transitions are lock-guarded and driven by the injected clock, so
+    concurrent fetch threads observe a consistent state machine and tests
+    can walk it deterministically.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_seconds: float = 30.0,
+                 clock: Clock = SYSTEM_CLOCK):
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Closed/half-open → open transitions over the breaker's lifetime.
+        self.trips = 0
+        #: Requests rejected without a round trip while open.
+        self.rejections = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        """State after applying cooldown expiry (callers hold the lock)."""
+        if self._state == "open" and (
+            self._clock.now() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = "half_open"
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  (Counts rejections.)"""
+        with self._lock:
+            state = self._effective_state()
+            if state == "closed":
+                return True
+            if state == "half_open" and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != "closed":
+                self._state = "closed"
+
+    def record_failure(self) -> bool:
+        """Record one failed round trip; True when this call tripped it open."""
+        with self._lock:
+            state = self._effective_state()
+            self._probe_in_flight = False
+            if state == "half_open":
+                self._state = "open"
+                self._opened_at = self._clock.now()
+                self._consecutive_failures = self.failure_threshold
+                self.trips += 1
+                return True
+            self._consecutive_failures += 1
+            if state == "closed" and self._consecutive_failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock.now()
+                self.trips += 1
+                return True
+            return False
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_seconds": self.cooldown_seconds,
+                "trips": self.trips,
+                "rejections": self.rejections,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Source health
+# ---------------------------------------------------------------------------
+
+#: Rolling-latency window per wrapper.
+HEALTH_WINDOW = 32
+
+
+class SourceHealth:
+    """Rolling success/failure/latency statistics of one wrapper."""
+
+    def __init__(self, wrapper_name: str):
+        self.wrapper_name = wrapper_name
+        self._lock = threading.Lock()
+        self.successes = 0
+        self.failures = 0
+        self.retries = 0
+        self.rejections = 0
+        self.consecutive_failures = 0
+        self.last_error: Optional[str] = None
+        self._recent_latencies: Deque[float] = deque(maxlen=HEALTH_WINDOW)
+        self.total_latency_seconds = 0.0
+
+    def record_success(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.successes += 1
+            self.consecutive_failures = 0
+            self._recent_latencies.append(latency_seconds)
+            self.total_latency_seconds += latency_seconds
+
+    def record_failure(self, latency_seconds: float, error: BaseException) -> None:
+        with self._lock:
+            self.failures += 1
+            self.consecutive_failures += 1
+            self.last_error = f"{type(error).__name__}: {error}"
+            self.total_latency_seconds += latency_seconds
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.rejections += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            attempts = self.successes + self.failures
+            recent = list(self._recent_latencies)
+            return {
+                "successes": self.successes,
+                "failures": self.failures,
+                "retries": self.retries,
+                "rejections": self.rejections,
+                "consecutive_failures": self.consecutive_failures,
+                "failure_rate": round(self.failures / attempts, 6) if attempts else 0.0,
+                "mean_latency_seconds": (
+                    round(sum(recent) / len(recent), 6) if recent else 0.0
+                ),
+                "last_error": self.last_error,
+            }
+
+
+class HealthRegistry:
+    """Lock-guarded map wrapper-name → :class:`SourceHealth`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, SourceHealth] = {}
+
+    def wrapper(self, name: str) -> SourceHealth:
+        key = name.lower()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = SourceHealth(name)
+            return entry
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            entries = dict(self._entries)
+        return {name: entry.snapshot() for name, entry in sorted(entries.items())}
+
+
+# ---------------------------------------------------------------------------
+# Per-statement resilience accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResilienceReport:
+    """The ``resilience`` block of one statement's execution report.
+
+    Counters are recorded from concurrent fetch threads, hence the lock.
+    ``degraded_branches`` lists — under ``on_source_error="partial"`` — every
+    branch the statement dropped, with the request and error that killed it:
+    degradation is never silent.
+    """
+
+    mode: str = "fail"
+    timeout_seconds: Optional[float] = None
+    deadline_remaining_seconds: Optional[float] = None
+    attempts: int = 0
+    retries: int = 0
+    failed_requests: int = 0
+    breaker_trips: int = 0
+    breaker_rejections: int = 0
+    degraded_branches: List[Dict[str, object]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record_attempt(self) -> None:
+        with self._lock:
+            self.attempts += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_failed_request(self) -> None:
+        with self._lock:
+            self.failed_requests += 1
+
+    def record_trip(self) -> None:
+        with self._lock:
+            self.breaker_trips += 1
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.breaker_rejections += 1
+
+    def record_degraded(self, branch: int, wrapper_name: str, request_text: str,
+                        error: BaseException) -> None:
+        with self._lock:
+            self.degraded_branches.append({
+                "branch": branch,
+                "wrapper": wrapper_name,
+                "request": request_text,
+                "error": f"{type(error).__name__}: {error}",
+            })
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "mode": self.mode,
+                "timeout_seconds": self.timeout_seconds,
+                "deadline_remaining_seconds": (
+                    round(self.deadline_remaining_seconds, 6)
+                    if self.deadline_remaining_seconds is not None else None
+                ),
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "failed_requests": self.failed_requests,
+                "breaker_trips": self.breaker_trips,
+                "breaker_rejections": self.breaker_rejections,
+                "degraded_branches": [dict(entry) for entry in self.degraded_branches],
+            }
+
+
+# ---------------------------------------------------------------------------
+# The policy bundle the controller owns
+# ---------------------------------------------------------------------------
+
+
+class ResiliencePolicy:
+    """Retry policy + per-wrapper breakers + health registry, as one unit.
+
+    Owned by an :class:`~repro.engine.executor.ExecutionController` and
+    shared across its statements, so breaker state and health statistics
+    persist where they are useful: a wrapper that killed the last five
+    statements is rejected fast by the sixth.
+    """
+
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None,
+                 failure_threshold: int = 5, cooldown_seconds: float = 30.0,
+                 clock: Clock = SYSTEM_CLOCK):
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock
+        self.health = HealthRegistry()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def deadline(self, timeout_seconds: Optional[float]) -> Deadline:
+        """A fresh statement deadline on this policy's clock."""
+        return Deadline(timeout_seconds, self.clock)
+
+    def breaker(self, wrapper_name: str) -> CircuitBreaker:
+        key = wrapper_name.lower()
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    cooldown_seconds=self.cooldown_seconds,
+                    clock=self.clock,
+                )
+            return breaker
+
+    def run_fetch(self, wrapper_name: str, request_text: str,
+                  fetch: Callable[[], object], deadline: Deadline,
+                  stats: ResilienceReport,
+                  source_statistics=None) -> Tuple[object, int]:
+        """One guarded source round trip: breaker + retries + deadline.
+
+        Returns ``(result, attempts)``.  Raises the final classified error
+        (or :class:`DeadlineExceededError` / :class:`CircuitOpenError`);
+        health, breaker and per-statement counters are updated either way.
+        """
+        breaker = self.breaker(wrapper_name)
+        health = self.health.wrapper(wrapper_name)
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            deadline.check(f"fetching {request_text} from wrapper {wrapper_name!r}")
+            if not breaker.allow():
+                health.record_rejection()
+                stats.record_rejection()
+                raise CircuitOpenError(
+                    f"wrapper {wrapper_name!r} is circuit-broken after repeated "
+                    f"failures; retrying after cooldown "
+                    f"({breaker.cooldown_seconds}s)"
+                )
+            attempt += 1
+            stats.record_attempt()
+            started = self.clock.now()
+            try:
+                result = fetch()
+            except Exception as error:
+                latency = self.clock.now() - started
+                if breaker.record_failure():
+                    stats.record_trip()
+                health.record_failure(latency, error)
+                if source_statistics is not None:
+                    source_statistics.record_failure()
+                if not policy.is_transient(error) or attempt >= policy.max_attempts:
+                    stats.record_failed_request()
+                    raise
+                delay = policy.backoff_delay(request_text, attempt)
+                remaining = deadline.remaining()
+                if remaining is not None and delay >= remaining:
+                    stats.record_failed_request()
+                    raise DeadlineExceededError(
+                        f"statement deadline of {deadline.timeout_seconds}s "
+                        f"leaves no room to retry {request_text} on wrapper "
+                        f"{wrapper_name!r} (attempt {attempt} failed: {error})"
+                    ) from error
+                stats.record_retry()
+                health.record_retry()
+                if source_statistics is not None:
+                    source_statistics.record_retry()
+                self.clock.sleep(delay)
+                continue
+            breaker.record_success()
+            health.record_success(self.clock.now() - started)
+            return result, attempt
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {
+            "breakers": {
+                name: breaker.snapshot() for name, breaker in sorted(breakers.items())
+            },
+            "sources": self.health.snapshot(),
+        }

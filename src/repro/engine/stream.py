@@ -28,18 +28,21 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import ExecutionError, SchemaError
+from repro.errors import DeadlineExceededError, ExecutionError, SchemaError
 from repro.engine.executor import (
     ExecutionReport,
     OperatorStats,
     _FetchOutcome,
     _InFlightGauge,
     _InstrumentedOperator,
+    request_failed_error,
 )
 from repro.engine.plan import BranchPlan, QueryPlan, SourceRequest
 from repro.engine.request_cache import RequestKey
+from repro.engine.resilience import Deadline
 from repro.relational.budget import MemoryBudget, estimate_row_bytes
 from repro.relational.operators import (
     Distinct,
@@ -69,6 +72,20 @@ def _relation_bytes(relation: Relation) -> int:
     return estimate_row_bytes(relation.rows[0]) * len(relation.rows)
 
 
+class _SourceFailure(Exception):
+    """Internal control flow: one distinct fetch failed for good.
+
+    Carries the request key and its (error-bearing) outcome so the branch
+    builder can either degrade the branch (``on_source_error="partial"``) or
+    raise the context-rich terminal error (``"fail"``).
+    """
+
+    def __init__(self, key: RequestKey, outcome: _FetchOutcome):
+        super().__init__(str(outcome.error))
+        self.key = key
+        self.outcome = outcome
+
+
 class ResultStream:
     """A pull-based cursor over one plan execution.
 
@@ -80,7 +97,9 @@ class ResultStream:
     (elapsed, peaks, temp-storage snapshot) when the stream finishes.
     """
 
-    def __init__(self, controller, plan: QueryPlan):
+    def __init__(self, controller, plan: QueryPlan,
+                 deadline: Optional[Deadline] = None,
+                 on_source_error: str = "fail"):
         if not plan.branches:
             raise ExecutionError(
                 "cannot execute a plan with no branches: the planner produced "
@@ -91,6 +110,13 @@ class ResultStream:
         self.report = ExecutionReport()
         self.budget = MemoryBudget(controller.memory_budget_bytes)
         self.report.memory_limit_bytes = controller.memory_budget_bytes or 0
+        self._deadline = (
+            deadline if deadline is not None
+            else Deadline.unbounded(controller.resilience.clock)
+        )
+        self._partial = on_source_error == "partial"
+        self.report.resilience.mode = on_source_error
+        self.report.resilience.timeout_seconds = self._deadline.timeout_seconds
 
         self._started = time.perf_counter()
         self._closed = False
@@ -98,6 +124,7 @@ class ResultStream:
         self._first_row_seen = False
         self._schema: Optional[Schema] = None
         self._first_branch: Optional[Tuple[Iterator[Row], Schema]] = None
+        self._first_branch_index = 0
         self._staged_handles: List[str] = []
         self._staged_released = False
         #: Keys already staged at least once (drives dedup_hit bookkeeping).
@@ -136,7 +163,12 @@ class ResultStream:
 
         self._pool: Optional[ThreadPoolExecutor] = None
         self._futures: Dict[RequestKey, "Future[_FetchOutcome]"] = {}
-        if controller.max_concurrent_requests > 1 and len(pending) > 1:
+        # A bounded statement must never block uninterruptibly inside a
+        # wrapper call on the consumer's thread, so a deadline forces pool
+        # dispatch even for a single pending fetch: the wait happens in
+        # ``future.result(timeout=...)`` where the deadline can fire.
+        dispatch = len(pending) > 1 or (bool(pending) and self._deadline.bounded)
+        if controller.max_concurrent_requests > 1 and dispatch:
             workers = min(controller.max_concurrent_requests, len(pending))
             self._pool = ThreadPoolExecutor(max_workers=workers,
                                             thread_name_prefix="source-fetch")
@@ -151,40 +183,100 @@ class ResultStream:
     # -- fetching ------------------------------------------------------------------
 
     def _fetch(self, key: RequestKey, queued_at: float) -> _FetchOutcome:
+        """One guarded round trip: retries, breaker and deadline applied.
+
+        Never raises: a fetch that fails for good returns an outcome whose
+        ``error`` is set (and whose relation is None), so pool futures always
+        resolve and ``close()``-time banking can check the fetch outcome.
+        """
         request = self._distinct[key]
         wrapper = self.controller.catalog.wrappers.get(request.wrapper_name)
+
+        def attempt():
+            if request.sql is not None:
+                return wrapper.query(request.sql)
+            return wrapper.fetch(request.relation)
+
         with self._gauge:
             fetch_started = time.perf_counter()
-            if request.sql is not None:
-                fetched = wrapper.query(request.sql)
-            else:
-                fetched = wrapper.fetch(request.relation)
+            try:
+                fetched, attempts = self.controller.resilience.run_fetch(
+                    wrapper_name=request.wrapper_name,
+                    request_text=request.request_text,
+                    fetch=attempt,
+                    deadline=self._deadline,
+                    stats=self.report.resilience,
+                    source_statistics=getattr(wrapper, "source_statistics", None),
+                )
+            except Exception as error:
+                return _FetchOutcome(
+                    relation=None,
+                    request_text=request.request_text,
+                    fetch_seconds=time.perf_counter() - fetch_started,
+                    wait_seconds=fetch_started - queued_at,
+                    error=error,
+                )
             fetch_elapsed = time.perf_counter() - fetch_started
         return _FetchOutcome(
             relation=fetched,
             request_text=request.request_text,
             fetch_seconds=fetch_elapsed,
             wait_seconds=fetch_started - queued_at,
+            attempts=attempts,
         )
 
     def _outcome(self, key: RequestKey) -> _FetchOutcome:
-        """The fetch result for ``key``, awaiting or issuing it if needed."""
+        """The fetch result for ``key``, awaiting or issuing it if needed.
+
+        Raises :class:`DeadlineExceededError` when the statement deadline
+        fires first (in the wait, or inside the fetch's retry loop), and
+        :class:`_SourceFailure` when the fetch failed for good — the branch
+        builder turns the latter into degradation or a terminal error.
+        """
         outcome = self._outcomes.get(key)
         if outcome is None:
             future = self._futures.get(key)
             if future is not None:
-                outcome = future.result()
+                try:
+                    outcome = future.result(timeout=self._deadline.remaining())
+                except FutureTimeoutError:
+                    request = self._distinct[key]
+                    raise DeadlineExceededError(
+                        f"statement deadline of "
+                        f"{self._deadline.timeout_seconds}s exceeded awaiting "
+                        f"{request.request_text} from wrapper "
+                        f"{request.wrapper_name!r}"
+                    ) from None
             else:
+                request = self._distinct[key]
+                self._deadline.check(
+                    f"fetching {request.request_text} from wrapper "
+                    f"{request.wrapper_name!r}"
+                )
                 outcome = self._fetch(key, time.perf_counter())
             self._outcomes[key] = outcome
         self._consume_outcome(key, outcome)
+        if outcome.error is not None:
+            if isinstance(outcome.error, DeadlineExceededError):
+                # A deadline expiry is a statement-level failure, never a
+                # degradable source failure.
+                raise outcome.error
+            raise _SourceFailure(key, outcome)
         return outcome
 
     def _consume_outcome(self, key: RequestKey, outcome: _FetchOutcome) -> None:
-        """One-time bookkeeping per distinct fetch: cache put + estimate."""
+        """One-time bookkeeping per distinct fetch: cache put + estimate.
+
+        A failed fetch is finalized without banking: neither the cache nor
+        the catalog estimates may ever see a poisoned (failed or partially
+        fetched) result, whether the failure is consumed by a branch or
+        discovered while closing.
+        """
         if key in self._finalized_keys:
             return
         self._finalized_keys.add(key)
+        if outcome.error is not None:
+            return
         request = self._distinct[key]
         if self._cache is not None and not outcome.cache_hit:
             self._cache.put(key, outcome.relation)
@@ -196,8 +288,14 @@ class ResultStream:
 
     # -- branch pipelines ----------------------------------------------------------
 
-    def _build_branch(self, branch_index: int) -> Tuple[Iterator[Row], Schema]:
-        """Stage one branch's inputs and build its (streaming) pipeline."""
+    def _build_branch(self, branch_index: int) -> Optional[Tuple[Iterator[Row], Schema]]:
+        """Stage one branch's inputs and build its (streaming) pipeline.
+
+        Returns None when the branch was degraded: one of its sources failed
+        for good and the stream runs under ``on_source_error="partial"`` —
+        the drop is recorded in the report's resilience block.  In ``"fail"``
+        mode the same failure raises the context-rich terminal error.
+        """
         controller = self.controller
         branch: BranchPlan = self.plan.branches[branch_index]
         report = self.report
@@ -205,7 +303,21 @@ class ResultStream:
         staged: Dict[int, Relation] = {}
         for index, request in enumerate(branch.requests):
             key = controller._plan_key(request, branch_index, index)
-            outcome = self._outcome(key)
+            try:
+                outcome = self._outcome(key)
+            except _SourceFailure as failure:
+                failed_request = self._distinct[failure.key]
+                if self._partial:
+                    report.resilience.record_degraded(
+                        branch_index,
+                        failed_request.wrapper_name,
+                        failed_request.request_text,
+                        failure.outcome.error,
+                    )
+                    return None
+                raise request_failed_error(
+                    failed_request, failure.outcome.error
+                ) from failure.outcome.error
             relation, handle = controller._stage_request(
                 request, report, branch_index, outcome,
                 first_use=key not in self._consumed_keys,
@@ -332,9 +444,21 @@ class ResultStream:
         return iter(operator), output_schema
 
     def _ensure_first_branch(self) -> None:
-        if self._first_branch is None:
-            self._first_branch = self._build_branch(0)
-            self._schema = self._first_branch[1]
+        """Build the first *surviving* branch (partial mode skips dead ones)."""
+        if self._first_branch is not None:
+            return
+        for branch_index in range(len(self.plan.branches)):
+            built = self._build_branch(branch_index)
+            if built is not None:
+                self._first_branch = built
+                self._first_branch_index = branch_index
+                self._schema = built[1]
+                return
+        raise ExecutionError(
+            f"all {len(self.plan.branches)} branches were degraded by source "
+            "failures; no surviving branch can answer the statement "
+            "(on_source_error='partial' requires at least one live source)"
+        )
 
     # -- row production --------------------------------------------------------------
 
@@ -346,9 +470,12 @@ class ResultStream:
         seen = set() if union_distinct else None
         report = self.report
 
-        for branch_index in range(len(self.plan.branches)):
-            if branch_index > 0:
-                rows_iter, branch_schema = self._build_branch(branch_index)
+        for branch_index in range(self._first_branch_index, len(self.plan.branches)):
+            if branch_index > self._first_branch_index:
+                built = self._build_branch(branch_index)
+                if built is None:
+                    continue  # degraded mid-stream: the answer flows on
+                rows_iter, branch_schema = built
                 if len(branch_schema) != base_arity:
                     raise SchemaError("UNION requires relations of the same arity")
             branch_count = 0
@@ -387,6 +514,8 @@ class ResultStream:
         if self._closed:
             raise ExecutionError("cannot fetch from a closed result stream")
         try:
+            if self._deadline.bounded:
+                self._deadline.check("streaming rows to the consumer")
             row = next(self._rows)
         except StopIteration:
             self._exhausted = True
@@ -454,12 +583,15 @@ class ResultStream:
                 try:
                     outcome = future.result()
                 except BaseException:
-                    continue  # a failed fetch of a never-consumed branch
+                    continue  # defensive: _fetch returns error outcomes
                 self._outcomes[key] = outcome
+                # Banking checks the fetch outcome: a completed-but-failed
+                # fetch is finalized without touching cache or estimates.
                 self._consume_outcome(key, outcome)
         if self._pool is not None:
             self._pool.shutdown(wait=False)
 
+        self.report.resilience.deadline_remaining_seconds = self._deadline.remaining()
         self.report.max_in_flight = self._gauge.peak
         self.report.result_rows = self.report.rows_streamed
         self.report.elapsed_seconds = time.perf_counter() - self._started

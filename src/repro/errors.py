@@ -151,6 +151,15 @@ class ExecutionError(EngineError):
     """A plan failed at execution time."""
 
 
+class DeadlineExceededError(ExecutionError):
+    """The statement's deadline (``timeout_seconds``) expired.
+
+    Raised from fetch waits, retry backoff sleeps and streaming finalization
+    alike.  A deadline expiry is never downgraded to a partial answer: the
+    receiver asked for a time bound, not a subset of the sources.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Consistency subsystem
 # ---------------------------------------------------------------------------
@@ -196,6 +205,28 @@ class WrapperSpecError(WrapperError):
 
 class ExtractionError(WrapperError):
     """Regular-expression extraction failed on a page."""
+
+
+class CircuitOpenError(SourceError):
+    """A request was rejected fast because the wrapper's circuit is open.
+
+    After ``failure_threshold`` consecutive failures the engine stops issuing
+    round trips to a wrapper for a cooldown period; statements hitting the
+    open circuit fail (or degrade, under ``on_source_error="partial"``)
+    without burning a round trip or a retry budget.
+    """
+
+
+class RequestFailedError(ExecutionError, SourceError):
+    """One source request failed for good, with full request context.
+
+    The scheduler raises this — naming the wrapper, the relation and the
+    pushed SQL / FETCH text — after retries were exhausted or the error was
+    classified permanent.  It subclasses both :class:`ExecutionError` (a plan
+    failed at execution time) and :class:`SourceError` (the proximate cause
+    lives at the source), so callers catching either keep working; the
+    original source/wrapper error is chained as ``__cause__``.
+    """
 
 
 # ---------------------------------------------------------------------------

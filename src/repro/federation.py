@@ -38,6 +38,7 @@ from repro.consistency.violations import ViolationReport, ViolationScanner
 from repro.engine.engine import MultiDatabaseEngine
 from repro.engine.executor import DEFAULT_MAX_CONCURRENT_REQUESTS, EngineResult
 from repro.engine.planner import PlannerConfig
+from repro.engine.resilience import ResiliencePolicy, validate_on_source_error
 from repro.engine.request_cache import SourceResultCache
 from repro.mediation.answers import AnswerTransformer, ColumnAnnotation
 from repro.mediation.mediator import ContextMediator
@@ -169,6 +170,10 @@ class PreparedQuery:
     #: Consistency mode the statement was prepared under ("raw", "certain"
     #: or "possible"); every execution answers in this mode.
     consistency: str = "raw"
+    #: Per-execution wall-clock bound (None = unbounded) and source-failure
+    #: policy ("fail" | "partial"), fixed at prepare time.
+    timeout_seconds: Optional[float] = None
+    on_source_error: str = "fail"
 
     @property
     def sql(self) -> str:
@@ -192,11 +197,18 @@ class PreparedQuery:
         self.plan = self.federation.pipeline.refresh(self.plan)
         if self.consistency != "raw":
             return self.federation._run_consistent(
-                self.plan, self.consistency, stream=stream
+                self.plan, self.consistency, stream=stream,
+                timeout_seconds=self.timeout_seconds,
             )
         if stream:
-            return self.federation._run_stream(self.plan)
-        return self.federation._run(self.plan)
+            return self.federation._run_stream(
+                self.plan, timeout_seconds=self.timeout_seconds,
+                on_source_error=self.on_source_error,
+            )
+        return self.federation._run(
+            self.plan, timeout_seconds=self.timeout_seconds,
+            on_source_error=self.on_source_error,
+        )
 
     def close(self) -> None:
         """Prepared queries hold no external resources; provided for symmetry
@@ -212,7 +224,8 @@ class Federation:
                  max_concurrent_requests: int = DEFAULT_MAX_CONCURRENT_REQUESTS,
                  plan_cache_size: int = 128,
                  memory_budget_bytes: Optional[int] = None,
-                 max_repairs: int = DEFAULT_MAX_REPAIRS):
+                 max_repairs: int = DEFAULT_MAX_REPAIRS,
+                 resilience: Optional[ResiliencePolicy] = None):
         """Wire up a federation.
 
         ``request_cache_size`` bounds the source-result cache that lets
@@ -226,6 +239,10 @@ class Federation:
         sides spill to temporary files instead of exceeding it (None =
         unbounded).  ``max_repairs`` bounds the repair enumeration the
         consistent-query-answering fallback may perform before refusing.
+        ``resilience`` overrides the engine's fault-tolerance policy (retry
+        schedule, breaker thresholds, clock) — the default policy retries
+        transient source failures with seeded-jitter backoff and circuit-
+        breaks wrappers that keep failing.
         """
         self.name = name
         self.system = system
@@ -237,6 +254,7 @@ class Federation:
             request_cache=self.request_cache,
             max_concurrent_requests=max_concurrent_requests,
             memory_budget_bytes=memory_budget_bytes,
+            resilience=resilience,
         )
         self.mediator = ContextMediator(system, default_receiver_context)
         self.transformer = AnswerTransformer(system)
@@ -284,9 +302,16 @@ class Federation:
             return self._scanner
 
     def scan_violations(self, relations: Optional[List[str]] = None,
-                        use_cache: bool = True) -> ViolationReport:
-        """Scan declared constraints for violations (memoized per generation)."""
-        return self.scanner.scan(relations, use_cache=use_cache)
+                        use_cache: bool = True,
+                        timeout_seconds: Optional[float] = None) -> ViolationReport:
+        """Scan declared constraints for violations (memoized per generation).
+
+        ``timeout_seconds`` bounds the whole scan — every constraint's scan
+        plans share one deadline, so a hung source fails the scan instead of
+        hanging it.
+        """
+        return self.scanner.scan(relations, use_cache=use_cache,
+                                 timeout_seconds=timeout_seconds)
 
     # -- cache control -----------------------------------------------------------
 
@@ -339,7 +364,9 @@ class Federation:
     # -- the core operation -----------------------------------------------------------------
 
     def query(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
-              mediate: bool = True, stream: bool = False, consistency: str = "raw"):
+              mediate: bool = True, stream: bool = False, consistency: str = "raw",
+              timeout_seconds: Optional[float] = None,
+              on_source_error: str = "fail"):
         """Answer a receiver query.
 
         With ``mediate=False`` the query is executed verbatim (the "naive"
@@ -360,28 +387,63 @@ class Federation:
         returns only rows true in *every* repair of the key-violating
         sources, ``"possible"`` rows true in at least one (both use set
         semantics; see PERFORMANCE.md, "Consistency and repairs").
+
+        ``timeout_seconds`` bounds the statement's total wall clock — fetch
+        waits, retry backoff and (streaming) finalization all count against
+        one deadline.  ``on_source_error="partial"`` degrades instead of
+        failing when a source stays dead after retries: the answer comes
+        from the surviving branches and every dropped branch is listed in
+        the execution report's ``resilience`` block (see PERFORMANCE.md,
+        "Fault tolerance and graceful degradation").
         """
         validate_mode(consistency)
+        self._validate_execution_options(consistency, on_source_error)
         prepared = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
         if consistency != "raw":
-            return self._run_consistent(prepared, consistency, stream=stream)
+            return self._run_consistent(prepared, consistency, stream=stream,
+                                        timeout_seconds=timeout_seconds)
         if stream:
-            return self._run_stream(prepared)
-        return self._run(prepared)
+            return self._run_stream(prepared, timeout_seconds=timeout_seconds,
+                                    on_source_error=on_source_error)
+        return self._run(prepared, timeout_seconds=timeout_seconds,
+                         on_source_error=on_source_error)
 
     def prepare(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
-                mediate: bool = True, consistency: str = "raw") -> PreparedQuery:
+                mediate: bool = True, consistency: str = "raw",
+                timeout_seconds: Optional[float] = None,
+                on_source_error: str = "fail") -> PreparedQuery:
         """Compile a receiver statement once for repeated execution."""
         validate_mode(consistency)
+        self._validate_execution_options(consistency, on_source_error)
         plan = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
-        return PreparedQuery(federation=self, plan=plan, consistency=consistency)
+        return PreparedQuery(federation=self, plan=plan, consistency=consistency,
+                             timeout_seconds=timeout_seconds,
+                             on_source_error=on_source_error)
 
-    def _run_stream(self, prepared: MediatedPlan) -> FederationCursor:
-        stream = self.engine.execute_stream(prepared.plan)
+    @staticmethod
+    def _validate_execution_options(consistency: str, on_source_error: str) -> None:
+        validate_on_source_error(on_source_error)
+        if consistency != "raw" and on_source_error == "partial":
+            # Certain/possible answers quantify over *all* repairs of *all*
+            # constrained sources; silently dropping a source would turn a
+            # certainty claim into a guess.
+            raise MediationError(
+                "on_source_error='partial' cannot be combined with "
+                f"consistency={consistency!r}: partial answers void the "
+                "certainty quantification"
+            )
+
+    def _run_stream(self, prepared: MediatedPlan,
+                    timeout_seconds: Optional[float] = None,
+                    on_source_error: str = "fail") -> FederationCursor:
+        stream = self.engine.execute_stream(prepared.plan,
+                                            timeout_seconds=timeout_seconds,
+                                            on_source_error=on_source_error)
         return FederationCursor(federation=self, prepared=prepared, stream=stream)
 
     def _run_consistent(self, prepared: MediatedPlan, consistency: str,
-                        stream: bool = False):
+                        stream: bool = False,
+                        timeout_seconds: Optional[float] = None):
         """Answer in certain/possible mode via the CQA executor.
 
         Consistent answers are group- or repair-quantified, so they
@@ -389,7 +451,8 @@ class Federation:
         returns a :class:`FederationCursor` (over the materialized rows) so
         cursor-shaped consumers work identically in every mode.
         """
-        execution = self.cqa.execute(prepared, consistency)
+        execution = self.cqa.execute(prepared, consistency,
+                                     timeout_seconds=timeout_seconds)
         if stream:
             return FederationCursor(
                 federation=self, prepared=prepared,
@@ -407,8 +470,12 @@ class Federation:
             annotations=annotations,
         )
 
-    def _run(self, prepared: MediatedPlan) -> FederationAnswer:
-        execution = self.engine.execute(prepared.plan)
+    def _run(self, prepared: MediatedPlan,
+             timeout_seconds: Optional[float] = None,
+             on_source_error: str = "fail") -> FederationAnswer:
+        execution = self.engine.execute(prepared.plan,
+                                        timeout_seconds=timeout_seconds,
+                                        on_source_error=on_source_error)
         annotations = self.transformer.annotate(
             execution.relation,
             prepared.mediation.column_semantics,
@@ -476,6 +543,7 @@ class Federation:
             "mediator": self.mediator.statistics.snapshot(),
             "engine": self.engine.statistics.snapshot(),
             "pipeline": self.pipeline.snapshot(),
+            "source_health": self.engine.source_health(),
         }
         if self.request_cache is not None:
             stats["request_cache"] = self.request_cache.snapshot()

@@ -101,11 +101,15 @@ class Connection:
 
     def prepare(self, sql: str, context: Optional[str] = None,
                 mediate: bool = True,
-                consistency: str = "raw") -> "PreparedStatement":
+                consistency: str = "raw",
+                timeout_seconds: Optional[float] = None,
+                on_source_error: Optional[str] = None) -> "PreparedStatement":
         """Compile a statement once server-side for repeated execution.
 
         ``consistency`` pins the statement's answer mode (``"raw"``,
-        ``"certain"`` or ``"possible"``) for every later execution.
+        ``"certain"`` or ``"possible"``) for every later execution;
+        ``timeout_seconds`` and ``on_source_error`` likewise pin the
+        statement's deadline and source-failure policy.
         """
         payload = self._call(
             "prepare",
@@ -113,6 +117,8 @@ class Connection:
             context=context or self.context,
             mediate=mediate,
             consistency=consistency,
+            timeout_seconds=timeout_seconds,
+            on_source_error=on_source_error,
         )
         return PreparedStatement(self, payload)
 
@@ -163,6 +169,10 @@ class Cursor:
         self.mediated_sql: Optional[str] = None
         self.conflicts: List[str] = []
         self.column_labels: List[str] = []
+        #: Execution-report snapshot of the last execute() — materialized mode
+        #: fills it from the query response, streaming mode from the final
+        #: batch; its ``resilience`` block labels degraded (partial) answers.
+        self.execution: Optional[Dict[str, Any]] = None
         #: Streaming state: the open server cursor (None in materialized mode).
         self._cursor_id: Optional[str] = None
         self._stream_done = True
@@ -175,13 +185,20 @@ class Cursor:
     def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None,
                 context: Optional[str] = None, mediate: bool = True,
                 stream: bool = False, batch_size: Optional[int] = None,
-                consistency: str = "raw") -> "Cursor":
+                consistency: str = "raw",
+                timeout_seconds: Optional[float] = None,
+                on_source_error: Optional[str] = None) -> "Cursor":
         """Execute a query; ``parameters`` are pyformat-substituted client-side.
 
         ``consistency="certain"``/``"possible"`` answers under the declared
         integrity constraints instead of over the raw instances; the
         resulting execution report (``query`` responses) carries the
         ``consistency`` block describing what the rewrite/fallback did.
+        ``timeout_seconds`` bounds the statement's server-side wall clock
+        (expiry raises a ``DeadlineExceededError``-flavoured client error);
+        ``on_source_error="partial"`` answers from surviving branches when a
+        source stays dead, with the dropped branches recorded in the
+        execution report's ``resilience`` block.
         """
         if parameters:
             sql = sql % {name: _quote(value) for name, value in parameters.items()}
@@ -192,6 +209,8 @@ class Cursor:
                 context=context or self.connection.context,
                 mediate=mediate,
                 consistency=consistency,
+                timeout_seconds=timeout_seconds,
+                on_source_error=on_source_error,
             )
             return self._open_stream(payload, batch_size)
         payload = self.connection._call(
@@ -200,6 +219,8 @@ class Cursor:
             context=context or self.connection.context,
             mediate=mediate,
             consistency=consistency,
+            timeout_seconds=timeout_seconds,
+            on_source_error=on_source_error,
         )
         return self._load(payload)
 
@@ -217,6 +238,7 @@ class Cursor:
         self.mediated_sql = payload.get("mediated_sql")
         self.conflicts = payload.get("conflicts", [])
         self.column_labels = payload.get("column_labels", [])
+        self.execution = payload.get("execution")
         return self
 
     def _open_stream(self, payload: Dict[str, Any],
@@ -237,6 +259,7 @@ class Cursor:
         self.mediated_sql = payload.get("mediated_sql")
         self.conflicts = payload.get("conflicts", [])
         self.column_labels = payload.get("column_labels", [])
+        self.execution = None  # arrives with the final batch
         return self
 
     def executemany(self, sql: str, seq_of_parameters: Sequence[Dict[str, Any]]) -> "Cursor":
@@ -274,6 +297,7 @@ class Cursor:
                 self._stream_done = True
                 self._cursor_id = None
                 self.rowcount = self._stream_consumed + len(self._rows)
+                self.execution = payload.get("execution")
 
     def fetchone(self) -> Optional[Tuple[Any, ...]]:
         self._fill(1)

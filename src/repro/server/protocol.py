@@ -36,6 +36,15 @@ against the description returned by ``open_cursor``.
 selecting how declared integrity constraints are honoured; certain/possible
 responses carry the ``consistency`` block of the execution report
 (strategy, conflict clusters, repairs enumerated, tuples dropped).
+
+The same three operations (and the chunked streaming endpoint) also accept
+the resilience options ``timeout_seconds`` (a server-side deadline on the
+statement's wall clock — fetch waits, retry backoff and streaming
+finalization all count against it) and ``on_source_error`` (``"fail"`` |
+``"partial"``: partial mode answers from the surviving branches when a
+source stays dead after retries).  Execution reports carry a ``resilience``
+block — attempts, retries, breaker trips/rejections, degraded branches and
+the deadline's remaining budget — so a degraded answer is always labelled.
 """
 
 from __future__ import annotations

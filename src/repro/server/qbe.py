@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.consistency.cqa import CONSISTENCY_MODES
+from repro.engine.resilience import ON_SOURCE_ERROR_MODES
 from repro.errors import ClientError
 from repro.engine.executor import EngineResult
 from repro.federation import Federation, FederationAnswer, FederationCursor
@@ -43,6 +44,10 @@ class QBEForm:
     distinct: bool = False
     #: Consistency mode requested by the form ("raw"/"certain"/"possible").
     consistency: str = "raw"
+    #: Statement deadline requested by the form (blank = unbounded).
+    timeout_seconds: Optional[float] = None
+    #: Source-failure policy ("fail" or "partial" graceful degradation).
+    on_source_error: str = "fail"
 
     def to_sql(self) -> str:
         """Assemble the SQL query the form describes."""
@@ -143,6 +148,24 @@ class QBEInterface:
                 f"the QBE form names an unknown consistency mode "
                 f"{consistency!r}; expected one of {', '.join(CONSISTENCY_MODES)}"
             )
+        raw_timeout = str(fields.get("timeout_seconds", "") or "").strip()
+        timeout_seconds: Optional[float] = None
+        if raw_timeout:
+            try:
+                timeout_seconds = float(raw_timeout)
+            except ValueError as exc:
+                raise ClientError(
+                    f"the QBE form names an invalid timeout {raw_timeout!r}"
+                ) from exc
+        on_source_error = str(
+            fields.get("on_source_error", "") or "fail"
+        ).lower()
+        if on_source_error not in ON_SOURCE_ERROR_MODES:
+            raise ClientError(
+                f"the QBE form names an unknown source-failure policy "
+                f"{on_source_error!r}; expected one of "
+                f"{', '.join(ON_SOURCE_ERROR_MODES)}"
+            )
         return QBEForm(
             relations=relations,
             projections=projections,
@@ -151,6 +174,8 @@ class QBEInterface:
             context=context,
             distinct=distinct,
             consistency=consistency,
+            timeout_seconds=timeout_seconds,
+            on_source_error=on_source_error,
         )
 
     def _condition_sql(self, relation: str, column: str, fragment: str) -> str:
@@ -206,7 +231,10 @@ class QBEInterface:
         """
         form = self.parse_submission(fields)
         cursor = self.federation.query(
-            form.to_sql(), form.context, stream=True, consistency=form.consistency
+            form.to_sql(), form.context, stream=True,
+            consistency=form.consistency,
+            timeout_seconds=form.timeout_seconds,
+            on_source_error=form.on_source_error,
         )
         return form, cursor
 

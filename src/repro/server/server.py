@@ -165,6 +165,7 @@ class MediationServer:
             if not sql:
                 raise ProtocolError("'query' requires a 'sql' parameter")
             batch_size = self._batch_size(parameters.get("batch_size"))
+            options = self._execution_options(parameters)
         except ReproError as exc:
             self.statistics.record(errors=1)
             return HttpResponse(status=400, reason="Bad Request",
@@ -176,6 +177,7 @@ class MediationServer:
                 sql, parameters.get("context"),
                 mediate=bool(parameters.get("mediate", True)), stream=True,
                 consistency=parameters.get("consistency", "raw"),
+                **options,
             )
         except ReproError as exc:
             self.statistics.record(errors=1)
@@ -212,6 +214,28 @@ class MediationServer:
         finally:
             cursor.close()
         return HttpResponse(status=200, reason="OK", chunks=chunks)
+
+    @staticmethod
+    def _execution_options(parameters: Dict[str, Any]) -> Dict[str, Any]:
+        """Resilience options a client may attach to query-shaped requests.
+
+        ``timeout_seconds`` bounds the statement's wall clock server-side;
+        ``on_source_error`` selects fail-fast or partial-answer degradation.
+        Both are validated here (transport) or downstream (semantics).
+        """
+        options: Dict[str, Any] = {}
+        timeout = parameters.get("timeout_seconds")
+        if timeout is not None:
+            try:
+                options["timeout_seconds"] = float(timeout)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"invalid timeout_seconds {timeout!r}"
+                ) from exc
+        on_source_error = parameters.get("on_source_error")
+        if on_source_error is not None:
+            options["on_source_error"] = on_source_error
+        return options
 
     @classmethod
     def _batch_size(cls, raw) -> int:
@@ -273,6 +297,7 @@ class MediationServer:
         answer = self.federation.query(
             sql, context, mediate=mediate,
             consistency=parameters.get("consistency", "raw"),
+            **self._execution_options(parameters),
         )
         self.statistics.record(queries=1)
         return Response.success(
@@ -293,6 +318,7 @@ class MediationServer:
         prepared = self.federation.prepare(
             sql, context, mediate=mediate,
             consistency=parameters.get("consistency", "raw"),
+            **self._execution_options(parameters),
         )
         statement_id = f"stmt-{next(self._statement_ids)}"
         with self._prepared_lock:
@@ -373,6 +399,7 @@ class MediationServer:
                 sql, parameters.get("context"),
                 mediate=bool(parameters.get("mediate", True)), stream=True,
                 consistency=parameters.get("consistency", "raw"),
+                **self._execution_options(parameters),
             )
 
         try:

@@ -99,6 +99,10 @@ class SourceStatistics:
     queries: int = 0
     rows_returned: int = 0
     pages_fetched: int = 0
+    #: Accesses that raised (availability, extraction, capability...), and
+    #: how many of those the engine's resilience layer retried.
+    failures: int = 0
+    retries: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -112,12 +116,22 @@ class SourceStatistics:
         with self._lock:
             self.pages_fetched += pages
 
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return {
                 "queries": self.queries,
                 "rows_returned": self.rows_returned,
                 "pages_fetched": self.pages_fetched,
+                "failures": self.failures,
+                "retries": self.retries,
             }
 
 

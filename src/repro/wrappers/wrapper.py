@@ -74,6 +74,16 @@ class Wrapper:
     def schema_of(self, relation: str) -> Schema:
         raise NotImplementedError
 
+    @property
+    def source_statistics(self):
+        """The backing source's :class:`~repro.sources.base.SourceStatistics`.
+
+        ``None`` when the wrapper has no single backing source; the engine's
+        resilience layer uses this to book failures and retries against the
+        source that caused them.
+        """
+        return None
+
     # -- data access ---------------------------------------------------------------
 
     def fetch(self, relation: str) -> Relation:
@@ -127,6 +137,10 @@ class RelationalWrapper(Wrapper):
 
     def schema_of(self, relation: str) -> Schema:
         return self.source.schema_of(relation)
+
+    @property
+    def source_statistics(self):
+        return self.source.statistics
 
     # -- data access ---------------------------------------------------------------
 
@@ -188,10 +202,23 @@ class WebWrapper(Wrapper):
             raise WrapperError(f"wrapper {self.name!r} does not export relation {relation!r}")
         return self.spec.relation.schema
 
+    @property
+    def source_statistics(self):
+        return self.site.statistics
+
     # -- materialization ----------------------------------------------------------
 
     def materialize(self, force: bool = False) -> Relation:
-        """Crawl the site (or reuse the cache) and build the exported relation."""
+        """Crawl the site (or reuse the cache) and build the exported relation.
+
+        A failed crawl (site outage, page-budget exhaustion, strict
+        extraction errors) propagates with the serialization lock released —
+        the retrying scheduler (or a concurrent query) can crawl again
+        immediately — and with :attr:`last_report` still describing the last
+        *successful* crawl; a half-crawled report is never published.
+        Failure/retry accounting lands in :attr:`source_statistics` via the
+        engine's resilience layer.
+        """
         if self._cache is not None and self.cache_results and not force:
             return self._cache
         with self._materialize_lock:
@@ -201,12 +228,14 @@ class WebWrapper(Wrapper):
                 return self._cache
             executor = TransitionNetworkExecutor(self.spec, self.site)
             raw_records, report = executor.crawl()
-            self.last_report = report
-            relation = Relation(self.spec.relation.schema, name=self.spec.relation.name)
+            relation = Relation(self.spec.relation.schema,
+                                name=self.spec.relation.name)
             for record in raw_records:
                 row = coerce_record(record, self.spec.relation, strict=self.strict)
                 if row is not None:
                     relation.append(row)
+            # Publish results only after the whole extraction succeeded.
+            self.last_report = report
             if self.cache_results:
                 self._cache = relation
             return relation

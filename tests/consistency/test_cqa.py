@@ -365,6 +365,22 @@ class TestThreading:
             "lou", "kim", "eve", "bob", "ann",
         ]
 
+    def test_statement_report_carries_resilience_block(self, federation):
+        _register_keys(federation)
+        answer = federation.query(
+            LEDGER_QUERY, mediate=False, consistency="certain",
+            timeout_seconds=30.0,
+        )
+        block = answer.execution.report.resilience.snapshot()
+        # CQA synthesizes its own statement report; the deadline it ran
+        # under and the sub-executions' source attempts must survive into
+        # the surfaced resilience block.
+        assert block["mode"] == "fail"
+        assert block["timeout_seconds"] == 30.0
+        assert 0 < block["deadline_remaining_seconds"] <= 30.0
+        assert block["attempts"] >= 1
+        assert block["degraded_branches"] == []
+
     def test_streamed_consistent_cursor(self, federation):
         _register_keys(federation)
         cursor = federation.query(

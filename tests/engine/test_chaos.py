@@ -1,0 +1,339 @@
+"""Chaos suite: the engine under deterministic fault injection.
+
+The acceptance contract of the resilience layer, end to end:
+
+* transient source failures are retried to **byte-identical** answers — the
+  same rows, in the same order, as the fault-free run;
+* a permanently dead source fails the statement in ``fail`` mode, and in
+  ``partial`` mode degrades it: the surviving branches answer, and every
+  dropped branch is recorded in the report's ``resilience`` block;
+* ``timeout_seconds`` fires within tolerance on a hung source, in the eager
+  *and* the streaming path;
+* failed or partially-transferred fetches are never banked into the
+  source-result cache (no poisoned answers after recovery);
+* repeated failures trip the per-wrapper breaker, and the tripped breaker
+  rejects follow-up statements fast.
+
+Every schedule is seeded: reruns replay identical fault patterns.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.engine import MultiDatabaseEngine
+from repro.engine.request_cache import SourceResultCache
+from repro.engine.resilience import ResiliencePolicy, RetryPolicy
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ExecutionError,
+    SourceError,
+    SourceUnavailableError,
+)
+from repro.sources.base import SourceCapabilities
+from repro.sources.faults import FaultInjectingSource, FaultSchedule
+from repro.sources.memory import MemorySQLSource
+from repro.wrappers.wrapper import RelationalWrapper
+
+pytestmark = pytest.mark.chaos
+
+#: Three single-source branches: each can degrade independently.
+UNION_QUERY = (
+    "SELECT s1.k, s1.v1 AS v FROM s1 WHERE s1.k < 30"
+    " UNION SELECT s2.k, s2.v2 AS v FROM s2 WHERE s2.k < 20"
+    " UNION SELECT s3.k, s3.v3 AS v FROM s3 WHERE s3.k < 10"
+)
+
+#: Fast deterministic retries for tests (no jitterless wall-clock stalls).
+FAST_RETRIES = RetryPolicy(max_attempts=3, base_delay_seconds=0.001,
+                           max_delay_seconds=0.01, jitter=0.25, seed=42)
+
+
+def _wrapper(index):
+    source = MemorySQLSource(f"src{index}",
+                             capabilities=SourceCapabilities.scan_only())
+    values = ", ".join(f"({key}, {float(key * index)})" for key in range(40))
+    source.load_sql(
+        f"CREATE TABLE s{index} (k integer, v{index} float)",
+        f"INSERT INTO s{index} VALUES {values}",
+    )
+    return RelationalWrapper(source)
+
+
+def _engine(schedules=None, cache=False, **policy_kwargs):
+    """Three scan-only sources, each optionally behind a fault injector."""
+    policy_kwargs.setdefault("retry_policy", FAST_RETRIES)
+    engine = MultiDatabaseEngine(
+        request_cache=SourceResultCache(capacity=32) if cache else None,
+        resilience=ResiliencePolicy(**policy_kwargs),
+    )
+    flaky = {}
+    for index in (1, 2, 3):
+        wrapper = _wrapper(index)
+        schedule = (schedules or {}).get(index)
+        if schedule is not None:
+            wrapper = FaultInjectingSource(wrapper, schedule)
+            flaky[index] = wrapper
+        engine.register_wrapper(wrapper, estimate_rows=False)
+    return engine, flaky
+
+
+class _HangingWrapper(RelationalWrapper):
+    """A wrapper whose round trips hang for a fixed (real) duration."""
+
+    def __init__(self, source, hang_seconds):
+        super().__init__(source)
+        self.hang_seconds = hang_seconds
+
+    def fetch(self, relation):
+        time.sleep(self.hang_seconds)
+        return super().fetch(relation)
+
+    def query(self, statement):
+        time.sleep(self.hang_seconds)
+        return super().query(statement)
+
+
+class TestRetryToIdenticalAnswers:
+    def test_transient_failures_retried_to_byte_identical_rows(self):
+        clean_engine, _ = _engine()
+        expected = list(clean_engine.execute(UNION_QUERY).relation.rows)
+        assert expected
+
+        flaky_engine, flaky = _engine(schedules={
+            1: FaultSchedule(fail_first=2),
+            2: FaultSchedule(fail_first=1),
+        })
+        result = flaky_engine.execute(UNION_QUERY)
+        assert list(result.relation.rows) == expected
+
+        resilience = result.report.resilience.snapshot()
+        assert resilience["retries"] == 3
+        assert resilience["failed_requests"] == 0
+        assert resilience["degraded_branches"] == []
+        assert flaky[1].snapshot()["injected_failures"] == 2
+        # The engine's aggregate statistics folded the retries in.
+        assert flaky_engine.statistics.snapshot()["source_retries"] == 3
+
+    def test_fault_schedules_replay_identically(self):
+        runs = []
+        for _ in range(2):
+            engine, _ = _engine(schedules={
+                1: FaultSchedule(failure_rate=0.4, seed=9),
+            })
+            try:
+                result = engine.execute(UNION_QUERY)
+                runs.append(("ok", list(result.relation.rows)))
+            except SourceError as error:
+                runs.append(("error", str(error)))
+        assert runs[0] == runs[1]
+
+    def test_source_health_reflects_the_weather(self):
+        engine, _ = _engine(schedules={1: FaultSchedule(fail_first=1)})
+        engine.execute(UNION_QUERY)
+        health = engine.source_health()["sources"]["src1"]
+        assert health["failures"] == 1
+        assert health["retries"] == 1
+        assert health["successes"] >= 1
+        assert "injected fault" in health["last_error"]
+
+
+class TestPartialAnswers:
+    def test_fail_mode_propagates_permanent_outage(self):
+        engine, _ = _engine(schedules={
+            3: FaultSchedule(permanent_outage_after=1),
+        })
+        with pytest.raises(SourceUnavailableError, match="permanently out"):
+            engine.execute(UNION_QUERY)
+        # No retries: the outage is tagged permanent.
+        snapshot = engine.statistics.snapshot()
+        assert snapshot["source_retries"] == 0
+        assert snapshot["failed_requests"] == 1
+
+    def test_partial_mode_answers_from_surviving_branches(self):
+        clean_engine, _ = _engine()
+        survivors = list(clean_engine.execute(
+            "SELECT s1.k, s1.v1 AS v FROM s1 WHERE s1.k < 30"
+            " UNION SELECT s2.k, s2.v2 AS v FROM s2 WHERE s2.k < 20"
+        ).relation.rows)
+
+        engine, _ = _engine(schedules={
+            3: FaultSchedule(permanent_outage_after=1),
+        })
+        result = engine.execute(UNION_QUERY, on_source_error="partial")
+        assert sorted(result.relation.rows) == sorted(survivors)
+
+        resilience = result.report.resilience.snapshot()
+        assert resilience["mode"] == "partial"
+        [degraded] = resilience["degraded_branches"]
+        assert degraded["wrapper"] == "src3"
+        assert "permanently out" in degraded["error"]
+        assert engine.statistics.snapshot()["degraded_branches"] == 1
+
+    def test_partial_mode_streaming_flows_past_dead_branch(self):
+        engine, _ = _engine(schedules={
+            2: FaultSchedule(permanent_outage_after=1),
+        })
+        stream = engine.execute_stream(UNION_QUERY, on_source_error="partial")
+        rows = stream.fetchall()
+        assert rows  # branches 1 and 3 answered
+        [degraded] = stream.report.resilience.snapshot()["degraded_branches"]
+        assert degraded["wrapper"] == "src2"
+
+    def test_all_branches_dead_is_an_error_not_an_empty_answer(self):
+        engine, _ = _engine(schedules={
+            1: FaultSchedule(permanent_outage_after=1),
+            2: FaultSchedule(permanent_outage_after=1),
+            3: FaultSchedule(permanent_outage_after=1),
+        })
+        with pytest.raises(ExecutionError, match="no surviving branch"):
+            engine.execute(UNION_QUERY, on_source_error="partial")
+
+    def test_degradation_is_never_silent_in_fail_mode(self):
+        engine, _ = _engine(schedules={
+            3: FaultSchedule(permanent_outage_after=1),
+        })
+        with pytest.raises(SourceError):
+            engine.execute(UNION_QUERY)  # default on_source_error="fail"
+
+
+class TestDeadlines:
+    HANG = 2.0
+    TIMEOUT = 0.25
+    #: Generous scheduling tolerance: the deadline must fire well before the
+    #: hung fetch would have completed.
+    TOLERANCE = 1.2
+
+    def _hanging_engine(self):
+        engine = MultiDatabaseEngine(
+            resilience=ResiliencePolicy(retry_policy=FAST_RETRIES),
+        )
+        source = MemorySQLSource("slow", capabilities=SourceCapabilities.scan_only())
+        source.load_sql("CREATE TABLE t (a integer)", "INSERT INTO t VALUES (1), (2)")
+        engine.register_wrapper(_HangingWrapper(source, self.HANG),
+                                estimate_rows=False)
+        return engine
+
+    def test_timeout_fires_on_hung_source_eager(self):
+        engine = self._hanging_engine()
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            engine.execute("SELECT t.a FROM t", timeout_seconds=self.TIMEOUT)
+        elapsed = time.perf_counter() - started
+        assert elapsed < self.TOLERANCE, (
+            f"deadline took {elapsed:.2f}s to fire (timeout {self.TIMEOUT}s)"
+        )
+
+    def test_timeout_fires_on_hung_source_streaming(self):
+        engine = self._hanging_engine()
+        stream = engine.execute_stream("SELECT t.a FROM t",
+                                       timeout_seconds=self.TIMEOUT)
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            stream.fetchall()
+        elapsed = time.perf_counter() - started
+        assert elapsed < self.TOLERANCE
+        stream.close()
+        assert engine.controller.temp_store.handles == []
+
+    def test_deadline_is_statement_wide_not_per_fetch(self):
+        # Two hung fetches in one statement share one budget: the statement
+        # still dies once, near the single timeout, not after 2x.
+        engine = self._hanging_engine()
+        source = MemorySQLSource("slow2", capabilities=SourceCapabilities.scan_only())
+        source.load_sql("CREATE TABLE u (a integer)", "INSERT INTO u VALUES (3)")
+        engine.register_wrapper(_HangingWrapper(source, self.HANG),
+                                estimate_rows=False)
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceededError):
+            engine.execute("SELECT t.a FROM t UNION SELECT u.a FROM u",
+                           timeout_seconds=self.TIMEOUT)
+        assert time.perf_counter() - started < self.TOLERANCE
+
+    def test_report_records_remaining_budget(self):
+        engine, _ = _engine()
+        result = engine.execute(UNION_QUERY, timeout_seconds=30.0)
+        remaining = result.report.resilience.snapshot()["deadline_remaining_seconds"]
+        assert remaining is not None and 0 < remaining <= 30.0
+
+    def test_expiry_is_never_downgraded_to_partial(self):
+        engine = self._hanging_engine()
+        with pytest.raises(DeadlineExceededError):
+            engine.execute("SELECT t.a FROM t", timeout_seconds=self.TIMEOUT,
+                           on_source_error="partial")
+
+
+class TestCacheNeverPoisoned:
+    def test_failed_fetch_not_banked(self):
+        engine, _ = _engine(cache=True, schedules={
+            1: FaultSchedule(permanent_outage_after=1),
+        })
+        with pytest.raises(SourceError):
+            engine.execute("SELECT s1.k FROM s1")
+        assert len(engine.request_cache) == 0
+
+    def test_mid_transfer_cut_not_banked_and_recovery_refetches(self):
+        # Every access in the first statement is cut after the rows were
+        # computed — the partial transfer must not be banked, and the second
+        # statement (faults over) must hit the source again, not the cache.
+        engine, flaky = _engine(cache=True, schedules={
+            1: FaultSchedule(fail_first=3),  # == max_attempts: statement 1 dies
+        })
+        with pytest.raises(SourceError):
+            engine.execute("SELECT s1.k FROM s1")
+        assert len(engine.request_cache) == 0
+
+        result = engine.execute("SELECT s1.k FROM s1")
+        assert len(result.relation) == 40
+        assert result.report.cache_hits == 0
+        assert flaky[1].snapshot()["accesses"] == 4  # 3 failed + 1 real
+        # Now the healthy result is banked and the repeat is served warm.
+        repeat = engine.execute("SELECT s1.k FROM s1")
+        assert repeat.report.cache_hits == 1
+        assert flaky[1].snapshot()["accesses"] == 4
+
+    def test_cut_after_rows_transferred_is_still_an_error(self):
+        engine, flaky = _engine(cache=True, schedules={
+            2: FaultSchedule(cut_every=1),
+        })
+        with pytest.raises(SourceError, match="cut after"):
+            engine.execute("SELECT s2.k FROM s2")
+        assert flaky[2].snapshot()["injected_cuts"] >= 1
+        assert len(engine.request_cache) == 0
+
+
+class TestBreakerAcrossStatements:
+    def test_repeated_failures_trip_and_reject_fast(self):
+        engine, _ = _engine(
+            schedules={1: FaultSchedule(permanent_outage_after=1)},
+            retry_policy=RetryPolicy(max_attempts=1),
+            failure_threshold=2, cooldown_seconds=600.0,
+        )
+        for _ in range(2):
+            with pytest.raises(SourceUnavailableError):
+                engine.execute("SELECT s1.k FROM s1")
+        assert engine.source_health()["breakers"]["src1"]["state"] == "open"
+
+        # The third statement is rejected without a round trip.
+        with pytest.raises(CircuitOpenError):
+            engine.execute("SELECT s1.k FROM s1")
+        assert engine.statistics.snapshot()["breaker_rejections"] == 1
+        # Other sources are unaffected by src1's breaker.
+        assert len(engine.execute("SELECT s2.k FROM s2").relation) == 40
+
+    def test_tripped_breaker_with_partial_mode_degrades_fast(self):
+        engine, flaky = _engine(
+            schedules={3: FaultSchedule(permanent_outage_after=1)},
+            retry_policy=RetryPolicy(max_attempts=1),
+            failure_threshold=1, cooldown_seconds=600.0,
+        )
+        first = engine.execute(UNION_QUERY, on_source_error="partial")
+        assert len(first.report.resilience.degraded_branches) == 1
+        accesses_after_trip = flaky[3].snapshot()["accesses"]
+
+        second = engine.execute(UNION_QUERY, on_source_error="partial")
+        [degraded] = second.report.resilience.snapshot()["degraded_branches"]
+        assert "circuit-broken" in degraded["error"]
+        # The dead source was not even asked: the breaker rejected fast.
+        assert flaky[3].snapshot()["accesses"] == accesses_after_trip

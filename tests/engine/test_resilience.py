@@ -1,0 +1,372 @@
+"""The resilience layer: clocks, deadlines, retries, breakers, health.
+
+Contract under test:
+
+* deadlines are statement-wide: bounded remaining time, expiry raising
+  :class:`DeadlineExceededError`, never negative remaining;
+* error classification separates transient (source weather) from permanent
+  (capability/spec) failures, with an explicit ``transient`` tag override;
+* retry backoff schedules are pure functions of (seed, request, attempt) —
+  identical across runs and thread interleavings;
+* the per-wrapper circuit breaker walks closed → open → half-open → closed
+  deterministically on an injected clock, admits exactly one half-open
+  probe, and stays consistent under concurrent threads;
+* ``ResiliencePolicy.run_fetch`` composes all of the above around a fetch
+  callable and books every outcome in health and per-statement counters.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine.resilience import (
+    CircuitBreaker,
+    Clock,
+    Deadline,
+    HealthRegistry,
+    ManualClock,
+    ResiliencePolicy,
+    ResilienceReport,
+    RetryPolicy,
+    classify_error,
+    validate_on_source_error,
+)
+from repro.errors import (
+    CapabilityError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ExecutionError,
+    SourceError,
+    SourceUnavailableError,
+    WrapperError,
+)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.unbounded()
+        assert not deadline.bounded
+        assert deadline.remaining() is None
+        deadline.check("anything")  # no raise
+
+    def test_bounded_expiry_on_manual_clock(self):
+        manual = ManualClock()
+        deadline = Deadline(5.0, manual.clock)
+        assert deadline.bounded
+        assert deadline.remaining() == pytest.approx(5.0)
+        manual.advance(4.0)
+        assert deadline.remaining() == pytest.approx(1.0)
+        deadline.check("still in budget")
+        manual.advance(2.0)
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError, match="5.0s exceeded while staging"):
+            deadline.check("staging")
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ExecutionError, match="must be positive"):
+            Deadline(0)
+        with pytest.raises(ExecutionError, match="must be positive"):
+            Deadline(-1.5)
+
+    def test_deadline_error_is_never_partial_degradable(self):
+        # Deadline expiry classifies as permanent: retrying can't help, and
+        # the streaming path re-raises it instead of degrading the branch.
+        assert classify_error(DeadlineExceededError("late")) == "permanent"
+
+
+class TestClassification:
+    @pytest.mark.parametrize("error,expected", [
+        (SourceError("blip"), "transient"),
+        (SourceUnavailableError("down"), "transient"),
+        (CapabilityError("cannot aggregate"), "permanent"),
+        (WrapperError("bad spec"), "permanent"),
+        (CircuitOpenError("open"), "permanent"),
+        (DeadlineExceededError("late"), "permanent"),
+        (ValueError("not ours"), "permanent"),
+    ])
+    def test_class_based_rules(self, error, expected):
+        assert classify_error(error) == expected
+
+    def test_transient_tag_overrides_class(self):
+        tagged = WrapperError("flaky extraction")
+        tagged.transient = True
+        assert classify_error(tagged) == "transient"
+        permanent = SourceError("dead for good")
+        permanent.transient = False
+        assert classify_error(permanent) == "permanent"
+
+    def test_validate_on_source_error(self):
+        assert validate_on_source_error("fail") == "fail"
+        assert validate_on_source_error("partial") == "partial"
+        with pytest.raises(ExecutionError, match="unknown on_source_error"):
+            validate_on_source_error("ignore")
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_per_request_and_attempt(self):
+        policy = RetryPolicy(seed=7)
+        first = [policy.backoff_delay("SELECT 1", attempt) for attempt in (1, 2, 3)]
+        second = [policy.backoff_delay("SELECT 1", attempt) for attempt in (1, 2, 3)]
+        assert first == second
+        # A different request draws a different jitter stream.
+        assert policy.backoff_delay("SELECT 2", 1) != first[0]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, multiplier=2.0,
+                             max_delay_seconds=3.0, jitter=0.0)
+        assert policy.backoff_delay("q", 1) == 1.0
+        assert policy.backoff_delay("q", 2) == 2.0
+        assert policy.backoff_delay("q", 3) == 3.0  # capped
+        assert policy.backoff_delay("q", 9) == 3.0
+
+    def test_jitter_is_bounded(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, multiplier=1.0,
+                             max_delay_seconds=1.0, jitter=0.25, seed=3)
+        for attempt in range(1, 20):
+            delay = policy.backoff_delay("q", attempt)
+            assert 1.0 <= delay <= 1.25
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_cools_down(self):
+        manual = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=10.0,
+                                 clock=manual.clock)
+        assert breaker.state == "closed"
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # third consecutive failure trips it
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+        manual.advance(10.0)
+        assert breaker.state == "half_open"
+
+    def test_half_open_admits_one_probe(self):
+        manual = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=manual.clock)
+        breaker.record_failure()
+        manual.advance(5.0)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # concurrent request rejected
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        manual = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=manual.clock)
+        breaker.record_failure()
+        manual.advance(5.0)
+        assert breaker.allow()
+        assert breaker.record_failure()  # probe failed: re-trip
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=ManualClock().clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never three in a row
+
+    def test_concurrent_threads_observe_consistent_state_machine(self):
+        manual = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=5, cooldown_seconds=30.0,
+                                 clock=manual.clock)
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(50):
+                if breaker.allow():
+                    breaker.record_failure()
+                    with lock:
+                        outcomes.append("attempted")
+                else:
+                    with lock:
+                        outcomes.append("rejected")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "open"
+        # Conservation: every call either attempted or was rejected, and the
+        # books agree with the observed outcomes exactly.
+        assert outcomes.count("rejected") == snapshot["rejections"]
+        assert len(outcomes) == 8 * 50
+        # At least one trip happened; failures beyond the first trip while
+        # open are impossible because allow() rejects them.
+        assert snapshot["trips"] >= 1
+
+    def test_half_open_single_probe_under_concurrency(self):
+        manual = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=1.0,
+                                 clock=manual.clock)
+        breaker.record_failure()
+        manual.advance(1.0)
+        admitted = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            if breaker.allow():
+                with lock:
+                    admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+
+
+class TestHealthRegistry:
+    def test_rolling_statistics(self):
+        registry = HealthRegistry()
+        health = registry.wrapper("Db1")
+        health.record_success(0.1)
+        health.record_failure(0.3, SourceError("blip"))
+        health.record_retry()
+        health.record_success(0.1)
+        snapshot = registry.snapshot()["db1"]
+        assert snapshot["successes"] == 2
+        assert snapshot["failures"] == 1
+        assert snapshot["retries"] == 1
+        assert snapshot["failure_rate"] == pytest.approx(1 / 3)
+        assert snapshot["mean_latency_seconds"] == pytest.approx(0.1)
+        assert "blip" in snapshot["last_error"]
+
+    def test_case_insensitive_identity(self):
+        registry = HealthRegistry()
+        assert registry.wrapper("DB") is registry.wrapper("db")
+
+
+def _policy(manual, **kwargs):
+    kwargs.setdefault("retry_policy", RetryPolicy(max_attempts=3, jitter=0.0,
+                                                  base_delay_seconds=0.5))
+    return ResiliencePolicy(clock=manual.clock, **kwargs)
+
+
+class TestRunFetch:
+    def test_transient_failures_retried_to_success(self):
+        manual = ManualClock()
+        policy = _policy(manual)
+        stats = ResilienceReport()
+        calls = []
+
+        def fetch():
+            calls.append(1)
+            if len(calls) < 3:
+                raise SourceUnavailableError("blip")
+            return "answer"
+
+        result, attempts = policy.run_fetch(
+            "db", "SELECT 1", fetch, Deadline.unbounded(manual.clock), stats)
+        assert result == "answer"
+        assert attempts == 3
+        assert stats.attempts == 3 and stats.retries == 2
+        assert stats.failed_requests == 0
+        # Backoff slept the deterministic schedule.
+        assert manual.sleeps == [0.5, 1.0]
+
+    def test_permanent_failure_not_retried(self):
+        manual = ManualClock()
+        policy = _policy(manual)
+        stats = ResilienceReport()
+
+        def fetch():
+            raise CapabilityError("cannot aggregate")
+
+        with pytest.raises(CapabilityError):
+            policy.run_fetch("db", "q", fetch,
+                             Deadline.unbounded(manual.clock), stats)
+        assert stats.attempts == 1 and stats.retries == 0
+        assert stats.failed_requests == 1
+        assert manual.sleeps == []
+
+    def test_retry_budget_exhausted_raises_last_error(self):
+        manual = ManualClock()
+        policy = _policy(manual)
+        stats = ResilienceReport()
+
+        def fetch():
+            raise SourceUnavailableError("still down")
+
+        with pytest.raises(SourceUnavailableError, match="still down"):
+            policy.run_fetch("db", "q", fetch,
+                             Deadline.unbounded(manual.clock), stats)
+        assert stats.attempts == 3
+        assert stats.retries == 2
+        assert stats.failed_requests == 1
+
+    def test_backoff_never_overruns_deadline(self):
+        manual = ManualClock()
+        policy = _policy(manual)
+        stats = ResilienceReport()
+        deadline = Deadline(0.3, manual.clock)  # smaller than the 0.5s backoff
+
+        def fetch():
+            raise SourceUnavailableError("blip")
+
+        with pytest.raises(DeadlineExceededError, match="no room to retry"):
+            policy.run_fetch("db", "q", fetch, deadline, stats)
+        assert stats.attempts == 1
+        assert stats.failed_requests == 1
+        assert manual.sleeps == []  # it refused to sleep past the deadline
+
+    def test_breaker_rejects_fast_after_trip(self):
+        manual = ManualClock()
+        policy = _policy(manual, failure_threshold=2, cooldown_seconds=60.0,
+                         retry_policy=RetryPolicy(max_attempts=1))
+        stats = ResilienceReport()
+
+        def fetch():
+            raise SourceUnavailableError("down")
+
+        for _ in range(2):
+            with pytest.raises(SourceUnavailableError):
+                policy.run_fetch("db", "q", fetch,
+                                 Deadline.unbounded(manual.clock), stats)
+        assert stats.breaker_trips == 1
+        with pytest.raises(CircuitOpenError, match="circuit-broken"):
+            policy.run_fetch("db", "q", fetch,
+                             Deadline.unbounded(manual.clock), stats)
+        assert stats.breaker_rejections == 1
+        snapshot = policy.snapshot()
+        assert snapshot["breakers"]["db"]["state"] == "open"
+        assert snapshot["sources"]["db"]["rejections"] == 1
+
+    def test_source_statistics_book_failures_and_retries(self):
+        from repro.sources.base import SourceStatistics
+
+        manual = ManualClock()
+        policy = _policy(manual)
+        stats = ResilienceReport()
+        source_statistics = SourceStatistics()
+        calls = []
+
+        def fetch():
+            calls.append(1)
+            if len(calls) < 2:
+                raise SourceUnavailableError("blip")
+            return "ok"
+
+        policy.run_fetch("db", "q", fetch, Deadline.unbounded(manual.clock),
+                         stats, source_statistics=source_statistics)
+        snapshot = source_statistics.snapshot()
+        assert snapshot["failures"] == 1
+        assert snapshot["retries"] == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import WrapperError
+from repro.errors import SourceUnavailableError, WrapperError
 from repro.sources.base import SourceCapabilities
 from repro.sources.exchange import build_exchange_rate_site
 from repro.sources.memory import MemorySQLSource
@@ -99,6 +99,31 @@ class TestWebWrapper:
         wrapper.materialize()
         assert wrapper.last_report is not None
         assert wrapper.last_report.pages_visited >= 2
+
+    def test_failed_crawl_releases_lock_and_publishes_nothing(self):
+        wrapper, site = web_wrapper()
+        site.available = False
+        with pytest.raises(SourceUnavailableError):
+            wrapper.materialize()
+        # The serialization lock was released on the failure path — a
+        # retrying scheduler (or a concurrent query) can crawl immediately.
+        assert wrapper._materialize_lock.acquire(blocking=False)
+        wrapper._materialize_lock.release()
+        # Nothing half-crawled was published.
+        assert wrapper.last_report is None
+        assert wrapper._cache is None
+        site.available = True
+        assert len(wrapper.materialize()) >= 2
+        assert wrapper.last_report is not None
+
+    def test_source_statistics_points_at_the_site(self):
+        wrapper, site = web_wrapper()
+        assert wrapper.source_statistics is site.statistics
+        site.statistics.record_failure()
+        site.statistics.record_retry()
+        snapshot = site.statistics.snapshot()
+        assert snapshot["failures"] == 1
+        assert snapshot["retries"] == 1
 
 
 class TestWrapperRegistry:
