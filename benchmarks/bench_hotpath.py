@@ -1,6 +1,6 @@
 """Hot-path microbenchmarks: compiled pipeline vs. per-row interpretation.
 
-Eight scenarios trace the executor's hot paths (see PERFORMANCE.md):
+Nine scenarios trace the executor's hot paths (see PERFORMANCE.md):
 
 * **scan-filter-project** — a WHERE + select-list pass over one relation;
 * **equi-join** — a two-relation equi-join (the baseline is the interpreted
@@ -23,7 +23,12 @@ Eight scenarios trace the executor's hot paths (see PERFORMANCE.md):
 * **resilience** — a flaky three-source federation under deterministic
   fault schedules: transient failures retried to byte-identical answers,
   partial-mode degradation labelled per dropped branch, breakers tripping
-  and fast-rejecting repeats.
+  and fast-rejecting repeats;
+* **sustained load** — the serving layer at ≥2x offered overload with chaos
+  on the sources: the admission gateway sheds the excess fast with
+  retriable errors (never queueing a request past its deadline), accepted
+  answers stay digest-identical to serial execution, p50/p99 stay bounded,
+  and the server drains to zero afterwards.
 
 The *baseline* numbers re-enact the seed implementation faithfully: the same
 loops the seed operators ran, driven by the (still present) interpreted
@@ -918,6 +923,278 @@ def bench_resilience() -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Scenario 9: sustained load + chaos soak (admission control, shedding)
+# ---------------------------------------------------------------------------
+
+#: Closed-loop client threads vs. gateway workers: ≥2x offered overload.
+FULL_SOAK_THREADS = 16
+SMOKE_SOAK_THREADS = 8
+FULL_SOAK_REQUESTS_PER_THREAD = 125   # 2000 requests total
+SMOKE_SOAK_REQUESTS_PER_THREAD = 12
+FULL_SOAK_WORKERS = 4
+SMOKE_SOAK_WORKERS = 2
+FULL_SOAK_QUEUE_DEPTH = 8
+SMOKE_SOAK_QUEUE_DEPTH = 4
+FULL_SOAK_STREAM_PERMITS = 6
+SMOKE_SOAK_STREAM_PERMITS = 4
+#: Per-tenant admission quota (tokens/second, burst).
+FULL_SOAK_TENANT_RATE = 60.0
+SMOKE_SOAK_TENANT_RATE = 50.0
+FULL_SOAK_TENANT_BURST = 20.0
+SMOKE_SOAK_TENANT_BURST = 8.0
+#: Every request's deadline; the gateway must never queue past it.
+FULL_SOAK_TIMEOUT = 2.0
+SMOKE_SOAK_TIMEOUT = 1.0
+#: Chaos: latency-spike and transient-outage schedules on the sources.
+FULL_SOAK_SPIKE_SECONDS = 0.02
+SMOKE_SOAK_SPIKE_SECONDS = 0.005
+SOAK_TENANTS = 4
+SOAK_SOURCES = 3
+#: Every Nth request opens a server-side cursor instead of materializing.
+SOAK_STREAM_EVERY = 5
+
+_SOAK_QUERIES = (
+    "SELECT s1.k, s1.v1 FROM s1 WHERE s1.k < 40",
+    "SELECT s2.k, s2.v2 FROM s2 WHERE s2.v2 > 10",
+    "SELECT s1.k, s1.v1, s2.v2 FROM s1, s2 WHERE s1.k = s2.k AND s2.k < 30",
+    "SELECT s3.k, s3.v3 FROM s3 WHERE s3.k < 25",
+    "SELECT s2.k, s2.v2, s3.v3 FROM s2, s3 WHERE s2.k = s3.k AND s3.v3 < 50",
+    "SELECT s3.k, s3.v3 FROM s3 WHERE s3.v3 > 5 AND s3.k < 35",
+)
+
+
+def _soak_federation(schedules=None, spike_sleep=None):
+    """A minimal federation over three sources, optionally fault-injected.
+
+    The clean twin (``schedules=None``) is the serial baseline producing the
+    reference digests; the chaos twin wraps every wrapper in a
+    :class:`FaultInjectingSource` with the given per-index schedules.  The
+    request cache is disabled so every soak query genuinely exercises the
+    flaky sources instead of a memoized answer.
+    """
+    from repro.coin.context import Context, ContextRegistry
+    from repro.coin.domain import build_financial_domain_model
+    from repro.coin.system import CoinSystem
+    from repro.engine.resilience import ResiliencePolicy, RetryPolicy
+    from repro.federation import Federation
+    from repro.sources.faults import FaultInjectingSource
+
+    contexts = ContextRegistry()
+    contexts.register(Context("c_soak", "soak-test workspace (no conversions)"))
+    system = CoinSystem(build_financial_domain_model(), contexts, name="soak")
+    federation = Federation(
+        system, default_receiver_context="c_soak", name="soak",
+        request_cache_size=0,
+        resilience=ResiliencePolicy(retry_policy=RetryPolicy(
+            max_attempts=4, base_delay_seconds=0.002,
+            max_delay_seconds=0.01, seed=5,
+        )),
+    )
+    injectors = []
+    for index in range(1, SOAK_SOURCES + 1):
+        source = MemorySQLSource(f"soak{index}",
+                                 capabilities=SourceCapabilities.scan_only())
+        values = ", ".join(
+            f"({key}, {float((key * 13 * index) % 97)})" for key in range(60)
+        )
+        source.load_sql(
+            f"CREATE TABLE s{index} (k integer, v{index} float)",
+            f"INSERT INTO s{index} VALUES {values}",
+        )
+        wrapper = RelationalWrapper(source)
+        if schedules is not None:
+            wrapper = FaultInjectingSource(
+                wrapper, schedules.get(index), sleep=spike_sleep,
+            )
+            injectors.append(wrapper)
+        federation.register_wrapper(wrapper, estimate_rows=False)
+    return federation, injectors
+
+
+def bench_sustained_load(smoke: bool = False) -> Dict[str, Any]:
+    """The serving layer under ≥2x overload plus source chaos.
+
+    A closed loop of client threads (4x the gateway's worker count) hammers
+    one :class:`MediationServer` through the ODBC driver — four tenants,
+    every request deadline-bounded, every fifth request a server-side cursor
+    — while the sources spike, fail transiently and cut connections on
+    deterministic schedules.  The gateway must shed the excess *fast* with
+    retriable overload errors (never queue a request past its own deadline),
+    keep accepted-request p99 bounded, and every accepted answer must be
+    digest-identical to a serial run over a clean twin federation.  After
+    the soak the server drains to zero: no open cursors, no temp-store
+    staging, no queued or active work, and a sort-heavy abandoned stream
+    leaves its memory budget at zero bytes.
+    """
+    from repro.errors import ClientError
+    from repro.server import odbc
+    from repro.server.gateway import GatewayConfig
+    from repro.server.server import MediationServer
+    from repro.sources.faults import FaultSchedule
+
+    threads = SMOKE_SOAK_THREADS if smoke else FULL_SOAK_THREADS
+    per_thread = (SMOKE_SOAK_REQUESTS_PER_THREAD if smoke
+                  else FULL_SOAK_REQUESTS_PER_THREAD)
+    workers = SMOKE_SOAK_WORKERS if smoke else FULL_SOAK_WORKERS
+    queue_depth = SMOKE_SOAK_QUEUE_DEPTH if smoke else FULL_SOAK_QUEUE_DEPTH
+    stream_permits = (SMOKE_SOAK_STREAM_PERMITS if smoke
+                      else FULL_SOAK_STREAM_PERMITS)
+    tenant_rate = SMOKE_SOAK_TENANT_RATE if smoke else FULL_SOAK_TENANT_RATE
+    tenant_burst = SMOKE_SOAK_TENANT_BURST if smoke else FULL_SOAK_TENANT_BURST
+    timeout = SMOKE_SOAK_TIMEOUT if smoke else FULL_SOAK_TIMEOUT
+    spike = SMOKE_SOAK_SPIKE_SECONDS if smoke else FULL_SOAK_SPIKE_SECONDS
+
+    # -- serial reference digests over the clean twin -----------------------
+    clean, _ = _soak_federation()
+    reference = []
+    for query in _SOAK_QUERIES:
+        answer = clean.query(query, mediate=False)
+        reference.append(_digest(list(answer.relation.rows)))
+
+    # -- the chaos federation + overload-configured server ------------------
+    schedules = {
+        1: FaultSchedule(latency_spike_every=7, latency_spike_seconds=spike),
+        2: FaultSchedule(failure_rate=0.04, seed=11),
+        3: FaultSchedule(fail_first=2, cut_every=29),
+    }
+    federation, injectors = _soak_federation(schedules, spike_sleep=time.sleep)
+    server = MediationServer(federation, GatewayConfig(
+        max_workers=workers,
+        max_queue_depth=queue_depth,
+        tenant_rate_per_second=tenant_rate,
+        tenant_burst=tenant_burst,
+        max_active_streams=stream_permits,
+    ))
+
+    lock = threading.Lock()
+    latencies: List[float] = []
+    digest_mismatches = 0
+    accepted = 0
+    shed = 0
+    shed_not_retriable = 0
+    failures: Dict[str, int] = {}
+
+    def client(thread_index: int) -> None:
+        nonlocal accepted, shed, shed_not_retriable, digest_mismatches
+        tenant = f"tenant-{thread_index % SOAK_TENANTS}"
+        connection = odbc.connect(server=server, context="c_soak",
+                                  tenant=tenant)
+        cursor = connection.cursor()
+        for request_index in range(per_thread):
+            query_index = (thread_index + request_index) % len(_SOAK_QUERIES)
+            stream = request_index % SOAK_STREAM_EVERY == 0
+            started = time.perf_counter()
+            try:
+                cursor.execute(_SOAK_QUERIES[query_index], mediate=False,
+                               stream=stream, timeout_seconds=timeout)
+                rows = cursor.fetchall()
+                if stream:
+                    cursor.close()
+            except ClientError as exc:
+                elapsed = time.perf_counter() - started
+                with lock:
+                    if getattr(exc, "error_kind", None) == "OverloadError":
+                        shed += 1
+                        if not getattr(exc, "retriable", False):
+                            shed_not_retriable += 1
+                    else:
+                        kind = getattr(exc, "error_kind", None) or "unknown"
+                        failures[kind] = failures.get(kind, 0) + 1
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                accepted += 1
+                latencies.append(elapsed)
+                if _digest(rows) != reference[query_index]:
+                    digest_mismatches += 1
+        connection.close()
+
+    workers_pool = [
+        threading.Thread(target=client, args=(index,), daemon=True)
+        for index in range(threads)
+    ]
+    soak_started = time.perf_counter()
+    for thread in workers_pool:
+        thread.start()
+    for thread in workers_pool:
+        thread.join()
+    soak_elapsed = time.perf_counter() - soak_started
+
+    # -- graceful drain + leak audit ----------------------------------------
+    drained = server.shutdown(timeout_seconds=30.0)
+    status = server.snapshot()
+    load = status["server_load"]
+    temp_handles = len(federation.engine.controller.temp_store.handles)
+
+    # Satellite regression probe: a sort-heavy stream abandoned after one
+    # row must return its budget reservations and staging to zero.
+    probe_engine = MultiDatabaseEngine()
+    probe_source = MemorySQLSource("probe")
+    probe_source.load_sql("CREATE TABLE t (k integer, v float)")
+    probe_source.database.table("t").rows = [
+        (index, float((index * 7919) % 9973)) for index in range(2000)
+    ]
+    probe_engine.register_wrapper(RelationalWrapper(probe_source),
+                                  estimate_rows=False)
+    probe_stream = probe_engine.execute_stream(
+        "SELECT t.k, t.v FROM t ORDER BY t.v DESC")
+    probe_stream.fetchmany(1)
+    probe_budget = probe_stream.budget
+    probe_stream.close()
+    probe_budget_zero = probe_budget.used_bytes == 0
+    probe_temp_empty = probe_engine.controller.temp_store.handles == []
+
+    ordered = sorted(latencies)
+
+    def quantile(q: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+    total = threads * per_thread
+    return {
+        "requests": total,
+        "threads": threads,
+        "workers": workers,
+        "queue_depth": queue_depth,
+        "stream_permits": stream_permits,
+        "tenants": SOAK_TENANTS,
+        "tenant_rate_per_second": tenant_rate,
+        "timeout_seconds": timeout,
+        "overload_factor": round(threads / workers, 1),
+        "accepted": accepted,
+        "shed": shed,
+        "shed_rate": round(shed / max(total, 1), 4),
+        "sheds_all_retriable": shed_not_retriable == 0,
+        "failures_by_kind": dict(sorted(failures.items())),
+        "failed": sum(failures.values()),
+        "answers_identical_to_serial": digest_mismatches == 0,
+        "answers_sha256": reference[0],
+        "p50_latency_seconds": round(quantile(0.50), 6),
+        "p99_latency_seconds": round(quantile(0.99), 6),
+        "max_latency_seconds": round(ordered[-1], 6) if ordered else 0.0,
+        "max_queue_wait_seconds": load["max_queue_wait_seconds"],
+        "shed_by_reason": load["shed"],
+        "peak_active": load["peak_active"],
+        "peak_queued": load["peak_queued"],
+        "peak_active_streams": load["peak_active_streams"],
+        "injected": {
+            f"soak{index + 1}": injector.snapshot()
+            for index, injector in enumerate(injectors)
+        },
+        "drained": drained,
+        "post_soak_open_cursors": status["open_cursors"],
+        "post_soak_active": load["active"],
+        "post_soak_queued": load["queued"],
+        "post_soak_active_streams": load["active_streams"],
+        "post_soak_temp_handles": temp_handles,
+        "post_soak_budget_zero": probe_budget_zero and probe_temp_empty,
+        "throughput_accepted_per_sec": round(accepted / max(soak_elapsed, 1e-9), 1),
+        "elapsed_seconds": round(soak_elapsed, 6),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Harness entry point
 # ---------------------------------------------------------------------------
 
@@ -944,6 +1221,7 @@ def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         "streaming_topk": bench_streaming_topk(topk_rows, topk_budget, topk_latency),
         "consistency_cqa": bench_consistency_cqa(cqa_rows),
         "resilience": bench_resilience(),
+        "sustained_load": bench_sustained_load(smoke),
     }
 
 
@@ -1089,4 +1367,54 @@ def verify_run(result: Dict[str, Any]) -> List[str]:
             "resilience: the repeat statement still reached the dead source "
             f"({resilience['repeat_source_accesses']} accesses)"
         )
+    soak = result["sustained_load"]
+    # Identity, retriability and drain gates hold in smoke mode too; the
+    # shed-volume and latency-bound gates need the full offered load.
+    if not soak["answers_identical_to_serial"]:
+        failures.append(
+            "sustained-load: an accepted answer differed from serial execution"
+        )
+    if not soak["sheds_all_retriable"]:
+        failures.append(
+            "sustained-load: a shed request carried a non-retriable error"
+        )
+    if soak["max_queue_wait_seconds"] > soak["timeout_seconds"] + 0.05:
+        failures.append(
+            f"sustained-load: an admitted request queued "
+            f"{soak['max_queue_wait_seconds']}s, past its "
+            f"{soak['timeout_seconds']}s deadline"
+        )
+    if not soak["drained"]:
+        failures.append("sustained-load: the server did not drain after the soak")
+    if (soak["post_soak_open_cursors"] or soak["post_soak_active"]
+            or soak["post_soak_queued"] or soak["post_soak_active_streams"]
+            or soak["post_soak_temp_handles"]):
+        failures.append(
+            "sustained-load: post-soak leak (cursors="
+            f"{soak['post_soak_open_cursors']}, active={soak['post_soak_active']}, "
+            f"queued={soak['post_soak_queued']}, "
+            f"streams={soak['post_soak_active_streams']}, "
+            f"temp={soak['post_soak_temp_handles']})"
+        )
+    if not soak["post_soak_budget_zero"]:
+        failures.append(
+            "sustained-load: an abandoned stream left memory-budget bytes "
+            "or temp staging behind"
+        )
+    if result["mode"] == "full":
+        if soak["shed"] <= 0:
+            failures.append(
+                "sustained-load: a ≥2x overload shed nothing — admission "
+                "control is not engaging"
+            )
+        if soak["accepted"] < 50:
+            failures.append(
+                f"sustained-load: only {soak['accepted']} requests accepted "
+                "under overload (quota/capacity misconfigured)"
+            )
+        if soak["p99_latency_seconds"] > 2.0 * soak["timeout_seconds"]:
+            failures.append(
+                f"sustained-load: accepted p99 {soak['p99_latency_seconds']}s "
+                f"above the {2.0 * soak['timeout_seconds']}s bound"
+            )
     return failures

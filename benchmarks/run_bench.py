@@ -83,6 +83,18 @@ def _print_summary(result) -> None:
           f"dropped {res['dropped_wrappers']}, breaker {res['breaker_state']} "
           f"({res['breaker_trips']} trip(s)), repeat rejected fast: "
           f"{res['repeat_degraded_via_breaker']}")
+    soak = result["sustained_load"]
+    print(f"[hotpath:{result['mode']}] sustained load {soak['requests']} requests, "
+          f"{soak['threads']} threads vs {soak['workers']} workers "
+          f"({soak['overload_factor']}x overload): accepted {soak['accepted']} "
+          f"(p50 {soak['p50_latency_seconds']}s, p99 {soak['p99_latency_seconds']}s, "
+          f"{soak['throughput_accepted_per_sec']} q/s), shed {soak['shed']} "
+          f"({soak['shed_rate'] * 100:.1f}%, all retriable: "
+          f"{soak['sheds_all_retriable']}), failed {soak['failed']}; "
+          f"answers identical to serial: {soak['answers_identical_to_serial']}; "
+          f"max queue wait {soak['max_queue_wait_seconds']}s of "
+          f"{soak['timeout_seconds']}s deadline; drained: {soak['drained']}, "
+          f"post-soak budget zero: {soak['post_soak_budget_zero']}")
 
 
 def _append_trajectory(path: str, result) -> None:

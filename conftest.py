@@ -25,3 +25,8 @@ def pytest_configure(config):
         "chaos: fault-injection suite exercising retries, breakers, "
         "deadlines and partial answers under deterministic failure schedules",
     )
+    config.addinivalue_line(
+        "markers",
+        "soak: short deterministic variant of the sustained-load chaos soak "
+        "(admission control, quotas, shedding, post-soak drain)",
+    )

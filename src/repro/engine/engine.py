@@ -24,7 +24,7 @@ from repro.engine.executor import (
     EngineResult,
     ExecutionController,
 )
-from repro.engine.resilience import Deadline, ResiliencePolicy
+from repro.engine.resilience import Deadline, HealthProber, ResiliencePolicy
 from repro.engine.plan import QueryPlan
 from repro.engine.request_cache import SourceResultCache
 from repro.engine.planner import PlannerConfig, QueryPlanner
@@ -277,6 +277,28 @@ class MultiDatabaseEngine:
     def source_health(self) -> Dict[str, object]:
         """Breaker states and rolling per-wrapper health statistics."""
         return self.controller.resilience.snapshot()
+
+    def build_health_prober(self, interval_seconds: float = 1.0) -> HealthProber:
+        """A prober rediscovering recovered sources without sacrificing queries.
+
+        Each registered wrapper gets a cheap probe (fetching its first
+        exported relation) that the prober runs only while the wrapper's
+        circuit breaker sits half-open — a probe success closes the breaker
+        proactively instead of waiting for the next statement to risk a
+        request against it.  Call :meth:`HealthProber.run_once` from a
+        control loop or :meth:`HealthProber.start` for a daemon thread.
+        """
+        prober = HealthProber(self.controller.resilience,
+                              interval_seconds=interval_seconds)
+        for wrapper in self.catalog.wrappers:
+            relations = wrapper.relation_names()
+            if not relations:
+                continue
+            prober.register(
+                wrapper.name,
+                lambda w=wrapper, r=relations[0]: w.fetch(r),
+            )
+        return prober
 
     def query(self, statement: TUnion[str, Statement]) -> Relation:
         """Execute and return only the answer relation."""

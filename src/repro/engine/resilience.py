@@ -376,10 +376,34 @@ class SourceHealth:
         with self._lock:
             self.rejections += 1
 
+    def sample_count(self) -> int:
+        """Number of latency samples currently in the rolling window."""
+        with self._lock:
+            return len(self._recent_latencies)
+
+    def latency_quantile(self, quantile: float) -> Optional[float]:
+        """The ``quantile`` (0..1) of the rolling latency window, or None.
+
+        Nearest-rank over the (at most ``HEALTH_WINDOW``) recent successful
+        round trips — the signal the adaptive fetch timeout is fed from.
+        """
+        with self._lock:
+            recent = sorted(self._recent_latencies)
+        if not recent:
+            return None
+        quantile = min(1.0, max(0.0, quantile))
+        index = min(len(recent) - 1, int(round(quantile * (len(recent) - 1))))
+        return recent[index]
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             attempts = self.successes + self.failures
             recent = list(self._recent_latencies)
+        p95 = None
+        if recent:
+            ordered = sorted(recent)
+            p95 = ordered[min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))]
+        with self._lock:
             return {
                 "successes": self.successes,
                 "failures": self.failures,
@@ -390,6 +414,8 @@ class SourceHealth:
                 "mean_latency_seconds": (
                     round(sum(recent) / len(recent), 6) if recent else 0.0
                 ),
+                "p95_latency_seconds": round(p95, 6) if p95 is not None else None,
+                "latency_samples": len(recent),
                 "last_error": self.last_error,
             }
 
@@ -507,11 +533,27 @@ class ResiliencePolicy:
 
     def __init__(self, retry_policy: Optional[RetryPolicy] = None,
                  failure_threshold: int = 5, cooldown_seconds: float = 30.0,
-                 clock: Clock = SYSTEM_CLOCK):
+                 clock: Clock = SYSTEM_CLOCK,
+                 adaptive_timeouts: bool = True,
+                 adaptive_quantile: float = 0.95,
+                 adaptive_headroom: float = 4.0,
+                 adaptive_min_samples: int = 8,
+                 adaptive_min_seconds: float = 0.05,
+                 adaptive_max_seconds: float = 30.0):
         self.retry_policy = retry_policy or RetryPolicy()
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
         self.clock = clock
+        #: Per-source adaptive fetch timeouts: a wrapper whose rolling-window
+        #: p95 latency is known gets its own wait bound (p95 × headroom,
+        #: clamped) instead of the statement's one-size-fits-all deadline
+        #: slice.  ``adaptive_min_samples`` keeps cold wrappers unbounded.
+        self.adaptive_timeouts = adaptive_timeouts
+        self.adaptive_quantile = adaptive_quantile
+        self.adaptive_headroom = adaptive_headroom
+        self.adaptive_min_samples = adaptive_min_samples
+        self.adaptive_min_seconds = adaptive_min_seconds
+        self.adaptive_max_seconds = adaptive_max_seconds
         self.health = HealthRegistry()
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
@@ -590,12 +632,154 @@ class ResiliencePolicy:
             health.record_success(self.clock.now() - started)
             return result, attempt
 
+    def adaptive_fetch_timeout(self, wrapper_name: str) -> Optional[float]:
+        """This wrapper's earned wait bound, or None (no bound yet).
+
+        ``None`` until the rolling health window holds at least
+        ``adaptive_min_samples`` successful latencies — a cold or rarely-used
+        wrapper keeps the statement-deadline-only behaviour.  Afterwards the
+        bound is ``quantile × headroom`` clamped to
+        ``[adaptive_min_seconds, adaptive_max_seconds]``: a healthy source
+        that suddenly stalls is cut loose quickly, a habitually slow one is
+        given the latitude its own history justifies.
+        """
+        if not self.adaptive_timeouts:
+            return None
+        health = self.health.wrapper(wrapper_name)
+        if health.sample_count() < self.adaptive_min_samples:
+            return None
+        latency = health.latency_quantile(self.adaptive_quantile)
+        if latency is None:
+            return None
+        return min(self.adaptive_max_seconds,
+                   max(self.adaptive_min_seconds,
+                       latency * self.adaptive_headroom))
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             breakers = dict(self._breakers)
+        sources = self.health.snapshot()
+        for name, entry in sources.items():
+            entry["adaptive_fetch_timeout_seconds"] = self.adaptive_fetch_timeout(name)
         return {
             "breakers": {
                 name: breaker.snapshot() for name, breaker in sorted(breakers.items())
             },
-            "sources": self.health.snapshot(),
+            "sources": sources,
         }
+
+
+# ---------------------------------------------------------------------------
+# Proactive health probing
+# ---------------------------------------------------------------------------
+
+
+class HealthProber:
+    """Background half-open circuit probes: recovery without sacrifice.
+
+    A breaker past its cooldown sits half-open until *some* statement risks a
+    request against the wrapper — reactive recovery sacrifices one receiver
+    query per dead-source comeback.  The prober instead drives the half-open
+    probe itself: ``run_once()`` walks the registered probe callables (one
+    cheap fetch per wrapper, typically the smallest catalogued relation) and
+    issues a probe against every breaker currently half-open, recording the
+    outcome on the breaker *and* the health window so a recovered source is
+    rediscovered — and its latency stats re-primed — before the next
+    statement arrives.
+
+    ``run_once()`` is deterministic and directly testable (drive it from a
+    test with a :class:`ManualClock` policy); ``start()`` runs it on a daemon
+    thread every ``interval_seconds`` for real deployments.
+    """
+
+    def __init__(self, policy: ResiliencePolicy,
+                 probes: Optional[Dict[str, Callable[[], object]]] = None,
+                 interval_seconds: float = 1.0):
+        self.policy = policy
+        self.interval_seconds = float(interval_seconds)
+        self._lock = threading.Lock()
+        self._probes: Dict[str, Callable[[], object]] = {}
+        for name, probe in (probes or {}).items():
+            self._probes[name.lower()] = probe
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.probes_attempted = 0
+        self.probes_succeeded = 0
+        self.probes_failed = 0
+
+    def register(self, wrapper_name: str, probe: Callable[[], object]) -> None:
+        with self._lock:
+            self._probes[wrapper_name.lower()] = probe
+
+    def run_once(self) -> Dict[str, bool]:
+        """Probe every half-open breaker once; ``{wrapper: recovered}``."""
+        with self._lock:
+            probes = sorted(self._probes.items())
+        results: Dict[str, bool] = {}
+        for name, probe in probes:
+            breaker = self.policy.breaker(name)
+            if breaker.state != "half_open":
+                continue
+            if not breaker.allow():
+                continue  # a statement's own probe is already in flight
+            health = self.policy.health.wrapper(name)
+            started = self.policy.clock.now()
+            try:
+                probe()
+            except Exception as error:
+                breaker.record_failure()
+                health.record_failure(self.policy.clock.now() - started, error)
+                results[name] = False
+                with self._lock:
+                    self.probes_attempted += 1
+                    self.probes_failed += 1
+            else:
+                breaker.record_success()
+                health.record_success(self.policy.clock.now() - started)
+                results[name] = True
+                with self._lock:
+                    self.probes_attempted += 1
+                    self.probes_succeeded += 1
+        return results
+
+    # -- background operation ----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Run :meth:`run_once` every ``interval_seconds`` on a daemon thread."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="health-prober", daemon=True
+            )
+            self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.run_once()
+            except Exception:  # pragma: no cover - probes must never kill the loop
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval_seconds": self.interval_seconds,
+                "registered_probes": len(self._probes),
+                "probes_attempted": self.probes_attempted,
+                "probes_succeeded": self.probes_succeeded,
+                "probes_failed": self.probes_failed,
+            }

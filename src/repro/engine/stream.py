@@ -31,7 +31,12 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import DeadlineExceededError, ExecutionError, SchemaError
+from repro.errors import (
+    DeadlineExceededError,
+    ExecutionError,
+    SchemaError,
+    SourceUnavailableError,
+)
 from repro.engine.executor import (
     ExecutionReport,
     OperatorStats,
@@ -70,6 +75,20 @@ def _relation_bytes(relation: Relation) -> int:
     if not relation.rows:
         return 0
     return estimate_row_bytes(relation.rows[0]) * len(relation.rows)
+
+
+def adaptive_timeout_error(wrapper_name: str, request_text: str,
+                           adaptive_seconds: Optional[float]) -> SourceUnavailableError:
+    """The transient source failure an adaptive-timeout expiry turns into."""
+    bound = (
+        f"{adaptive_seconds:.3f}s" if adaptive_seconds is not None else "its bound"
+    )
+    error = SourceUnavailableError(
+        f"wrapper {wrapper_name!r} exceeded its adaptive fetch timeout of "
+        f"{bound} (rolling p95 × headroom) awaiting {request_text}"
+    )
+    error.transient = True
+    return error
 
 
 class _SourceFailure(Exception):
@@ -237,16 +256,42 @@ class ResultStream:
         if outcome is None:
             future = self._futures.get(key)
             if future is not None:
+                request = self._distinct[key]
+                wait = self._deadline.remaining()
+                # A wrapper with an earned latency profile gets its own wait
+                # bound (p95 × headroom): a habitually-fast source that
+                # suddenly stalls is cut loose long before the statement
+                # deadline instead of consuming all of it.
+                adaptive = None
+                if self._deadline.bounded:
+                    adaptive = self.controller.resilience.adaptive_fetch_timeout(
+                        request.wrapper_name
+                    )
+                    if adaptive is not None:
+                        wait = adaptive if wait is None else min(wait, adaptive)
                 try:
-                    outcome = future.result(timeout=self._deadline.remaining())
+                    outcome = future.result(timeout=wait)
                 except FutureTimeoutError:
-                    request = self._distinct[key]
-                    raise DeadlineExceededError(
-                        f"statement deadline of "
-                        f"{self._deadline.timeout_seconds}s exceeded awaiting "
-                        f"{request.request_text} from wrapper "
-                        f"{request.wrapper_name!r}"
-                    ) from None
+                    remaining = self._deadline.remaining()
+                    if remaining is not None and remaining <= 0:
+                        raise DeadlineExceededError(
+                            f"statement deadline of "
+                            f"{self._deadline.timeout_seconds}s exceeded awaiting "
+                            f"{request.request_text} from wrapper "
+                            f"{request.wrapper_name!r}"
+                        ) from None
+                    # The adaptive bound fired with deadline budget left: a
+                    # *source* failure (transient — the wrapper may recover),
+                    # so partial mode can degrade the branch instead of
+                    # killing the statement.
+                    error = adaptive_timeout_error(
+                        request.wrapper_name, request.request_text, adaptive
+                    )
+                    outcome = _FetchOutcome(
+                        relation=None,
+                        request_text=request.request_text,
+                        error=error,
+                    )
             else:
                 request = self._distinct[key]
                 self._deadline.check(
@@ -590,6 +635,29 @@ class ResultStream:
                 self._consume_outcome(key, outcome)
         if self._pool is not None:
             self._pool.shutdown(wait=False)
+
+        # Close the row generator (and the first branch's operator pipeline,
+        # which it references) *explicitly*: suspended Sort/Distinct/HashJoin
+        # generators release their memory-budget reservations in ``finally``
+        # blocks, and leaving that to garbage collection makes the budget
+        # accounting below — and the "drained after close" invariant the
+        # server's registries rely on — nondeterministic.
+        rows = getattr(self, "_rows", None)
+        if rows is not None:
+            try:
+                rows.close()
+            except ValueError:
+                # Closed concurrently with a pull (e.g. a registry eviction
+                # racing a fetch): the consumer's own exit path releases.
+                pass
+        first_branch = getattr(self, "_first_branch", None)
+        if first_branch is not None:
+            branch_close = getattr(first_branch[0], "close", None)
+            if branch_close is not None:
+                try:
+                    branch_close()
+                except ValueError:
+                    pass
 
         self.report.resilience.deadline_remaining_seconds = self._deadline.remaining()
         self.report.max_in_flight = self._gauge.peak

@@ -160,6 +160,34 @@ class DeadlineExceededError(ExecutionError):
     """
 
 
+class OverloadError(ExecutionError):
+    """The serving layer shed this request instead of queueing it to death.
+
+    Raised by the admission gateway when a request cannot be served *now*
+    without harming requests already admitted: the tenant's token bucket is
+    empty (``reason="quota"``), the admission queue is full
+    (``"queue_full"``), the projected or actual queue wait would eat the
+    request's own deadline (``"deadline"``), the server is draining for
+    shutdown (``"draining"``), or the bounded streaming-permit pool is
+    exhausted (``"streams"``).
+
+    Shedding is always *retriable*: nothing about the statement is wrong, the
+    server just has no capacity for it at this instant — ``transient`` is
+    True (so client-side retry machinery classifies it correctly) and
+    ``retry_after_seconds``, when known, hints how long to back off (it maps
+    to the HTTP ``Retry-After`` header on the tunnel).
+    """
+
+    transient = True
+    retriable = True
+
+    def __init__(self, message: str, reason: str = "overload",
+                 retry_after_seconds=None):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+
+
 # ---------------------------------------------------------------------------
 # Consistency subsystem
 # ---------------------------------------------------------------------------

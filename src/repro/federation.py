@@ -533,6 +533,18 @@ class Federation:
             self._rate_environment_source = (wrapper.name, function.ancillary_relation)
             return
 
+    # -- health probing -------------------------------------------------------------------------
+
+    def health_prober(self, interval_seconds: float = 1.0):
+        """A background prober for this federation's sources.
+
+        Drives half-open circuit-breaker probes from the engine's health
+        registry so a recovered source is rediscovered proactively instead
+        of by sacrificing the next receiver query; see
+        :meth:`~repro.engine.engine.MultiDatabaseEngine.build_health_prober`.
+        """
+        return self.engine.build_health_prober(interval_seconds)
+
     # -- effort accounting (scalability / extensibility benchmarks) ------------------------------
 
     def integration_effort(self) -> Dict[str, int]:

@@ -1,0 +1,507 @@
+"""Admission control for the mediation server: quotas, shedding, drain.
+
+PR 6 made *individual statements* fault-tolerant; this module makes the
+*serving layer* robust when traffic exceeds capacity.  The prototype's server
+was thread-per-call: a burst of receiver queries queued unboundedly, hung
+sources pinned callers, and overload failed late (client timeouts deep in a
+queue) instead of early and cleanly.  The :class:`AdmissionGateway` in front
+of every heavy operation enforces the discipline an industry-scale query
+service needs:
+
+* **Bounded workers, bounded queue.** At most ``max_workers`` requests
+  execute concurrently (a counting semaphore; admitted work runs on the
+  caller's thread, so there is no hand-off copy) and at most
+  ``max_queue_depth`` wait for a slot.  Everything beyond that is *shed* with
+  a clean, retriable :class:`~repro.errors.OverloadError` — the client hears
+  "try again shortly" in microseconds instead of timing out in minutes.
+
+* **Per-tenant token-bucket quotas.** Each tenant (receiver/session id,
+  threaded through the protocol, HTTP header, ODBC driver and QBE form)
+  draws from its own :class:`TokenBucket`; a tenant flooding the server is
+  rate-limited at admission, before it can starve anyone else's slots, and
+  the shed error carries the bucket's time-to-next-token as the retry hint.
+
+* **Deadline-aware admission.** A request arriving with ``timeout_seconds``
+  is shed *immediately* when the projected queue wait (EWMA service time ×
+  queue position) would already eat its deadline, and — the hard guarantee —
+  its semaphore wait is bounded by the deadline itself, so no request ever
+  waits in the queue past the moment its answer became worthless.  Queue
+  time spent is deducted from the timeout the admitted work runs under.
+
+* **Streaming backpressure.** Streaming answers (server cursors, the chunked
+  HTTP endpoint) hold a worker slot only while *opening*; row production is
+  pulled on the consumer's thread against bounded buffers.  What bounds slow
+  consumers is the separate **stream-permit** pool (``max_active_streams``):
+  an exhausted pool sheds new streams instead of letting ten thousand idle
+  cursors pin the server.
+
+* **Graceful drain.** :meth:`begin_drain` sheds new arrivals (reason
+  ``"draining"``) while admitted work runs to completion;
+  :meth:`await_drain` blocks until the gateway is idle.
+
+Every decision is counted — queued/admitted/shed-by-reason/active, queue-wait
+seconds, per-tenant counters, peaks — and surfaced by :meth:`snapshot` as the
+``server_load`` report block.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.engine.resilience import SYSTEM_CLOCK, Clock
+from repro.errors import OverloadError
+
+T = TypeVar("T")
+
+#: Shed reasons, in the order the admission pipeline checks them.
+SHED_REASONS = ("draining", "quota", "deadline", "queue_full", "streams")
+
+
+class TokenBucket:
+    """A clock-driven token bucket: ``rate`` tokens/second up to ``burst``.
+
+    ``try_acquire`` never blocks — admission control sheds instead of
+    waiting — and ``seconds_until`` reports how long until the next token
+    matures (the ``Retry-After`` hint).  A non-positive rate means the bucket
+    never refills: the burst is a hard allowance (useful in tests and for
+    suspended tenants).
+    """
+
+    def __init__(self, rate_per_second: float, burst: float,
+                 clock: Clock = SYSTEM_CLOCK):
+        self.rate = float(rate_per_second)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock.now()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        if self.rate > 0:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated) * self.rate
+            )
+        self._updated = now
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        with self._lock:
+            self._refill()
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True
+            return False
+
+    def seconds_until(self, cost: float = 1.0) -> Optional[float]:
+        """Seconds until ``cost`` tokens are available (None: never)."""
+        with self._lock:
+            self._refill()
+            deficit = cost - self._tokens
+            if deficit <= 0:
+                return 0.0
+            if self.rate <= 0:
+                return None
+            return deficit / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Sizing and policy of one :class:`AdmissionGateway`."""
+
+    #: Concurrently executing admitted requests.
+    max_workers: int = 8
+    #: Requests allowed to wait for a worker slot; beyond this, shed.
+    max_queue_depth: int = 32
+    #: Per-tenant admission rate (tokens/second).  None disables quotas.
+    tenant_rate_per_second: Optional[float] = None
+    #: Per-tenant burst allowance (None: 2 × rate, at least 1).
+    tenant_burst: Optional[float] = None
+    #: Concurrently open streaming answers (cursors + chunked responses).
+    max_active_streams: int = 64
+    #: Tenant attributed to requests that name none.
+    default_tenant: str = "anonymous"
+    #: Smoothing factor of the service-time EWMA behind deadline projection.
+    ewma_alpha: float = 0.2
+
+    def tenant_bucket_burst(self) -> float:
+        if self.tenant_burst is not None:
+            return float(self.tenant_burst)
+        if self.tenant_rate_per_second is None:
+            return 1.0
+        return max(1.0, 2.0 * float(self.tenant_rate_per_second))
+
+
+class _TenantCounters:
+    """Per-tenant admission accounting (guarded by the gateway lock)."""
+
+    __slots__ = ("arrived", "admitted", "shed", "queue_wait_seconds",
+                 "active_streams")
+
+    def __init__(self) -> None:
+        self.arrived = 0
+        self.admitted = 0
+        self.shed = 0
+        self.queue_wait_seconds = 0.0
+        self.active_streams = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "queue_wait_seconds": round(self.queue_wait_seconds, 6),
+            "active_streams": self.active_streams,
+        }
+
+
+class AdmissionGateway:
+    """The overload-robust front door every heavy server operation passes.
+
+    :meth:`run` is the worker path (admit → execute on the caller's thread →
+    release); :meth:`acquire_stream` is the streaming-backpressure path (a
+    permit held for the life of a cursor/chunked response).  Both shed with
+    :class:`~repro.errors.OverloadError` instead of queueing unboundedly.
+    """
+
+    def __init__(self, config: Optional[GatewayConfig] = None,
+                 clock: Clock = SYSTEM_CLOCK):
+        self.config = config or GatewayConfig()
+        if self.config.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if self.config.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        self._clock = clock
+        self._semaphore = threading.Semaphore(self.config.max_workers)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._draining = False
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._tenants: Dict[str, _TenantCounters] = {}
+        # -- load counters (all guarded by self._lock) -------------------------
+        self._waiting = 0
+        self._active = 0
+        self._active_streams = 0
+        self._peak_queued = 0
+        self._peak_active = 0
+        self._peak_active_streams = 0
+        self._arrived = 0
+        self._admitted = 0
+        self._completed = 0
+        self._streams_opened = 0
+        self._shed: Dict[str, int] = {reason: 0 for reason in SHED_REASONS}
+        self._queue_wait_seconds = 0.0
+        self._max_queue_wait_seconds = 0.0
+        self._ewma_service_seconds: Optional[float] = None
+
+    # -- tenants -----------------------------------------------------------------
+
+    def _tenant(self, tenant: Optional[str]) -> str:
+        name = (tenant or "").strip() or self.config.default_tenant
+        return name
+
+    def _counters(self, tenant: str) -> _TenantCounters:
+        """Caller holds the lock."""
+        counters = self._tenants.get(tenant)
+        if counters is None:
+            counters = self._tenants[tenant] = _TenantCounters()
+        return counters
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        rate = self.config.tenant_rate_per_second
+        if rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    rate, self.config.tenant_bucket_burst(), self._clock
+                )
+            return bucket
+
+    # -- shedding ----------------------------------------------------------------
+
+    def _shed_request(self, tenant: str, reason: str, message: str,
+                      retry_after_seconds: Optional[float] = None) -> None:
+        with self._lock:
+            self._shed[reason] = self._shed.get(reason, 0) + 1
+            self._counters(tenant).shed += 1
+        raise OverloadError(message, reason=reason,
+                            retry_after_seconds=retry_after_seconds)
+
+    def _projected_wait_seconds(self) -> float:
+        """Expected queue wait of one more arrival, from the service EWMA."""
+        with self._lock:
+            waiting = self._waiting
+            active = self._active
+            service = self._ewma_service_seconds
+        free = self.config.max_workers - active
+        if free > waiting:
+            return 0.0
+        if not service:
+            return 0.0  # no history yet: optimism, backed by the hard bound
+        position = waiting - free + 1
+        return service * math.ceil(position / self.config.max_workers)
+
+    # -- the worker path -----------------------------------------------------------
+
+    def run(self, work: Callable[[Optional[float]], T],
+            tenant: Optional[str] = None,
+            timeout_seconds: Optional[float] = None) -> T:
+        """Admit and execute ``work`` on the caller's thread.
+
+        ``work`` receives the timeout budget *remaining after queue wait*
+        (None when the request was unbounded) — the statement deadline the
+        admitted execution should run under.  Raises
+        :class:`~repro.errors.OverloadError` when the request is shed.
+        """
+        tenant_name = self._tenant(tenant)
+        with self._lock:
+            self._arrived += 1
+            self._counters(tenant_name).arrived += 1
+            draining = self._draining
+        if draining:
+            self._shed_request(
+                tenant_name, "draining",
+                "the server is draining for shutdown; retry against another "
+                "replica or after restart",
+            )
+
+        bucket = self._bucket(tenant_name)
+        if bucket is not None and not bucket.try_acquire():
+            self._shed_request(
+                tenant_name, "quota",
+                f"tenant {tenant_name!r} exceeded its admission quota "
+                f"({self.config.tenant_rate_per_second}/s, burst "
+                f"{self.config.tenant_bucket_burst():g})",
+                retry_after_seconds=bucket.seconds_until(),
+            )
+
+        if timeout_seconds is not None:
+            projected = self._projected_wait_seconds()
+            if projected >= timeout_seconds:
+                self._shed_request(
+                    tenant_name, "deadline",
+                    f"projected queue wait of {projected:.3f}s exceeds the "
+                    f"request's {timeout_seconds}s deadline; shedding instead "
+                    "of queueing it to death",
+                    retry_after_seconds=projected,
+                )
+
+        # A free worker slot means no queueing at all: grab it without
+        # blocking.  Only when every slot is busy does the bounded queue
+        # (and with it the queue-full shed) come into play — so
+        # ``max_queue_depth=0`` still serves up to ``max_workers``
+        # concurrent requests, it just refuses to let anyone *wait*.
+        acquired = self._semaphore.acquire(blocking=False)
+        queue_wait = 0.0
+        if not acquired:
+            with self._lock:
+                if self._waiting >= self.config.max_queue_depth:
+                    queue_full = True
+                else:
+                    queue_full = False
+                    self._waiting += 1
+                    self._peak_queued = max(self._peak_queued, self._waiting)
+            if queue_full:
+                self._shed_request(
+                    tenant_name, "queue_full",
+                    f"admission queue is full ({self.config.max_queue_depth} "
+                    f"waiting on {self.config.max_workers} workers)",
+                    retry_after_seconds=self._ewma_service_seconds,
+                )
+
+            queued_at = self._clock.now()
+            try:
+                if timeout_seconds is None:
+                    self._semaphore.acquire()
+                    acquired = True
+                else:
+                    # The hard guarantee: nobody waits in queue past their own
+                    # deadline, whatever the projection believed.
+                    acquired = self._semaphore.acquire(timeout=timeout_seconds)
+            finally:
+                with self._lock:
+                    self._waiting -= 1
+                    self._idle.notify_all()
+            queue_wait = self._clock.now() - queued_at
+        if not acquired:
+            self._shed_request(
+                tenant_name, "deadline",
+                f"request waited {queue_wait:.3f}s for a worker and its "
+                f"{timeout_seconds}s deadline left no budget to execute",
+                retry_after_seconds=self._ewma_service_seconds,
+            )
+
+        remaining: Optional[float] = None
+        if timeout_seconds is not None:
+            remaining = timeout_seconds - queue_wait
+            if remaining <= 1e-9:
+                self._semaphore.release()
+                self._shed_request(
+                    tenant_name, "deadline",
+                    f"queue wait of {queue_wait:.3f}s consumed the request's "
+                    f"{timeout_seconds}s deadline",
+                    retry_after_seconds=self._ewma_service_seconds,
+                )
+
+        with self._lock:
+            self._admitted += 1
+            self._active += 1
+            self._peak_active = max(self._peak_active, self._active)
+            self._queue_wait_seconds += queue_wait
+            self._max_queue_wait_seconds = max(
+                self._max_queue_wait_seconds, queue_wait
+            )
+            counters = self._counters(tenant_name)
+            counters.admitted += 1
+            counters.queue_wait_seconds += queue_wait
+
+        started = self._clock.now()
+        try:
+            return work(remaining)
+        finally:
+            elapsed = self._clock.now() - started
+            with self._lock:
+                self._active -= 1
+                self._completed += 1
+                alpha = self.config.ewma_alpha
+                if self._ewma_service_seconds is None:
+                    self._ewma_service_seconds = elapsed
+                else:
+                    self._ewma_service_seconds = (
+                        alpha * elapsed + (1.0 - alpha) * self._ewma_service_seconds
+                    )
+                self._idle.notify_all()
+            self._semaphore.release()
+
+    # -- the streaming path ----------------------------------------------------------
+
+    def acquire_stream(self, tenant: Optional[str] = None) -> Callable[[], None]:
+        """Claim one streaming permit; returns its (idempotent) release.
+
+        The permit — not a worker thread — is what a slow consumer holds for
+        the life of a cursor or chunked response: row production happens on
+        the consumer's own pulls against bounded buffers, and the bounded
+        permit pool is the backpressure that sheds new streams once
+        ``max_active_streams`` are open.
+        """
+        tenant_name = self._tenant(tenant)
+        with self._lock:
+            if self._draining:
+                shed_reason = "draining"
+            elif self._active_streams >= self.config.max_active_streams:
+                shed_reason = "streams"
+            else:
+                shed_reason = None
+                self._active_streams += 1
+                self._streams_opened += 1
+                self._peak_active_streams = max(
+                    self._peak_active_streams, self._active_streams
+                )
+                self._counters(tenant_name).active_streams += 1
+        if shed_reason == "draining":
+            self._shed_request(
+                tenant_name, "draining",
+                "the server is draining for shutdown; no new streams",
+            )
+        if shed_reason == "streams":
+            self._shed_request(
+                tenant_name, "streams",
+                f"all {self.config.max_active_streams} streaming permits are "
+                "held by open cursors/responses; close one or retry shortly",
+            )
+
+        released = [False]
+
+        def release() -> None:
+            with self._lock:
+                if released[0]:
+                    return
+                released[0] = True
+                self._active_streams -= 1
+                self._counters(tenant_name).active_streams -= 1
+                self._idle.notify_all()
+
+        return release
+
+    # -- drain ------------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Shed new arrivals from now on; admitted work keeps running."""
+        with self._lock:
+            self._draining = True
+            self._idle.notify_all()
+
+    def await_drain(self, timeout_seconds: Optional[float] = None) -> bool:
+        """Block until no work is active, queued or streaming; True if so."""
+        deadline = (
+            None if timeout_seconds is None
+            else self._clock.now() + timeout_seconds
+        )
+        with self._idle:
+            while self._active or self._waiting or self._active_streams:
+                wait = None
+                if deadline is not None:
+                    wait = deadline - self._clock.now()
+                    if wait <= 0:
+                        return False
+                self._idle.wait(timeout=wait)
+            return True
+
+    def drain(self, timeout_seconds: Optional[float] = None) -> bool:
+        self.begin_drain()
+        return self.await_drain(timeout_seconds)
+
+    def resume(self) -> None:
+        """Accept traffic again (tests, rolling restarts)."""
+        with self._lock:
+            self._draining = False
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``server_load`` report block."""
+        with self._lock:
+            shed = dict(self._shed)
+            return {
+                "workers": self.config.max_workers,
+                "max_queue_depth": self.config.max_queue_depth,
+                "max_active_streams": self.config.max_active_streams,
+                "tenant_rate_per_second": self.config.tenant_rate_per_second,
+                "draining": self._draining,
+                "active": self._active,
+                "queued": self._waiting,
+                "active_streams": self._active_streams,
+                "peak_active": self._peak_active,
+                "peak_queued": self._peak_queued,
+                "peak_active_streams": self._peak_active_streams,
+                "arrived": self._arrived,
+                "admitted": self._admitted,
+                "completed": self._completed,
+                "streams_opened": self._streams_opened,
+                "shed": {"total": sum(shed.values()), **shed},
+                "queue_wait_seconds": round(self._queue_wait_seconds, 6),
+                "max_queue_wait_seconds": round(self._max_queue_wait_seconds, 6),
+                "mean_service_seconds": (
+                    round(self._ewma_service_seconds, 6)
+                    if self._ewma_service_seconds is not None else None
+                ),
+                "tenants": {
+                    name: counters.snapshot()
+                    for name, counters in sorted(self._tenants.items())
+                },
+            }

@@ -71,6 +71,9 @@ class HttpResponse:
                 "X-Coin-Tunnel": "odbc",
             }
             headers.update(self.headers)
+            # ``chunks`` may be any iterable (a producer generator, not just
+            # a list); materialize so the attribute is reusable afterwards.
+            self.chunks = list(self.chunks)
             payload = "".join(
                 f"{len(chunk.encode('utf-8')):x}\r\n{chunk}\r\n"
                 for chunk in self.chunks

@@ -39,27 +39,32 @@ paramstyle = "pyformat"
 
 
 def connect(federation: Optional[Federation] = None, server: Optional[MediationServer] = None,
-            context: Optional[str] = None) -> "Connection":
+            context: Optional[str] = None, tenant: Optional[str] = None) -> "Connection":
     """Open a connection to a mediation server.
 
     Either an existing :class:`MediationServer` or a :class:`Federation` (from
     which a server is created) must be given — there being no real network,
     "connecting" means binding an HTTP channel to the server in process.
+    ``tenant`` names the receiver/session identity the server's admission
+    gateway accounts quotas against; every request of this connection
+    carries it.
     """
     if server is None:
         if federation is None:
             raise ClientError("connect() needs a federation or a server")
         server = MediationServer(federation)
-    return Connection(server, context)
+    return Connection(server, context, tenant=tenant)
 
 
 class Connection:
     """A DB-API style connection bound to one receiver context."""
 
-    def __init__(self, server: MediationServer, context: Optional[str] = None):
+    def __init__(self, server: MediationServer, context: Optional[str] = None,
+                 tenant: Optional[str] = None):
         self._server = server
         self._channel: Optional[HttpChannel] = server.channel()
         self.context = context
+        self.tenant = tenant
 
     # -- DB-API surface -----------------------------------------------------------
 
@@ -131,12 +136,25 @@ class Connection:
     def _call(self, operation: str, **parameters: Any) -> Dict[str, Any]:
         self._ensure_open()
         cleaned = {name: value for name, value in parameters.items() if value is not None}
+        if self.tenant is not None:
+            cleaned.setdefault("tenant", self.tenant)
         request = Request(operation=operation, parameters=cleaned)
         http_response = self._channel.post(MediationServer.ENDPOINT, request.to_json())
         response = Response.from_json(http_response.body)
         if not response.ok:
-            raise ClientError(f"{response.error_kind}: {response.error}")
+            error = ClientError(f"{response.error_kind}: {response.error}")
+            # Structured error metadata so callers can build retry loops
+            # without parsing messages: an overload shed is always safe to
+            # retry (nothing executed) after ``retry_after_seconds``.
+            error.error_kind = response.error_kind
+            error.retriable = response.error_kind == "OverloadError"
+            error.retry_after_seconds = response.retry_after_seconds
+            raise error
         return response.payload
+
+    def status(self) -> Dict[str, Any]:
+        """Server statistics, including the ``server_load`` block."""
+        return self._call("status")
 
 
 class Cursor:

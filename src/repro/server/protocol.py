@@ -25,6 +25,8 @@ operation             meaning
 ``fetch_cursor``      pull the next batch of rows from an open cursor
 ``close_cursor``      discard a cursor, cancelling still-outstanding source
                       fetches (idempotent)
+``status``            server statistics: request counters, the ``server_load``
+                      admission/shedding block and per-source health
 ====================  =======================================================
 
 Result relations travel as ``{"columns": [...], "types": [...], "rows": [...]}``;
@@ -45,6 +47,13 @@ finalization all count against it) and ``on_source_error`` (``"fail"`` |
 source stays dead after retries).  Execution reports carry a ``resilience``
 block — attempts, retries, breaker trips/rejections, degraded branches and
 the deadline's remaining budget — so a degraded answer is always labelled.
+
+Every request may carry a ``tenant`` parameter (the receiver/session
+identity; the HTTP tunnel also accepts an ``X-Coin-Tenant`` header) used by
+the server's admission gateway for per-tenant quotas.  A request the gateway
+sheds fails with ``error_kind="OverloadError"`` and, when known, a
+``retry_after_seconds`` hint (HTTP 503 + ``Retry-After`` on the tunnel);
+shed requests are always safe to retry — nothing was executed.
 """
 
 from __future__ import annotations
@@ -73,6 +82,7 @@ OPERATIONS = (
     "open_cursor",
     "fetch_cursor",
     "close_cursor",
+    "status",
 )
 
 PROTOCOL_VERSION = "1.0"
@@ -124,6 +134,8 @@ class Response:
     payload: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
     error_kind: Optional[str] = None
+    #: Back-off hint attached to overload sheds (seconds; None when unknown).
+    retry_after_seconds: Optional[float] = None
     version: str = PROTOCOL_VERSION
 
     @classmethod
@@ -131,8 +143,10 @@ class Response:
         return cls(ok=True, payload=payload)
 
     @classmethod
-    def failure(cls, error: str, error_kind: str = "error") -> "Response":
-        return cls(ok=False, error=error, error_kind=error_kind)
+    def failure(cls, error: str, error_kind: str = "error",
+                retry_after_seconds: Optional[float] = None) -> "Response":
+        return cls(ok=False, error=error, error_kind=error_kind,
+                   retry_after_seconds=retry_after_seconds)
 
     def to_json(self) -> str:
         body: Dict[str, Any] = {"version": self.version, "ok": self.ok}
@@ -141,6 +155,8 @@ class Response:
         else:
             body["error"] = self.error
             body["error_kind"] = self.error_kind
+            if self.retry_after_seconds is not None:
+                body["retry_after_seconds"] = self.retry_after_seconds
         return json.dumps(body)
 
     @classmethod
@@ -156,6 +172,7 @@ class Response:
                        version=payload.get("version", PROTOCOL_VERSION))
         return cls(ok=False, error=payload.get("error", "unknown error"),
                    error_kind=payload.get("error_kind", "error"),
+                   retry_after_seconds=payload.get("retry_after_seconds"),
                    version=payload.get("version", PROTOCOL_VERSION))
 
 

@@ -48,6 +48,8 @@ class QBEForm:
     timeout_seconds: Optional[float] = None
     #: Source-failure policy ("fail" or "partial" graceful degradation).
     on_source_error: str = "fail"
+    #: Tenant identity the admission gateway accounts the query against.
+    tenant: Optional[str] = None
 
     def to_sql(self) -> str:
         """Assemble the SQL query the form describes."""
@@ -65,10 +67,17 @@ class QBEForm:
 
 
 class QBEInterface:
-    """Generates QBE forms and turns submissions into mediated answers."""
+    """Generates QBE forms and turns submissions into mediated answers.
 
-    def __init__(self, federation: Federation):
+    When constructed with an admission ``gateway`` (the one the mediation
+    server uses), submissions pass the same overload discipline as every
+    other entry point: per-tenant quotas, bounded queueing and streaming
+    permits — a flood of form posts sheds cleanly instead of piling up.
+    """
+
+    def __init__(self, federation: Federation, gateway=None):
         self.federation = federation
+        self.gateway = gateway
 
     # -- form generation -------------------------------------------------------------
 
@@ -176,6 +185,7 @@ class QBEInterface:
             consistency=consistency,
             timeout_seconds=timeout_seconds,
             on_source_error=on_source_error,
+            tenant=str(fields.get("tenant", "") or "").strip() or None,
         )
 
     def _condition_sql(self, relation: str, column: str, fragment: str) -> str:
@@ -230,12 +240,39 @@ class QBEInterface:
         with ``Federation.query(..., stream=True)``.
         """
         form = self.parse_submission(fields)
-        cursor = self.federation.query(
-            form.to_sql(), form.context, stream=True,
-            consistency=form.consistency,
-            timeout_seconds=form.timeout_seconds,
-            on_source_error=form.on_source_error,
-        )
+
+        def open_cursor(remaining: Optional[float]) -> FederationCursor:
+            timeout = form.timeout_seconds if remaining is None else remaining
+            return self.federation.query(
+                form.to_sql(), form.context, stream=True,
+                consistency=form.consistency,
+                timeout_seconds=timeout,
+                on_source_error=form.on_source_error,
+            )
+
+        if self.gateway is None:
+            return form, open_cursor(None)
+
+        # Same discipline as the server's cursor path: a streaming permit
+        # held for the cursor's life, a worker slot only while opening.
+        release_stream = self.gateway.acquire_stream(form.tenant)
+        try:
+            cursor = self.gateway.run(
+                open_cursor, tenant=form.tenant,
+                timeout_seconds=form.timeout_seconds,
+            )
+        except BaseException:
+            release_stream()
+            raise
+        original_close = cursor.close
+
+        def close() -> None:
+            try:
+                original_close()
+            finally:
+                release_stream()
+
+        cursor.close = close
         return form, cursor
 
     def render_answer(self, answer: FederationAnswer, show_mediation: bool = True) -> str:

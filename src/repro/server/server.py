@@ -9,14 +9,16 @@ driver and the HTML QBE front end — never touch the federation directly.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import OverloadError, ProtocolError, ReproError
 from repro.federation import Federation, FederationCursor, PreparedQuery
 from repro.mediation.explain import conflict_summary
+from repro.server.gateway import AdmissionGateway, GatewayConfig
 from repro.server.http import HttpChannel, HttpRequest, HttpResponse
 from repro.server.protocol import (
     Request,
@@ -39,6 +41,7 @@ class ServerStatistics:
     requests: int = 0
     queries: int = 0
     errors: int = 0
+    requests_shed: int = 0
     prepared_statements: int = 0
     prepared_executions: int = 0
     cursors_opened: int = 0
@@ -60,6 +63,7 @@ class ServerStatistics:
                 "requests": self.requests,
                 "queries": self.queries,
                 "errors": self.errors,
+                "requests_shed": self.requests_shed,
                 "prepared_statements": self.prepared_statements,
                 "prepared_executions": self.prepared_executions,
                 "cursors_opened": self.cursors_opened,
@@ -86,6 +90,15 @@ class _OpenCursor:
     catalog_generation: int
     knowledge_generation: int
     fetch_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Idempotent release of the gateway streaming permit this cursor holds
+    #: for its whole life — the backpressure bounding concurrently open
+    #: streams (None when the server runs without a gateway).
+    release_stream: Optional[Callable[[], None]] = None
+
+    def discard(self) -> None:
+        self.cursor.close()
+        if self.release_stream is not None:
+            self.release_stream()
 
 
 class MediationServer:
@@ -106,8 +119,31 @@ class MediationServer:
     DEFAULT_CURSOR_BATCH = 256
     MAX_CURSOR_BATCH = 10_000
 
-    def __init__(self, federation: Federation):
+    #: Operations that execute or compile statements: these pass through the
+    #: admission gateway (quotas, bounded queue, deadline-aware shedding).
+    #: Dictionary lookups and cursor fetch/close stay un-gated — they are
+    #: cheap, and gating fetches would deadlock draining consumers.
+    ADMITTED_OPERATIONS = frozenset({
+        "query", "mediate", "explain", "prepare", "execute_prepared",
+        "open_cursor",
+    })
+    #: Admitted operations that execute *now* under the request's own
+    #: ``timeout_seconds``: their admission wait is bounded by that deadline
+    #: and the budget left after queueing is what execution runs under.
+    DEADLINE_OPERATIONS = frozenset({"query", "open_cursor"})
+    #: HTTP request header naming the tenant (protocol ``tenant`` parameter
+    #: wins when both are present).
+    TENANT_HEADER = "X-Coin-Tenant"
+
+    def __init__(self, federation: Federation,
+                 gateway: Optional[Union[AdmissionGateway, GatewayConfig]] = None):
         self.federation = federation
+        if gateway is None:
+            gateway = AdmissionGateway()
+        elif isinstance(gateway, GatewayConfig):
+            gateway = AdmissionGateway(gateway)
+        #: The admission gateway every statement-executing request passes.
+        self.gateway = gateway
         self.statistics = ServerStatistics()
         #: LRU of open prepared statements: executing one refreshes it, so
         #: eviction under pressure removes genuinely idle handles first.
@@ -139,9 +175,29 @@ class MediationServer:
             self.statistics.record(errors=1)
             return HttpResponse(status=400, reason="Bad Request",
                                 body=Response.failure(str(exc), "protocol").to_json())
-        response = self.handle(protocol_request)
+        response = self.handle(protocol_request, tenant=self._header_tenant(request))
+        if not response.ok and response.error_kind == "OverloadError":
+            return self._overload_http_response(response)
         status, reason = (200, "OK") if response.ok else (422, "Unprocessable Entity")
         return HttpResponse(status=status, reason=reason, body=response.to_json())
+
+    @classmethod
+    def _header_tenant(cls, request: HttpRequest) -> Optional[str]:
+        wanted = cls.TENANT_HEADER.lower()
+        for name, value in request.headers.items():
+            if name.lower() == wanted:
+                return value
+        return None
+
+    @staticmethod
+    def _overload_http_response(response: Response) -> HttpResponse:
+        """Shed requests answer 503 + Retry-After: overload is the server's
+        state, not the request's fault, and the client should back off."""
+        retry_after = response.retry_after_seconds
+        header = "1" if retry_after is None else str(max(1, math.ceil(retry_after)))
+        return HttpResponse(status=503, reason="Service Unavailable",
+                            headers={"Retry-After": header},
+                            body=response.to_json())
 
     def handle_http_stream(self, request: HttpRequest) -> HttpResponse:
         """Answer one query request with chunked result batches.
@@ -172,14 +228,41 @@ class MediationServer:
                                 body=Response.failure(str(exc), "protocol").to_json())
 
         self.statistics.record(requests=1)
-        try:
-            cursor = self.federation.query(
+        tenant = parameters.get("tenant") or self._header_tenant(request)
+
+        def open_cursor(remaining: Optional[float]) -> FederationCursor:
+            execution_options = dict(options)
+            if remaining is not None:
+                execution_options["timeout_seconds"] = remaining
+            return self.federation.query(
                 sql, parameters.get("context"),
                 mediate=bool(parameters.get("mediate", True)), stream=True,
                 consistency=parameters.get("consistency", "raw"),
-                **options,
+                **execution_options,
             )
+
+        # A worker slot covers only *opening* the stream (mediation,
+        # planning, first-batch dispatch); producing the chunks happens on
+        # this — the consumer's — thread under a bounded streaming permit,
+        # so a slow consumer never pins a worker.
+        release_stream: Callable[[], None] = lambda: None
+        try:
+            if self.gateway is not None:
+                release_stream = self.gateway.acquire_stream(tenant)
+                cursor = self.gateway.run(
+                    open_cursor, tenant=tenant,
+                    timeout_seconds=options.get("timeout_seconds"),
+                )
+            else:
+                cursor = open_cursor(None)
+        except OverloadError as exc:
+            release_stream()
+            self.statistics.record(errors=1, requests_shed=1)
+            return self._overload_http_response(
+                Response.failure(str(exc), "OverloadError",
+                                 retry_after_seconds=exc.retry_after_seconds))
         except ReproError as exc:
+            release_stream()
             self.statistics.record(errors=1)
             return HttpResponse(status=422, reason="Unprocessable Entity",
                                 body=Response.failure(str(exc), type(exc).__name__).to_json())
@@ -213,6 +296,7 @@ class MediationServer:
                                 body=Response.failure(str(exc), type(exc).__name__).to_json())
         finally:
             cursor.close()
+            release_stream()
         return HttpResponse(status=200, reason="OK", chunks=chunks)
 
     @staticmethod
@@ -251,21 +335,71 @@ class MediationServer:
 
     # -- protocol-level dispatch ---------------------------------------------------------
 
-    def handle(self, request: Request) -> Response:
-        """Handle one protocol request object (transport already stripped)."""
+    def handle(self, request: Request, tenant: Optional[str] = None) -> Response:
+        """Handle one protocol request object (transport already stripped).
+
+        Statement-executing operations pass the admission gateway first: a
+        shed request fails with ``error_kind="OverloadError"`` (and a
+        ``retry_after_seconds`` hint) without touching the federation.
+        """
         self.statistics.record(requests=1)
+        tenant = request.parameters.get("tenant") or tenant
         try:
-            handler = getattr(self, f"_handle_{request.operation}")
-            response = handler(request.parameters)
+            if self.gateway is not None and request.operation in self.ADMITTED_OPERATIONS:
+                response = self.gateway.run(
+                    lambda remaining: self._dispatch(request, remaining),
+                    tenant=tenant,
+                    timeout_seconds=self._admission_timeout(request),
+                )
+            else:
+                response = self._dispatch(request, None)
             if not response.ok:
                 self.statistics.record(errors=1)
             return response
+        except OverloadError as exc:
+            self.statistics.record(errors=1, requests_shed=1)
+            return Response.failure(str(exc), "OverloadError",
+                                    retry_after_seconds=exc.retry_after_seconds)
         except ReproError as exc:
             self.statistics.record(errors=1)
             return Response.failure(str(exc), type(exc).__name__)
         except Exception as exc:  # pragma: no cover - defensive catch-all
             self.statistics.record(errors=1)
             return Response.failure(f"internal error: {exc}", "internal")
+
+    def _dispatch(self, request: Request, remaining: Optional[float]) -> Response:
+        """Run the operation's handler, under the post-queue time budget.
+
+        ``remaining`` is the request's ``timeout_seconds`` minus its
+        admission queue wait: execution must not count time spent queueing
+        against sources that never saw the request.
+        """
+        parameters = request.parameters
+        if remaining is not None and request.operation in self.DEADLINE_OPERATIONS:
+            parameters = dict(parameters)
+            parameters["timeout_seconds"] = remaining
+        handler = getattr(self, f"_handle_{request.operation}")
+        return handler(parameters)
+
+    def _admission_timeout(self, request: Request) -> Optional[float]:
+        """The deadline bounding this request's admission wait, if any.
+
+        Only execute-now operations use their ``timeout_seconds`` at
+        admission; ``prepare`` carries one as a *statement property* for
+        later executions, not a bound on compiling it.  Malformed values are
+        ignored here so the handler can reject them with the proper
+        protocol error instead of an overload shed.
+        """
+        if request.operation not in self.DEADLINE_OPERATIONS:
+            return None
+        timeout = request.parameters.get("timeout_seconds")
+        if timeout is None:
+            return None
+        try:
+            value = float(timeout)
+        except (TypeError, ValueError):
+            return None
+        return value if value > 0 else None
 
     # -- operations ------------------------------------------------------------------------
 
@@ -384,35 +518,48 @@ class MediationServer:
                 "'open_cursor' requires exactly one of 'sql' or 'statement_id'",
                 "protocol",
             )
-        if statement_id:
-            with self._prepared_lock:
-                prepared = self._prepared.get(statement_id)
-                if prepared is not None:
-                    self._prepared.move_to_end(statement_id)
-            if prepared is None:
-                return Response.failure(
-                    f"unknown or closed prepared statement {statement_id!r}", "protocol"
+        # The streaming permit is claimed before any work: an over-streamed
+        # server sheds the open instead of building a cursor it cannot host.
+        release_stream: Optional[Callable[[], None]] = None
+        if self.gateway is not None:
+            release_stream = self.gateway.acquire_stream(parameters.get("tenant"))
+        try:
+            if statement_id:
+                with self._prepared_lock:
+                    prepared = self._prepared.get(statement_id)
+                    if prepared is not None:
+                        self._prepared.move_to_end(statement_id)
+                if prepared is None:
+                    release_stream and release_stream()
+                    return Response.failure(
+                        f"unknown or closed prepared statement {statement_id!r}",
+                        "protocol",
+                    )
+                cursor = prepared.execute(stream=True)
+            else:
+                cursor = self.federation.query(
+                    sql, parameters.get("context"),
+                    mediate=bool(parameters.get("mediate", True)), stream=True,
+                    consistency=parameters.get("consistency", "raw"),
+                    **self._execution_options(parameters),
                 )
-            cursor = prepared.execute(stream=True)
-        else:
-            cursor = self.federation.query(
-                sql, parameters.get("context"),
-                mediate=bool(parameters.get("mediate", True)), stream=True,
-                consistency=parameters.get("consistency", "raw"),
-                **self._execution_options(parameters),
-            )
+        except ReproError:
+            release_stream and release_stream()
+            raise
 
         try:
             description = schema_to_payload(cursor.schema)
             labels = [annotation.label() for annotation in cursor.annotations]
         except ReproError:
             cursor.close()
+            release_stream and release_stream()
             raise
         cursor_id = f"cur-{next(self._cursor_ids)}"
         entry = _OpenCursor(
             cursor=cursor,
             catalog_generation=self.federation.pipeline.catalog_generation,
             knowledge_generation=self.federation.pipeline.knowledge_generation,
+            release_stream=release_stream,
         )
         evicted: List[_OpenCursor] = []
         with self._cursor_lock:
@@ -421,7 +568,7 @@ class MediationServer:
                 _key, doomed = self._cursors.popitem(last=False)
                 evicted.append(doomed)
         for doomed in evicted:
-            doomed.cursor.close()
+            doomed.discard()
         self.statistics.record(cursors_opened=1)
         payload = dict(description)
         payload.update(
@@ -494,7 +641,7 @@ class MediationServer:
             entry = self._cursors.pop(cursor_id, None)
         if entry is None:
             return False
-        entry.cursor.close()
+        entry.discard()
         return True
 
     def _handle_mediate(self, parameters: Dict[str, Any]) -> Response:
@@ -517,3 +664,43 @@ class MediationServer:
             return Response.failure("'explain' requires a 'sql' parameter", "protocol")
         context = parameters.get("context")
         return Response.success(plan=self.federation.explain_plan(sql, context))
+
+    # -- status and shutdown --------------------------------------------------------------
+
+    def _handle_status(self, parameters: Dict[str, Any]) -> Response:
+        return Response.success(**self.snapshot())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Server statistics with the ``server_load`` admission block and
+        per-source health folded in — what operators watch under overload."""
+        snapshot: Dict[str, Any] = dict(self.statistics.snapshot())
+        snapshot["server_load"] = (
+            self.gateway.snapshot() if self.gateway is not None else None
+        )
+        snapshot["source_health"] = self.federation.engine.source_health()
+        with self._prepared_lock:
+            snapshot["open_prepared_statements"] = len(self._prepared)
+        with self._cursor_lock:
+            snapshot["open_cursors"] = len(self._cursors)
+        return snapshot
+
+    def shutdown(self, timeout_seconds: Optional[float] = None) -> bool:
+        """Gracefully drain: shed new arrivals, let admitted work finish,
+        then release every registered handle.  Returns True once idle."""
+        if self.gateway is not None:
+            self.gateway.begin_drain()
+        with self._prepared_lock:
+            prepared = list(self._prepared.values())
+            self._prepared.clear()
+        for statement in prepared:
+            statement.close()
+        # Registered cursors are discarded *before* awaiting the drain: they
+        # hold streaming permits the gateway counts as in-flight work.
+        with self._cursor_lock:
+            cursors = list(self._cursors.values())
+            self._cursors.clear()
+        for entry in cursors:
+            entry.discard()
+        if self.gateway is not None:
+            return self.gateway.await_drain(timeout_seconds)
+        return True

@@ -1,0 +1,416 @@
+"""Unit and integration tests for the admission gateway (overload robustness).
+
+Covers the pure :class:`AdmissionGateway` mechanics — token buckets, bounded
+queue, deadline-aware shedding, streaming permits, graceful drain — and the
+server-level wiring: tenant threading (protocol parameter, HTTP header, ODBC
+driver), ``OverloadError`` → 503 + ``Retry-After``, and the ``status``
+operation's ``server_load`` block.
+"""
+
+import threading
+
+import pytest
+
+from repro.demo.scenarios import build_paper_federation
+from repro.engine.resilience import ManualClock
+from repro.errors import OverloadError
+from repro.server.gateway import (
+    SHED_REASONS,
+    AdmissionGateway,
+    GatewayConfig,
+    TokenBucket,
+)
+from repro.server.http import HttpRequest
+from repro.server.protocol import Request
+from repro.server.server import MediationServer
+from repro.server import odbc
+
+PAPER_QUERY = (
+    "SELECT r1.cname, r1.revenue FROM r1, r2 "
+    "WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses"
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_second=2.0, burst=3.0, clock=clock.clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+        assert bucket.seconds_until() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.try_acquire()
+        clock.advance(10.0)  # refill is capped at the burst
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_zero_rate_is_a_hard_allowance(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_second=0.0, burst=2.0, clock=clock.clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(1000.0)
+        assert not bucket.try_acquire()
+        assert bucket.seconds_until() is None  # never refills
+
+    def test_fractional_cost(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate_per_second=1.0, burst=1.0, clock=clock.clock)
+        assert bucket.try_acquire(cost=0.25)
+        assert bucket.tokens == pytest.approx(0.75)
+
+
+class TestGatewayConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionGateway(GatewayConfig(max_workers=0))
+        with pytest.raises(ValueError):
+            AdmissionGateway(GatewayConfig(max_queue_depth=-1))
+
+    def test_default_burst_is_twice_the_rate(self):
+        assert GatewayConfig(tenant_rate_per_second=5.0).tenant_bucket_burst() == 10.0
+        assert GatewayConfig(tenant_rate_per_second=0.1).tenant_bucket_burst() == 1.0
+        assert GatewayConfig(tenant_burst=7.0).tenant_bucket_burst() == 7.0
+
+
+class TestWorkerPath:
+    def test_admitted_work_runs_on_caller_thread(self):
+        gateway = AdmissionGateway()
+        seen = []
+        result = gateway.run(lambda remaining: seen.append(
+            (threading.current_thread(), remaining)) or "answer")
+        assert result == "answer"
+        assert seen[0][0] is threading.main_thread()
+        assert seen[0][1] is None  # unbounded request: no deadline budget
+
+    def test_remaining_budget_deducts_queue_wait(self):
+        clock = ManualClock()
+        gateway = AdmissionGateway(clock=clock.clock)
+        remaining = gateway.run(lambda budget: budget, timeout_seconds=5.0)
+        # No contention on a manual clock: the full budget survives.
+        assert remaining == pytest.approx(5.0)
+
+    def test_quota_shed_is_retriable_with_retry_hint(self):
+        clock = ManualClock()
+        gateway = AdmissionGateway(
+            GatewayConfig(tenant_rate_per_second=1.0, tenant_burst=1.0),
+            clock=clock.clock,
+        )
+        assert gateway.run(lambda _: "ok", tenant="t1") == "ok"
+        with pytest.raises(OverloadError) as excinfo:
+            gateway.run(lambda _: "ok", tenant="t1")
+        error = excinfo.value
+        assert error.reason == "quota"
+        assert error.retriable and error.transient
+        assert error.retry_after_seconds == pytest.approx(1.0)
+        # Quotas are per tenant: another tenant is unaffected.
+        assert gateway.run(lambda _: "ok", tenant="t2") == "ok"
+        snapshot = gateway.snapshot()
+        assert snapshot["shed"]["quota"] == 1
+        assert snapshot["tenants"]["t1"]["shed"] == 1
+        assert snapshot["tenants"]["t2"]["admitted"] == 1
+
+    def test_queue_full_shed_with_blocked_worker(self):
+        gateway = AdmissionGateway(GatewayConfig(max_workers=1, max_queue_depth=0))
+        release = threading.Event()
+        holding = threading.Event()
+
+        def hold(_):
+            holding.set()
+            release.wait(timeout=10.0)
+            return "held"
+
+        worker = threading.Thread(target=gateway.run, args=(hold,))
+        worker.start()
+        try:
+            assert holding.wait(timeout=10.0)
+            # Queue depth 0: the next arrival cannot even wait.
+            with pytest.raises(OverloadError) as excinfo:
+                gateway.run(lambda _: "never")
+            assert excinfo.value.reason == "queue_full"
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+        assert gateway.snapshot()["shed"]["queue_full"] == 1
+
+    def test_deadline_shed_when_queue_wait_exceeds_timeout(self):
+        gateway = AdmissionGateway(GatewayConfig(max_workers=1, max_queue_depth=4))
+        release = threading.Event()
+        holding = threading.Event()
+
+        def hold(_):
+            holding.set()
+            release.wait(timeout=10.0)
+
+        worker = threading.Thread(target=gateway.run, args=(hold,))
+        worker.start()
+        try:
+            assert holding.wait(timeout=10.0)
+            with pytest.raises(OverloadError) as excinfo:
+                gateway.run(lambda _: "never", timeout_seconds=0.05)
+            assert excinfo.value.reason == "deadline"
+            assert excinfo.value.retriable
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+        # The shed request never became active work.
+        snapshot = gateway.snapshot()
+        assert snapshot["admitted"] == 1
+        assert snapshot["shed"]["deadline"] == 1
+
+    def test_proactive_deadline_shed_from_service_history(self):
+        clock = ManualClock()
+        gateway = AdmissionGateway(
+            GatewayConfig(max_workers=1, max_queue_depth=8, ewma_alpha=1.0),
+            clock=clock.clock,
+        )
+        # Teach the EWMA that requests take 2 simulated seconds.
+        gateway.run(lambda _: clock.advance(2.0))
+        # Fake a full house: one active worker plus one waiter.
+        with gateway._lock:
+            gateway._active = 1
+            gateway._waiting = 1
+        try:
+            with pytest.raises(OverloadError) as excinfo:
+                gateway.run(lambda _: "never", timeout_seconds=1.0)
+        finally:
+            with gateway._lock:
+                gateway._active = 0
+                gateway._waiting = 0
+        error = excinfo.value
+        assert error.reason == "deadline"
+        # The projection (≥ one 2s service time) is the retry hint.
+        assert error.retry_after_seconds >= 2.0
+
+    def test_work_exception_releases_the_slot(self):
+        gateway = AdmissionGateway(GatewayConfig(max_workers=1))
+        with pytest.raises(RuntimeError):
+            gateway.run(lambda _: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert gateway.run(lambda _: "after") == "after"
+        snapshot = gateway.snapshot()
+        assert snapshot["active"] == 0
+        assert snapshot["completed"] == 2
+
+    def test_contended_tenants_never_exceed_worker_bound(self):
+        workers = 3
+        gateway = AdmissionGateway(GatewayConfig(
+            max_workers=workers, max_queue_depth=64,
+            tenant_rate_per_second=0.0, tenant_burst=10.0,
+        ))
+        lock = threading.Lock()
+        active = [0]
+        peak = [0]
+        outcomes = []
+
+        def work(_):
+            with lock:
+                active[0] += 1
+                peak[0] = max(peak[0], active[0])
+            threading.Event().wait(0.002)
+            with lock:
+                active[0] -= 1
+            return "ok"
+
+        def client(tenant):
+            for _ in range(12):
+                try:
+                    outcomes.append((tenant, gateway.run(work, tenant=tenant)))
+                except OverloadError as error:
+                    outcomes.append((tenant, error.reason))
+
+        threads = [threading.Thread(target=client, args=(f"t{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert peak[0] <= workers
+        snapshot = gateway.snapshot()
+        # Rate 0, burst 10: each tenant gets exactly its hard allowance —
+        # the 11th and 12th request are quota-shed, not queued.
+        for tenant, counters in snapshot["tenants"].items():
+            assert counters["admitted"] == 10
+            assert counters["shed"] == 2
+        assert snapshot["active"] == 0 and snapshot["queued"] == 0
+        # Every outcome is either success or a named shed reason.
+        assert {o for _, o in outcomes} <= {"ok"} | set(SHED_REASONS)
+
+
+class TestStreamingPermits:
+    def test_permit_pool_sheds_at_the_limit(self):
+        gateway = AdmissionGateway(GatewayConfig(max_active_streams=2))
+        first = gateway.acquire_stream("t1")
+        second = gateway.acquire_stream("t1")
+        with pytest.raises(OverloadError) as excinfo:
+            gateway.acquire_stream("t1")
+        assert excinfo.value.reason == "streams"
+        first()
+        third = gateway.acquire_stream("t2")  # a release frees a permit
+        second()
+        third()
+        snapshot = gateway.snapshot()
+        assert snapshot["active_streams"] == 0
+        assert snapshot["peak_active_streams"] == 2
+        assert snapshot["streams_opened"] == 3
+
+    def test_release_is_idempotent(self):
+        gateway = AdmissionGateway(GatewayConfig(max_active_streams=4))
+        release = gateway.acquire_stream()
+        release()
+        release()
+        assert gateway.snapshot()["active_streams"] == 0
+
+
+class TestDrain:
+    def test_drain_sheds_new_arrivals_and_waits_for_active(self):
+        gateway = AdmissionGateway(GatewayConfig(max_workers=2))
+        release = threading.Event()
+        holding = threading.Event()
+
+        def hold(_):
+            holding.set()
+            release.wait(timeout=10.0)
+            return "done"
+
+        worker = threading.Thread(target=gateway.run, args=(hold,))
+        worker.start()
+        assert holding.wait(timeout=10.0)
+
+        gateway.begin_drain()
+        with pytest.raises(OverloadError) as excinfo:
+            gateway.run(lambda _: "never")
+        assert excinfo.value.reason == "draining"
+        with pytest.raises(OverloadError):
+            gateway.acquire_stream()
+        assert not gateway.await_drain(timeout_seconds=0.05)  # still active
+
+        release.set()
+        worker.join(timeout=10.0)
+        assert gateway.await_drain(timeout_seconds=10.0)
+
+        gateway.resume()
+        assert gateway.run(lambda _: "again") == "again"
+
+
+@pytest.fixture()
+def server():
+    return MediationServer(build_paper_federation().federation)
+
+
+class TestServerIntegration:
+    def test_overload_error_kind_over_protocol(self, server):
+        server.gateway.begin_drain()
+        response = server.handle(Request("query", {"sql": PAPER_QUERY}))
+        assert not response.ok
+        assert response.error_kind == "OverloadError"
+        assert server.statistics.snapshot()["requests_shed"] == 1
+
+    def test_http_overload_is_503_with_retry_after(self, server):
+        server.gateway.begin_drain()
+        request = HttpRequest(
+            "POST", MediationServer.ENDPOINT,
+            body=Request("query", {"sql": PAPER_QUERY}).to_json(),
+        )
+        response = server.handle_http(request)
+        assert response.status == 503
+        assert int(response.headers["Retry-After"]) >= 1
+
+    def test_quota_shed_carries_retry_after_seconds(self):
+        federation = build_paper_federation().federation
+        server = MediationServer(federation, GatewayConfig(
+            tenant_rate_per_second=0.001, tenant_burst=1.0,
+        ))
+        ok = server.handle(Request("query", {"sql": PAPER_QUERY,
+                                             "mediate": False,
+                                             "tenant": "greedy"}))
+        assert ok.ok
+        shed = server.handle(Request("query", {"sql": PAPER_QUERY,
+                                               "mediate": False,
+                                               "tenant": "greedy"}))
+        assert shed.error_kind == "OverloadError"
+        assert shed.retry_after_seconds is not None
+        assert shed.retry_after_seconds > 0
+
+    def test_tenant_header_attributes_requests(self, server):
+        request = HttpRequest(
+            "POST", MediationServer.ENDPOINT,
+            headers={"X-Coin-Tenant": "alice"},
+            body=Request("query", {"sql": PAPER_QUERY, "mediate": False}).to_json(),
+        )
+        assert server.handle_http(request).status == 200
+        load = server.snapshot()["server_load"]
+        assert load["tenants"]["alice"]["admitted"] == 1
+
+    def test_protocol_tenant_wins_over_header(self, server):
+        request = HttpRequest(
+            "POST", MediationServer.ENDPOINT,
+            headers={"X-Coin-Tenant": "header-tenant"},
+            body=Request("query", {"sql": PAPER_QUERY, "mediate": False,
+                                   "tenant": "param-tenant"}).to_json(),
+        )
+        assert server.handle_http(request).status == 200
+        tenants = server.snapshot()["server_load"]["tenants"]
+        assert "param-tenant" in tenants
+        assert "header-tenant" not in tenants
+
+    def test_status_operation_reports_server_load(self, server):
+        server.handle(Request("query", {"sql": PAPER_QUERY, "mediate": False}))
+        response = server.handle(Request("status"))
+        assert response.ok
+        load = response.payload["server_load"]
+        assert load["admitted"] == 1
+        assert load["shed"]["total"] == 0
+        assert "source_health" in response.payload
+
+    def test_dictionary_operations_bypass_admission(self, server):
+        server.gateway.begin_drain()
+        response = server.handle(Request("list_sources"))
+        assert response.ok  # cheap lookups are never shed
+
+    def test_shutdown_drains_and_rejects_afterwards(self, server):
+        cursor_response = server.handle(Request("open_cursor", {
+            "sql": PAPER_QUERY, "mediate": False,
+        }))
+        assert cursor_response.ok
+        assert server.shutdown(timeout_seconds=10.0)
+        load = server.snapshot()["server_load"]
+        assert load["draining"]
+        assert load["active"] == 0 and load["active_streams"] == 0
+        assert server.snapshot()["open_cursors"] == 0
+        response = server.handle(Request("query", {"sql": PAPER_QUERY}))
+        assert response.error_kind == "OverloadError"
+
+
+class TestOdbcTenantThreading:
+    def test_connection_tenant_reaches_the_gateway(self, server):
+        connection = odbc.connect(server=server, tenant="driver-tenant")
+        cursor = connection.cursor()
+        cursor.execute(PAPER_QUERY, mediate=False)
+        cursor.fetchall()
+        load = connection.status()["server_load"]
+        assert load["tenants"]["driver-tenant"]["admitted"] >= 1
+
+    def test_shed_surfaces_as_retriable_client_error(self):
+        federation = build_paper_federation().federation
+        server = MediationServer(federation, GatewayConfig(
+            tenant_rate_per_second=0.001, tenant_burst=1.0,
+        ))
+        connection = odbc.connect(server=server, tenant="burst")
+        cursor = connection.cursor()
+        cursor.execute(PAPER_QUERY, mediate=False)
+        with pytest.raises(odbc.ClientError) as excinfo:
+            cursor.execute(PAPER_QUERY, mediate=False)
+        error = excinfo.value
+        assert error.error_kind == "OverloadError"
+        assert error.retriable
+        assert error.retry_after_seconds is not None
+
+    def test_streaming_cursor_holds_and_releases_a_permit(self, server):
+        connection = odbc.connect(server=server, tenant="streamer")
+        cursor = connection.cursor()
+        cursor.execute(PAPER_QUERY, mediate=False, stream=True)
+        load = server.snapshot()["server_load"]
+        assert load["active_streams"] == 1
+        cursor.fetchall()
+        cursor.close()
+        load = server.snapshot()["server_load"]
+        assert load["active_streams"] == 0
