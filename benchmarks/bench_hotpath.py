@@ -1,6 +1,6 @@
 """Hot-path microbenchmarks: compiled pipeline vs. per-row interpretation.
 
-Nine scenarios trace the executor's hot paths (see PERFORMANCE.md):
+Ten scenarios trace the executor's hot paths (see PERFORMANCE.md):
 
 * **scan-filter-project** — a WHERE + select-list pass over one relation;
 * **equi-join** — a two-relation equi-join (the baseline is the interpreted
@@ -28,7 +28,14 @@ Nine scenarios trace the executor's hot paths (see PERFORMANCE.md):
   on the sources: the admission gateway sheds the excess fast with
   retriable errors (never queueing a request past its deadline), accepted
   answers stay digest-identical to serial execution, p50/p99 stay bounded,
-  and the server drains to zero afterwards.
+  and the server drains to zero afterwards;
+* **adaptive CBO** — a three-relation federated join over bandwidth-bearing
+  sources: the syntax-order, fetch-everything baseline vs. the adaptive
+  optimizer, which records runtime cardinalities on the cold run, retires
+  the cached plan (feedback epoch), re-plans the repeat from observations
+  and ships batched IN-list bind joins instead of whole relations — same
+  answers, a ≥5x rows-transferred reduction, and a warm third run that
+  re-plans nothing.
 
 The *baseline* numbers re-enact the seed implementation faithfully: the same
 loops the seed operators ran, driven by the (still present) interpreted
@@ -103,6 +110,17 @@ SMOKE_CQA_ROWS = 2_000
 CQA_DIRTY_EVERY = 20
 CQA_SMALL_ROWS = 48
 CQA_SMALL_CLUSTERS = 6
+#: Adaptive-CBO scenario: one selective nation drives a customers ⋈ orders
+#: chain; per-row source latency models transfer bandwidth, so shipping whole
+#: relations is what the wall clock punishes.  Sizes keep the cold run's
+#: join-estimate error above the feedback registry's 256-row re-plan floor.
+FULL_CBO_NATIONS = 50
+SMOKE_CBO_NATIONS = 25
+FULL_CBO_CUSTOMERS = 2500
+SMOKE_CBO_CUSTOMERS = 400
+CBO_ORDERS_PER_CUSTOMER = 5
+FULL_CBO_ROW_LATENCY = 0.00005
+SMOKE_CBO_ROW_LATENCY = 0.00001
 
 _CATEGORIES = ("retail", "wholesale", "export", "internal")
 
@@ -1195,12 +1213,192 @@ def bench_sustained_load(smoke: bool = False) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Scenario 10: adaptive cost-based optimization (feedback + bind joins)
+# ---------------------------------------------------------------------------
+
+
+class _BandwidthWrapper(RelationalWrapper):
+    """A wrapper whose transfer cost is proportional to the rows shipped.
+
+    The federation scenario charges per round trip; this one models the
+    bandwidth bill instead, because the adaptive optimizer's whole point is
+    shipping key sets instead of relations.
+    """
+
+    def __init__(self, source, per_row_seconds: float):
+        super().__init__(source)
+        self.per_row_seconds = per_row_seconds
+        self.rows_shipped = 0
+        self.round_trips = 0
+        self._lock = threading.Lock()
+
+    def _pay(self, relation):
+        rows = len(relation)
+        with self._lock:
+            self.rows_shipped += rows
+            self.round_trips += 1
+        time.sleep(rows * self.per_row_seconds)
+        return relation
+
+    def fetch(self, relation):
+        return self._pay(super().fetch(relation))
+
+    def query(self, statement):
+        return self._pay(super().query(statement))
+
+
+_CBO_QUERY = (
+    "SELECT orders.ok, orders.total FROM orders, customers, nations "
+    "WHERE orders.ck = customers.ck AND customers.nk = nations.nk "
+    "AND nations.name = 'nation7'"
+)
+
+
+def _cbo_federation(nation_count: int, customer_count: int,
+                    per_row_seconds: float, join_order: str, bind_joins: bool):
+    """A three-source federation: nations → customers → orders, 1:N:5N."""
+    from repro.coin.context import Context, ContextRegistry
+    from repro.coin.domain import build_financial_domain_model
+    from repro.coin.system import CoinSystem
+    from repro.engine.planner import PlannerConfig
+    from repro.federation import Federation
+
+    contexts = ContextRegistry()
+    contexts.register(Context("c_bench", "receiver without conventions"))
+    system = CoinSystem(build_financial_domain_model(), contexts, name="cbo-bench")
+    federation = Federation(
+        system, default_receiver_context="c_bench", name="cbo-bench",
+        planner_config=PlannerConfig(join_order=join_order, bind_joins=bind_joins),
+        request_cache_size=0,  # every run pays its transfer honestly
+    )
+
+    geo = MemorySQLSource("geo")
+    geo.load_sql(
+        "CREATE TABLE nations (nk integer, name string)",
+        "INSERT INTO nations VALUES " + ", ".join(
+            f"({nk}, 'nation{nk}')" for nk in range(nation_count)
+        ),
+    )
+    crm = MemorySQLSource("crm")
+    crm.load_sql(
+        "CREATE TABLE customers (ck integer, nk integer)",
+        "INSERT INTO customers VALUES " + ", ".join(
+            f"({ck}, {ck % nation_count})" for ck in range(customer_count)
+        ),
+    )
+    sales = MemorySQLSource("sales")
+    order_count = customer_count * CBO_ORDERS_PER_CUSTOMER
+    sales.load_sql(
+        "CREATE TABLE orders (ok integer, ck integer, total float)",
+        "INSERT INTO orders VALUES " + ", ".join(
+            f"({ok}, {ok // CBO_ORDERS_PER_CUSTOMER}, "
+            f"{float((ok * 97) % 1000)})"
+            for ok in range(order_count)
+        ),
+    )
+    wrappers = []
+    for source in (geo, crm, sales):
+        wrapper = _BandwidthWrapper(source, per_row_seconds)
+        federation.register_wrapper(wrapper)
+        wrappers.append(wrapper)
+    return federation, wrappers
+
+
+def bench_adaptive_cbo(smoke: bool = False) -> Dict[str, Any]:
+    """Runtime-feedback re-planning and bind joins vs. the static baseline.
+
+    The *baseline* federation plans in FROM-clause order and fetches every
+    relation whole — the seed planner's behaviour.  The *adaptive* federation
+    runs the same statement three times: the cold run plans from catalog
+    defaults (no bind join is profitable yet), records observed request and
+    join cardinalities, and — the join estimates being off by more than the
+    material-error floor — retires the cached plan via the feedback epoch.
+    The second run re-plans from observations and converts the customers and
+    orders fetches into batched IN-list bind joins; the third run must hit
+    the plan cache untouched (accurate estimates bump nothing).  All paths
+    must produce digest-identical answers.
+    """
+    nation_count = SMOKE_CBO_NATIONS if smoke else FULL_CBO_NATIONS
+    customer_count = SMOKE_CBO_CUSTOMERS if smoke else FULL_CBO_CUSTOMERS
+    per_row = SMOKE_CBO_ROW_LATENCY if smoke else FULL_CBO_ROW_LATENCY
+
+    baseline_fed, baseline_wrappers = _cbo_federation(
+        nation_count, customer_count, per_row,
+        join_order="syntax", bind_joins=False,
+    )
+    baseline_answer, baseline_elapsed = _timed(
+        lambda: baseline_fed.query(_CBO_QUERY, mediate=False))
+    baseline_rows = list(baseline_answer.relation.rows)
+    baseline_shipped = sum(w.rows_shipped for w in baseline_wrappers)
+
+    adaptive_fed, adaptive_wrappers = _cbo_federation(
+        nation_count, customer_count, per_row,
+        join_order="auto", bind_joins=True,
+    )
+
+    def shipped() -> int:
+        return sum(w.rows_shipped for w in adaptive_wrappers)
+
+    cold_answer, cold_elapsed = _timed(
+        lambda: adaptive_fed.query(_CBO_QUERY, mediate=False))
+    cold_shipped = shipped()
+    epoch = adaptive_fed.engine.catalog.feedback.epoch
+
+    bind_answer, bind_elapsed = _timed(
+        lambda: adaptive_fed.query(_CBO_QUERY, mediate=False))
+    bind_shipped = shipped() - cold_shipped
+    optimizer = bind_answer.execution.report.optimizer
+
+    warm_answer, warm_elapsed = _timed(
+        lambda: adaptive_fed.query(_CBO_QUERY, mediate=False))
+    statistics = adaptive_fed.pipeline.statistics
+
+    digests = {
+        _digest(list(answer.relation.rows))
+        for answer in (baseline_answer, cold_answer, bind_answer, warm_answer)
+    }
+    return {
+        "nations": nation_count,
+        "customers": customer_count,
+        "orders": customer_count * CBO_ORDERS_PER_CUSTOMER,
+        "per_row_latency_seconds": per_row,
+        "answer_rows": len(baseline_rows),
+        "identical": len(digests) == 1,
+        "answers_sha256": _digest(baseline_rows),
+        "baseline_rows_shipped": baseline_shipped,
+        "cold_rows_shipped": cold_shipped,
+        "bind_rows_shipped": bind_shipped,
+        "transfer_reduction": round(baseline_shipped / max(bind_shipped, 1), 2),
+        "feedback_epoch_after_cold": epoch,
+        "plan_misses": statistics.plan_misses,
+        "feedback_replans": statistics.feedback_replans,
+        "plan_changes": statistics.plan_changes,
+        # The third run must reuse the re-planned product: accurate feedback
+        # estimates bump no epoch, so the plan cache stays warm.
+        "warm_plan_cache_hit": statistics.plan_misses == 2,
+        "cold_join_order": cold_answer.execution.report.optimizer.join_orders,
+        "bind_join_order": optimizer.join_orders,
+        "bind_joins": optimizer.bind_joins,
+        "bind_batches": optimizer.bind_batches,
+        "bind_keys_shipped": optimizer.bind_keys_shipped,
+        "bind_rows_fetched": optimizer.bind_rows_fetched,
+        "bind_rows_avoided": optimizer.bind_rows_avoided,
+        "estimates_from_feedback": optimizer.estimates_from_feedback,
+        "baseline_elapsed_seconds": round(baseline_elapsed, 6),
+        "cold_elapsed_seconds": round(cold_elapsed, 6),
+        "bind_elapsed_seconds": round(bind_elapsed, 6),
+        "warm_elapsed_seconds": round(warm_elapsed, 6),
+        "speedup": round(baseline_elapsed / bind_elapsed, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Harness entry point
 # ---------------------------------------------------------------------------
 
 
 def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
-    """Run all eight scenarios; smoke mode shrinks sizes to finish in seconds."""
+    """Run all ten scenarios; smoke mode shrinks sizes to finish in seconds."""
     scan_rows = SMOKE_SCAN_ROWS if smoke else FULL_SCAN_ROWS
     join_rows = SMOKE_JOIN_ROWS if smoke else FULL_JOIN_ROWS
     repeats = SMOKE_MEDIATION_REPEATS if smoke else FULL_MEDIATION_REPEATS
@@ -1222,6 +1420,7 @@ def run_hotpath_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         "consistency_cqa": bench_consistency_cqa(cqa_rows),
         "resilience": bench_resilience(),
         "sustained_load": bench_sustained_load(smoke),
+        "adaptive_cbo": bench_adaptive_cbo(smoke),
     }
 
 
@@ -1417,4 +1616,40 @@ def verify_run(result: Dict[str, Any]) -> List[str]:
                 f"sustained-load: accepted p99 {soak['p99_latency_seconds']}s "
                 f"above the {2.0 * soak['timeout_seconds']}s bound"
             )
+    cbo = result["adaptive_cbo"]
+    if not cbo["identical"]:
+        failures.append(
+            "adaptive-cbo: baseline/cold/bind/warm answers diverged"
+        )
+    if cbo["bind_joins"] < 1:
+        failures.append(
+            "adaptive-cbo: the re-planned run converted no fetch to a bind join"
+        )
+    if cbo["transfer_reduction"] < 5.0:
+        failures.append(
+            f"adaptive-cbo: bind joins cut rows shipped only "
+            f"{cbo['transfer_reduction']}x, below the 5x gate "
+            f"({cbo['baseline_rows_shipped']} -> {cbo['bind_rows_shipped']})"
+        )
+    if cbo["feedback_epoch_after_cold"] < 1:
+        failures.append(
+            "adaptive-cbo: the cold run's estimate errors bumped no feedback epoch"
+        )
+    if cbo["feedback_replans"] < 1 or cbo["plan_changes"] < 1:
+        failures.append(
+            "adaptive-cbo: the repeat did not re-plan from recorded feedback "
+            f"(replans={cbo['feedback_replans']}, changes={cbo['plan_changes']})"
+        )
+    if not cbo["warm_plan_cache_hit"]:
+        failures.append(
+            f"adaptive-cbo: the third run re-planned ({cbo['plan_misses']} "
+            "plan misses; accurate feedback must leave the cache warm)"
+        )
+    # Wall-clock gate only on full runs: smoke transfers are too small for a
+    # stable ratio.  The row-count reduction gate above holds in both modes.
+    if result["mode"] == "full" and cbo["speedup"] < 2.0:
+        failures.append(
+            f"adaptive-cbo: bind-join speedup {cbo['speedup']}x over the "
+            "syntax-order baseline, below the 2x gate"
+        )
     return failures

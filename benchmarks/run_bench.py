@@ -95,6 +95,17 @@ def _print_summary(result) -> None:
           f"max queue wait {soak['max_queue_wait_seconds']}s of "
           f"{soak['timeout_seconds']}s deadline; drained: {soak['drained']}, "
           f"post-soak budget zero: {soak['post_soak_budget_zero']}")
+    cbo = result["adaptive_cbo"]
+    print(f"[hotpath:{result['mode']}] adaptive cbo {cbo['nations']} nations x "
+          f"{cbo['customers']} customers x {cbo['orders']} orders: baseline "
+          f"shipped {cbo['baseline_rows_shipped']} rows ({cbo['baseline_elapsed_seconds']}s) "
+          f"-> cold {cbo['cold_rows_shipped']} -> bind {cbo['bind_rows_shipped']} "
+          f"({cbo['transfer_reduction']}x fewer rows, {cbo['speedup']}x faster, "
+          f"{cbo['bind_joins']} bind joins / {cbo['bind_batches']} batches / "
+          f"{cbo['bind_keys_shipped']} keys); epoch {cbo['feedback_epoch_after_cold']}, "
+          f"{cbo['feedback_replans']} feedback replans, {cbo['plan_changes']} plan "
+          f"changes, warm cache hit: {cbo['warm_plan_cache_hit']}; identical: "
+          f"{cbo['identical']}")
 
 
 def _append_trajectory(path: str, result) -> None:

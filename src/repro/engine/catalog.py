@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.errors import CatalogError
 from repro.consistency.constraints import Constraint, ConstraintSet, PrimaryKey
+from repro.engine.feedback import CardinalityFeedback
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.storage import DictionaryStore
@@ -63,10 +64,17 @@ class Catalog:
         #: feedback (:meth:`update_estimate`) deliberately does *not* bump it:
         #: estimates only steer costs, never correctness.
         self.generation = 0
+        #: Runtime cardinality/latency observations feeding the cost model.
+        #: Generation-aware: any dictionary change clears the observations
+        #: (its monotonic *epoch* survives and keys cached plans).
+        self.feedback = CardinalityFeedback()
 
     def bump_generation(self) -> int:
         """Advance the dictionary version and return the new value."""
         self.generation += 1
+        # Observations were measured against the old dictionary contents;
+        # they must not survive a registration or invalidation.
+        self.feedback.clear()
         return self.generation
 
     # -- registration -----------------------------------------------------------

@@ -14,16 +14,18 @@ Costs are abstract units.  Three components are modelled:
   results, residual filters and final projection, charged per tuple examined
   or produced.
 
-Cardinalities are estimated with textbook default selectivities; the point is
-not accuracy but giving the planner a consistent yardstick for choosing join
-orders and deciding what to push down — and giving the planner benchmark (E7)
-something to report.
+Cardinalities start from textbook default selectivities, but when the catalog
+carries runtime feedback (:mod:`repro.engine.feedback`) the model consults the
+observed row counts first — per ``(relation, predicate fingerprint)`` for
+source requests, per join-set fingerprint for intermediates, and per wrapper
+for latency-derived transfer costs — falling back to the defaults only when
+nothing has been observed yet.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sources.base import SourceCapabilities
 
@@ -35,6 +37,9 @@ EQUI_JOIN_SELECTIVITY = 1.0 / 10.0
 LOCAL_TUPLE_COST = 0.01
 #: Cost charged per tuple written to / read from temporary storage.
 TEMP_TUPLE_COST = 0.005
+#: Conversion between observed wall-clock seconds and abstract cost units,
+#: used when a wrapper's latency profile overrides its static cost knobs.
+COST_UNITS_PER_SECOND = 100.0
 
 
 @dataclass
@@ -71,11 +76,15 @@ class CostModel:
     def __init__(self, selection_selectivity: float = SELECTION_SELECTIVITY,
                  join_selectivity: float = EQUI_JOIN_SELECTIVITY,
                  local_tuple_cost: float = LOCAL_TUPLE_COST,
-                 temp_tuple_cost: float = TEMP_TUPLE_COST):
+                 temp_tuple_cost: float = TEMP_TUPLE_COST,
+                 feedback=None):
         self.selection_selectivity = selection_selectivity
         self.join_selectivity = join_selectivity
         self.local_tuple_cost = local_tuple_cost
         self.temp_tuple_cost = temp_tuple_cost
+        #: Optional :class:`~repro.engine.feedback.CardinalityFeedback`;
+        #: wired to the catalog's registry by the engine/planner.
+        self.feedback = feedback
 
     # -- cardinalities -----------------------------------------------------------
 
@@ -86,20 +95,66 @@ class CostModel:
             estimate *= self.selection_selectivity
         return max(int(round(estimate)), 1) if base_rows > 0 else 0
 
-    def join_cardinality(self, left_rows: int, right_rows: int, has_equi_join: bool) -> int:
-        """Estimated size of a (possibly cartesian) join of two intermediates."""
-        product = max(left_rows, 0) * max(right_rows, 0)
-        if has_equi_join:
-            product = product * self.join_selectivity
+    def join_cardinality(self, left_rows: int, right_rows: int,
+                         has_equi_join: Union[bool, int] = False,
+                         equi_keys: Optional[int] = None) -> int:
+        """Estimated size of a (possibly cartesian) join of two intermediates.
+
+        ``equi_keys`` is the number of equi-join key pairs; the join
+        selectivity is applied once *per key*, so a composite two-column key
+        no longer over-estimates by treating the pair as a single predicate.
+        ``has_equi_join`` is the legacy boolean form (one key when true).
+        """
+        keys = equi_keys if equi_keys is not None else int(bool(has_equi_join))
+        product = float(max(left_rows, 0) * max(right_rows, 0))
+        for _ in range(max(keys, 0)):
+            product *= self.join_selectivity
         return max(int(round(product)), 1) if left_rows and right_rows else 0
+
+    def request_cardinality(self, relation: str, base_rows: int, conjunct_count: int,
+                            fingerprint: str = "") -> Tuple[int, str]:
+        """Estimated result rows of one source request, with provenance.
+
+        Returns ``(rows, source)`` where ``source`` is ``"feedback"`` when a
+        runtime observation for the same (relation, predicate fingerprint)
+        exists, ``"default"`` otherwise.
+        """
+        if self.feedback is not None:
+            observed = self.feedback.request_rows(relation, fingerprint)
+            if observed is not None:
+                return max(int(observed), 0), "feedback"
+        return self.selection_cardinality(base_rows, conjunct_count), "default"
+
+    def join_rows_estimate(self, feedback_key: str, left_rows: int, right_rows: int,
+                           equi_key_count: int, has_conditions: bool) -> Tuple[int, str]:
+        """Estimated join-output rows, consulting feedback first."""
+        if self.feedback is not None and feedback_key:
+            observed = self.feedback.join_rows(feedback_key)
+            if observed is not None:
+                return max(int(observed), 0), "feedback"
+        predicates = max(equi_key_count, 1 if has_conditions else 0)
+        return self.join_cardinality(left_rows, right_rows, equi_keys=predicates), "default"
 
     # -- per-phase costs ------------------------------------------------------------
 
     def source_query_cost(self, capabilities: SourceCapabilities, base_rows: int,
-                          result_rows: int) -> CostEstimate:
-        """Cost of one pushed-down sub-query against one source."""
-        execution = capabilities.query_overhead + capabilities.scan_cost_per_row * max(base_rows, 0)
-        communication = capabilities.transfer_cost_per_row * max(result_rows, 0)
+                          result_rows: int, wrapper_name: Optional[str] = None) -> CostEstimate:
+        """Cost of one pushed-down sub-query against one source.
+
+        When a latency profile has been observed for ``wrapper_name`` (at
+        least three round trips), the measured per-request and per-row
+        seconds override the static cost knobs wherever they are *worse* —
+        a source that proved slow is priced as slow.
+        """
+        overhead = capabilities.query_overhead
+        transfer = capabilities.transfer_cost_per_row
+        if self.feedback is not None and wrapper_name:
+            profile = self.feedback.source_profile(wrapper_name)
+            if profile is not None:
+                overhead = max(overhead, profile.request_seconds * COST_UNITS_PER_SECOND)
+                transfer = max(transfer, profile.seconds_per_row * COST_UNITS_PER_SECOND)
+        execution = overhead + capabilities.scan_cost_per_row * max(base_rows, 0)
+        communication = transfer * max(result_rows, 0)
         return CostEstimate(source_execution=execution, communication=communication)
 
     def local_join_cost(self, left_rows: int, right_rows: int, hash_join: bool) -> CostEstimate:

@@ -66,6 +66,15 @@ class EngineStatistics:
     breaker_trips: int = 0
     breaker_rejections: int = 0
     degraded_branches: int = 0
+    #: Adaptive-optimizer counters folded from per-statement reports:
+    #: bound requests executed, IN-list batches shipped, key values shipped,
+    #: rows actually fetched by bound requests, and rows a whole-relation
+    #: fetch would have transferred that the bind join avoided.
+    bind_joins: int = 0
+    bind_batches: int = 0
+    bind_keys_shipped: int = 0
+    bind_rows_fetched: int = 0
+    bind_rows_avoided: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
 
@@ -95,6 +104,12 @@ class EngineStatistics:
             self.breaker_trips += resilience.breaker_trips
             self.breaker_rejections += resilience.breaker_rejections
             self.degraded_branches += len(resilience.degraded_branches)
+            optimizer = report.optimizer
+            self.bind_joins += optimizer.bind_joins
+            self.bind_batches += optimizer.bind_batches
+            self.bind_keys_shipped += optimizer.bind_keys_shipped
+            self.bind_rows_fetched += optimizer.bind_rows_fetched
+            self.bind_rows_avoided += optimizer.bind_rows_avoided
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
@@ -115,6 +130,11 @@ class EngineStatistics:
                 "breaker_trips": self.breaker_trips,
                 "breaker_rejections": self.breaker_rejections,
                 "degraded_branches": self.degraded_branches,
+                "bind_joins": self.bind_joins,
+                "bind_batches": self.bind_batches,
+                "bind_keys_shipped": self.bind_keys_shipped,
+                "bind_rows_fetched": self.bind_rows_fetched,
+                "bind_rows_avoided": self.bind_rows_avoided,
             }
 
 

@@ -165,6 +165,52 @@ class _InstrumentedOperator(PhysicalOperator):
 
 
 @dataclass
+class OptimizerReport:
+    """Adaptive-optimizer outcome of one statement.
+
+    Join orders and estimate provenance come from the plan; the bind-join
+    counters are filled in by the stream as bound requests actually ship
+    their batched ``IN``-list key sets.
+    """
+
+    #: Feedback epoch the executed plan was priced under.
+    feedback_epoch: int = 0
+    #: Per branch, the binding join order (initial first).
+    join_orders: List[List[str]] = field(default_factory=list)
+    #: How many plan estimates came from runtime feedback vs defaults
+    #: (source requests and join steps combined).
+    estimates_from_feedback: int = 0
+    estimates_from_defaults: int = 0
+    #: Bind-join accounting: bound requests executed, IN-list batches
+    #: shipped, key values shipped, rows actually fetched by bound requests,
+    #: rows the planner expected an unbound fetch to transfer minus those
+    #: fetched (clamped at zero), estimated bytes that saved, and bound
+    #: requests skipped entirely because the driver produced no keys.
+    bind_joins: int = 0
+    bind_batches: int = 0
+    bind_keys_shipped: int = 0
+    bind_rows_fetched: int = 0
+    bind_rows_avoided: int = 0
+    bind_bytes_saved: int = 0
+    bind_empty_key_skips: int = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "feedback_epoch": self.feedback_epoch,
+            "join_orders": [list(order) for order in self.join_orders],
+            "estimates_from_feedback": self.estimates_from_feedback,
+            "estimates_from_defaults": self.estimates_from_defaults,
+            "bind_joins": self.bind_joins,
+            "bind_batches": self.bind_batches,
+            "bind_keys_shipped": self.bind_keys_shipped,
+            "bind_rows_fetched": self.bind_rows_fetched,
+            "bind_rows_avoided": self.bind_rows_avoided,
+            "bind_bytes_saved": self.bind_bytes_saved,
+            "bind_empty_key_skips": self.bind_empty_key_skips,
+        }
+
+
+@dataclass
 class ExecutionReport:
     """Execution trace of one statement: per-request facts plus totals."""
 
@@ -205,6 +251,9 @@ class ExecutionReport:
     #: degraded branches and deadline headroom (see
     #: :class:`~repro.engine.resilience.ResilienceReport`).
     resilience: ResilienceReport = field(default_factory=ResilienceReport)
+    #: Adaptive-optimizer outcome: join orders, estimate provenance and
+    #: bind-join transfer accounting.
+    optimizer: OptimizerReport = field(default_factory=OptimizerReport)
 
     @property
     def rows_transferred(self) -> int:
@@ -258,6 +307,7 @@ class ExecutionReport:
             },
         }
         snapshot["resilience"] = self.resilience.snapshot()
+        snapshot["optimizer"] = self.optimizer.snapshot()
         if self.consistency is not None:
             snapshot["consistency"] = dict(self.consistency)
         return snapshot

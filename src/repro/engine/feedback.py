@@ -1,0 +1,204 @@
+"""Runtime cardinality and latency feedback for the adaptive optimizer.
+
+The planner prices plans with textbook default selectivities
+(:mod:`repro.engine.cost`).  Those defaults are fine for cold catalogs but
+systematically wrong for selective predicates and multi-join branches —
+wrong enough that the planner ships whole relations over the wire when a
+bound key set would cut the transfer by orders of magnitude.
+
+:class:`CardinalityFeedback` closes the loop.  Every executed statement
+reports back, per distinct source request, the *observed* row count keyed
+by ``(relation, predicate fingerprint)``; per join prefix, the observed
+intermediate cardinality keyed by an order-insensitive fingerprint of the
+joined ``relation|predicate`` set; and per wrapper, an EWMA latency
+profile (seconds per round trip and per transferred row).  The cost model
+consults these observations before falling back to defaults, so the next
+plan for the same shape is priced from reality.
+
+Two invariants keep feedback safe for the warm-path contracts:
+
+* **Correctness is generation-scoped.**  ``Catalog.bump_generation`` (source
+  registration, constraint changes, cache invalidation) clears all recorded
+  observations — estimates must never outlive the data they were measured
+  on.  The *epoch* is monotonic and survives the clear, so plan-cache keys
+  never collide across invalidations.
+* **Re-planning is bounded.**  The epoch — the component of every plan-cache
+  key that retires plans priced on stale estimates — only advances on a
+  *material* estimation error: the observation must differ from the planned
+  estimate by at least ``replan_min_rows`` rows *and* by a factor of
+  ``replan_ratio``.  Tiny demo relations never trip it, so cached plans for
+  small workloads stay warm (``warm_plans == 0`` in the benches), while a
+  federated join that was mispriced by thousands of rows re-plans on the
+  next statement.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["CardinalityFeedback", "SourceProfile"]
+
+#: Smoothing factor for the per-source latency EWMAs.
+EWMA_ALPHA = 0.3
+
+#: Minimum samples before a latency profile is considered trustworthy.
+MIN_LATENCY_SAMPLES = 3
+
+
+@dataclass
+class SourceProfile:
+    """EWMA latency profile for one wrapper."""
+
+    samples: int = 0
+    request_seconds: float = 0.0
+    seconds_per_row: float = 0.0
+
+    def observe(self, fetch_seconds: float, rows: int) -> None:
+        per_row = fetch_seconds / rows if rows > 0 else 0.0
+        if self.samples == 0:
+            self.request_seconds = fetch_seconds
+            self.seconds_per_row = per_row
+        else:
+            self.request_seconds += EWMA_ALPHA * (fetch_seconds - self.request_seconds)
+            self.seconds_per_row += EWMA_ALPHA * (per_row - self.seconds_per_row)
+        self.samples += 1
+
+
+@dataclass
+class _Observation:
+    rows: int
+    samples: int = 1
+
+
+class CardinalityFeedback:
+    """Bounded, thread-safe registry of runtime optimizer observations."""
+
+    def __init__(self, capacity: int = 512, replan_ratio: float = 2.0,
+                 replan_min_rows: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("feedback capacity must be at least 1")
+        self.capacity = capacity
+        self.replan_ratio = max(1.0, float(replan_ratio))
+        self.replan_min_rows = max(0, int(replan_min_rows))
+        self._lock = threading.Lock()
+        self._requests: "OrderedDict[tuple, _Observation]" = OrderedDict()
+        self._joins: "OrderedDict[str, _Observation]" = OrderedDict()
+        self._sources: Dict[str, SourceProfile] = {}
+        self.epoch = 0
+        self.observations = 0
+        self.epoch_bumps = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, relation: str, fingerprint: str, observed_rows: int,
+                       planned_rows: Optional[int] = None) -> None:
+        """Record the observed row count of one distinct source request."""
+        key = (relation.lower(), fingerprint)
+        with self._lock:
+            entry = self._requests.get(key)
+            if entry is None:
+                self._requests[key] = _Observation(rows=int(observed_rows))
+            else:
+                entry.rows = int(observed_rows)
+                entry.samples += 1
+                self._requests.move_to_end(key)
+            while len(self._requests) > self.capacity:
+                self._requests.popitem(last=False)
+            self.observations += 1
+            self._maybe_bump(observed_rows, planned_rows)
+
+    def record_join(self, fingerprint: str, observed_rows: int,
+                    planned_rows: Optional[int] = None) -> None:
+        """Record the observed cardinality of one join prefix."""
+        if not fingerprint:
+            return
+        with self._lock:
+            entry = self._joins.get(fingerprint)
+            if entry is None:
+                self._joins[fingerprint] = _Observation(rows=int(observed_rows))
+            else:
+                entry.rows = int(observed_rows)
+                entry.samples += 1
+                self._joins.move_to_end(fingerprint)
+            while len(self._joins) > self.capacity:
+                self._joins.popitem(last=False)
+            self.observations += 1
+            self._maybe_bump(observed_rows, planned_rows)
+
+    def record_source(self, wrapper_name: str, fetch_seconds: float, rows: int) -> None:
+        """Fold one round trip into the wrapper's latency profile."""
+        if fetch_seconds < 0:
+            return
+        name = wrapper_name.lower()
+        with self._lock:
+            profile = self._sources.get(name)
+            if profile is None:
+                profile = self._sources[name] = SourceProfile()
+            profile.observe(fetch_seconds, rows)
+
+    def _maybe_bump(self, observed: int, planned: Optional[int]) -> None:
+        """Advance the epoch only on a material estimation error.
+
+        Caller must hold the lock.  Both an absolute floor and a ratio must
+        be exceeded: the floor keeps tiny (demo/bench) workloads from ever
+        re-planning, the ratio keeps large-but-accurate estimates stable.
+        """
+        if planned is None:
+            return
+        error = abs(int(observed) - int(planned))
+        if error < self.replan_min_rows:
+            return
+        low, high = sorted((max(int(observed), 1), max(int(planned), 1)))
+        if high / low < self.replan_ratio:
+            return
+        self.epoch += 1
+        self.epoch_bumps += 1
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def request_rows(self, relation: str, fingerprint: str = "") -> Optional[int]:
+        with self._lock:
+            entry = self._requests.get((relation.lower(), fingerprint))
+            return entry.rows if entry is not None else None
+
+    def join_rows(self, fingerprint: str) -> Optional[int]:
+        with self._lock:
+            entry = self._joins.get(fingerprint)
+            return entry.rows if entry is not None else None
+
+    def source_profile(self, wrapper_name: str) -> Optional[SourceProfile]:
+        with self._lock:
+            profile = self._sources.get(wrapper_name.lower())
+            if profile is None or profile.samples < MIN_LATENCY_SAMPLES:
+                return None
+            return profile
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all observations (catalog generation bumped).
+
+        The epoch is *not* reset: it participates in plan-cache keys and
+        must stay monotonic for the lifetime of the catalog.
+        """
+        with self._lock:
+            self._requests.clear()
+            self._joins.clear()
+            self._sources.clear()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "epoch_bumps": self.epoch_bumps,
+                "observations": self.observations,
+                "request_entries": len(self._requests),
+                "join_entries": len(self._joins),
+                "source_profiles": len(self._sources),
+            }

@@ -28,6 +28,39 @@ from repro.sql.ast import ColumnRef, Node, Select, Statement
 from repro.sql.printer import to_sql
 
 
+@dataclass(frozen=True)
+class BindJoinSpec:
+    """Fetch this request as a bind join: ship the driver's key set.
+
+    Instead of fetching the whole (filtered) relation and joining locally,
+    the executor first stages the *driver* request, collects the distinct
+    values of ``driver_columns`` from it, and fetches this relation with
+    batched ``IN``-list predicates over ``bound_columns``.  The fetched rows
+    are a superset of what the equi join keeps (per-column ``IN`` lists are
+    independent), so the local HashJoin stays in place as the oracle.
+    """
+
+    #: Index (within the branch's request list) of the already-staged request
+    #: whose column values bound this fetch.
+    driver_index: int
+    driver_binding: str
+    #: Key columns on the driver side, positionally paired with
+    #: ``bound_columns`` on this request's side.
+    driver_columns: Tuple[str, ...]
+    bound_columns: Tuple[str, ...]
+    #: Maximum keys per shipped ``IN`` list (first key column is chunked).
+    batch_size: int
+    estimated_keys: int = 0
+    #: What the planner expected an unbound fetch to transfer — the baseline
+    #: for the report's ``bind_rows_avoided`` accounting.
+    estimated_unbound_rows: int = 0
+
+    def describe(self) -> str:
+        keys = ", ".join(self.bound_columns)
+        return (f"bind join on ({keys}) from {self.driver_binding} "
+                f"[~{self.estimated_keys} keys, batch {self.batch_size}]")
+
+
 @dataclass
 class SourceRequest:
     """What the engine asks one wrapper for, on behalf of one table binding."""
@@ -47,6 +80,21 @@ class SourceRequest:
     estimated_base_rows: int = 0
     estimated_result_rows: int = 0
     cost: CostEstimate = field(default_factory=CostEstimate)
+    #: Canonical fingerprint of the pushed predicate ("" when unfiltered) —
+    #: the key under which runtime feedback records observed row counts.
+    predicate_fingerprint: str = ""
+    #: Where ``estimated_result_rows`` came from: "feedback" or "default".
+    estimate_source: str = "default"
+    #: Last observed row count for this (relation, predicate) shape, when
+    #: runtime feedback had one at plan time.
+    observed_rows: Optional[int] = None
+    #: When set, the executor fetches this request as a bind join instead of
+    #: dispatching ``sql`` as-is.
+    bind: Optional[BindJoinSpec] = None
+    #: True only on the synthetic per-batch requests the executor derives
+    #: from a bound request; they carry IN-list key sets and must not feed
+    #: cardinality feedback or catalog estimates.
+    bind_batch: bool = False
 
     @cached_property
     def request_text(self) -> str:
@@ -64,10 +112,15 @@ class SourceRequest:
 
     def describe(self) -> str:
         parts = [f"{self.wrapper_name}: {self.request_text}"]
+        if self.bind is not None:
+            parts.append(f"via {self.bind.describe()}")
         if self.local_filters:
             filters = " AND ".join(to_sql(node) for node in self.local_filters)
             parts.append(f"then filter locally: {filters}")
-        parts.append(f"(~{self.estimated_result_rows} rows)")
+        estimate = f"(~{self.estimated_result_rows} rows, est={self.estimate_source}"
+        if self.observed_rows is not None:
+            estimate += f", observed {self.observed_rows}"
+        parts.append(estimate + ")")
         return " ".join(parts)
 
 
@@ -87,10 +140,17 @@ class JoinStep:
     residual_conditions: Tuple[Node, ...] = ()
     estimated_rows: int = 0
     cost: CostEstimate = field(default_factory=CostEstimate)
+    #: Order-insensitive fingerprint of the joined (relation, predicate) set
+    #: up to and including this step — the runtime-feedback key under which
+    #: the executor records the observed intermediate cardinality.
+    feedback_key: str = ""
+    #: Where ``estimated_rows`` came from: "feedback" or "default".
+    estimate_source: str = "default"
 
     def describe(self, requests: Sequence[SourceRequest]) -> str:
         binding = requests[self.request_index].binding
         method = "hash join" if self.hash_join else "nested-loop join"
+        estimate = f"(~{self.estimated_rows} rows, est={self.estimate_source})"
         if self.hash_join and self.equi_keys:
             keys = " AND ".join(
                 f"{to_sql(left)} = {to_sql(right)}" for left, right in self.equi_keys
@@ -99,11 +159,11 @@ class JoinStep:
             if self.residual_conditions:
                 residual = " AND ".join(to_sql(node) for node in self.residual_conditions)
                 text += f" residual {residual}"
-            return f"{text} (~{self.estimated_rows} rows)"
+            return f"{text} {estimate}"
         if self.conditions:
             condition_text = " AND ".join(to_sql(node) for node in self.conditions)
-            return f"{method} {binding} ON {condition_text} (~{self.estimated_rows} rows)"
-        return f"cartesian product with {binding} (~{self.estimated_rows} rows)"
+            return f"{method} {binding} ON {condition_text} {estimate}"
+        return f"cartesian product with {binding} {estimate}"
 
 
 @dataclass
@@ -160,6 +220,9 @@ class QueryPlan:
     #: request of an earlier branch (common subplans of the mediated UNION)
     #: and share one :class:`SourceRequest` object with it.
     shared_requests: int = 0
+    #: The feedback epoch the plan was priced under (plan-cache keys include
+    #: it, so a materially-wrong estimate retires the cached plan).
+    feedback_epoch: int = 0
 
     @property
     def request_count(self) -> int:
@@ -169,9 +232,26 @@ class QueryPlan:
     def estimated_rows(self) -> int:
         return sum(branch.estimated_rows for branch in self.branches)
 
+    def signature(self) -> Tuple:
+        """Plan shape for change detection: join orders and bind decisions."""
+        branches = []
+        for branch in self.branches:
+            order = tuple(
+                [branch.requests[branch.initial_request].binding.lower()]
+                + [branch.requests[step.request_index].binding.lower()
+                   for step in branch.join_steps]
+            )
+            bound = tuple(sorted(
+                request.binding.lower()
+                for request in branch.requests if request.bind is not None
+            ))
+            branches.append((order, bound))
+        return tuple(branches)
+
     def explain(self) -> str:
         lines = [f"query plan ({len(self.branches)} branch(es), "
-                 f"estimated cost {round(self.cost.total, 2)}):"]
+                 f"estimated cost {round(self.cost.total, 2)}, "
+                 f"feedback epoch {self.feedback_epoch}):"]
         for index, branch in enumerate(self.branches, start=1):
             lines.append(f"[branch {index}]")
             lines.append(branch.explain(indent=1))

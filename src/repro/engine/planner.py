@@ -4,9 +4,23 @@ The planner decomposes each SELECT branch of a (mediated) statement into
 
 * per-binding **source requests** — pushing selections and projections down to
   each source as far as its capabilities allow, and
-* a **local join pipeline** — a greedy, cost-ordered sequence of joins over
-  the staged source results, with the remaining (cross-source) conditions
+* a **local join pipeline** — a cost-ordered sequence of joins over the
+  staged source results, with the remaining (cross-source) conditions
   attached to the steps that can evaluate them.
+
+Join orders are chosen adaptively: cardinalities come from the cost model,
+which consults runtime feedback (observed rows per (relation, predicate)
+shape and per join set — :mod:`repro.engine.feedback`) before textbook
+defaults.  Small branches run a left-deep dynamic program over the equi-join
+graph and keep its order only when it beats the greedy baseline; larger
+branches stay greedy.  ``join_order="syntax"`` (FROM-clause order) and
+``"worst"`` (cost-maximizing) exist as baselines for benchmarks and the
+equivalence test suite.
+
+When the chosen order makes a staged intermediate small, the planner can
+convert a later request into a **bind join** (:class:`BindJoinSpec`): the
+executor ships the driver's observed key set as batched ``IN`` lists instead
+of fetching the whole relation.
 
 Two switches drive the ablation benchmarks: ``push_selections`` and
 ``push_projections`` can be disabled to measure how much capability-aware
@@ -16,13 +30,15 @@ locally.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PlanningError
 from repro.engine.catalog import Catalog, CatalogEntry
 from repro.engine.cost import CostEstimate, CostModel
-from repro.engine.plan import BranchPlan, JoinStep, QueryPlan, SourceRequest
+from repro.engine.plan import BindJoinSpec, BranchPlan, JoinStep, QueryPlan, SourceRequest
+from repro.sql.printer import to_sql
 from repro.sql.ast import (
     BinaryOp,
     ColumnRef,
@@ -56,6 +72,22 @@ class PlannerConfig:
     #: Push safe LIMIT/OFFSET bounds into branch plans (top-k sorts) and, when
     #: a branch is a single fully-pushed request, into the request SQL itself.
     push_fetch_limits: bool = True
+    #: Join-order strategy: "auto" (DP up to ``dp_join_threshold`` relations,
+    #: greedy beyond), "dp", "greedy", "syntax" (FROM-clause order, the
+    #: baseline) or "worst" (cost-maximizing, for equivalence tests).
+    join_order: str = "auto"
+    dp_join_threshold: int = 8
+    #: Allow converting requests into bind joins (batched IN-list key sets).
+    bind_joins: bool = True
+    #: Never bind when the driver's estimated key set exceeds this.
+    bind_join_max_keys: int = 1000
+    #: Keys per shipped IN list (the first key column is chunked).
+    bind_join_batch_size: int = 200
+    #: Never bind a relation estimated below this — tiny fetches aren't
+    #: worth the extra round-trip bookkeeping (and demo workloads stay put).
+    bind_join_min_rows: int = 200
+    #: Required estimated transfer reduction (unbound rows / bound rows).
+    bind_join_min_reduction: float = 5.0
 
 
 class QueryPlanner:
@@ -66,6 +98,8 @@ class QueryPlanner:
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.config = config or PlannerConfig()
+        if self.cost_model.feedback is None:
+            self.cost_model.feedback = getattr(catalog, "feedback", None)
 
     # -- public API -------------------------------------------------------------
 
@@ -113,8 +147,10 @@ class QueryPlanner:
         total = CostEstimate()
         for branch in branches:
             total = total.add(branch.cost)
+        feedback = getattr(self.catalog, "feedback", None)
         return QueryPlan(statement=statement, branches=branches, union_all=union_all,
-                         cost=total, shared_requests=shared[0])
+                         cost=total, shared_requests=shared[0],
+                         feedback_epoch=feedback.epoch if feedback is not None else 0)
 
     # -- branch planning ------------------------------------------------------------
 
@@ -149,10 +185,18 @@ class QueryPlanner:
             request_index[binding] = len(requests)
             requests.append(request)
 
+        syntax_order: List[str] = []
+        for table in select.tables:
+            table_binding = table.binding.lower()
+            if table_binding not in syntax_order:
+                syntax_order.append(table_binding)
+
         initial_index, join_steps, post_join = self._order_joins(
-            requests, request_index, join_conditions, bindings
+            requests, request_index, join_conditions, bindings, syntax_order
         )
         post_join = tuple(list(post_join) + constant_conditions)
+        if join_steps:
+            self._apply_bind_joins(requests, request_index, join_steps, bindings)
 
         fetch_limit = self._branch_fetch_limit(select)
         if (fetch_limit is not None and len(requests) == 1 and not post_join
@@ -412,11 +456,15 @@ class QueryPlanner:
                 sql = self._request_sql(binding, relation, pushable, columns if project else entry.schema.names)
 
         transferred_conjuncts = len(pushable) if sql is not None else 0
-        estimated_result = self.cost_model.selection_cardinality(
-            entry.estimated_rows, transferred_conjuncts
+        fingerprint = ""
+        if sql is not None and pushable:
+            fingerprint = " AND ".join(sorted(to_sql(conjunct) for conjunct in pushable))
+        estimated_result, estimate_source = self.cost_model.request_cardinality(
+            relation, entry.estimated_rows, transferred_conjuncts, fingerprint
         )
         cost = self.cost_model.source_query_cost(
-            capabilities, entry.estimated_rows, estimated_result
+            capabilities, entry.estimated_rows, estimated_result,
+            wrapper_name=entry.wrapper_name,
         )
 
         return SourceRequest(
@@ -430,6 +478,9 @@ class QueryPlanner:
             estimated_base_rows=entry.estimated_rows,
             estimated_result_rows=estimated_result,
             cost=cost,
+            predicate_fingerprint=fingerprint,
+            estimate_source=estimate_source,
+            observed_rows=estimated_result if estimate_source == "feedback" else None,
         )
 
     def _condition_pushable(self, condition: Node, capabilities) -> bool:
@@ -459,21 +510,161 @@ class QueryPlanner:
 
     def _order_joins(self, requests: List[SourceRequest], request_index: Dict[str, int],
                      join_conditions: List[Tuple[Node, Set[str]]],
-                     bindings: Dict[str, str]):
-        remaining = set(range(len(requests)))
+                     bindings: Dict[str, str],
+                     syntax_order: Optional[Sequence[str]] = None):
         pending = [(condition, set(referenced)) for condition, referenced in join_conditions]
+        mode = self.config.join_order
+        if mode == "auto":
+            mode = "dp" if len(requests) <= self.config.dp_join_threshold else "greedy"
+        if len(requests) == 1 or mode == "greedy":
+            order = self._greedy_order(requests, pending)
+        elif mode == "syntax":
+            order = [request_index[binding] for binding in (syntax_order or [])
+                     if binding in request_index]
+            if len(order) != len(requests):
+                order = self._greedy_order(requests, pending)
+        elif mode in ("dp", "worst"):
+            order = self._dp_order(requests, pending, bindings, worst=(mode == "worst"))
+        else:
+            raise PlanningError(f"unknown join_order mode {self.config.join_order!r}")
+        return self._emit_steps(order, requests, pending, bindings)
 
-        # Start from the smallest estimated intermediate.
+    def _greedy_order(self, requests: List[SourceRequest],
+                      pending: List[Tuple[Node, Set[str]]]) -> List[int]:
+        """Smallest-intermediate-first order, preferring connected candidates."""
+        remaining = set(range(len(requests)))
         initial = min(remaining, key=lambda index: (requests[index].estimated_result_rows,
                                                     requests[index].binding))
         remaining.remove(initial)
         joined_bindings = {requests[initial].binding.lower()}
+        live = [(condition, set(referenced)) for condition, referenced in pending]
+        order = [initial]
+        while remaining:
+            candidate = self._pick_next(requests, remaining, joined_bindings, live)
+            remaining.remove(candidate)
+            joined_bindings = joined_bindings | {requests[candidate].binding.lower()}
+            live = [entry for entry in live if not entry[1] <= joined_bindings]
+            order.append(candidate)
+        return order
+
+    def _dp_order(self, requests: List[SourceRequest],
+                  pending: List[Tuple[Node, Set[str]]],
+                  bindings: Dict[str, str], worst: bool = False) -> List[int]:
+        """Left-deep dynamic program over the branch's join graph.
+
+        Enumerates subsets (the branch size is bounded by
+        ``dp_join_threshold``), extending each by connected candidates only —
+        cartesian products are considered only when no candidate connects,
+        mirroring the greedy heuristic.  Cardinalities and join costs come
+        from the (feedback-aware) cost model.  With ``worst=False`` the DP
+        order is kept only when it is *strictly* cheaper than the greedy
+        baseline, so uniform-estimate workloads keep their established plans;
+        with ``worst=True`` the cost-maximizing order is returned (the
+        adversarial baseline of the equivalence tests).
+        """
+        n = len(requests)
+        greedy = self._greedy_order(requests, pending)
+        if n <= 1:
+            return greedy
+        binding_bit = {requests[i].binding.lower(): i for i in range(n)}
+        conds: List[Tuple[int, Optional[Tuple[int, int]]]] = []
+        for condition, referenced in pending:
+            mask = 0
+            for referenced_binding in referenced:
+                bit = binding_bit.get(referenced_binding)
+                if bit is None:
+                    mask = -1
+                    break
+                mask |= 1 << bit
+            if mask < 0:
+                continue
+            equi: Optional[Tuple[int, int]] = None
+            parts = self._equi_join_parts(condition)
+            if parts is not None:
+                left_ref, right_ref = parts
+                try:
+                    left_binding = self._resolve_binding(left_ref, bindings)
+                    right_binding = self._resolve_binding(right_ref, bindings)
+                except PlanningError:
+                    left_binding = right_binding = None
+                if (left_binding in binding_bit and right_binding in binding_bit
+                        and self._hash_safe_key(left_ref, left_binding, bindings)
+                        and self._hash_safe_key(right_ref, right_binding, bindings)):
+                    equi = (binding_bit[left_binding], binding_bit[right_binding])
+            conds.append((mask, equi))
+        items = [self._feedback_item(request) for request in requests]
+
+        def transition(mask: int, rows: int, candidate: int):
+            new_mask = mask | (1 << candidate)
+            applicable = [entry for entry in conds
+                          if entry[0] & (1 << candidate) and entry[0] & ~new_mask == 0]
+            equi_count = sum(
+                1 for _mask, equi in applicable
+                if equi is not None and (
+                    (equi[0] == candidate and (mask >> equi[1]) & 1)
+                    or (equi[1] == candidate and (mask >> equi[0]) & 1))
+            )
+            hash_join = self.config.prefer_hash_joins and equi_count > 0
+            step_cost = self.cost_model.local_join_cost(
+                rows, requests[candidate].estimated_result_rows, hash_join
+            ).total
+            key = self._join_fingerprint(
+                [items[i] for i in range(n) if (new_mask >> i) & 1]
+            )
+            new_rows, _source = self.cost_model.join_rows_estimate(
+                key, rows, requests[candidate].estimated_result_rows,
+                equi_count, bool(applicable),
+            )
+            return new_mask, new_rows, step_cost, bool(applicable)
+
+        # mask -> (accumulated cost, estimated rows, left-deep order)
+        best: Dict[int, Tuple[float, int, Tuple[int, ...]]] = {}
+        for i in range(n):
+            best[1 << i] = (0.0, requests[i].estimated_result_rows, (i,))
+        full = (1 << n) - 1
+        better = (lambda a, b: a > b) if worst else (lambda a, b: a < b)
+        for mask in range(1, full):
+            state = best.get(mask)
+            if state is None:
+                continue
+            cost, rows, order = state
+            moves = [transition(mask, rows, candidate)
+                     for candidate in range(n) if not (mask >> candidate) & 1]
+            connected = [move for move in moves if move[3]]
+            for new_mask, new_rows, step_cost, _connects in (connected or moves):
+                total = cost + step_cost
+                existing = best.get(new_mask)
+                if existing is None or better(total, existing[0]):
+                    candidate = (new_mask ^ mask).bit_length() - 1
+                    best[new_mask] = (total, new_rows, order + (candidate,))
+        final = best.get(full)
+        if final is None:  # pragma: no cover - every relation is reachable
+            return greedy
+        dp_cost, _rows, dp_order = final
+        if worst:
+            return list(dp_order)
+
+        # Keep the greedy baseline unless the DP order is strictly cheaper:
+        # uniform estimates then keep their established (tested) plans.
+        greedy_cost = 0.0
+        mask = 1 << greedy[0]
+        rows = requests[greedy[0]].estimated_result_rows
+        for candidate in greedy[1:]:
+            mask, rows, step_cost, _connects = transition(mask, rows, candidate)
+            greedy_cost += step_cost
+        return list(dp_order) if dp_cost < greedy_cost - 1e-9 else greedy
+
+    def _emit_steps(self, order: Sequence[int], requests: List[SourceRequest],
+                    pending: List[Tuple[Node, Set[str]]], bindings: Dict[str, str]):
+        """Materialize the join steps of a fixed left-deep order."""
+        initial = order[0]
+        pending = [(condition, set(referenced)) for condition, referenced in pending]
+        joined_bindings = {requests[initial].binding.lower()}
         current_rows = requests[initial].estimated_result_rows
+        prefix_items = [self._feedback_item(requests[initial])]
 
         steps: List[JoinStep] = []
-        while remaining:
-            candidate = self._pick_next(requests, remaining, joined_bindings, pending)
-            remaining.remove(candidate)
+        for candidate in order[1:]:
             candidate_binding = requests[candidate].binding.lower()
             new_bindings = joined_bindings | {candidate_binding}
 
@@ -491,8 +682,11 @@ class QueryPlanner:
             hash_join = self.config.prefer_hash_joins and bool(equi_keys)
             if not hash_join:
                 equi_keys, residual = (), conditions
-            estimated = self.cost_model.join_cardinality(
-                current_rows, requests[candidate].estimated_result_rows, bool(conditions)
+            prefix_items.append(self._feedback_item(requests[candidate]))
+            feedback_key = self._join_fingerprint(prefix_items)
+            estimated, estimate_source = self.cost_model.join_rows_estimate(
+                feedback_key, current_rows, requests[candidate].estimated_result_rows,
+                len(equi_keys), bool(conditions),
             )
             cost = self.cost_model.local_join_cost(
                 current_rows, requests[candidate].estimated_result_rows, hash_join
@@ -505,12 +699,109 @@ class QueryPlanner:
                 residual_conditions=residual,
                 estimated_rows=estimated,
                 cost=cost,
+                feedback_key=feedback_key,
+                estimate_source=estimate_source,
             ))
             joined_bindings = new_bindings
             current_rows = estimated
 
         post_join = tuple(condition for condition, _referenced in pending)
         return initial, steps, post_join
+
+    @staticmethod
+    def _feedback_item(request: SourceRequest) -> str:
+        return f"{request.relation.lower()}|{request.predicate_fingerprint}"
+
+    @staticmethod
+    def _join_fingerprint(items: Sequence[str]) -> str:
+        """Order-insensitive digest of a joined (relation, predicate) set.
+
+        The output cardinality of joining a set of filtered relations does
+        not depend on the join order, so the fingerprint sorts the items —
+        feedback recorded under one order prices every order of the same set.
+        """
+        digest = hashlib.sha256("&&".join(sorted(items)).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    # -- bind joins --------------------------------------------------------------------------------
+
+    def _apply_bind_joins(self, requests: List[SourceRequest],
+                          request_index: Dict[str, int],
+                          join_steps: List[JoinStep],
+                          bindings: Dict[str, str]) -> int:
+        """Convert profitable requests into bind joins, in join order.
+
+        A step's staged request qualifies when the source accepts pushed
+        selections, every equi key's intermediate side resolves to one
+        already-staged *driver* binding, the driver's estimated key set is
+        small, and skipping the unbound fetch saves at least
+        ``bind_join_min_reduction`` in estimated transferred rows.  Drivers
+        may themselves be bound (the chain follows join order, so it is
+        acyclic).  The local HashJoin stays in place: the bound fetch is a
+        superset of the rows the join keeps.
+        """
+        config = self.config
+        if not (config.bind_joins and config.push_selections):
+            return 0
+        applied = 0
+        for step in join_steps:
+            request = requests[step.request_index]
+            if (request.bind is not None or request.sql is None
+                    or request.sql.limit is not None
+                    or not step.hash_join or not step.equi_keys):
+                continue
+            entry = self.catalog.entry(request.relation)
+            if not entry.capabilities.selection:
+                continue
+            driver_bindings: Set[str] = set()
+            resolvable = True
+            for intermediate_ref, _staged_ref in step.equi_keys:
+                try:
+                    driver_binding = self._resolve_binding(intermediate_ref, bindings)
+                except PlanningError:
+                    resolvable = False
+                    break
+                if driver_binding is None:
+                    resolvable = False
+                    break
+                driver_bindings.add(driver_binding)
+            if not resolvable or len(driver_bindings) != 1:
+                continue
+            driver_binding = next(iter(driver_bindings))
+            driver_request = requests[request_index[driver_binding]]
+            estimated_keys = driver_request.estimated_result_rows
+            if estimated_keys <= 0 or estimated_keys > config.bind_join_max_keys:
+                continue
+            unbound_rows = request.estimated_result_rows
+            if unbound_rows < config.bind_join_min_rows:
+                continue
+            bound_rows = max(1, min(step.estimated_rows, unbound_rows))
+            if unbound_rows < config.bind_join_min_reduction * bound_rows:
+                continue
+            spec = BindJoinSpec(
+                driver_index=request_index[driver_binding],
+                driver_binding=driver_request.binding,
+                driver_columns=tuple(ref.name for ref, _ in step.equi_keys),
+                bound_columns=tuple(ref.name for _, ref in step.equi_keys),
+                batch_size=max(1, config.bind_join_batch_size),
+                estimated_keys=estimated_keys,
+                estimated_unbound_rows=unbound_rows,
+            )
+            batches = -(-estimated_keys // spec.batch_size)
+            base_cost = self.cost_model.source_query_cost(
+                entry.capabilities, request.estimated_base_rows, bound_rows,
+                wrapper_name=request.wrapper_name,
+            )
+            cost = CostEstimate(
+                source_execution=base_cost.source_execution
+                + entry.capabilities.query_overhead * max(batches - 1, 0),
+                communication=base_cost.communication,
+            )
+            requests[step.request_index] = replace(
+                request, bind=spec, estimated_result_rows=bound_rows, cost=cost,
+            )
+            applied += 1
+        return applied
 
     def _split_equi_conditions(self, conditions: Sequence[Node], joined_bindings: Set[str],
                                candidate_binding: str, bindings: Dict[str, str],

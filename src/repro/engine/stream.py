@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import replace
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import (
@@ -67,7 +68,15 @@ from repro.relational.query import (
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Schema
 from repro.relational.types import sort_key as value_sort_key
-from repro.sql.ast import ColumnRef, Literal, Select, conjoin, is_aggregate_call, walk
+from repro.sql.ast import (
+    ColumnRef,
+    InList,
+    Literal,
+    Select,
+    conjoin,
+    is_aggregate_call,
+    walk,
+)
 
 
 def _relation_bytes(relation: Relation) -> int:
@@ -153,12 +162,41 @@ class ResultStream:
         self._gauge = _InFlightGauge()
         self._close_callbacks: List[Callable[[ExecutionReport], None]] = []
         self._processor = QueryProcessor(controller._reject_unknown_table)
+        #: (JoinStep, OperatorStats) pairs whose observed cardinality feeds
+        #: the adaptive optimizer when the stream drains to exhaustion.
+        self._join_watchers: List[Tuple[object, OperatorStats]] = []
+
+        optimizer = self.report.optimizer
+        optimizer.feedback_epoch = getattr(plan, "feedback_epoch", 0)
+        for branch in plan.branches:
+            if not branch.requests:
+                continue
+            optimizer.join_orders.append(
+                [branch.requests[branch.initial_request].binding]
+                + [branch.requests[step.request_index].binding
+                   for step in branch.join_steps]
+            )
+            for request in branch.requests:
+                if request.estimate_source == "feedback":
+                    optimizer.estimates_from_feedback += 1
+                else:
+                    optimizer.estimates_from_defaults += 1
+            for step in branch.join_steps:
+                if step.estimate_source == "feedback":
+                    optimizer.estimates_from_feedback += 1
+                else:
+                    optimizer.estimates_from_defaults += 1
 
         # -- phase 1: dedup, cache-resolve, dispatch ---------------------------
         self._distinct: Dict[RequestKey, SourceRequest] = {}
         total_units = 0
         for branch_index, branch in enumerate(plan.branches):
             for request_index, request in enumerate(branch.requests):
+                if request.bind is not None:
+                    # A bound request has no final SQL until its driver's key
+                    # set is known; the branch builder derives and schedules
+                    # its per-batch requests when the driver is staged.
+                    continue
                 total_units += 1
                 key = controller._plan_key(request, branch_index, request_index)
                 if key not in self._distinct:
@@ -310,12 +348,14 @@ class ResultStream:
         return outcome
 
     def _consume_outcome(self, key: RequestKey, outcome: _FetchOutcome) -> None:
-        """One-time bookkeeping per distinct fetch: cache put + estimate.
+        """One-time bookkeeping per distinct fetch: cache put + feedback.
 
-        A failed fetch is finalized without banking: neither the cache nor
-        the catalog estimates may ever see a poisoned (failed or partially
-        fetched) result, whether the failure is consumed by a branch or
-        discovered while closing.
+        A failed fetch is finalized without banking: neither the cache, the
+        catalog estimates nor the cardinality feedback may ever see a
+        poisoned (failed or partially fetched) result, whether the failure is
+        consumed by a branch or discovered while closing.  Limited requests
+        (pushed LIMIT) and bind-join batches ship deliberately truncated row
+        sets, so they feed the source latency profile but never cardinality.
         """
         if key in self._finalized_keys:
             return
@@ -325,10 +365,185 @@ class ResultStream:
         request = self._distinct[key]
         if self._cache is not None and not outcome.cache_hit:
             self._cache.put(key, outcome.relation)
+        feedback = getattr(self.controller.catalog, "feedback", None)
+        if feedback is not None and not outcome.cache_hit:
+            feedback.record_source(
+                request.wrapper_name, outcome.fetch_seconds, len(outcome.relation)
+            )
+        if request.bind_batch:
+            return
+        if request.sql is not None and request.sql.limit is not None:
+            return
+        observed = len(outcome.relation)
         # Keep estimates honest for subsequent planning rounds — once per
         # distinct request, so branch fan-out does not skew the estimate.
-        self.controller.catalog.update_estimate(
-            request.relation, max(len(outcome.relation), 1)
+        # Only an *unfiltered* fetch reflects the relation's base
+        # cardinality; filtered counts go to the feedback store instead,
+        # keyed by their predicate fingerprint.
+        if not request.pushed_conjuncts:
+            self.controller.catalog.update_estimate(
+                request.relation, max(observed, 1)
+            )
+        if feedback is not None:
+            planned = (request.estimated_result_rows
+                       if request.estimated_result_rows > 0 else None)
+            feedback.record_request(
+                request.relation, request.predicate_fingerprint,
+                observed, planned_rows=planned,
+            )
+
+    # -- bind joins ----------------------------------------------------------------
+
+    @staticmethod
+    def _bind_depth(branch: BranchPlan, index: int) -> int:
+        """Length of the bind chain above request ``index`` (drivers first)."""
+        depth, current = 0, branch.requests[index].bind
+        while current is not None and depth <= len(branch.requests):
+            depth += 1
+            current = branch.requests[current.driver_index].bind
+        return depth
+
+    def _empty_bound_relation(self, request: SourceRequest) -> Relation:
+        """The empty result of a bound fetch whose driver produced no keys."""
+        base = self.controller.catalog.schema_of(request.relation)
+        if request.projected_columns:
+            attributes = [base.attribute(name) for name in request.projected_columns]
+        else:
+            attributes = list(base.attributes)
+        return Relation(Schema(attributes), name=f"{request.binding}_bound")
+
+    def _stage_bound(self, branch_index: int, index: int, request: SourceRequest,
+                     staged: Dict[int, Relation]) -> Tuple[Relation, str]:
+        """Fetch and stage one bound request: ship the driver's key set.
+
+        The driver's staged rows yield the distinct non-NULL values of each
+        key column; the first column's values are chunked into ``batch_size``
+        ``IN`` lists (the other columns ship their full lists in every batch,
+        so batches stay disjoint and their union is the same superset).  Each
+        batch flows through the scheduler's regular dedup/cache/pool path —
+        a repeated statement with an unchanged key set is answered from the
+        source-result cache without any round trip.
+        """
+        controller = self.controller
+        report = self.report
+        optimizer = report.optimizer
+        spec = request.bind
+        driver = staged.get(spec.driver_index)
+        if driver is None:
+            raise ExecutionError(
+                f"bind join for {request.binding!r} references driver request "
+                f"{spec.driver_index}, which is not staged"
+            )
+        optimizer.bind_joins += 1
+
+        column_values: List[List[object]] = []
+        for driver_column in spec.driver_columns:
+            position = driver.schema.index_of(driver_column, spec.driver_binding)
+            values = {row[position] for row in driver.rows if row[position] is not None}
+            # Sorted for a deterministic (and therefore cacheable) SQL text.
+            column_values.append(sorted(values, key=value_sort_key))
+
+        if not driver.rows or any(not values for values in column_values):
+            # No keys: the equi join upstream cannot match anything, so the
+            # round trip is skipped entirely.
+            optimizer.bind_empty_key_skips += 1
+            optimizer.bind_rows_avoided += spec.estimated_unbound_rows
+            outcome = _FetchOutcome(
+                relation=self._empty_bound_relation(request),
+                request_text=f"{request.request_text} /* bind: empty key set */",
+                frozen=True,
+            )
+            return controller._stage_request(
+                request, report, branch_index, outcome, first_use=True
+            )
+
+        qualifier_table = request.sql.tables[0]
+        qualifier = qualifier_table.alias or qualifier_table.name
+        batch_size = max(1, spec.batch_size)
+        first_values = column_values[0]
+        chunks = [first_values[start:start + batch_size]
+                  for start in range(0, len(first_values), batch_size)]
+
+        batch_keys: List[RequestKey] = []
+        keys_shipped = 0
+        for batch_number, chunk in enumerate(chunks):
+            conjuncts: List[object] = []
+            if request.sql.where is not None:
+                conjuncts.append(request.sql.where)
+            conjuncts.append(InList(
+                expr=ColumnRef(name=spec.bound_columns[0], table=qualifier),
+                items=tuple(Literal(value) for value in chunk),
+            ))
+            keys_shipped += len(chunk)
+            for bound_column, values in zip(spec.bound_columns[1:], column_values[1:]):
+                conjuncts.append(InList(
+                    expr=ColumnRef(name=bound_column, table=qualifier),
+                    items=tuple(Literal(value) for value in values),
+                ))
+                keys_shipped += len(values)
+            batch_sql = replace(request.sql, where=conjoin(conjuncts))
+            batch_request = replace(request, sql=batch_sql, bind=None, bind_batch=True)
+            key = controller._plan_key(
+                batch_request, branch_index, f"{index}.{batch_number}"
+            )
+            if key in self._distinct:
+                report.dedup_hits += 1
+            else:
+                self._distinct[key] = batch_request
+                report.distinct_requests += 1
+                cached = self._cache.get(key) if self._cache is not None else None
+                if cached is not None:
+                    self._outcomes[key] = _FetchOutcome(
+                        relation=cached, request_text=batch_request.request_text,
+                        cache_hit=True, frozen=True,
+                    )
+                    report.cache_hits += 1
+                elif self._pool is not None:
+                    self._futures[key] = self._pool.submit(
+                        self._fetch, key, time.perf_counter()
+                    )
+            batch_keys.append(key)
+
+        combined_rows: List[Row] = []
+        schema: Optional[Schema] = None
+        fetch_seconds = 0.0
+        wait_seconds = 0.0
+        all_cache_hits = True
+        any_first = False
+        for key in batch_keys:
+            outcome = self._outcome(key)
+            if key not in self._consumed_keys:
+                any_first = True
+                fetch_seconds += outcome.fetch_seconds
+                wait_seconds += outcome.wait_seconds
+            self._consumed_keys.add(key)
+            all_cache_hits = all_cache_hits and outcome.cache_hit
+            if schema is None:
+                schema = outcome.relation.schema
+            combined_rows.extend(outcome.relation.rows)
+
+        optimizer.bind_batches += len(batch_keys)
+        optimizer.bind_keys_shipped += keys_shipped
+        optimizer.bind_rows_fetched += len(combined_rows)
+        avoided = max(0, spec.estimated_unbound_rows - len(combined_rows))
+        optimizer.bind_rows_avoided += avoided
+        if combined_rows and avoided:
+            optimizer.bind_bytes_saved += estimate_row_bytes(combined_rows[0]) * avoided
+
+        combined = Relation(schema, name=f"{request.binding}_bound")
+        combined.rows = combined_rows
+        total_keys = sum(len(values) for values in column_values)
+        outcome = _FetchOutcome(
+            relation=combined,
+            request_text=(f"{request.request_text} /* bind {len(batch_keys)} "
+                          f"batch(es), {total_keys} key(s) */"),
+            cache_hit=all_cache_hits,
+            frozen=True,
+            fetch_seconds=fetch_seconds,
+            wait_seconds=wait_seconds,
+        )
+        return controller._stage_request(
+            request, report, branch_index, outcome, first_use=any_first
         )
 
     # -- branch pipelines ----------------------------------------------------------
@@ -346,10 +561,28 @@ class ResultStream:
         report = self.report
 
         staged: Dict[int, Relation] = {}
-        for index, request in enumerate(branch.requests):
-            key = controller._plan_key(request, branch_index, index)
+        # Bound requests derive their batched IN-list SQL from their driver's
+        # staged rows, so they stage after every unbound request, ordered by
+        # bind-chain depth (a driver may itself be bound).
+        unbound = [(index, request) for index, request in enumerate(branch.requests)
+                   if request.bind is None]
+        bound = [(index, request) for index, request in enumerate(branch.requests)
+                 if request.bind is not None]
+        bound.sort(key=lambda pair: self._bind_depth(branch, pair[0]))
+        for index, request in unbound + bound:
             try:
-                outcome = self._outcome(key)
+                if request.bind is None:
+                    key = controller._plan_key(request, branch_index, index)
+                    outcome = self._outcome(key)
+                    relation, handle = controller._stage_request(
+                        request, report, branch_index, outcome,
+                        first_use=key not in self._consumed_keys,
+                    )
+                    self._consumed_keys.add(key)
+                else:
+                    relation, handle = self._stage_bound(
+                        branch_index, index, request, staged
+                    )
             except _SourceFailure as failure:
                 failed_request = self._distinct[failure.key]
                 if self._partial:
@@ -363,11 +596,6 @@ class ResultStream:
                 raise request_failed_error(
                     failed_request, failure.outcome.error
                 ) from failure.outcome.error
-            relation, handle = controller._stage_request(
-                request, report, branch_index, outcome,
-                first_use=key not in self._consumed_keys,
-            )
-            self._consumed_keys.add(key)
             self._staged_handles.append(handle)
             report.staged_bytes += _relation_bytes(relation)
             staged[index] = relation
@@ -382,10 +610,17 @@ class ResultStream:
             return _InstrumentedOperator(operator, stats)
 
         pipeline: PhysicalOperator = instrument(TableScan(staged[branch.initial_request]))
+        unlimited = branch.select.limit is None and branch.fetch_limit is None
         for step in branch.join_steps:
-            pipeline = instrument(
+            operator = instrument(
                 controller._join(pipeline, staged[step.request_index], step, self.budget)
             )
+            # An unlimited branch drains its joins completely, so the
+            # instrumented row count is the true intermediate cardinality —
+            # recorded into the feedback store when the stream exhausts.
+            if step.feedback_key and unlimited:
+                self._join_watchers.append((step, operator.stats))
+            pipeline = operator
         if branch.post_join_conditions:
             pipeline = instrument(
                 Filter(pipeline, conjoin(list(branch.post_join_conditions)))
@@ -658,6 +893,19 @@ class ResultStream:
                     branch_close()
                 except ValueError:
                     pass
+
+        # A fully drained stream pulled every join to completion, so the
+        # instrumented row counts are true intermediate cardinalities; an
+        # abandoned stream's partial counts must never reach the optimizer.
+        if self._exhausted and self._join_watchers:
+            feedback = getattr(self.controller.catalog, "feedback", None)
+            if feedback is not None:
+                for step, stats in self._join_watchers:
+                    planned = (step.estimated_rows
+                               if step.estimated_rows > 0 else None)
+                    feedback.record_join(
+                        step.feedback_key, stats.rows_out, planned_rows=planned
+                    )
 
         self.report.resilience.deadline_remaining_seconds = self._deadline.remaining()
         self.report.max_in_flight = self._gauge.peak

@@ -109,6 +109,12 @@ class PipelineStatistics:
     plan_misses: int = 0
     mediation_hits: int = 0
     mediation_misses: int = 0
+    #: Re-plans of a statement shape caused purely by a feedback-epoch
+    #: advance (generations unchanged) — the adaptive optimizer at work.
+    feedback_replans: int = 0
+    #: Re-plans (any cause) whose join order / bind decisions actually
+    #: differ from the previous plan of the same statement shape.
+    plan_changes: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
 
@@ -128,6 +134,8 @@ class PipelineStatistics:
                 "plan_misses": self.plan_misses,
                 "mediation_hits": self.mediation_hits,
                 "mediation_misses": self.mediation_misses,
+                "feedback_replans": self.feedback_replans,
+                "plan_changes": self.plan_changes,
             }
 
 
@@ -151,6 +159,9 @@ class QueryPipeline:
         self._statement_cache_size = max(0, statement_cache_size)
         self._statements: "OrderedDict[str, Tuple[Select, str]]" = OrderedDict()
         self._statement_lock = threading.Lock()
+        # Last plan shape per statement shape, for plan-change detection.
+        self._plan_shapes: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._shape_lock = threading.Lock()
         self.statistics = PipelineStatistics()
 
     # -- generations -------------------------------------------------------------
@@ -163,10 +174,16 @@ class QueryPipeline:
     def knowledge_generation(self) -> int:
         return self.mediator.system.generation
 
+    @property
+    def feedback_epoch(self) -> int:
+        feedback = getattr(self.engine.catalog, "feedback", None)
+        return feedback.epoch if feedback is not None else 0
+
     def is_current(self, plan: MediatedPlan) -> bool:
         """True while the plan's generations match the live counters."""
         return (plan.key.catalog_generation == self.catalog_generation
-                and plan.key.knowledge_generation == self.knowledge_generation)
+                and plan.key.knowledge_generation == self.knowledge_generation
+                and plan.key.feedback_epoch == self.feedback_epoch)
 
     # -- the staged pipeline -----------------------------------------------------
 
@@ -181,6 +198,7 @@ class QueryPipeline:
             mediate=mediate,
             catalog_generation=self.catalog_generation,
             knowledge_generation=self.knowledge_generation,
+            feedback_epoch=self.feedback_epoch,
         )
         self.statistics.record(prepares=1)
         if self.plan_cache is not None:
@@ -193,9 +211,35 @@ class QueryPipeline:
         mediation = self._mediate_stage(select, key)
         plan = self._plan_stage(mediation)
         product = MediatedPlan(key=key, mediation=mediation, plan=plan)
+        self._note_plan_shape(key, plan)
         if self.plan_cache is not None:
             self.plan_cache.put(key, product)
         return product
+
+    def _note_plan_shape(self, key: PlanCacheKey, plan: QueryPlan) -> None:
+        """Track plan shape per statement shape; count adaptive re-plans."""
+        base = (key.fingerprint, key.receiver_context, key.mediate)
+        signature = plan.signature()
+        current = (key.feedback_epoch, key.catalog_generation,
+                   key.knowledge_generation, signature)
+        with self._shape_lock:
+            previous = self._plan_shapes.get(base)
+            self._plan_shapes[base] = current
+            self._plan_shapes.move_to_end(base)
+            while len(self._plan_shapes) > 256:
+                self._plan_shapes.popitem(last=False)
+        if previous is None:
+            return
+        prev_epoch, prev_catalog, prev_knowledge, prev_signature = previous
+        deltas = {}
+        if (prev_epoch != key.feedback_epoch
+                and prev_catalog == key.catalog_generation
+                and prev_knowledge == key.knowledge_generation):
+            deltas["feedback_replans"] = 1
+        if prev_signature != signature:
+            deltas["plan_changes"] = 1
+        if deltas:
+            self.statistics.record(**deltas)
 
     def refresh(self, plan: MediatedPlan) -> MediatedPlan:
         """Revalidate a (possibly stale) plan against the live generations.
@@ -303,6 +347,7 @@ class QueryPipeline:
             dropped += self.plan_cache.prune(
                 catalog_generation=self.catalog_generation,
                 knowledge_generation=self.knowledge_generation,
+                feedback_epoch=self.feedback_epoch,
             )
         if self.mediation_cache is not None:
             dropped += self.mediation_cache.prune(

@@ -18,13 +18,20 @@ Extensions beyond DB-API (all optional keyword paths):
 * ``connection.prepare(sql, ...)`` — compile a statement once server-side;
   the returned :class:`PreparedStatement` executes many times without
   re-mediating or re-planning, and ``close()`` releases the server handle;
-* ``connection.catalog()`` helpers for schema discovery.
+* ``connection.catalog()`` helpers for schema discovery;
+* ``connect(..., auto_retry=True)`` — bounded client-side retries of
+  retriable errors (overload sheds), honouring the server's
+  ``retry_after_seconds`` hint with seeded jitter (see :class:`RetryPolicy`);
+* ``connection.explain(sql)`` — the server's plan rendering, including
+  per-operator estimated rows and their provenance (feedback vs defaults).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ClientError
 from repro.federation import Federation
@@ -38,8 +45,61 @@ threadsafety = 0
 paramstyle = "pyformat"
 
 
+@dataclass
+class RetryPolicy:
+    """How a connection retries retriable (overload-shed) requests.
+
+    An :class:`~repro.errors.OverloadError` shed is always safe to retry —
+    nothing executed server-side — and carries ``retry_after_seconds``, which
+    the retry loop honours; ``backoff_seconds`` (doubling per attempt, capped
+    at ``max_backoff_seconds``) covers sheds without a hint.  Jitter is drawn
+    from a seeded generator so retry storms de-synchronize deterministically
+    under test.  ``sleep`` is injectable for tests.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    max_backoff_seconds: float = 2.0
+    #: Fractional jitter added on top of each delay (0.25 = up to +25%).
+    jitter: float = 0.25
+    seed: Optional[int] = None
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ClientError(
+                f"auto_retry needs at least 1 attempt, got {self.max_attempts}"
+            )
+        self._random = random.Random(self.seed)
+
+    def delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if retry_after is not None and retry_after > 0:
+            base = float(retry_after)
+        else:
+            base = min(self.backoff_seconds * (2 ** (attempt - 1)),
+                       self.max_backoff_seconds)
+        return base * (1.0 + self.jitter * self._random.random())
+
+
+def _retry_policy(auto_retry: Union[bool, int, RetryPolicy, None]) -> Optional[RetryPolicy]:
+    if auto_retry is None or auto_retry is False:
+        return None
+    if auto_retry is True:
+        return RetryPolicy()
+    if isinstance(auto_retry, RetryPolicy):
+        return auto_retry
+    if isinstance(auto_retry, int):
+        return RetryPolicy(max_attempts=auto_retry)
+    raise ClientError(
+        f"auto_retry must be a bool, an attempt count or a RetryPolicy, "
+        f"got {type(auto_retry).__name__}"
+    )
+
+
 def connect(federation: Optional[Federation] = None, server: Optional[MediationServer] = None,
-            context: Optional[str] = None, tenant: Optional[str] = None) -> "Connection":
+            context: Optional[str] = None, tenant: Optional[str] = None,
+            auto_retry: Union[bool, int, RetryPolicy, None] = False) -> "Connection":
     """Open a connection to a mediation server.
 
     Either an existing :class:`MediationServer` or a :class:`Federation` (from
@@ -47,24 +107,32 @@ def connect(federation: Optional[Federation] = None, server: Optional[MediationS
     "connecting" means binding an HTTP channel to the server in process.
     ``tenant`` names the receiver/session identity the server's admission
     gateway accounts quotas against; every request of this connection
-    carries it.
+    carries it.  ``auto_retry`` opts the connection into bounded client-side
+    retries of retriable errors (overload sheds): ``True`` for the default
+    :class:`RetryPolicy`, an integer for a custom attempt bound, or a policy
+    instance for full control.
     """
     if server is None:
         if federation is None:
             raise ClientError("connect() needs a federation or a server")
         server = MediationServer(federation)
-    return Connection(server, context, tenant=tenant)
+    return Connection(server, context, tenant=tenant,
+                      retry_policy=_retry_policy(auto_retry))
 
 
 class Connection:
     """A DB-API style connection bound to one receiver context."""
 
     def __init__(self, server: MediationServer, context: Optional[str] = None,
-                 tenant: Optional[str] = None):
+                 tenant: Optional[str] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self._server = server
         self._channel: Optional[HttpChannel] = server.channel()
         self.context = context
         self.tenant = tenant
+        self.retry_policy = retry_policy
+        #: Retriable errors this connection absorbed by retrying.
+        self.auto_retries = 0
 
     # -- DB-API surface -----------------------------------------------------------
 
@@ -134,6 +202,20 @@ class Connection:
             raise ClientError("connection is closed")
 
     def _call(self, operation: str, **parameters: Any) -> Dict[str, Any]:
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._call_once(operation, parameters)
+            except ClientError as error:
+                if (policy is None or attempt >= attempts
+                        or not getattr(error, "retriable", False)):
+                    raise
+                self.auto_retries += 1
+                policy.sleep(policy.delay(attempt, error.retry_after_seconds))
+        raise ClientError("unreachable: retry loop exhausted")  # pragma: no cover
+
+    def _call_once(self, operation: str, parameters: Dict[str, Any]) -> Dict[str, Any]:
         self._ensure_open()
         cleaned = {name: value for name, value in parameters.items() if value is not None}
         if self.tenant is not None:
@@ -151,6 +233,12 @@ class Connection:
             error.retry_after_seconds = response.retry_after_seconds
             raise error
         return response.payload
+
+    def explain(self, sql: str, context: Optional[str] = None) -> str:
+        """The server's plan rendering for ``sql``: join order, source
+        requests, and per-operator estimated rows with their provenance
+        (runtime feedback vs textbook defaults)."""
+        return self._call("explain", sql=sql, context=context or self.context)["plan"]
 
     def status(self) -> Dict[str, Any]:
         """Server statistics, including the ``server_load`` block."""

@@ -14,7 +14,8 @@ from repro.sources.memory import MemorySQLSource
 from repro.wrappers.wrapper import RelationalWrapper
 
 
-def build_consistency_federation(max_repairs=512, memory_budget_bytes=None):
+def build_consistency_federation(max_repairs=512, memory_budget_bytes=None,
+                                 planner_config=None):
     """A two-source federation with planted key/reference violations.
 
     ``ledger.accounts(id, owner, balance, region)``: ids 1..6 clean, id 2
@@ -29,6 +30,7 @@ def build_consistency_federation(max_repairs=512, memory_budget_bytes=None):
     federation = Federation(
         system, default_receiver_context="c_plain", name="consistency-test",
         max_repairs=max_repairs, memory_budget_bytes=memory_budget_bytes,
+        planner_config=planner_config,
     )
 
     ledger = MemorySQLSource("ledger")

@@ -38,3 +38,12 @@ def test_hotpath_smoke_is_equivalent_and_faster():
     assert federation["repeat_round_trips"] == 0
     assert federation["cache_hits_on_repeat"] == federation["distinct_requests"]
     assert federation["speedup"] > 1.0
+    # Adaptive CBO: cold-run feedback retires the plan, the repeat re-plans
+    # into bind joins that ship ≥5x fewer rows, answers stay identical, and
+    # the third run hits the plan cache.
+    cbo = result["adaptive_cbo"]
+    assert cbo["identical"] is True
+    assert cbo["bind_joins"] >= 1
+    assert cbo["transfer_reduction"] >= 5.0
+    assert cbo["feedback_replans"] >= 1 and cbo["plan_changes"] >= 1
+    assert cbo["warm_plan_cache_hit"] is True
