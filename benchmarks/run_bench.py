@@ -83,18 +83,34 @@ def _print_summary(result) -> None:
           f"dropped {res['dropped_wrappers']}, breaker {res['breaker_state']} "
           f"({res['breaker_trips']} trip(s)), repeat rejected fast: "
           f"{res['repeat_degraded_via_breaker']}")
-    soak = result["sustained_load"]
-    print(f"[hotpath:{result['mode']}] sustained load {soak['requests']} requests, "
-          f"{soak['threads']} threads vs {soak['workers']} workers "
-          f"({soak['overload_factor']}x overload): accepted {soak['accepted']} "
-          f"(p50 {soak['p50_latency_seconds']}s, p99 {soak['p99_latency_seconds']}s, "
-          f"{soak['throughput_accepted_per_sec']} q/s), shed {soak['shed']} "
-          f"({soak['shed_rate'] * 100:.1f}%, all retriable: "
-          f"{soak['sheds_all_retriable']}), failed {soak['failed']}; "
-          f"answers identical to serial: {soak['answers_identical_to_serial']}; "
-          f"max queue wait {soak['max_queue_wait_seconds']}s of "
-          f"{soak['timeout_seconds']}s deadline; drained: {soak['drained']}, "
-          f"post-soak budget zero: {soak['post_soak_budget_zero']}")
+    for soak_key in ("sustained_load", "sustained_load_aio"):
+        soak = result[soak_key]
+        print(f"[hotpath:{result['mode']}] sustained load ({soak['transport']}) "
+              f"{soak['requests']} requests, "
+              f"{soak['threads']} threads vs {soak['workers']} workers "
+              f"({soak['overload_factor']}x overload): accepted {soak['accepted']} "
+              f"(p50 {soak['p50_latency_seconds']}s, p99 {soak['p99_latency_seconds']}s, "
+              f"{soak['throughput_accepted_per_sec']} q/s), shed {soak['shed']} "
+              f"({soak['shed_rate'] * 100:.1f}%, all retriable: "
+              f"{soak['sheds_all_retriable']}), failed {soak['failed']}; "
+              f"answers identical to serial: {soak['answers_identical_to_serial']}; "
+              f"max queue wait {soak['max_queue_wait_seconds']}s of "
+              f"{soak['timeout_seconds']}s deadline; drained: {soak['drained']}, "
+              f"post-soak budget zero: {soak['post_soak_budget_zero']}")
+    scale = result["connection_scale"]
+    print(f"[hotpath:{result['mode']}] connection scale {scale['connections']} "
+          f"keep-alive connections x {scale['statements_per_connection']} statements "
+          f"vs {scale['workers']} workers: thread-per-call "
+          f"{scale['baseline_throughput_per_sec']} q/s "
+          f"(p99 {scale['baseline_p99_latency_seconds']}s, "
+          f"{scale['baseline_connections_opened']} sockets) -> pooled event loop "
+          f"{scale['pooled_throughput_per_sec']} q/s "
+          f"(p99 {scale['pooled_p99_latency_seconds']}s, "
+          f"{scale['pooled_connections_opened']} sockets, "
+          f"{scale['concurrent_connections_held']} held at once): "
+          f"{scale['speedup']}x throughput, {scale['p99_improvement']}x p99; "
+          f"identical: {scale['answers_identical']}, drained: "
+          f"{scale['baseline_drained'] and scale['pooled_drained']}")
     cbo = result["adaptive_cbo"]
     print(f"[hotpath:{result['mode']}] adaptive cbo {cbo['nations']} nations x "
           f"{cbo['customers']} customers x {cbo['orders']} orders: baseline "

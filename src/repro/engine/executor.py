@@ -227,6 +227,13 @@ class ExecutionReport:
     cache_hits: int = 0
     #: Peak number of fetches simultaneously in flight on the pool.
     max_in_flight: int = 0
+    #: Pool submission order (one binding per pending fetch).  When the
+    #: catalog's per-wrapper EWMA latency profiles are mature the scheduler
+    #: submits the expected-slowest fetch first so the statement's long pole
+    #: starts earliest; ``dispatch_policy`` records whether profiles
+    #: ("latency") or plan order ("plan") decided it.
+    dispatch_order: List[str] = field(default_factory=list)
+    dispatch_policy: str = "plan"
     #: Streaming counters: rows actually pulled through the cursor, the wall
     #: clock until the first of them, and fetches a closed/limit-satisfied
     #: stream cancelled before they were ever issued.
@@ -285,6 +292,8 @@ class ExecutionReport:
                 "dedup_hits": self.dedup_hits,
                 "cache_hits": self.cache_hits,
                 "max_in_flight": self.max_in_flight,
+                "dispatch_order": list(self.dispatch_order),
+                "dispatch_policy": self.dispatch_policy,
                 "wait_seconds": round(
                     sum(request.wait_seconds for request in self.requests), 6
                 ),

@@ -226,6 +226,7 @@ class ResultStream:
         # ``future.result(timeout=...)`` where the deadline can fire.
         dispatch = len(pending) > 1 or (bool(pending) and self._deadline.bounded)
         if controller.max_concurrent_requests > 1 and dispatch:
+            pending = self._dispatch_order(pending)
             workers = min(controller.max_concurrent_requests, len(pending))
             self._pool = ThreadPoolExecutor(max_workers=workers,
                                             thread_name_prefix="source-fetch")
@@ -238,6 +239,41 @@ class ResultStream:
         self._rows = self._generate()
 
     # -- fetching ------------------------------------------------------------------
+
+    def _dispatch_order(self, pending: List[RequestKey]) -> List[RequestKey]:
+        """Order pool submissions so the expected-slowest fetch starts first.
+
+        With more pending fetches than pool workers, plan order can leave the
+        statement's long pole queued behind quick lookups; its latency then
+        adds to the tail instead of overlapping it.  The catalog's per-wrapper
+        EWMA latency profiles (request overhead + per-row transfer, mature
+        after three observations) give an expected wall-clock cost per fetch;
+        submitting in descending cost keeps the critical path at the front of
+        the pool.  Wrappers without a mature profile cost 0.0 and keep plan
+        order behind the profiled ones.
+        """
+        feedback = getattr(self.controller.catalog, "feedback", None)
+        expected: Dict[RequestKey, float] = {}
+        profiled = False
+        for key in pending:
+            request = self._distinct[key]
+            cost = 0.0
+            profile = (feedback.source_profile(request.wrapper_name)
+                       if feedback is not None else None)
+            if profile is not None:
+                profiled = True
+                rows = max(int(request.estimated_result_rows or 0), 1)
+                cost = profile.request_seconds + profile.seconds_per_row * rows
+            expected[key] = cost
+        if profiled:
+            indexed = sorted(range(len(pending)),
+                             key=lambda i: (-expected[pending[i]], i))
+            pending = [pending[i] for i in indexed]
+            self.report.dispatch_policy = "latency"
+        self.report.dispatch_order = [
+            self._distinct[key].binding for key in pending
+        ]
+        return pending
 
     def _fetch(self, key: RequestKey, queued_at: float) -> _FetchOutcome:
         """One guarded round trip: retries, breaker and deadline applied.

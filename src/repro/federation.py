@@ -498,6 +498,21 @@ class Federation:
         """Mediate, plan, and render the execution plan."""
         return self.pipeline.prepare(sql, receiver_context).plan.explain()
 
+    def service(self, gateway=None):
+        """An in-process serving facade over this federation.
+
+        Returns a :class:`~repro.server.service.FederatedQueryService`:
+        statements run under an admission gateway and streaming answers are
+        :class:`~repro.server.service.ResultHandle` objects holding one of
+        the gateway's bounded stream permits.  ``gateway`` may be a shared
+        :class:`~repro.server.gateway.AdmissionGateway`, a
+        :class:`~repro.server.gateway.GatewayConfig`, or None for defaults.
+        """
+        # Imported lazily: repro.server imports this module.
+        from repro.server.service import FederatedQueryService
+
+        return FederatedQueryService(self, gateway)
+
     # -- answer post-processing ------------------------------------------------------------------
 
     def convert_answer(self, answer: FederationAnswer, to_context: str) -> Relation:

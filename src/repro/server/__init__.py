@@ -18,8 +18,18 @@ from repro.server.protocol import (
 )
 from repro.server.http import ChannelStatistics, HttpChannel, HttpRequest, HttpResponse
 from repro.server.server import MediationServer, ServerStatistics
-from repro.server.odbc import Connection, Cursor, apilevel, connect, paramstyle, threadsafety
+from repro.server.aio import AsyncMediationServer, AsyncServerConfig
+from repro.server.odbc import (
+    Connection,
+    ConnectionPool,
+    Cursor,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
 from repro.server.qbe import QBEForm, QBEInterface
+from repro.server.service import ExecutionSummary, FederatedQueryService, ResultHandle
 
 __all__ = [
     "OPERATIONS",
@@ -34,8 +44,14 @@ __all__ = [
     "HttpResponse",
     "MediationServer",
     "ServerStatistics",
+    "AsyncMediationServer",
+    "AsyncServerConfig",
     "Connection",
+    "ConnectionPool",
     "Cursor",
+    "ExecutionSummary",
+    "FederatedQueryService",
+    "ResultHandle",
     "apilevel",
     "connect",
     "paramstyle",

@@ -1,0 +1,775 @@
+"""Event-loop serving transport: connection multiplexing + session registry.
+
+The thread-per-call transport (:class:`~repro.server.server.MediationServer`
+driven directly by caller threads) caps concurrency at the thread count long
+before the admission gateway does: hundreds of *idle* keep-alive client
+connections would each pin a thread doing nothing but waiting for the next
+statement.  This module multiplexes all of them onto **one** asyncio event
+loop:
+
+* :class:`AsyncMediationServer` runs a private event loop in a dedicated
+  thread.  Clients "connect" over a real OS ``socketpair`` — byte framing,
+  partial reads, keep-alive and EOF semantics are all genuine — and the loop
+  parses/frames requests asynchronously while they trickle in.
+* Two wire protocols share the loop, distinguished by the first bytes: the
+  **native protocol** (length-prefixed JSON frames under a ``COIN/1`` magic,
+  with an explicit hello/session handshake) and **HTTP/1.1 keep-alive**
+  (persistent connections on the plain endpoints, chunked streaming on
+  ``/coin/api/stream``).
+* The synchronous engine stays untouched: admitted statements are handed to
+  a bounded worker pool (``gateway.admission_capacity`` threads plus slack
+  for un-gated cursor fetches) where they run through the *same*
+  ``MediationServer.handle`` — answers are digest-identical to the threaded
+  transport by construction.  The loop sheds what the pool cannot hold via
+  :meth:`~repro.server.gateway.AdmissionGateway.shed_at_transport`, so the
+  PR 7 overload contract (retriable sheds, Retry-After, bounded queue wait)
+  reads the same from either front end.
+* Every connection owns a :class:`Session` carrying tenant, prepared
+  statements and open cursors.  Handles die with their session: a client
+  disconnect, an idle timeout (reaping) or a drain closes the session's
+  cursors — releasing their streaming permits and temp-store handles — and
+  its prepared statements.  One session can never execute or fetch another
+  session's handles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.errors import ClientError, OverloadError, ProtocolError, ReproError
+from repro.federation import Federation
+from repro.server.http import HttpRequest, HttpResponse, HttpWireParser
+from repro.server.protocol import PROTOCOL_VERSION, Request, Response
+from repro.server.server import MediationServer
+
+__all__ = [
+    "MAGIC",
+    "FrameParser",
+    "encode_frame",
+    "AsyncServerConfig",
+    "Session",
+    "SessionRegistry",
+    "AsyncMediationServer",
+]
+
+#: Preamble a native-protocol client sends right after connecting; anything
+#: else is treated as the start of an HTTP request.
+MAGIC = b"COIN/1\n"
+
+#: Upper bound on one native frame (defensive: a corrupt length prefix must
+#: not make the server buffer gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Frame ``payload`` as ``b"<decimal length>\\n<payload>"``."""
+    return b"%d\n%s" % (len(payload), payload)
+
+
+class FrameParser:
+    """Incremental parser for length-prefixed native-protocol frames.
+
+    Mirrors :class:`~repro.server.http.HttpWireParser`: one parser per
+    connection, one reused ``bytearray`` buffer, complete frames popped off
+    the front.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    def next_frame(self) -> Optional[bytes]:
+        newline = self._buffer.find(b"\n")
+        if newline < 0:
+            if len(self._buffer) > 20:
+                raise ProtocolError("malformed frame: no length prefix")
+            return None
+        prefix = bytes(self._buffer[:newline])
+        try:
+            length = int(prefix)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed frame length {prefix!r}") from exc
+        if length < 0 or length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame length {length} out of bounds")
+        end = newline + 1 + length
+        if len(self._buffer) < end:
+            return None
+        frame = bytes(self._buffer[newline + 1:end])
+        del self._buffer[:end]
+        return frame
+
+
+@dataclass
+class AsyncServerConfig:
+    """Knobs of the event-loop transport."""
+
+    #: Concurrently open connections the loop accepts; the excess is refused
+    #: at connect time (the client sees a retriable ClientError).
+    max_connections: int = 1024
+    #: Seconds a connection (and therefore its session) may sit idle between
+    #: requests before the reaper closes it, releasing the session's cursors,
+    #: streaming permits and temp-store handles.
+    idle_timeout_seconds: float = 30.0
+    #: Seconds a fresh connection gets to complete its handshake (magic +
+    #: hello frame, or the first HTTP request line).
+    handshake_timeout_seconds: float = 5.0
+    #: Worker threads beyond the gateway's admission capacity, serving the
+    #: un-gated operations (cursor fetch/close, dictionary lookups) so they
+    #: cannot starve behind admitted statements.
+    executor_slack: int = 4
+    #: Seconds shutdown waits for in-flight requests before closing
+    #: connections.
+    drain_timeout_seconds: float = 30.0
+
+
+class Session:
+    """Per-connection server-side state: tenant + owned handles.
+
+    The tenant is pinned at the handshake (native hello or first HTTP
+    request): later requests carrying a *different* tenant are rejected, so
+    pooled client connections can never observe — or bill against — each
+    other's identity.  ``statements`` and ``cursors`` are the server handles
+    this session created; the registry releases them when the session dies.
+    """
+
+    def __init__(self, session_id: str, tenant: Optional[str],
+                 opened_at: float) -> None:
+        self.session_id = session_id
+        self.tenant = tenant
+        self.opened_at = opened_at
+        self.last_used = opened_at
+        self.statements: Set[str] = set()
+        self.cursors: Set[str] = set()
+        self.closed = False
+        self.requests = 0
+
+    def touch(self, now: float) -> None:
+        self.last_used = now
+
+    def owns_statement(self, statement_id: Optional[str]) -> bool:
+        return statement_id in self.statements
+
+    def owns_cursor(self, cursor_id: Optional[str]) -> bool:
+        return cursor_id in self.cursors
+
+
+class SessionRegistry:
+    """Tracks open sessions and releases their handles on close.
+
+    Thread-safe: the event loop opens/accounts sessions, while shutdown (a
+    foreign thread) may force-close the survivors.
+    """
+
+    def __init__(self, server: MediationServer) -> None:
+        self._server = server
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+        self._next_id = 0
+        self.opened = 0
+        self.closed = 0
+        self.reaped_idle = 0
+
+    def open(self, tenant: Optional[str]) -> Session:
+        with self._lock:
+            self._next_id += 1
+            session = Session(f"sess-{self._next_id}", tenant, time.monotonic())
+            self._sessions[session.session_id] = session
+            self.opened += 1
+        return session
+
+    def close(self, session: Session, reaped: bool = False) -> None:
+        """Close ``session`` and release every handle it still owns.
+
+        Releasing goes through the server's own close operations, so cursors
+        give back their streaming permits and temp-store handles exactly as
+        a well-behaved client close would.  Idempotent.
+        """
+        with self._lock:
+            if session.closed:
+                return
+            session.closed = True
+            self._sessions.pop(session.session_id, None)
+            cursors = sorted(session.cursors)
+            statements = sorted(session.statements)
+            session.cursors.clear()
+            session.statements.clear()
+            self.closed += 1
+            if reaped:
+                self.reaped_idle += 1
+        for cursor_id in cursors:
+            self._server.handle(
+                Request(operation="close_cursor",
+                        parameters={"cursor_id": cursor_id}),
+                tenant=session.tenant,
+            )
+        for statement_id in statements:
+            self._server.handle(
+                Request(operation="close_prepared",
+                        parameters={"statement_id": statement_id}),
+                tenant=session.tenant,
+            )
+
+    def close_all(self) -> None:
+        with self._lock:
+            survivors = list(self._sessions.values())
+        for session in survivors:
+            self.close(session)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "open": len(self._sessions),
+                "opened": self.opened,
+                "closed": self.closed,
+                "reaped_idle": self.reaped_idle,
+            }
+
+
+class AsyncMediationServer:
+    """One event loop multiplexing many protocol/HTTP connections.
+
+    Wraps an existing (synchronous) :class:`MediationServer`; the loop does
+    transport — accept, frame, parse, shed, write — and hands admitted
+    statements to a bounded thread pool running the unchanged handler, so
+    answers are identical to the threaded transport.
+
+    Usage::
+
+        aio = AsyncMediationServer(MediationServer(federation)).start()
+        sock = aio.connect_socket()      # a real connected OS socket
+        ...                              # speak COIN/1 frames or HTTP/1.1
+        aio.shutdown()
+
+    Clients normally go through :func:`repro.server.odbc.connect`
+    (``async_server=aio, transport="native"|"http"``) or a
+    :class:`repro.server.odbc.ConnectionPool` instead of raw sockets.
+    """
+
+    def __init__(self, server: Union[MediationServer, Federation],
+                 config: Optional[AsyncServerConfig] = None) -> None:
+        if isinstance(server, Federation):
+            server = MediationServer(server)
+        self.server = server
+        self.config = config or AsyncServerConfig()
+        self.sessions = SessionRegistry(server)
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._worker_threads = 0
+        self._running = False
+        self._draining = False
+
+        #: Handler tasks + writers of live connections (loop-thread only).
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+
+        # Counters. The loop thread owns the in-flight gauges; totals are
+        # read cross-thread via snapshot() (int reads are atomic enough for
+        # reporting).
+        self._connections_opened = 0
+        self._connections_refused = 0
+        self._connections_current = 0
+        self._connections_peak = 0
+        self._requests_total = 0
+        self._loop_sheds = 0
+        self._inflight_total = 0
+        self._admitted_inflight = 0
+        self._admitted_inflight_peak = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def gateway(self):
+        return self.server.gateway
+
+    def start(self) -> "AsyncMediationServer":
+        if self._running:
+            return self
+        gateway = self.server.gateway
+        capacity = gateway.admission_capacity if gateway is not None else 64
+        self._worker_threads = capacity + max(1, self.config.executor_slack)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._worker_threads, thread_name_prefix="aio-worker"
+        )
+        self._loop = asyncio.new_event_loop()
+        self._started.clear()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="aio-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        self._running = True
+        self._draining = False
+        return self
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.call_soon(self._started.set)
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def __enter__(self) -> "AsyncMediationServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self, timeout_seconds: Optional[float] = None) -> bool:
+        """Graceful drain: quiesce the loop, then drain the gateway.
+
+        New connections are refused immediately; in-flight requests get
+        ``drain_timeout_seconds`` to finish; connections are then closed
+        (closing every session, which releases its handles and streaming
+        permits); finally the wrapped server drains its gateway.  Returns
+        True once fully idle.
+        """
+        if not self._running:
+            return True
+        self._draining = True
+        budget = (timeout_seconds if timeout_seconds is not None
+                  else self.config.drain_timeout_seconds)
+        future = asyncio.run_coroutine_threadsafe(self._quiesce(budget), self._loop)
+        try:
+            future.result(timeout=budget + 10.0)
+        except Exception:
+            pass
+        # Belt and braces: sessions whose handler tasks never exited.
+        self.sessions.close_all()
+        drained = self.server.shutdown(timeout_seconds)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._executor.shutdown(wait=True)
+        self._executor = None
+        self._running = False
+        return drained
+
+    async def _quiesce(self, budget: float) -> None:
+        deadline = self._loop.time() + budget
+        while self._inflight_total > 0 and self._loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        if self._conn_tasks:
+            await asyncio.wait(
+                list(self._conn_tasks),
+                timeout=max(0.1, deadline - self._loop.time()),
+            )
+
+    # -- accepting ----------------------------------------------------------------
+
+    def connect_socket(self) -> socket.socket:
+        """Open one connection; returns the (blocking) client-side socket.
+
+        The server side of the pair is registered with the event loop, which
+        serves it until EOF, idle timeout, or drain.
+        """
+        if not self._running or self._draining:
+            raise ClientError("async server is not accepting connections")
+        client_end, server_end = socket.socketpair()
+        future = asyncio.run_coroutine_threadsafe(
+            self._accept(server_end), self._loop
+        )
+        try:
+            accepted = future.result(timeout=10.0)
+        except Exception:
+            client_end.close()
+            server_end.close()
+            raise
+        if not accepted:
+            client_end.close()
+            raise ClientError(
+                f"connection refused: {self.config.max_connections} "
+                "connections already open (or server draining)"
+            )
+        return client_end
+
+    async def _accept(self, sock: socket.socket) -> bool:
+        if self._draining or (
+                self._connections_current >= self.config.max_connections):
+            self._connections_refused += 1
+            sock.close()
+            return False
+        task = self._loop.create_task(self._serve_connection(sock))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        return True
+
+    # -- serving ------------------------------------------------------------------
+
+    async def _serve_connection(self, sock: socket.socket) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(sock=sock)
+        except Exception:
+            sock.close()
+            return
+        self._connections_opened += 1
+        self._connections_current += 1
+        self._connections_peak = max(self._connections_peak,
+                                     self._connections_current)
+        self._writers.add(writer)
+        # The session is registered in a holder the moment it opens, so the
+        # cleanup below finds it even when the serving loop dies mid-frame
+        # (e.g. the peer closed before the final ack could be written).
+        holder: List[Optional[Session]] = [None]
+        reaped = False
+        try:
+            preamble = await asyncio.wait_for(
+                reader.readexactly(len(MAGIC)),
+                timeout=self.config.handshake_timeout_seconds,
+            )
+            if preamble == MAGIC:
+                reaped = await self._serve_native(reader, writer, holder)
+            else:
+                reaped = await self._serve_http(preamble, reader, writer, holder)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError, OSError, ProtocolError, ValueError):
+            # Transport-level failures close the connection; the session
+            # cleanup below releases whatever the client left open.
+            pass
+        finally:
+            if holder[0] is not None:
+                await self._close_session(holder[0], reaped)
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+            self._connections_current -= 1
+
+    async def _close_session(self, session: Session, reaped: bool) -> None:
+        await self._loop.run_in_executor(
+            self._executor, lambda: self.sessions.close(session, reaped=reaped)
+        )
+
+    async def _read_more(self, reader: asyncio.StreamReader,
+                         timeout: float) -> bytes:
+        return await asyncio.wait_for(reader.read(65536), timeout=timeout)
+
+    # -- the native-protocol path --------------------------------------------------
+
+    async def _serve_native(self, reader, writer,
+                            holder: List[Optional[Session]]) -> bool:
+        parser = FrameParser()
+        frame = await self._next_frame(
+            reader, parser, self.config.handshake_timeout_seconds
+        )
+        if frame is None:
+            return False
+        hello = json.loads(frame)
+        if "hello" not in hello:
+            raise ProtocolError("native connection must start with a hello frame")
+        tenant = hello["hello"].get("tenant")
+        session = self.sessions.open(tenant)
+        holder[0] = session
+        await self._write_frame(writer, {
+            "ok": True,
+            "session_id": session.session_id,
+            "protocol": PROTOCOL_VERSION,
+            "idle_timeout_seconds": self.config.idle_timeout_seconds,
+        })
+        reaped = False
+        while True:
+            try:
+                frame = await self._next_frame(
+                    reader, parser, self.config.idle_timeout_seconds
+                )
+            except asyncio.TimeoutError:
+                reaped = True
+                break
+            if frame is None:
+                break
+            envelope = json.loads(frame)
+            if envelope.get("close"):
+                await self._write_frame(writer, {"ok": True, "closed": True})
+                break
+            response = await self._dispatch_envelope(session, envelope)
+            await self._write_frame(writer, {
+                "id": envelope.get("id"),
+                "response": json.loads(response.to_json()),
+            })
+        return reaped
+
+    async def _next_frame(self, reader, parser: FrameParser,
+                          timeout: float) -> Optional[bytes]:
+        while True:
+            frame = parser.next_frame()
+            if frame is not None:
+                return frame
+            data = await self._read_more(reader, timeout)
+            if not data:
+                return None
+            parser.feed(data)
+
+    async def _write_frame(self, writer, document: Dict[str, Any]) -> None:
+        writer.write(encode_frame(json.dumps(document).encode("utf-8")))
+        await writer.drain()
+
+    async def _dispatch_envelope(self, session: Session,
+                                 envelope: Dict[str, Any]) -> Response:
+        body = envelope.get("request")
+        if not isinstance(body, dict):
+            return Response.failure(
+                "envelope must carry a 'request' object", "protocol"
+            )
+        try:
+            request = Request.from_json(json.dumps(body))
+        except ReproError as exc:
+            return Response.failure(str(exc), "protocol")
+        return await self._dispatch(session, request)
+
+    # -- the HTTP path -------------------------------------------------------------
+
+    async def _serve_http(self, preamble: bytes, reader, writer,
+                          holder: List[Optional[Session]]) -> bool:
+        parser = HttpWireParser()
+        parser.feed(preamble)
+        session: Optional[Session] = None
+        reaped = False
+        timeout = self.config.handshake_timeout_seconds
+        keep_alive = True
+        while keep_alive:
+            request = parser.next_request()
+            if request is None:
+                try:
+                    data = await self._read_more(reader, timeout)
+                except asyncio.TimeoutError:
+                    reaped = session is not None
+                    break
+                if not data:
+                    break
+                parser.feed(data)
+                continue
+            if session is None:
+                session = self.sessions.open(
+                    MediationServer._header_tenant(request)
+                )
+                holder[0] = session
+            timeout = self.config.idle_timeout_seconds
+            response = await self._handle_http_request(session, request)
+            keep_alive = request.wants_keep_alive() and response.wants_keep_alive()
+            writer.write(response.serialize().encode("utf-8"))
+            await writer.drain()
+        return reaped
+
+    async def _handle_http_request(self, session: Session,
+                                   request: HttpRequest) -> HttpResponse:
+        if request.method == "POST" and request.path == MediationServer.STREAM_ENDPOINT:
+            # Chunked streaming: the whole exchange (admission, stream
+            # permit, chunk production) runs in the worker pool; the
+            # response closes the connection (framing-safe abandon).
+            try:
+                return await self._run_in_worker(
+                    session, admitted=True,
+                    work=lambda: self.server.handle_http(request),
+                    tenant=session.tenant or MediationServer._header_tenant(request),
+                )
+            except OverloadError as exc:
+                return MediationServer._overload_http_response(
+                    self._shed_response(exc))
+        if request.method != "POST" or request.path != MediationServer.ENDPOINT:
+            return self._wrap_http(request, Response.failure(
+                "unknown endpoint", "protocol"))
+        try:
+            protocol_request = Request.from_json(request.body)
+        except ReproError as exc:
+            self.server.statistics.record(errors=1)
+            wrapped = HttpResponse(status=400, reason="Bad Request",
+                                   body=Response.failure(str(exc), "protocol").to_json())
+            return self._finish_http(request, wrapped)
+        response = await self._dispatch(session, protocol_request)
+        return self._wrap_http(request, response)
+
+    def _wrap_http(self, request: HttpRequest, response: Response) -> HttpResponse:
+        if not response.ok and response.error_kind == "OverloadError":
+            wrapped = MediationServer._overload_http_response(response)
+        else:
+            status, reason = ((200, "OK") if response.ok
+                              else (422, "Unprocessable Entity"))
+            wrapped = HttpResponse(status=status, reason=reason,
+                                   body=response.to_json())
+        return self._finish_http(request, wrapped)
+
+    @staticmethod
+    def _finish_http(request: HttpRequest, response: HttpResponse) -> HttpResponse:
+        if request.version.upper() == "HTTP/1.1":
+            response.version = "HTTP/1.1"
+        if response.chunks is None and request.wants_keep_alive():
+            response.headers.setdefault("Connection", "keep-alive")
+        else:
+            response.headers.setdefault("Connection", "close")
+        return response
+
+    # -- shared dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, session: Session, request: Request) -> Response:
+        """Session-scope a protocol request, then run it in the worker pool."""
+        session.touch(time.monotonic())
+        session.requests += 1
+        self._requests_total += 1
+
+        parameter_tenant = request.parameters.get("tenant")
+        if (session.tenant is not None and parameter_tenant is not None
+                and parameter_tenant != session.tenant):
+            return Response.failure(
+                f"request tenant {parameter_tenant!r} does not match the "
+                f"session tenant {session.tenant!r}", "protocol",
+            )
+        tenant = session.tenant or parameter_tenant
+
+        guard = self._session_guard(session, request)
+        if guard is not None:
+            return guard
+
+        admitted = request.operation in MediationServer.ADMITTED_OPERATIONS
+        try:
+            response = await self._run_in_worker(
+                session, admitted=admitted,
+                work=lambda: self.server.handle(request, tenant),
+                tenant=tenant,
+            )
+        except OverloadError as exc:
+            return self._shed_response(exc)
+        self._session_account(session, request, response)
+        session.touch(time.monotonic())
+        return response
+
+    async def _run_in_worker(self, session: Session, admitted: bool, work,
+                             tenant: Optional[str] = None):
+        """Hand ``work`` to the bounded pool; shed what it cannot hold.
+
+        The gateway's own queue accounting assumes one *caller thread* per
+        queued statement; on the loop there are no caller threads, so the
+        loop enforces the same ``workers + queue_depth`` bound up front and
+        books the shed through the gateway (retriable, with a Retry-After
+        hint) before any worker is consumed.
+        """
+        gateway = self.server.gateway
+        if admitted and gateway is not None and (
+                self._admitted_inflight >= gateway.admission_capacity):
+            self._loop_sheds += 1
+            self.server.statistics.record(requests=1, errors=1,
+                                          requests_shed=1)
+            gateway.shed_at_transport(
+                tenant or session.tenant,
+                reason="draining" if gateway.draining else "queue_full",
+            )
+
+        self._inflight_total += 1
+        if admitted:
+            self._admitted_inflight += 1
+            self._admitted_inflight_peak = max(
+                self._admitted_inflight_peak, self._admitted_inflight
+            )
+        try:
+            return await self._loop.run_in_executor(self._executor, work)
+        finally:
+            self._inflight_total -= 1
+            if admitted:
+                self._admitted_inflight -= 1
+
+    @staticmethod
+    def _shed_response(exc: OverloadError) -> Response:
+        return Response.failure(
+            str(exc), "OverloadError",
+            retry_after_seconds=exc.retry_after_seconds,
+        )
+
+    def _session_guard(self, session: Session,
+                       request: Request) -> Optional[Response]:
+        """Reject handle references another session owns (or nobody does)."""
+        parameters = request.parameters
+        operation = request.operation
+        if operation in ("execute_prepared", "close_prepared") or (
+                operation == "open_cursor" and parameters.get("statement_id")):
+            statement_id = parameters.get("statement_id")
+            if statement_id and not session.owns_statement(statement_id):
+                return Response.failure(
+                    f"unknown or closed prepared statement {statement_id!r} "
+                    "in this session", "protocol",
+                )
+        if operation in ("fetch_cursor", "close_cursor"):
+            cursor_id = parameters.get("cursor_id")
+            if cursor_id and not session.owns_cursor(cursor_id):
+                return Response.failure(
+                    f"unknown or closed cursor {cursor_id!r}", "cursor",
+                )
+        return None
+
+    @staticmethod
+    def _session_account(session: Session, request: Request,
+                         response: Response) -> None:
+        """Fold a completed operation into the session's handle ownership."""
+        operation = request.operation
+        parameters = request.parameters
+        if not response.ok:
+            # A failed fetch may have poisoned/invalidated the server-side
+            # cursor (which discards it); mirror that so the session does
+            # not keep claiming a dead handle.  Pure protocol mistakes
+            # (e.g. a bad batch size) leave the cursor alive.
+            if (operation == "fetch_cursor"
+                    and response.error_kind not in ("protocol", "ProtocolError")):
+                session.cursors.discard(parameters.get("cursor_id"))
+            return
+        payload = response.payload
+        if operation == "prepare":
+            session.statements.add(payload["statement_id"])
+        elif operation == "close_prepared":
+            session.statements.discard(parameters.get("statement_id"))
+        elif operation == "open_cursor":
+            session.cursors.add(payload["cursor_id"])
+        elif operation == "close_cursor":
+            session.cursors.discard(parameters.get("cursor_id"))
+        elif operation == "fetch_cursor" and payload.get("done"):
+            session.cursors.discard(payload.get("cursor_id"))
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "transport": "asyncio",
+            "running": self._running,
+            "draining": self._draining,
+            "connections": {
+                "current": self._connections_current,
+                "peak": self._connections_peak,
+                "opened": self._connections_opened,
+                "refused": self._connections_refused,
+                "max": self.config.max_connections,
+            },
+            "sessions": self.sessions.snapshot(),
+            "requests": {
+                "total": self._requests_total,
+                "loop_sheds": self._loop_sheds,
+                "admitted_inflight_peak": self._admitted_inflight_peak,
+            },
+            "workers": {
+                "loop_threads": 1,
+                "pool_threads": self._worker_threads,
+            },
+        }

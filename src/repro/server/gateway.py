@@ -383,6 +383,46 @@ class AdmissionGateway:
                 self._idle.notify_all()
             self._semaphore.release()
 
+    # -- the transport path ------------------------------------------------------------
+
+    @property
+    def admission_capacity(self) -> int:
+        """Admitted statements the gateway can hold: running + queued.
+
+        An event-loop transport must not hand the gateway more concurrent
+        statements than this — its worker handoff (unlike the thread-per-call
+        transport, where the *caller's* thread queues inside :meth:`run`)
+        would otherwise buffer the excess outside the gateway's bounded,
+        deadline-aware queue.  The transport sheds the overflow itself via
+        :meth:`shed_at_transport`.
+        """
+        return self.config.max_workers + self.config.max_queue_depth
+
+    def shed_at_transport(self, tenant: Optional[str] = None,
+                          reason: str = "queue_full",
+                          message: Optional[str] = None) -> None:
+        """Record a transport-level shed and raise the retriable error.
+
+        Keeps loop-side sheds inside the gateway's books (``arrived``/``shed``
+        counters, per-tenant accounting), so the overload contract reads the
+        same whichever layer turned the request away.  Always raises
+        :class:`~repro.errors.OverloadError`.
+        """
+        tenant_name = self._tenant(tenant)
+        with self._lock:
+            self._arrived += 1
+            self._counters(tenant_name).arrived += 1
+            retry_after = self._ewma_service_seconds
+        self._shed_request(
+            tenant_name, reason,
+            message or (
+                f"transport at admission capacity "
+                f"({self.config.max_workers} workers + "
+                f"{self.config.max_queue_depth} queued); retry shortly"
+            ),
+            retry_after_seconds=retry_after,
+        )
+
     # -- the streaming path ----------------------------------------------------------
 
     def acquire_stream(self, tenant: Optional[str] = None) -> Callable[[], None]:

@@ -26,13 +26,20 @@ class HttpRequest:
     path: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: str = ""
+    #: Wire protocol version.  The historical in-process tunnel speaks
+    #: HTTP/1.0 (one exchange per channel); the pooled/event-loop transports
+    #: send HTTP/1.1 so connections persist by default.
+    version: str = "HTTP/1.0"
 
     def serialize(self) -> str:
         headers = dict(headers_default(self.body))
         headers.update(self.headers)
-        lines = [f"{self.method} {self.path} HTTP/1.0"]
+        lines = [f"{self.method} {self.path} {self.version}"]
         lines.extend(f"{name}: {value}" for name, value in headers.items())
         return "\r\n".join(lines) + "\r\n\r\n" + self.body
+
+    def wants_keep_alive(self) -> bool:
+        return wants_keep_alive(self.version, self.headers)
 
     @classmethod
     def parse(cls, text: str) -> "HttpRequest":
@@ -40,9 +47,10 @@ class HttpRequest:
         lines = head.split("\r\n")
         if not lines or len(lines[0].split(" ")) != 3:
             raise ProtocolError("malformed HTTP request line")
-        method, path, _version = lines[0].split(" ")
+        method, path, version = lines[0].split(" ")
         headers = _parse_headers(lines[1:])
-        return cls(method=method, path=path, headers=headers, body=body)
+        return cls(method=method, path=path, headers=headers, body=body,
+                   version=version)
 
 
 @dataclass
@@ -62,6 +70,7 @@ class HttpResponse:
     headers: Dict[str, str] = field(default_factory=dict)
     body: str = ""
     chunks: Optional[List[str]] = None
+    version: str = "HTTP/1.0"
 
     def serialize(self) -> str:
         if self.chunks is not None:
@@ -82,9 +91,12 @@ class HttpResponse:
             headers = dict(headers_default(self.body))
             headers.update(self.headers)
             payload = self.body
-        lines = [f"HTTP/1.0 {self.status} {self.reason}"]
+        lines = [f"{self.version} {self.status} {self.reason}"]
         lines.extend(f"{name}: {value}" for name, value in headers.items())
         return "\r\n".join(lines) + "\r\n\r\n" + payload
+
+    def wants_keep_alive(self) -> bool:
+        return wants_keep_alive(self.version, self.headers)
 
     @classmethod
     def parse(cls, text: str) -> "HttpResponse":
@@ -93,6 +105,7 @@ class HttpResponse:
         parts = lines[0].split(" ", 2) if lines else []
         if len(parts) < 2:
             raise ProtocolError("malformed HTTP status line")
+        version = parts[0]
         status = int(parts[1])
         reason = parts[2] if len(parts) > 2 else ""
         headers = _parse_headers(lines[1:])
@@ -101,7 +114,7 @@ class HttpResponse:
             chunks = _parse_chunked(body)
             body = "".join(chunks)
         return cls(status=status, reason=reason, headers=headers, body=body,
-                   chunks=chunks)
+                   chunks=chunks, version=version)
 
 
 def headers_default(body: str) -> Dict[str, str]:
@@ -110,6 +123,120 @@ def headers_default(body: str) -> Dict[str, str]:
         "Content-Length": str(len(body.encode("utf-8"))),
         "X-Coin-Tunnel": "odbc",
     }
+
+
+def wants_keep_alive(version: str, headers: Dict[str, str]) -> bool:
+    """The standard persistence rule: explicit ``Connection`` header wins,
+    otherwise HTTP/1.1 persists and HTTP/1.0 closes."""
+    connection = ""
+    for name, value in headers.items():
+        if name.lower() == "connection":
+            connection = value.strip().lower()
+            break
+    if connection == "close":
+        return False
+    if connection == "keep-alive":
+        return True
+    return version.upper() == "HTTP/1.1"
+
+
+class HttpWireParser:
+    """Incremental HTTP parser for persistent (keep-alive) connections.
+
+    One parser lives for the lifetime of a connection and owns a single
+    ``bytearray`` receive buffer: :meth:`feed` appends raw bytes, and
+    :meth:`next_request` / :meth:`next_response` pop complete messages off
+    the front, compacting in place.  Reusing the buffer (and the parsed
+    header dict allocation path) across the hundreds of requests a pooled
+    connection carries is what makes keep-alive cheaper than the
+    parse-from-scratch string tunnel — no per-request channel, no
+    re-allocated parse state.
+
+    Bodies are framed by ``Content-Length``; responses may instead use
+    ``Transfer-Encoding: chunked`` (the streaming endpoint), which is
+    consumed incrementally up to the terminating zero-size chunk.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        #: Messages fully parsed off this buffer (for reuse accounting).
+        self.messages_parsed = 0
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    def next_request(self) -> Optional[HttpRequest]:
+        parsed = self._next_message(is_response=False)
+        return parsed  # type: ignore[return-value]
+
+    def next_response(self) -> Optional[HttpResponse]:
+        parsed = self._next_message(is_response=True)
+        return parsed  # type: ignore[return-value]
+
+    def _next_message(self, is_response: bool):
+        head_end = self._buffer.find(b"\r\n\r\n")
+        if head_end < 0:
+            return None
+        head = self._buffer[:head_end].decode("utf-8", errors="replace")
+        lines = head.split("\r\n")
+        headers = _parse_headers(lines[1:])
+        body_start = head_end + 4
+
+        chunked = any(
+            name.lower() == "transfer-encoding" and "chunked" in value.lower()
+            for name, value in headers.items()
+        )
+        if chunked:
+            body_end = self._chunked_end(body_start)
+            if body_end < 0:
+                return None
+        else:
+            length = 0
+            for name, value in headers.items():
+                if name.lower() == "content-length":
+                    try:
+                        length = int(value)
+                    except ValueError as exc:
+                        raise ProtocolError(
+                            f"malformed Content-Length {value!r}") from exc
+                    break
+            body_end = body_start + length
+            if len(self._buffer) < body_end:
+                return None
+
+        text = self._buffer[:body_end].decode("utf-8")
+        # Compact in place: the allocation persists across requests.
+        del self._buffer[:body_end]
+        self.messages_parsed += 1
+        if is_response:
+            return HttpResponse.parse(text)
+        return HttpRequest.parse(text)
+
+    def _chunked_end(self, position: int) -> int:
+        """Index one past the chunked terminator, or -1 if incomplete."""
+        buffer = self._buffer
+        while True:
+            newline = buffer.find(b"\r\n", position)
+            if newline < 0:
+                return -1
+            size_text = bytes(buffer[position:newline]).strip()
+            try:
+                size = int(size_text, 16)
+            except ValueError as exc:
+                raise ProtocolError(
+                    f"malformed chunked payload: bad chunk size {size_text!r}"
+                ) from exc
+            position = newline + 2
+            if size == 0:
+                # The terminator is "0\r\n\r\n" (no trailers in this tunnel).
+                return position + 2 if len(buffer) >= position + 2 else -1
+            if len(buffer) < position + size + 2:
+                return -1
+            position += size + 2
 
 
 def _parse_chunked(body: str) -> List[str]:
@@ -157,12 +284,18 @@ class ChannelStatistics:
     round_trips: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: Connection churn: setups paid vs requests that rode an existing
+    #: keep-alive connection.
+    connections_opened: int = 0
+    requests_reusing_connection: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
             "round_trips": self.round_trips,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "connections_opened": self.connections_opened,
+            "requests_reusing_connection": self.requests_reusing_connection,
         }
 
 
@@ -177,8 +310,13 @@ class HttpChannel:
     def __init__(self, handler: Callable[[HttpRequest], HttpResponse]):
         self._handler = handler
         self.statistics = ChannelStatistics()
+        self._connected = False
 
     def round_trip(self, request: HttpRequest) -> HttpResponse:
+        if self._connected:
+            self.statistics.requests_reusing_connection += 1
+        else:
+            self.statistics.connections_opened += 1
         wire_request = request.serialize()
         self.statistics.bytes_sent += len(wire_request.encode("utf-8"))
 
@@ -188,7 +326,12 @@ class HttpChannel:
         wire_response = response.serialize()
         self.statistics.bytes_received += len(wire_response.encode("utf-8"))
         self.statistics.round_trips += 1
-        return HttpResponse.parse(wire_response)
+        parsed = HttpResponse.parse(wire_response)
+        # An exchange persists the (simulated) connection only when both
+        # sides agreed to keep-alive — mirroring what the socket transport
+        # does for real.
+        self._connected = request.wants_keep_alive() and parsed.wants_keep_alive()
+        return parsed
 
     def post(self, path: str, body: str, headers: Optional[Dict[str, str]] = None) -> HttpResponse:
         request = HttpRequest(method="POST", path=path, headers=headers or {}, body=body)

@@ -23,20 +23,41 @@ Extensions beyond DB-API (all optional keyword paths):
   retriable errors (overload sheds), honouring the server's
   ``retry_after_seconds`` hint with seeded jitter (see :class:`RetryPolicy`);
 * ``connection.explain(sql)`` — the server's plan rendering, including
-  per-operator estimated rows and their provenance (feedback vs defaults).
+  per-operator estimated rows and their provenance (feedback vs defaults);
+* ``connect(async_server=..., transport="native"|"http")`` — bind the
+  connection to an event-loop :class:`~repro.server.aio.AsyncMediationServer`
+  over a **persistent socket** (native framed protocol or HTTP/1.1
+  keep-alive) instead of the per-request string tunnel; many statements ride
+  one connection, and :class:`ConnectionPool` leases such connections across
+  application threads.
 """
 
 from __future__ import annotations
 
+import json
 import random
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ClientError
 from repro.federation import Federation
-from repro.server.http import HttpChannel
-from repro.server.protocol import Request, Response, relation_from_payload
+from repro.server.aio import MAGIC, FrameParser, encode_frame
+from repro.server.http import (
+    ChannelStatistics,
+    HttpChannel,
+    HttpRequest,
+    HttpResponse,
+    HttpWireParser,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    relation_from_payload,
+)
 from repro.server.server import MediationServer
 
 #: DB-API module-level attributes.
@@ -99,7 +120,9 @@ def _retry_policy(auto_retry: Union[bool, int, RetryPolicy, None]) -> Optional[R
 
 def connect(federation: Optional[Federation] = None, server: Optional[MediationServer] = None,
             context: Optional[str] = None, tenant: Optional[str] = None,
-            auto_retry: Union[bool, int, RetryPolicy, None] = False) -> "Connection":
+            auto_retry: Union[bool, int, RetryPolicy, None] = False,
+            async_server: Optional[Any] = None,
+            transport: str = "native") -> "Connection":
     """Open a connection to a mediation server.
 
     Either an existing :class:`MediationServer` or a :class:`Federation` (from
@@ -111,7 +134,27 @@ def connect(federation: Optional[Federation] = None, server: Optional[MediationS
     retries of retriable errors (overload sheds): ``True`` for the default
     :class:`RetryPolicy`, an integer for a custom attempt bound, or a policy
     instance for full control.
+
+    ``async_server`` binds the connection to an event-loop
+    :class:`~repro.server.aio.AsyncMediationServer` instead: the connection
+    opens **one persistent socket** (a real OS socket served by the loop)
+    and reuses it across statements.  ``transport`` selects the wire
+    protocol on that socket — ``"native"`` (length-prefixed COIN/1 frames
+    with a session handshake) or ``"http"`` (HTTP/1.1 keep-alive).
     """
+    if async_server is not None:
+        if transport == "native":
+            channel: Any = NativeProtocolChannel(
+                async_server.connect_socket, tenant=tenant)
+        elif transport == "http":
+            channel = PooledHttpChannel(
+                async_server.connect_socket, tenant=tenant)
+        else:
+            raise ClientError(
+                f"unknown transport {transport!r}; use 'native' or 'http'")
+        return Connection(async_server.server, context, tenant=tenant,
+                          retry_policy=_retry_policy(auto_retry),
+                          channel=channel)
     if server is None:
         if federation is None:
             raise ClientError("connect() needs a federation or a server")
@@ -125,9 +168,13 @@ class Connection:
 
     def __init__(self, server: MediationServer, context: Optional[str] = None,
                  tenant: Optional[str] = None,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 channel: Optional[Any] = None):
         self._server = server
-        self._channel: Optional[HttpChannel] = server.channel()
+        # Any object with HttpChannel's ``post`` shape works: the default
+        # per-request tunnel, or a persistent socket channel bound to an
+        # event-loop server.
+        self._channel = channel if channel is not None else server.channel()
         self.context = context
         self.tenant = tenant
         self.retry_policy = retry_policy
@@ -141,7 +188,9 @@ class Connection:
         return Cursor(self)
 
     def close(self) -> None:
-        self._channel = None
+        channel, self._channel = self._channel, None
+        if channel is not None and hasattr(channel, "close"):
+            channel.close()
 
     def commit(self) -> None:
         """Provided for DB-API compatibility; the prototype is read-only."""
@@ -501,6 +550,309 @@ class PreparedStatement:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class _PooledSocketChannel:
+    """Shared plumbing of the persistent-socket client channels.
+
+    One channel owns one OS socket to an event-loop server and reuses it
+    across requests (that is the whole point: no per-statement connection
+    setup).  If a request fails on a **reused** socket before completing —
+    typically because the server's idle reaper closed the session — the
+    channel transparently reconnects once and replays; nothing executed
+    server-side, so the replay is safe.  A failure on a *fresh* socket is a
+    real error and propagates.
+    """
+
+    def __init__(self, connector: Callable[[], Any], timeout: float = 30.0):
+        self._connector = connector
+        self._timeout = timeout
+        self._sock: Optional[Any] = None
+        self.statistics = ChannelStatistics()
+
+    # -- subclass hooks --------------------------------------------------------------
+
+    def _handshake(self) -> None:
+        """Wire-protocol setup after the socket opens."""
+
+    def _exchange(self, path: str, body: str,
+                  headers: Optional[Dict[str, str]]) -> HttpResponse:
+        raise NotImplementedError
+
+    def _reset(self) -> None:
+        """Discard per-connection parse state."""
+
+    # -- channel surface -------------------------------------------------------------
+
+    def post(self, path: str, body: str,
+             headers: Optional[Dict[str, str]] = None) -> HttpResponse:
+        for attempt in (1, 2):
+            reused = self._sock is not None
+            if not reused:
+                self._open()
+            try:
+                response = self._exchange(path, body, headers)
+            except (OSError, EOFError) as exc:
+                self.close()
+                if reused and attempt == 1:
+                    # The server reaped the idle connection between
+                    # statements; reconnect once and replay.
+                    continue
+                error = ClientError(f"connection lost: {exc}")
+                error.error_kind = "ConnectionError"
+                error.retriable = False
+                raise error from exc
+            if reused:
+                self.statistics.requests_reusing_connection += 1
+            self.statistics.round_trips += 1
+            return response
+        raise ClientError("unreachable: reconnect loop exhausted")  # pragma: no cover
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._reset()
+
+    def _open(self) -> None:
+        sock = self._connector()
+        sock.settimeout(self._timeout)
+        self._sock = sock
+        self.statistics.connections_opened += 1
+        try:
+            self._handshake()
+        except BaseException:
+            self.close()
+            raise
+
+    def _send(self, data: bytes) -> None:
+        self._sock.sendall(data)
+        self.statistics.bytes_sent += len(data)
+
+    def _recv(self) -> bytes:
+        data = self._sock.recv(65536)
+        if not data:
+            raise EOFError("server closed the connection")
+        self.statistics.bytes_received += len(data)
+        return data
+
+
+class NativeProtocolChannel(_PooledSocketChannel):
+    """Client side of the framed native protocol (``COIN/1``).
+
+    On connect it sends the magic preamble plus a hello frame carrying the
+    tenant, and the server replies with a session — prepared statements and
+    cursors opened on this channel live exactly as long as the session does.
+    Each request is then one length-prefixed JSON frame; responses are
+    re-shaped into :class:`HttpResponse` so :class:`Connection` is oblivious
+    to which transport carried them.
+    """
+
+    def __init__(self, connector: Callable[[], Any],
+                 tenant: Optional[str] = None, timeout: float = 30.0):
+        super().__init__(connector, timeout)
+        self._tenant = tenant
+        self._parser = FrameParser()
+        self._next_request_id = 0
+        self.session_id: Optional[str] = None
+
+    def _handshake(self) -> None:
+        self._parser = FrameParser()
+        self._send(MAGIC)
+        self._send_frame(json.dumps({
+            "hello": {"tenant": self._tenant, "protocol": PROTOCOL_VERSION},
+        }))
+        reply = json.loads(self._recv_frame())
+        if not reply.get("ok"):
+            raise ClientError(f"native handshake refused: {reply!r}")
+        self.session_id = reply.get("session_id")
+
+    def _exchange(self, path: str, body: str,
+                  headers: Optional[Dict[str, str]]) -> HttpResponse:
+        self._next_request_id += 1
+        self._send_frame(json.dumps({
+            "id": self._next_request_id,
+            "request": json.loads(body),
+        }))
+        envelope = json.loads(self._recv_frame())
+        response = envelope.get("response") or {}
+        if response.get("ok"):
+            status, reason = 200, "OK"
+        elif response.get("error_kind") == "OverloadError":
+            status, reason = 503, "Service Unavailable"
+        else:
+            status, reason = 422, "Unprocessable Entity"
+        return HttpResponse(status=status, reason=reason,
+                            body=json.dumps(response))
+
+    def _reset(self) -> None:
+        self._parser = FrameParser()
+        self.session_id = None
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                # Polite close: lets the server retire the session without
+                # waiting for EOF.  Best effort only.
+                self._send_frame(json.dumps({"close": True}))
+            except OSError:
+                pass
+        super().close()
+
+    def _send_frame(self, text: str) -> None:
+        self._send(encode_frame(text.encode("utf-8")))
+
+    def _recv_frame(self) -> bytes:
+        while True:
+            frame = self._parser.next_frame()
+            if frame is not None:
+                return frame
+            self._parser.feed(self._recv())
+
+
+class PooledHttpChannel(_PooledSocketChannel):
+    """HTTP/1.1 keep-alive client over one persistent socket.
+
+    Requests go out as HTTP/1.1 (persistent by default); responses are
+    parsed incrementally off the socket by a per-connection
+    :class:`HttpWireParser`.  If either side asks to close, the socket is
+    dropped and the next request reconnects.
+    """
+
+    def __init__(self, connector: Callable[[], Any],
+                 tenant: Optional[str] = None, timeout: float = 30.0):
+        super().__init__(connector, timeout)
+        self._tenant = tenant
+        self._parser = HttpWireParser()
+
+    def _handshake(self) -> None:
+        self._parser = HttpWireParser()
+
+    def _reset(self) -> None:
+        self._parser = HttpWireParser()
+
+    def _exchange(self, path: str, body: str,
+                  headers: Optional[Dict[str, str]]) -> HttpResponse:
+        send_headers = dict(headers or {})
+        if self._tenant is not None:
+            send_headers.setdefault(MediationServer.TENANT_HEADER, self._tenant)
+        request = HttpRequest(method="POST", path=path, headers=send_headers,
+                              body=body, version="HTTP/1.1")
+        self._send(request.serialize().encode("utf-8"))
+        response = self._recv_response()
+        if not (request.wants_keep_alive() and response.wants_keep_alive()):
+            self.close()
+        return response
+
+    def _recv_response(self) -> HttpResponse:
+        while True:
+            response = self._parser.next_response()
+            if response is not None:
+                return response
+            self._parser.feed(self._recv())
+
+
+class ConnectionPool:
+    """A bounded pool of reusable connections, leased across threads.
+
+    ``factory`` opens one connection — e.g. ``lambda: connect(
+    async_server=aio, transport="native", tenant="acme")``.  Connections are
+    created lazily up to ``size``, handed out LIFO (the warmest connection,
+    whose socket and server session are most recently used, goes first), and
+    returned on :meth:`release` or when the :meth:`connection` context
+    manager exits.  When all ``size`` connections are leased, acquirers
+    block up to ``timeout_seconds``.
+    """
+
+    def __init__(self, factory: Callable[[], Connection], size: int = 8,
+                 timeout_seconds: float = 30.0):
+        if size < 1:
+            raise ClientError(f"pool size must be at least 1, got {size}")
+        self._factory = factory
+        self._size = size
+        self._timeout = timeout_seconds
+        self._idle: List[Connection] = []
+        self._condition = threading.Condition(threading.Lock())
+        self._created = 0
+        self._closed = False
+        self.leases = 0
+        self.lease_waits = 0
+
+    def acquire(self) -> Connection:
+        deadline = time.monotonic() + self._timeout
+        waited = False
+        with self._condition:
+            while True:
+                if self._closed:
+                    raise ClientError("connection pool is closed")
+                if self._idle:
+                    connection: Optional[Connection] = self._idle.pop()
+                    break
+                if self._created < self._size:
+                    self._created += 1
+                    connection = None  # create outside the lock
+                    break
+                if not waited:
+                    waited = True
+                    self.lease_waits += 1
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ClientError(
+                        f"connection pool exhausted: all {self._size} "
+                        f"connections leased for {self._timeout:.1f}s")
+                self._condition.wait(remaining)
+            self.leases += 1
+        if connection is None:
+            try:
+                connection = self._factory()
+            except BaseException:
+                with self._condition:
+                    self._created -= 1
+                    self._condition.notify()
+                raise
+        return connection
+
+    def release(self, connection: Connection) -> None:
+        close_now = False
+        with self._condition:
+            if self._closed:
+                close_now = True
+            else:
+                self._idle.append(connection)
+                self._condition.notify()
+        if close_now:
+            connection.close()
+
+    @contextmanager
+    def connection(self):
+        connection = self.acquire()
+        try:
+            yield connection
+        finally:
+            self.release(connection)
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._condition.notify_all()
+        for connection in idle:
+            connection.close()
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._condition:
+            return {
+                "size": self._size,
+                "created": self._created,
+                "idle": len(self._idle),
+                "leased": self._created - len(self._idle),
+                "leases": self.leases,
+                "lease_waits": self.lease_waits,
+                "closed": self._closed,
+            }
 
 
 def _quote(value: Any) -> str:

@@ -163,7 +163,25 @@ class MediationServer:
         return HttpChannel(self.handle_http)
 
     def handle_http(self, request: HttpRequest) -> HttpResponse:
-        """Handle one HTTP-tunnelled protocol request."""
+        """Handle one HTTP-tunnelled protocol request.
+
+        Persistence is honoured on the plain endpoints: a keep-alive request
+        gets a keep-alive response (HTTP/1.1 clients persist by default), so
+        pooled clients reuse one connection across statements.  Chunked
+        streaming responses always close — their consumer may abandon the
+        stream mid-body, and a closed connection is the only framing-safe
+        way out.
+        """
+        response = self._handle_http(request)
+        if request.version.upper() == "HTTP/1.1":
+            response.version = "HTTP/1.1"
+        if response.chunks is None and request.wants_keep_alive():
+            response.headers.setdefault("Connection", "keep-alive")
+        else:
+            response.headers.setdefault("Connection", "close")
+        return response
+
+    def _handle_http(self, request: HttpRequest) -> HttpResponse:
         if request.method == "POST" and request.path == self.STREAM_ENDPOINT:
             return self.handle_http_stream(request)
         if request.path != self.ENDPOINT or request.method != "POST":

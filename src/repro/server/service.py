@@ -1,0 +1,264 @@
+"""A process-embedded service facade over the federation + admission gateway.
+
+Applications that live in the same process as the federation do not need the
+wire protocol at all — but they *do* need the serving disciplines the wire
+transports get for free: admission control, tenant quota accounting, deadline
+shedding, and streaming backpressure.  :class:`FederatedQueryService` is that
+facade: every statement runs under the :class:`~repro.server.gateway.
+AdmissionGateway`, and every streaming result is a :class:`ResultHandle`
+holding one of the gateway's bounded stream permits until it is closed or
+exhausted — exactly the contract the protocol cursors and chunked HTTP
+responses obey.
+
+Shape::
+
+    service = federation.service()                 # or FederatedQueryService(...)
+    summary = service.execute("select ...", tenant="acme")
+    for row in summary.rows: ...
+
+    with service.submit("select ...", tenant="acme") as handle:
+        for batch in handle.batches():             # permit held while open
+            consume(batch)
+    handle.summary().row_count
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ClientError
+from repro.federation import Federation, FederationCursor
+from repro.mediation.explain import conflict_summary
+from repro.server.gateway import AdmissionGateway, GatewayConfig
+
+__all__ = ["ExecutionSummary", "ResultHandle", "FederatedQueryService"]
+
+
+@dataclass
+class ExecutionSummary:
+    """What one statement did: answer metadata plus the execution report."""
+
+    #: Materialized answer rows (``execute`` only; None for streamed results,
+    #: whose rows went through the handle instead).
+    rows: Optional[List[Tuple[Any, ...]]]
+    row_count: int
+    columns: List[str]
+    column_labels: List[str]
+    mediated_sql: str
+    branch_count: int
+    conflicts: List[str]
+    consistency: str
+    tenant: Optional[str]
+    elapsed_seconds: float
+    #: The engine's execution-report snapshot (scheduler, resilience,
+    #: consistency blocks — see ``ExecutionReport.snapshot()``).
+    execution: Dict[str, Any] = field(default_factory=dict)
+
+
+class ResultHandle:
+    """A streaming answer holding one gateway stream permit.
+
+    Wraps a :class:`~repro.federation.FederationCursor`; rows are pulled in
+    bounded batches (``batches()`` / ``fetchmany`` / iteration), so consumer
+    memory holds one batch, and the producer runs under the engine's own
+    flow control.  The stream permit — the gateway's backpressure token — is
+    released exactly once, on :meth:`close` or when the result is drained.
+    """
+
+    def __init__(self, cursor: FederationCursor, release: Callable[[], None],
+                 tenant: Optional[str], batch_size: int = 256):
+        if batch_size < 1:
+            raise ClientError(f"batch_size must be positive, got {batch_size}")
+        self._cursor = cursor
+        self._release = release
+        self._batch_size = batch_size
+        self.tenant = tenant
+        self.rows_streamed = 0
+        self.closed = False
+        self._started = time.perf_counter()
+        self._elapsed: Optional[float] = None
+
+    # -- metadata ---------------------------------------------------------------------
+
+    @property
+    def description(self) -> List[Tuple]:
+        return self._cursor.description
+
+    @property
+    def columns(self) -> List[str]:
+        return [attribute.name for attribute in self._cursor.schema]
+
+    @property
+    def mediated_sql(self) -> str:
+        return self._cursor.mediated_sql
+
+    # -- consuming --------------------------------------------------------------------
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        if self.closed:
+            return []
+        rows = self._cursor.fetchmany(size or self._batch_size)
+        self.rows_streamed += len(rows)
+        if not rows or self._cursor.exhausted:
+            self._finish()
+        return rows
+
+    def batches(self) -> Iterator[List[Tuple[Any, ...]]]:
+        """Yield result batches until exhaustion; releases the permit after
+        the last one."""
+        while True:
+            rows = self.fetchmany()
+            if not rows:
+                return
+            yield rows
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        rows: List[Tuple[Any, ...]] = []
+        for batch in self.batches():
+            rows.extend(batch)
+        return rows
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        for batch in self.batches():
+            yield from batch
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel outstanding fetches and release the permit (idempotent)."""
+        self._finish()
+
+    def _finish(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._elapsed = time.perf_counter() - self._started
+        try:
+            self._cursor.close()
+        finally:
+            self._release()
+
+    def __enter__(self) -> "ResultHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def summary(self) -> ExecutionSummary:
+        """The statement's summary; the execution report reflects work done
+        so far (complete once the handle is drained or closed)."""
+        mediation = self._cursor.mediation
+        elapsed = (self._elapsed if self._elapsed is not None
+                   else time.perf_counter() - self._started)
+        return ExecutionSummary(
+            rows=None,
+            row_count=self.rows_streamed,
+            columns=self.columns,
+            column_labels=[annotation.label()
+                           for annotation in self._cursor.annotations],
+            mediated_sql=mediation.sql,
+            branch_count=mediation.branch_count,
+            conflicts=conflict_summary(mediation),
+            consistency=getattr(self._cursor.prepared, "consistency", "raw"),
+            tenant=self.tenant,
+            elapsed_seconds=elapsed,
+            execution=self._cursor.report.snapshot(),
+        )
+
+
+class FederatedQueryService:
+    """The public in-process query surface: gateway-governed, handle-based.
+
+    ``gateway`` may be an existing :class:`AdmissionGateway` (e.g. shared
+    with a wire server so both fronts drain one budget), a
+    :class:`GatewayConfig`, or None for defaults.
+    """
+
+    def __init__(self, federation: Federation,
+                 gateway: Union[AdmissionGateway, GatewayConfig, None] = None):
+        self.federation = federation
+        if isinstance(gateway, AdmissionGateway):
+            self.gateway = gateway
+        else:
+            self.gateway = AdmissionGateway(gateway)
+
+    # -- statements -------------------------------------------------------------------
+
+    def execute(self, sql: str, context: Optional[str] = None,
+                tenant: Optional[str] = None, mediate: bool = True,
+                consistency: str = "raw",
+                timeout_seconds: Optional[float] = None,
+                on_source_error: Optional[str] = None) -> ExecutionSummary:
+        """Run ``sql`` to completion under admission control."""
+        started = time.perf_counter()
+
+        def work(remaining: Optional[float]):
+            return self.federation.query(
+                sql, context, mediate=mediate, consistency=consistency,
+                timeout_seconds=remaining,
+                on_source_error=on_source_error or "fail",
+            )
+
+        answer = self.gateway.run(work, tenant=tenant,
+                                  timeout_seconds=timeout_seconds)
+        rows = [tuple(row) for row in answer.relation.rows]
+        return ExecutionSummary(
+            rows=rows,
+            row_count=len(rows),
+            columns=[attribute.name for attribute in answer.relation.schema],
+            column_labels=[annotation.label()
+                           for annotation in answer.annotations],
+            mediated_sql=answer.mediated_sql,
+            branch_count=answer.mediation.branch_count,
+            conflicts=conflict_summary(answer.mediation),
+            consistency=consistency,
+            tenant=tenant,
+            elapsed_seconds=time.perf_counter() - started,
+            execution=answer.execution.report.snapshot(),
+        )
+
+    def submit(self, sql: str, context: Optional[str] = None,
+               tenant: Optional[str] = None, mediate: bool = True,
+               consistency: str = "raw",
+               timeout_seconds: Optional[float] = None,
+               on_source_error: Optional[str] = None,
+               batch_size: int = 256) -> ResultHandle:
+        """Open a streaming statement; returns a :class:`ResultHandle`.
+
+        The handle's batches flow under the gateway's stream-permit
+        backpressure: the permit is claimed *before* any work (an
+        over-streamed service sheds the submit, retriable), and held until
+        the handle closes.
+        """
+        release = self.gateway.acquire_stream(tenant)
+        try:
+            cursor = self.gateway.run(
+                lambda remaining: self.federation.query(
+                    sql, context, mediate=mediate, stream=True,
+                    consistency=consistency, timeout_seconds=remaining,
+                    on_source_error=on_source_error or "fail",
+                ),
+                tenant=tenant, timeout_seconds=timeout_seconds,
+            )
+        except BaseException:
+            release()
+            raise
+        return ResultHandle(cursor, release, tenant, batch_size=batch_size)
+
+    def explain(self, sql: str, context: Optional[str] = None) -> str:
+        return self.federation.explain_plan(sql, context)
+
+    # -- operations -------------------------------------------------------------------
+
+    def drain(self, timeout_seconds: Optional[float] = None) -> bool:
+        """Stop admitting, wait for in-flight statements and open handles."""
+        self.gateway.begin_drain()
+        return self.gateway.await_drain(timeout_seconds)
+
+    def resume(self) -> None:
+        self.gateway.resume()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"gateway": self.gateway.snapshot()}

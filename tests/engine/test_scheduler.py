@@ -191,6 +191,54 @@ class TestConcurrentDispatch:
             assert rows == reference
 
 
+class TestLatencyAwareDispatch:
+    """Mature per-wrapper latency profiles reorder pool submissions so the
+    expected-slowest fetch (the statement's long pole) is submitted first."""
+
+    def _seed_profile(self, engine, wrapper_name, fetch_seconds, rows=5):
+        for _ in range(3):  # MIN_LATENCY_SAMPLES observations mature it
+            engine.catalog.feedback.record_source(wrapper_name, fetch_seconds, rows)
+
+    def test_cold_catalog_keeps_plan_order(self):
+        engine = _latency_engine((0.0, 0.0, 0.0))
+        report = engine.execute(_latency_query(branches=1, sources=3)).report
+        assert report.dispatch_policy == "plan"
+        assert report.dispatch_order == ["s1", "s2", "s3"]
+
+    def test_slowest_profile_is_submitted_first(self):
+        engine = _latency_engine((0.0, 0.0, 0.0))
+        self._seed_profile(engine, "lat1", 0.001)
+        self._seed_profile(engine, "lat2", 0.010)
+        self._seed_profile(engine, "lat3", 0.200)
+        report = engine.execute(_latency_query(branches=1, sources=3)).report
+        assert report.dispatch_policy == "latency"
+        assert report.dispatch_order == ["s3", "s2", "s1"]
+        snapshot = report.snapshot()["scheduler"]
+        assert snapshot["dispatch_order"] == ["s3", "s2", "s1"]
+        assert snapshot["dispatch_policy"] == "latency"
+
+    def test_unprofiled_wrappers_keep_plan_order_behind_profiled(self):
+        engine = _latency_engine((0.0, 0.0, 0.0))
+        self._seed_profile(engine, "lat2", 0.050)
+        report = engine.execute(_latency_query(branches=1, sources=3)).report
+        assert report.dispatch_policy == "latency"
+        assert report.dispatch_order == ["s2", "s1", "s3"]
+
+    def test_reorder_does_not_change_answers_or_report_order(self):
+        query = _latency_query(branches=2, sources=3)
+        latencies = (0.03, 0.001, 0.01)
+        baseline = _latency_engine(latencies)
+        expected = list(baseline.execute(query).relation.rows)
+
+        engine = _latency_engine(latencies)
+        self._seed_profile(engine, "lat1", 0.030)
+        self._seed_profile(engine, "lat3", 0.010)
+        result = engine.execute(query)
+        assert list(result.relation.rows) == expected
+        ordering = [(entry.branch, entry.binding) for entry in result.report.requests]
+        assert ordering == sorted(ordering)
+
+
 class TestSourceResultCache:
     def test_repeat_statements_skip_round_trips(self):
         source = _scan_only_source()

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import ProtocolError
-from repro.server.http import HttpChannel, HttpRequest, HttpResponse
+from repro.server.http import (
+    HttpChannel,
+    HttpRequest,
+    HttpResponse,
+    HttpWireParser,
+    wants_keep_alive,
+)
 
 
 class TestMessages:
@@ -59,3 +65,90 @@ class TestChannel:
         assert stats["round_trips"] == 2
         assert stats["bytes_sent"] > 10
         assert stats["bytes_received"] > 20
+
+    def test_keep_alive_reuses_connection(self):
+        def handler(request: HttpRequest) -> HttpResponse:
+            response = HttpResponse(body="pong")
+            if request.wants_keep_alive():
+                response.headers["Connection"] = "keep-alive"
+            return response
+
+        channel = HttpChannel(handler)
+        for _ in range(3):
+            channel.post("/a", "ping", headers={"Connection": "keep-alive"})
+        stats = channel.statistics.snapshot()
+        assert stats["connections_opened"] == 1
+        assert stats["requests_reusing_connection"] == 2
+
+    def test_close_reconnects_every_request(self):
+        channel = HttpChannel(lambda request: HttpResponse(body="pong"))
+        channel.post("/a", "ping")
+        channel.post("/a", "ping")
+        stats = channel.statistics.snapshot()
+        assert stats["connections_opened"] == 2
+        assert stats["requests_reusing_connection"] == 0
+
+
+class TestKeepAliveSemantics:
+    def test_http10_defaults_to_close(self):
+        assert not wants_keep_alive("HTTP/1.0", {})
+
+    def test_http10_explicit_keep_alive(self):
+        assert wants_keep_alive("HTTP/1.0", {"Connection": "keep-alive"})
+
+    def test_http11_defaults_to_keep_alive(self):
+        assert wants_keep_alive("HTTP/1.1", {})
+
+    def test_http11_explicit_close(self):
+        assert not wants_keep_alive("HTTP/1.1", {"connection": "Close"})
+
+    def test_version_survives_round_trip(self):
+        request = HttpRequest("POST", "/x", body="b", version="HTTP/1.1")
+        assert HttpRequest.parse(request.serialize()).version == "HTTP/1.1"
+        response = HttpResponse(body="b", version="HTTP/1.1")
+        assert HttpResponse.parse(response.serialize()).version == "HTTP/1.1"
+
+
+class TestWireParser:
+    def test_requests_parse_incrementally_from_one_buffer(self):
+        parser = HttpWireParser()
+        first = HttpRequest("POST", "/a", body="one", version="HTTP/1.1")
+        second = HttpRequest("POST", "/b", body="two", version="HTTP/1.1")
+        wire = (first.serialize() + second.serialize()).encode("utf-8")
+
+        # Feed in awkward splits: nothing completes until the bytes are in.
+        parser.feed(wire[:10])
+        assert parser.next_request() is None
+        parser.feed(wire[10:])
+        parsed_first = parser.next_request()
+        parsed_second = parser.next_request()
+        assert parsed_first.path == "/a" and parsed_first.body == "one"
+        assert parsed_second.path == "/b" and parsed_second.body == "two"
+        assert parser.next_request() is None
+        assert parser.messages_parsed == 2
+        assert parser.buffered_bytes == 0
+
+    def test_content_length_body_waits_for_full_payload(self):
+        parser = HttpWireParser()
+        wire = HttpRequest("POST", "/a", body="0123456789").serialize().encode()
+        parser.feed(wire[:-4])
+        assert parser.next_request() is None
+        parser.feed(wire[-4:])
+        assert parser.next_request().body == "0123456789"
+
+    def test_chunked_response_parses_after_terminator(self):
+        parser = HttpWireParser()
+        response = HttpResponse(chunks=["alpha", "beta"], version="HTTP/1.1")
+        wire = response.serialize().encode("utf-8")
+        parser.feed(wire[:-5])
+        assert parser.next_response() is None
+        parser.feed(wire[-5:])
+        parsed = parser.next_response()
+        assert parsed.chunks == ["alpha", "beta"]
+
+    def test_malformed_chunk_size_raises(self):
+        parser = HttpWireParser()
+        parser.feed(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    b"zz\r\nbody\r\n0\r\n\r\n")
+        with pytest.raises(ProtocolError):
+            parser.next_response()

@@ -7,6 +7,12 @@ gates on: every shed is a fast retriable :class:`~repro.errors.OverloadError`,
 no admitted request waited in queue past its deadline, every accepted answer
 is digest-identical to serial execution, and the server drains to zero with
 no leaked cursors, streaming permits, temp-store staging or budget bytes.
+
+The suite is parameterized over both serving transports: ``threads`` (each
+client calls straight into the server in process) and ``aio`` (every client
+holds a persistent framed-protocol socket served by the
+:class:`~repro.server.aio.AsyncMediationServer` event loop).  The overload
+contract must hold identically on both.
 """
 
 import os
@@ -26,9 +32,10 @@ from bench_hotpath import bench_sustained_load
 pytestmark = pytest.mark.soak
 
 
-@pytest.fixture(scope="module")
-def soak_result():
-    return bench_sustained_load(smoke=True)
+@pytest.fixture(scope="module", params=["threads", "aio"],
+                ids=["transport-threads", "transport-aio"])
+def soak_result(request):
+    return bench_sustained_load(smoke=True, transport=request.param)
 
 
 class TestSustainedLoadSoak:
@@ -67,6 +74,17 @@ class TestSustainedLoadSoak:
             for counters in injected.values()
         )
         assert total > 0, injected
+
+    def test_async_transport_served_and_released_every_connection(
+            self, soak_result):
+        if soak_result["transport"] != "aio":
+            pytest.skip("threaded transport has no event-loop connections")
+        stats = soak_result["async_transport"]
+        # One persistent socket per client thread, all closed by the drain.
+        assert stats["connections"]["opened"] >= soak_result["threads"]
+        assert stats["connections"]["current"] == 0
+        assert stats["sessions"]["open"] == 0
+        assert stats["requests"]["total"] >= soak_result["accepted"]
 
 
 class TestStreamReleaseRegression:
