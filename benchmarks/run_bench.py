@@ -58,6 +58,12 @@ def _print_summary(result) -> None:
           f"{pipeline['warm_queries_per_sec']} q/s ({pipeline['speedup']}x) -> prepared "
           f"{pipeline['prepared_queries_per_sec']} q/s ({pipeline['prepared_speedup']}x), "
           f"{pipeline['warm_mediations']} warm mediations / {pipeline['warm_plans']} warm plans")
+    obs = result["observability_overhead"]
+    print(f"[hotpath:{result['mode']}] observability overhead x{obs['repeats']} "
+          f"(best of {obs['rounds']}): plain {obs['plain_queries_per_sec']} q/s "
+          f"-> traced@{obs['sample_rate']} {obs['traced_queries_per_sec']} q/s "
+          f"({obs['overhead_ratio']}x), {obs['traces_finished']} traces "
+          f"({obs['trace_buffer_kept']} kept), {obs['metric_series']} metric series")
     topk = result["streaming_topk"]
     print(f"[hotpath:{result['mode']}] streaming top-{topk['limit']} over "
           f"{topk['big_rows']} rows: first row eager {topk['first_row_seconds_eager']}s "

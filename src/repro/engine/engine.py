@@ -75,6 +75,12 @@ class EngineStatistics:
     bind_keys_shipped: int = 0
     bind_rows_fetched: int = 0
     bind_rows_avoided: int = 0
+    #: Memory accounting folded from per-statement reports: operator spills
+    #: to temporary storage, bytes spilled, and the largest per-statement
+    #: operator-memory peak observed.
+    spill_count: int = 0
+    spilled_bytes: int = 0
+    peak_memory_bytes: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
 
@@ -87,29 +93,53 @@ class EngineStatistics:
             self.streams_opened += 1
 
     def record_execution(self, report) -> None:
-        """Fold one execution report's totals into the aggregate counters."""
+        """Fold one execution report's totals into the aggregate counters.
+
+        The report's own lock is taken first (and released before ours, so
+        the order stays flat): a late fetch worker or a concurrent monitor
+        snapshot may still touch the report while the fold reads it.
+        """
+        with report.lock:
+            source_requests = len(report.requests)
+            rows_transferred = sum(
+                request.rows_returned for request in report.requests
+                if not request.dedup_hit and not request.cache_hit
+            )
+            source_round_trips = report.distinct_requests - report.cache_hits
+            dedup_hits = report.dedup_hits
+            cache_hits = report.cache_hits
+            rows_returned = report.result_rows
+            rows_streamed = report.rows_streamed
+            cancelled_fetches = report.cancelled_fetches
+            spill_count = report.spill_count
+            spilled_bytes = report.spilled_bytes
+            peak_memory_bytes = report.peak_memory_bytes
+        resilience = report.resilience.snapshot()
+        optimizer = report.optimizer
         with self._lock:
             self.statements_executed += 1
-            self.source_requests += len(report.requests)
-            self.source_round_trips += report.source_round_trips
-            self.dedup_hits += report.dedup_hits
-            self.cache_hits += report.cache_hits
-            self.rows_transferred += report.rows_transferred
-            self.rows_returned += report.result_rows
-            self.rows_streamed += report.rows_streamed
-            self.cancelled_fetches += report.cancelled_fetches
-            resilience = report.resilience
-            self.source_retries += resilience.retries
-            self.failed_requests += resilience.failed_requests
-            self.breaker_trips += resilience.breaker_trips
-            self.breaker_rejections += resilience.breaker_rejections
-            self.degraded_branches += len(resilience.degraded_branches)
-            optimizer = report.optimizer
+            self.source_requests += source_requests
+            self.source_round_trips += source_round_trips
+            self.dedup_hits += dedup_hits
+            self.cache_hits += cache_hits
+            self.rows_transferred += rows_transferred
+            self.rows_returned += rows_returned
+            self.rows_streamed += rows_streamed
+            self.cancelled_fetches += cancelled_fetches
+            self.source_retries += resilience["retries"]
+            self.failed_requests += resilience["failed_requests"]
+            self.breaker_trips += resilience["breaker_trips"]
+            self.breaker_rejections += resilience["breaker_rejections"]
+            self.degraded_branches += len(resilience["degraded_branches"])
             self.bind_joins += optimizer.bind_joins
             self.bind_batches += optimizer.bind_batches
             self.bind_keys_shipped += optimizer.bind_keys_shipped
             self.bind_rows_fetched += optimizer.bind_rows_fetched
             self.bind_rows_avoided += optimizer.bind_rows_avoided
+            self.spill_count += spill_count
+            self.spilled_bytes += spilled_bytes
+            if peak_memory_bytes > self.peak_memory_bytes:
+                self.peak_memory_bytes = peak_memory_bytes
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
@@ -135,6 +165,9 @@ class EngineStatistics:
                 "bind_keys_shipped": self.bind_keys_shipped,
                 "bind_rows_fetched": self.bind_rows_fetched,
                 "bind_rows_avoided": self.bind_rows_avoided,
+                "spill_count": self.spill_count,
+                "spilled_bytes": self.spilled_bytes,
+                "peak_memory_bytes": self.peak_memory_bytes,
             }
 
 

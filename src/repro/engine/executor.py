@@ -212,7 +212,15 @@ class OptimizerReport:
 
 @dataclass
 class ExecutionReport:
-    """Execution trace of one statement: per-request facts plus totals."""
+    """Execution trace of one statement: per-request facts plus totals.
+
+    Mutations arrive from several threads — fetch workers append request
+    entries while the consumer thread folds streaming/memory totals and a
+    server thread may snapshot mid-flight — so the list/dict fields are
+    guarded by ``lock``: mutation sites hold it (``record_request`` or a
+    ``with report.lock`` block) and :meth:`snapshot` takes it too, making
+    every snapshot a consistent point-in-time copy.
+    """
 
     requests: List[RequestExecution] = field(default_factory=list)
     branch_rows: List[int] = field(default_factory=list)
@@ -261,6 +269,16 @@ class ExecutionReport:
     #: Adaptive-optimizer outcome: join orders, estimate provenance and
     #: bind-join transfer accounting.
     optimizer: OptimizerReport = field(default_factory=OptimizerReport)
+    #: Trace id of the statement's span tree, when tracing sampled it.
+    trace_id: Optional[str] = None
+    #: Guards the mutable collections/counters above against concurrent
+    #: snapshots (see the class docstring).
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                 compare=False)
+
+    def record_request(self, entry: RequestExecution) -> None:
+        with self.lock:
+            self.requests.append(entry)
 
     @property
     def rows_transferred(self) -> int:
@@ -278,47 +296,58 @@ class ExecutionReport:
         return self.distinct_requests - self.cache_hits
 
     def snapshot(self) -> Dict[str, object]:
-        snapshot: Dict[str, object] = {
-            "requests": len(self.requests),
-            "rows_transferred": self.rows_transferred,
-            "branch_rows": list(self.branch_rows),
-            "result_rows": self.result_rows,
-            "elapsed_seconds": round(self.elapsed_seconds, 6),
-            "temp_storage": dict(self.temp_storage),
-            "operators": [stats.snapshot() for stats in self.operator_stats],
-            "scheduler": {
-                "distinct_requests": self.distinct_requests,
-                "source_round_trips": self.source_round_trips,
-                "dedup_hits": self.dedup_hits,
-                "cache_hits": self.cache_hits,
-                "max_in_flight": self.max_in_flight,
-                "dispatch_order": list(self.dispatch_order),
-                "dispatch_policy": self.dispatch_policy,
-                "wait_seconds": round(
-                    sum(request.wait_seconds for request in self.requests), 6
+        with self.lock:
+            requests = list(self.requests)
+            snapshot: Dict[str, object] = {
+                "requests": len(requests),
+                "rows_transferred": sum(
+                    request.rows_returned for request in requests
+                    if not request.dedup_hit and not request.cache_hit
                 ),
-                "fetch_seconds": round(
-                    sum(request.fetch_seconds for request in self.requests), 6
-                ),
-            },
-            "streaming": {
-                "rows_streamed": self.rows_streamed,
-                "first_row_seconds": round(self.first_row_seconds, 6),
-                "cancelled_fetches": self.cancelled_fetches,
-            },
-            "memory": {
-                "limit_bytes": self.memory_limit_bytes,
-                "peak_bytes": self.peak_memory_bytes,
-                "staged_bytes": self.staged_bytes,
-                "spill_count": self.spill_count,
-                "spilled_rows": self.spilled_rows,
-                "spilled_bytes": self.spilled_bytes,
-            },
-        }
+                "branch_rows": list(self.branch_rows),
+                "result_rows": self.result_rows,
+                "elapsed_seconds": round(self.elapsed_seconds, 6),
+                "temp_storage": dict(self.temp_storage),
+                "operators": [stats.snapshot() for stats in self.operator_stats],
+                "scheduler": {
+                    "distinct_requests": self.distinct_requests,
+                    "source_round_trips": self.distinct_requests - self.cache_hits,
+                    "dedup_hits": self.dedup_hits,
+                    "cache_hits": self.cache_hits,
+                    "max_in_flight": self.max_in_flight,
+                    "dispatch_order": list(self.dispatch_order),
+                    "dispatch_policy": self.dispatch_policy,
+                    "wait_seconds": round(
+                        sum(request.wait_seconds for request in requests), 6
+                    ),
+                    "fetch_seconds": round(
+                        sum(request.fetch_seconds for request in requests), 6
+                    ),
+                },
+                "streaming": {
+                    "rows_streamed": self.rows_streamed,
+                    "first_row_seconds": round(self.first_row_seconds, 6),
+                    "cancelled_fetches": self.cancelled_fetches,
+                },
+                "memory": {
+                    "limit_bytes": self.memory_limit_bytes,
+                    "peak_bytes": self.peak_memory_bytes,
+                    "staged_bytes": self.staged_bytes,
+                    "spill_count": self.spill_count,
+                    "spilled_rows": self.spilled_rows,
+                    "spilled_bytes": self.spilled_bytes,
+                },
+            }
+            if self.trace_id is not None:
+                snapshot["trace_id"] = self.trace_id
+            consistency = (dict(self.consistency)
+                           if self.consistency is not None else None)
+        # The sub-reports carry their own locks; taking them outside ours
+        # keeps the lock order flat (never nested the other way around).
         snapshot["resilience"] = self.resilience.snapshot()
         snapshot["optimizer"] = self.optimizer.snapshot()
-        if self.consistency is not None:
-            snapshot["consistency"] = dict(self.consistency)
+        if consistency is not None:
+            snapshot["consistency"] = consistency
         return snapshot
 
 
@@ -517,7 +546,7 @@ class ExecutionController:
         staged = self.temp_store.read(handle)
 
         staging_elapsed = time.perf_counter() - started
-        report.requests.append(RequestExecution(
+        report.record_request(RequestExecution(
             binding=request.binding,
             wrapper_name=request.wrapper_name,
             request=outcome.request_text,

@@ -202,3 +202,26 @@ class CardinalityFeedback:
                 "join_entries": len(self._joins),
                 "source_profiles": len(self._sources),
             }
+
+    def bind_metrics(self, registry) -> None:
+        """Expose this registry's counters through a metrics registry.
+
+        The series are *function-backed*: evaluated against the (already
+        lock-guarded) fields at scrape time, so the recording hot path pays
+        nothing for being observable.
+        """
+        registry.counter(
+            "feedback_observations_total",
+            "Runtime cardinality observations folded into the feedback store.",
+            function=lambda: self.observations,
+        )
+        registry.counter(
+            "feedback_epoch_bumps_total",
+            "Material estimation errors that invalidated cached plans.",
+            function=lambda: self.epoch_bumps,
+        )
+        registry.gauge(
+            "feedback_epoch",
+            "Current cardinality-feedback epoch (plan-cache key component).",
+            function=lambda: self.epoch,
+        )

@@ -577,12 +577,16 @@ class ResiliencePolicy:
     def run_fetch(self, wrapper_name: str, request_text: str,
                   fetch: Callable[[], object], deadline: Deadline,
                   stats: ResilienceReport,
-                  source_statistics=None) -> Tuple[object, int]:
+                  source_statistics=None, span=None) -> Tuple[object, int]:
         """One guarded source round trip: breaker + retries + deadline.
 
         Returns ``(result, attempts)``.  Raises the final classified error
         (or :class:`DeadlineExceededError` / :class:`CircuitOpenError`);
         health, breaker and per-statement counters are updated either way.
+        When a (recording) fetch ``span`` is passed, every attempt becomes
+        one child span annotated with the breaker state it observed, so a
+        trace's attempt spans reconcile exactly with the report's
+        ``resilience.attempts`` counter.
         """
         breaker = self.breaker(wrapper_name)
         health = self.health.wrapper(wrapper_name)
@@ -591,6 +595,9 @@ class ResiliencePolicy:
         while True:
             deadline.check(f"fetching {request_text} from wrapper {wrapper_name!r}")
             if not breaker.allow():
+                if span is not None:
+                    span.event("breaker_rejection", wrapper=wrapper_name,
+                               breaker_state=breaker.state)
                 health.record_rejection()
                 stats.record_rejection()
                 raise CircuitOpenError(
@@ -600,13 +607,24 @@ class ResiliencePolicy:
                 )
             attempt += 1
             stats.record_attempt()
+            attempt_span = None
+            if span is not None:
+                attempt_span = span.child(
+                    "attempt", attempt=attempt, wrapper=wrapper_name,
+                    breaker_state=breaker.state,
+                )
             started = self.clock.now()
             try:
                 result = fetch()
             except Exception as error:
                 latency = self.clock.now() - started
-                if breaker.record_failure():
+                tripped = breaker.record_failure()
+                if tripped:
                     stats.record_trip()
+                if attempt_span is not None:
+                    if tripped:
+                        attempt_span.event("breaker_trip", wrapper=wrapper_name)
+                    attempt_span.finish(error=error)
                 health.record_failure(latency, error)
                 if source_statistics is not None:
                     source_statistics.record_failure()
@@ -628,6 +646,8 @@ class ResiliencePolicy:
                     source_statistics.record_retry()
                 self.clock.sleep(delay)
                 continue
+            if attempt_span is not None:
+                attempt_span.finish()
             breaker.record_success()
             health.record_success(self.clock.now() - started)
             return result, attempt

@@ -49,6 +49,7 @@ from repro.engine.executor import (
 from repro.engine.plan import BranchPlan, QueryPlan, SourceRequest
 from repro.engine.request_cache import RequestKey
 from repro.engine.resilience import Deadline
+from repro.obs.trace import current_span
 from repro.relational.budget import MemoryBudget, estimate_row_bytes
 from repro.relational.operators import (
     Distinct,
@@ -145,6 +146,16 @@ class ResultStream:
         self._partial = on_source_error == "partial"
         self.report.resilience.mode = on_source_error
         self.report.resilience.timeout_seconds = self._deadline.timeout_seconds
+
+        #: The ambient (execute) span at construction time.  Fetch workers
+        #: run on pool threads where the tracing contextvar is absent, so the
+        #: parent is captured here and children are created explicitly —
+        #: ``Span.child`` is thread-safe, and on the untraced path this is
+        #: the no-op ``NULL_SPAN`` whose children cost nothing.
+        self._parent_span = current_span()
+        #: One "stream" child span covering the cursor's lifetime; finished
+        #: (with the finalize counters) in :meth:`close`.
+        self._span = self._parent_span.child("stream")
 
         self._started = time.perf_counter()
         self._closed = False
@@ -290,6 +301,13 @@ class ResultStream:
                 return wrapper.query(request.sql)
             return wrapper.fetch(request.relation)
 
+        # Explicit parentage: this may run on a pool thread, where the
+        # tracing contextvar does not propagate.  The span is finished on
+        # every path out, so a fetch that completes never leaks an open span.
+        fetch_span = self._parent_span.child(
+            "fetch", wrapper=request.wrapper_name, binding=request.binding,
+            request=request.request_text,
+        )
         with self._gauge:
             fetch_started = time.perf_counter()
             try:
@@ -300,8 +318,10 @@ class ResultStream:
                     deadline=self._deadline,
                     stats=self.report.resilience,
                     source_statistics=getattr(wrapper, "source_statistics", None),
+                    span=fetch_span if fetch_span.recording else None,
                 )
             except Exception as error:
+                fetch_span.finish(error=error)
                 return _FetchOutcome(
                     relation=None,
                     request_text=request.request_text,
@@ -310,6 +330,8 @@ class ResultStream:
                     error=error,
                 )
             fetch_elapsed = time.perf_counter() - fetch_started
+        fetch_span.annotate(rows=len(fetched), attempts=attempts)
+        fetch_span.finish()
         return _FetchOutcome(
             relation=fetched,
             request_text=request.request_text,
@@ -470,7 +492,8 @@ class ResultStream:
                 f"bind join for {request.binding!r} references driver request "
                 f"{spec.driver_index}, which is not staged"
             )
-        optimizer.bind_joins += 1
+        with report.lock:
+            optimizer.bind_joins += 1
 
         column_values: List[List[object]] = []
         for driver_column in spec.driver_columns:
@@ -482,8 +505,9 @@ class ResultStream:
         if not driver.rows or any(not values for values in column_values):
             # No keys: the equi join upstream cannot match anything, so the
             # round trip is skipped entirely.
-            optimizer.bind_empty_key_skips += 1
-            optimizer.bind_rows_avoided += spec.estimated_unbound_rows
+            with report.lock:
+                optimizer.bind_empty_key_skips += 1
+                optimizer.bind_rows_avoided += spec.estimated_unbound_rows
             outcome = _FetchOutcome(
                 relation=self._empty_bound_relation(request),
                 request_text=f"{request.request_text} /* bind: empty key set */",
@@ -523,17 +547,20 @@ class ResultStream:
                 batch_request, branch_index, f"{index}.{batch_number}"
             )
             if key in self._distinct:
-                report.dedup_hits += 1
+                with report.lock:
+                    report.dedup_hits += 1
             else:
                 self._distinct[key] = batch_request
-                report.distinct_requests += 1
+                with report.lock:
+                    report.distinct_requests += 1
                 cached = self._cache.get(key) if self._cache is not None else None
                 if cached is not None:
                     self._outcomes[key] = _FetchOutcome(
                         relation=cached, request_text=batch_request.request_text,
                         cache_hit=True, frozen=True,
                     )
-                    report.cache_hits += 1
+                    with report.lock:
+                        report.cache_hits += 1
                 elif self._pool is not None:
                     self._futures[key] = self._pool.submit(
                         self._fetch, key, time.perf_counter()
@@ -558,13 +585,16 @@ class ResultStream:
                 schema = outcome.relation.schema
             combined_rows.extend(outcome.relation.rows)
 
-        optimizer.bind_batches += len(batch_keys)
-        optimizer.bind_keys_shipped += keys_shipped
-        optimizer.bind_rows_fetched += len(combined_rows)
         avoided = max(0, spec.estimated_unbound_rows - len(combined_rows))
-        optimizer.bind_rows_avoided += avoided
-        if combined_rows and avoided:
-            optimizer.bind_bytes_saved += estimate_row_bytes(combined_rows[0]) * avoided
+        with report.lock:
+            optimizer.bind_batches += len(batch_keys)
+            optimizer.bind_keys_shipped += keys_shipped
+            optimizer.bind_rows_fetched += len(combined_rows)
+            optimizer.bind_rows_avoided += avoided
+            if combined_rows and avoided:
+                optimizer.bind_bytes_saved += (
+                    estimate_row_bytes(combined_rows[0]) * avoided
+                )
 
         combined = Relation(schema, name=f"{request.binding}_bound")
         combined.rows = combined_rows
@@ -628,12 +658,19 @@ class ResultStream:
                         failed_request.request_text,
                         failure.outcome.error,
                     )
+                    # Degraded answers are always kept by the trace sampler.
+                    self._span.flag("partial")
+                    self._span.event(
+                        "branch_degraded", branch=branch_index,
+                        wrapper=failed_request.wrapper_name,
+                    )
                     return None
                 raise request_failed_error(
                     failed_request, failure.outcome.error
                 ) from failure.outcome.error
             self._staged_handles.append(handle)
-            report.staged_bytes += _relation_bytes(relation)
+            with report.lock:
+                report.staged_bytes += _relation_bytes(relation)
             staged[index] = relation
 
         def instrument(operator: PhysicalOperator) -> PhysicalOperator:
@@ -642,7 +679,8 @@ class ResultStream:
                 operator=operator.operator_name,
                 detail=operator._explain_details(),
             )
-            report.operator_stats.append(stats)
+            with report.lock:
+                report.operator_stats.append(stats)
             return _InstrumentedOperator(operator, stats)
 
         pipeline: PhysicalOperator = instrument(TableScan(staged[branch.initial_request]))
@@ -803,7 +841,8 @@ class ResultStream:
                         continue
                     seen.add(key)
                 yield row
-            report.branch_rows.append(branch_count)
+            with report.lock:
+                report.branch_rows.append(branch_count)
 
     # -- consumer API ------------------------------------------------------------------
 
@@ -842,10 +881,12 @@ class ResultStream:
             # fetches so a broken statement never pins the scheduler.
             self.close()
             raise
-        if not self._first_row_seen:
-            self._first_row_seen = True
-            self.report.first_row_seconds = time.perf_counter() - self._started
-        self.report.rows_streamed += 1
+        report = self.report
+        with report.lock:
+            if not self._first_row_seen:
+                self._first_row_seen = True
+                report.first_row_seconds = time.perf_counter() - self._started
+            report.rows_streamed += 1
         return row
 
     def fetchone(self) -> Optional[Row]:
@@ -890,11 +931,12 @@ class ResultStream:
             return
         self._closed = True
 
+        cancelled = 0
         for key, future in self._futures.items():
             if key in self._finalized_keys:
                 continue
             if future.cancel():
-                self.report.cancelled_fetches += 1
+                cancelled += 1
             elif future.done():
                 try:
                     outcome = future.result()
@@ -944,15 +986,29 @@ class ResultStream:
                     )
 
         self.report.resilience.deadline_remaining_seconds = self._deadline.remaining()
-        self.report.max_in_flight = self._gauge.peak
-        self.report.result_rows = self.report.rows_streamed
-        self.report.elapsed_seconds = time.perf_counter() - self._started
-        self.report.temp_storage = self.controller.temp_store.statistics.snapshot()
+        # Snapshot the helpers before taking the report lock so it never
+        # nests inside (or around) theirs.
+        temp_storage = self.controller.temp_store.statistics.snapshot()
         memory = self.budget.snapshot()
-        self.report.peak_memory_bytes = memory["peak_bytes"]
-        self.report.spill_count = memory["spill_count"]
-        self.report.spilled_rows = memory["spilled_rows"]
-        self.report.spilled_bytes = memory["spilled_bytes"]
+        report = self.report
+        with report.lock:
+            report.cancelled_fetches += cancelled
+            report.max_in_flight = self._gauge.peak
+            report.result_rows = report.rows_streamed
+            report.elapsed_seconds = time.perf_counter() - self._started
+            report.temp_storage = temp_storage
+            report.peak_memory_bytes = memory["peak_bytes"]
+            report.spill_count = memory["spill_count"]
+            report.spilled_rows = memory["spilled_rows"]
+            report.spilled_bytes = memory["spilled_bytes"]
+
+        self._span.annotate(
+            rows_streamed=report.rows_streamed,
+            cancelled_fetches=report.cancelled_fetches,
+            spill_count=report.spill_count,
+            exhausted=self._exhausted,
+        )
+        self._span.finish()
 
         self._release_staged()
 

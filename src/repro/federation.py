@@ -22,6 +22,7 @@ and the object the examples and benchmarks script against locally.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union as TUnion
 
@@ -43,6 +44,8 @@ from repro.engine.request_cache import SourceResultCache
 from repro.mediation.answers import AnswerTransformer, ColumnAnnotation
 from repro.mediation.mediator import ContextMediator
 from repro.mediation.rewriter import MediationResult
+from repro.obs import Observability, statement_fingerprint
+from repro.obs.trace import current_span, current_tenant, deactivate_span
 from repro.pipeline import MediatedPlan, QueryPipeline
 from repro.relational.relation import Relation
 from repro.sql.ast import Select
@@ -194,21 +197,37 @@ class PreparedQuery:
     def execute(self, stream: bool = False):
         """Run the statement: a materialized answer, or (``stream=True``) a
         :class:`FederationCursor` pulling rows on demand."""
-        self.plan = self.federation.pipeline.refresh(self.plan)
-        if self.consistency != "raw":
-            return self.federation._run_consistent(
-                self.plan, self.consistency, stream=stream,
-                timeout_seconds=self.timeout_seconds,
-            )
-        if stream:
-            return self.federation._run_stream(
-                self.plan, timeout_seconds=self.timeout_seconds,
-                on_source_error=self.on_source_error,
-            )
-        return self.federation._run(
-            self.plan, timeout_seconds=self.timeout_seconds,
-            on_source_error=self.on_source_error,
+        federation = self.federation
+        sql_text = self.sql
+        tenant = current_tenant()
+        root, token = federation._open_statement_root(
+            sql_text, consistency=self.consistency, stream=stream,
+            prepared=True,
         )
+        started = time.perf_counter()
+        try:
+            self.plan = federation.pipeline.refresh(self.plan)
+            if self.consistency != "raw":
+                result = federation._run_consistent(
+                    self.plan, self.consistency, stream=stream,
+                    timeout_seconds=self.timeout_seconds,
+                )
+            elif stream:
+                result = federation._run_stream(
+                    self.plan, timeout_seconds=self.timeout_seconds,
+                    on_source_error=self.on_source_error,
+                )
+            else:
+                result = federation._run(
+                    self.plan, timeout_seconds=self.timeout_seconds,
+                    on_source_error=self.on_source_error,
+                )
+        except BaseException as exc:
+            federation._fail_statement(exc, sql_text, started, tenant,
+                                       root, token)
+            raise
+        return federation._conclude_statement(result, sql_text, started,
+                                              tenant, root, token)
 
     def close(self) -> None:
         """Prepared queries hold no external resources; provided for symmetry
@@ -225,7 +244,8 @@ class Federation:
                  plan_cache_size: int = 128,
                  memory_budget_bytes: Optional[int] = None,
                  max_repairs: int = DEFAULT_MAX_REPAIRS,
-                 resilience: Optional[ResiliencePolicy] = None):
+                 resilience: Optional[ResiliencePolicy] = None,
+                 observability: Optional[Observability] = None):
         """Wire up a federation.
 
         ``request_cache_size`` bounds the source-result cache that lets
@@ -242,7 +262,10 @@ class Federation:
         ``resilience`` overrides the engine's fault-tolerance policy (retry
         schedule, breaker thresholds, clock) — the default policy retries
         transient source failures with seeded-jitter backoff and circuit-
-        breaks wrappers that keep failing.
+        breaks wrappers that keep failing.  ``observability`` is the
+        telemetry bundle (tracer + metrics registry + event log); the
+        default bundle keeps tracing off (the no-op path) while the metrics
+        registry and slow-query log are always live.
         """
         self.name = name
         self.system = system
@@ -274,6 +297,147 @@ class Federation:
         #: (wrapper, relation) the answer transformer's rate lookup was built
         #: from; consulted on invalidation so conversions never use stale rates.
         self._rate_environment_source: Optional[Tuple[str, str]] = None
+        #: Telemetry bundle shared with the serving stack built on this
+        #: federation (gateway, server, transports): one scrape sees all.
+        self.observability = (
+            observability if observability is not None else Observability()
+        )
+        self._bind_metrics()
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def _bind_metrics(self) -> None:
+        """Register this federation's metric series.
+
+        Cumulative series are *function-backed*: rendered from the existing
+        lock-guarded statistics objects at scrape time, so the query hot path
+        pays nothing for them.  Only the per-statement event metrics below
+        (count/errors/latency) are recorded inline.
+        """
+        registry = self.observability.metrics
+        self._statements_metric = registry.counter(
+            "statements_total", "Receiver statements answered (any mode).")
+        self._statement_errors_metric = registry.counter(
+            "statement_errors_total", "Receiver statements that raised.")
+        self._statement_seconds_metric = registry.histogram(
+            "statement_seconds", "Receiver statement wall clock, in seconds.")
+
+        engine = self.engine.statistics
+
+        def engine_counter(name: str, help_text: str, attribute: str) -> None:
+            registry.counter(name, help_text,
+                             function=lambda: getattr(engine, attribute))
+
+        engine_counter("engine_statements_total",
+                       "Statements executed by the engine.",
+                       "statements_executed")
+        engine_counter("engine_source_round_trips_total",
+                       "Source round trips actually issued (after dedup/cache).",
+                       "source_round_trips")
+        engine_counter("engine_dedup_hits_total",
+                       "Plan requests coalesced into an already-scheduled fetch.",
+                       "dedup_hits")
+        engine_counter("engine_cache_hits_total",
+                       "Source requests answered from the source-result cache.",
+                       "cache_hits")
+        engine_counter("engine_rows_transferred_total",
+                       "Rows shipped from sources over the wire.",
+                       "rows_transferred")
+        engine_counter("engine_rows_streamed_total",
+                       "Rows pulled through streaming cursors.",
+                       "rows_streamed")
+        engine_counter("engine_cancelled_fetches_total",
+                       "Fetches cancelled by early stream termination.",
+                       "cancelled_fetches")
+        engine_counter("engine_source_retries_total",
+                       "Transient source failures that were retried.",
+                       "source_retries")
+        engine_counter("engine_failed_requests_total",
+                       "Source requests that failed for good.",
+                       "failed_requests")
+        engine_counter("engine_breaker_trips_total",
+                       "Circuit-breaker trips across all wrappers.",
+                       "breaker_trips")
+        engine_counter("engine_breaker_rejections_total",
+                       "Fetches rejected fast by an open breaker.",
+                       "breaker_rejections")
+        engine_counter("engine_degraded_branches_total",
+                       "Branches dropped by partial-answer degradation.",
+                       "degraded_branches")
+        engine_counter("engine_bind_joins_total",
+                       "Bound requests executed as batched IN-list fetches.",
+                       "bind_joins")
+        engine_counter("engine_bind_rows_avoided_total",
+                       "Rows a whole-relation fetch would have shipped that "
+                       "bind joins avoided.",
+                       "bind_rows_avoided")
+        engine_counter("memory_spills_total",
+                       "Operator spills to temporary storage.",
+                       "spill_count")
+        engine_counter("memory_spilled_bytes_total",
+                       "Bytes spilled to temporary storage.",
+                       "spilled_bytes")
+        registry.gauge(
+            "memory_peak_bytes",
+            "Largest per-statement operator-memory peak observed.",
+            function=lambda: engine.peak_memory_bytes,
+        )
+
+        pipeline_stats = self.pipeline.statistics
+
+        def pipeline_counter(name: str, help_text: str, attribute: str) -> None:
+            registry.counter(name, help_text,
+                             function=lambda: getattr(pipeline_stats, attribute))
+
+        pipeline_counter("pipeline_prepares_total",
+                         "Statements taken through the compilation pipeline.",
+                         "prepares")
+        pipeline_counter("pipeline_plan_hits_total",
+                         "Plan-cache hits (zero mediation + planning work).",
+                         "plan_hits")
+        pipeline_counter("pipeline_plan_misses_total",
+                         "Plan-cache misses (full mediate + plan).",
+                         "plan_misses")
+        pipeline_counter("pipeline_mediation_hits_total",
+                         "Mediation-cache hits.", "mediation_hits")
+        pipeline_counter("pipeline_mediation_misses_total",
+                         "Mediation-cache misses.", "mediation_misses")
+        pipeline_counter("pipeline_feedback_replans_total",
+                         "Recompilations forced by a cardinality-feedback "
+                         "epoch bump.",
+                         "feedback_replans")
+
+        feedback = getattr(self.engine.catalog, "feedback", None)
+        if feedback is not None:
+            feedback.bind_metrics(registry)
+        if self.request_cache is not None:
+            cache = self.request_cache
+            registry.gauge(
+                "request_cache_entries",
+                "Entries currently held by the source-result cache.",
+                function=lambda: cache.snapshot().get("entries", 0),
+            )
+
+        registry.gauge(
+            "memory_budget_bytes",
+            "Configured per-statement operator memory budget (0 = unbounded).",
+        ).set(float(self.engine.controller.memory_budget_bytes or 0))
+
+    def _account_statement(self, sql_text: str, started: float,
+                           tenant: Optional[str] = None,
+                           report=None, trace_id: Optional[str] = None,
+                           error: Optional[BaseException] = None) -> None:
+        """Fold one finished statement into metrics and the slow-query log."""
+        elapsed = time.perf_counter() - started
+        self._statements_metric.inc()
+        if error is not None:
+            self._statement_errors_metric.inc()
+        self._statement_seconds_metric.observe(elapsed)
+        self.observability.log.statement_finished(
+            elapsed, sql_text, tenant=tenant, trace_id=trace_id,
+            report=report,
+            error=f"{type(error).__name__}: {error}" if error is not None else None,
+        )
 
     # -- registration ------------------------------------------------------------
 
@@ -398,15 +562,78 @@ class Federation:
         """
         validate_mode(consistency)
         self._validate_execution_options(consistency, on_source_error)
-        prepared = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
-        if consistency != "raw":
-            return self._run_consistent(prepared, consistency, stream=stream,
-                                        timeout_seconds=timeout_seconds)
-        if stream:
-            return self._run_stream(prepared, timeout_seconds=timeout_seconds,
-                                    on_source_error=on_source_error)
-        return self._run(prepared, timeout_seconds=timeout_seconds,
-                         on_source_error=on_source_error)
+        sql_text = sql if isinstance(sql, str) else str(sql)
+        tenant = current_tenant()
+        root, token = self._open_statement_root(sql_text, consistency=consistency,
+                                                stream=stream)
+        started = time.perf_counter()
+        try:
+            prepared = self.pipeline.prepare(sql, receiver_context, mediate=mediate)
+            if consistency != "raw":
+                result = self._run_consistent(prepared, consistency, stream=stream,
+                                              timeout_seconds=timeout_seconds)
+            elif stream:
+                result = self._run_stream(prepared, timeout_seconds=timeout_seconds,
+                                          on_source_error=on_source_error)
+            else:
+                result = self._run(prepared, timeout_seconds=timeout_seconds,
+                                   on_source_error=on_source_error)
+        except BaseException as exc:
+            self._fail_statement(exc, sql_text, started, tenant, root, token)
+            raise
+        return self._conclude_statement(result, sql_text, started, tenant,
+                                        root, token)
+
+    def _open_statement_root(self, sql_text: str, **attributes):
+        """Open a root span when this call is the statement's edge.
+
+        Root-span ownership: an edge that already opened a statement span
+        (the mediation server, the in-process service) wins — its span is
+        the ambient one — and a bare local call opens its own root.
+        Returns ``(root, token)``, both None when tracing is off or an
+        ambient span exists.
+        """
+        if not self.observability.tracer.enabled or current_span().recording:
+            return None, None
+        root = self.observability.tracer.start_trace(
+            "statement", fingerprint=statement_fingerprint(sql_text),
+            **attributes)
+        if not root.recording:
+            return None, None
+        return root, root.activate()
+
+    def _fail_statement(self, exc: BaseException, sql_text: str, started: float,
+                        tenant: Optional[str], root, token) -> None:
+        trace_id = current_span().trace_id
+        if root is not None:
+            deactivate_span(token)
+            root.finish(error=exc)
+        self._account_statement(sql_text, started, tenant=tenant,
+                                trace_id=trace_id, error=exc)
+
+    def _conclude_statement(self, result, sql_text: str, started: float,
+                            tenant: Optional[str], root, token):
+        if isinstance(result, FederationCursor):
+            # The statement is not over until the cursor closes: the root
+            # span and the statement accounting ride the stream's close.
+            if root is not None:
+                deactivate_span(token)
+                result.stream.on_close(lambda report, _root=root: _root.finish())
+            result.stream.on_close(
+                lambda report, _sql=sql_text, _started=started, _tenant=tenant:
+                    self._account_statement(_sql, _started, tenant=_tenant,
+                                            report=report.snapshot,
+                                            trace_id=report.trace_id)
+            )
+        else:
+            report = result.execution.report
+            if root is not None:
+                deactivate_span(token)
+                root.finish()
+            self._account_statement(sql_text, started, tenant=tenant,
+                                    report=report.snapshot,
+                                    trace_id=report.trace_id)
+        return result
 
     def prepare(self, sql: TUnion[str, Select], receiver_context: Optional[str] = None,
                 mediate: bool = True, consistency: str = "raw",
@@ -436,9 +663,24 @@ class Federation:
     def _run_stream(self, prepared: MediatedPlan,
                     timeout_seconds: Optional[float] = None,
                     on_source_error: str = "fail") -> FederationCursor:
-        stream = self.engine.execute_stream(prepared.plan,
-                                            timeout_seconds=timeout_seconds,
-                                            on_source_error=on_source_error)
+        # The execute span is activated around stream construction so the
+        # stream captures it as the parent of its fetch/stream spans; it
+        # stays open (rows are still being pulled) until the cursor closes.
+        span = current_span().child("execute", stream=True,
+                                    branches=len(prepared.plan.branches))
+        token = span.activate() if span.recording else None
+        try:
+            stream = self.engine.execute_stream(prepared.plan,
+                                                timeout_seconds=timeout_seconds,
+                                                on_source_error=on_source_error)
+        except BaseException as exc:
+            span.finish(error=exc)
+            raise
+        finally:
+            deactivate_span(token)
+        if span.recording:
+            stream.report.trace_id = span.trace_id
+            stream.on_close(lambda report, _span=span: _span.finish())
         return FederationCursor(federation=self, prepared=prepared, stream=stream)
 
     def _run_consistent(self, prepared: MediatedPlan, consistency: str,
@@ -451,8 +693,21 @@ class Federation:
         returns a :class:`FederationCursor` (over the materialized rows) so
         cursor-shaped consumers work identically in every mode.
         """
-        execution = self.cqa.execute(prepared, consistency,
-                                     timeout_seconds=timeout_seconds)
+        span = current_span().child("execute", consistency=consistency,
+                                    branches=len(prepared.plan.branches))
+        token = span.activate() if span.recording else None
+        try:
+            execution = self.cqa.execute(prepared, consistency,
+                                         timeout_seconds=timeout_seconds)
+        except BaseException as exc:
+            span.finish(error=exc)
+            raise
+        finally:
+            deactivate_span(token)
+        if span.recording:
+            execution.report.trace_id = span.trace_id
+            span.annotate(rows=len(execution.relation))
+        span.finish()
         if stream:
             return FederationCursor(
                 federation=self, prepared=prepared,
@@ -473,9 +728,22 @@ class Federation:
     def _run(self, prepared: MediatedPlan,
              timeout_seconds: Optional[float] = None,
              on_source_error: str = "fail") -> FederationAnswer:
-        execution = self.engine.execute(prepared.plan,
-                                        timeout_seconds=timeout_seconds,
-                                        on_source_error=on_source_error)
+        span = current_span().child("execute",
+                                    branches=len(prepared.plan.branches))
+        token = span.activate() if span.recording else None
+        try:
+            execution = self.engine.execute(prepared.plan,
+                                            timeout_seconds=timeout_seconds,
+                                            on_source_error=on_source_error)
+        except BaseException as exc:
+            span.finish(error=exc)
+            raise
+        finally:
+            deactivate_span(token)
+        if span.recording:
+            execution.report.trace_id = span.trace_id
+            span.annotate(rows=len(execution.relation))
+        span.finish()
         annotations = self.transformer.annotate(
             execution.relation,
             prepared.mediation.column_semantics,
@@ -571,6 +839,7 @@ class Federation:
             "engine": self.engine.statistics.snapshot(),
             "pipeline": self.pipeline.snapshot(),
             "source_health": self.engine.source_health(),
+            "observability": self.observability.snapshot(),
         }
         if self.request_cache is not None:
             stats["request_cache"] = self.request_cache.snapshot()

@@ -44,6 +44,7 @@ from repro.engine.plan import QueryPlan
 from repro.engine.plan_cache import PlanCache, PlanCacheKey
 from repro.mediation.mediator import ContextMediator
 from repro.mediation.rewriter import MediationResult
+from repro.obs.trace import current_span
 from repro.sql.ast import Select, Union
 from repro.sql.normalize import statement_fingerprint
 
@@ -190,8 +191,17 @@ class QueryPipeline:
     def prepare(self, query: TUnion[str, Select], receiver_context: Optional[str] = None,
                 mediate: bool = True) -> MediatedPlan:
         """Run (or recall) the full pipeline for one receiver statement."""
+        statement_span = current_span()
+        recording = statement_span.recording
         context = self.mediator.resolve_context(receiver_context)
+        # Parse runs before the cache probe (the probe needs the statement
+        # fingerprint), so its span is created *retroactively* on a cache
+        # miss: a warm statement — the overwhelming steady state — gets a
+        # root annotation instead of two probe-only child spans, keeping
+        # full tracing cheap on the hot path.
+        parse_started = statement_span.tracer._now() if recording else None
         select, fingerprint = self._parse(query)
+        parse_ended = statement_span.tracer._now() if recording else None
         key = PlanCacheKey(
             fingerprint=fingerprint,
             receiver_context=context,
@@ -205,11 +215,34 @@ class QueryPipeline:
             cached = self.plan_cache.get(key)
             if cached is not None:
                 self.statistics.record(plan_hits=1)
+                if recording:
+                    statement_span.annotate(pipeline="cached",
+                                            plan_cache="hit")
                 return cached
         self.statistics.record(plan_misses=1)
+        if recording:
+            parse_span = statement_span.child("parse")
+            parse_span.started_at = parse_started
+            parse_span.ended_at = parse_ended
 
-        mediation = self._mediate_stage(select, key)
-        plan = self._plan_stage(mediation)
+        mediate_span = statement_span.child("mediate", mediate=mediate)
+        try:
+            mediation = self._mediate_stage(select, key)
+        except BaseException as exc:
+            mediate_span.finish(error=exc)
+            raise
+        mediate_span.annotate(branches=len(mediation.branches))
+        mediate_span.finish()
+        plan_span = statement_span.child("plan", cache="miss",
+                                         feedback_epoch=key.feedback_epoch)
+        try:
+            plan = self._plan_stage(mediation)
+        except BaseException as exc:
+            plan_span.finish(error=exc)
+            raise
+        plan_span.annotate(branches=len(plan.branches),
+                           signature=str(plan.signature()))
+        plan_span.finish()
         product = MediatedPlan(key=key, mediation=mediation, plan=plan)
         self._note_plan_shape(key, plan)
         if self.plan_cache is not None:

@@ -294,6 +294,60 @@ class AsyncMediationServer:
         self._inflight_total = 0
         self._admitted_inflight = 0
         self._admitted_inflight_peak = 0
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Register transport series in the federation's metrics registry.
+
+        All function-backed — scrape-time reads of the loop's counters and
+        the session registry — so the event loop never touches a metric.
+        """
+        registry = self.server.federation.observability.metrics
+        registry.counter(
+            "aio_connections_opened_total",
+            "Sockets the event-loop transport accepted.",
+            function=lambda: self._connections_opened,
+        )
+        registry.counter(
+            "aio_connections_refused_total",
+            "Sockets refused at the connection cap.",
+            function=lambda: self._connections_refused,
+        )
+        registry.counter(
+            "aio_requests_total",
+            "Requests the event-loop transport dispatched.",
+            function=lambda: self._requests_total,
+        )
+        registry.counter(
+            "aio_loop_sheds_total",
+            "Requests shed loop-side at admission capacity.",
+            function=lambda: self._loop_sheds,
+        )
+        registry.gauge(
+            "aio_connections",
+            "Sockets currently connected to the event loop.",
+            function=lambda: self._connections_current,
+        )
+        registry.gauge(
+            "aio_sessions",
+            "Native-protocol sessions currently open.",
+            function=lambda: len(self.sessions),
+        )
+        registry.counter(
+            "aio_sessions_opened_total",
+            "Native-protocol sessions opened over the transport's lifetime.",
+            function=lambda: self.sessions.opened,
+        )
+        registry.counter(
+            "aio_sessions_reaped_total",
+            "Idle sessions closed by the reaper.",
+            function=lambda: self.sessions.reaped_idle,
+        )
+        registry.gauge(
+            "aio_admitted_inflight",
+            "Statements currently executing on the worker pool.",
+            function=lambda: self._admitted_inflight,
+        )
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -53,6 +53,7 @@ from typing import Callable, Dict, Optional, TypeVar
 
 from repro.engine.resilience import SYSTEM_CLOCK, Clock
 from repro.errors import OverloadError
+from repro.obs.trace import bind_tenant, current_span, unbind_tenant
 
 T = TypeVar("T")
 
@@ -201,6 +202,65 @@ class AdmissionGateway:
         self._queue_wait_seconds = 0.0
         self._max_queue_wait_seconds = 0.0
         self._ewma_service_seconds: Optional[float] = None
+        # -- metrics (None until bind_metrics; shed/queue-wait are event
+        # metrics, everything else is function-backed at scrape time) --------
+        self._shed_metric = None
+        self._queue_wait_metric = None
+
+    # -- metrics -----------------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Expose admission accounting through a metrics registry.
+
+        Cumulative totals and load gauges are *function-backed* — read off the
+        already-guarded counters at scrape time, free on the admission path.
+        Sheds (labelled by reason) and the queue-wait histogram are event
+        metrics recorded inline: sheds are an error path and queue waits only
+        occur when a request actually queued.
+        """
+        registry.counter(
+            "gateway_arrived_total",
+            "Requests that reached the admission gateway.",
+            function=lambda: self._arrived,
+        )
+        registry.counter(
+            "gateway_admitted_total",
+            "Requests admitted to a worker slot.",
+            function=lambda: self._admitted,
+        )
+        registry.counter(
+            "gateway_completed_total",
+            "Admitted requests that finished executing.",
+            function=lambda: self._completed,
+        )
+        registry.counter(
+            "gateway_streams_opened_total",
+            "Streaming permits handed out over the gateway's lifetime.",
+            function=lambda: self._streams_opened,
+        )
+        registry.gauge(
+            "gateway_active",
+            "Requests executing right now.",
+            function=lambda: self._active,
+        )
+        registry.gauge(
+            "gateway_queued",
+            "Requests waiting for a worker slot right now.",
+            function=lambda: self._waiting,
+        )
+        registry.gauge(
+            "gateway_active_streams",
+            "Streaming permits currently held by open cursors/responses.",
+            function=lambda: self._active_streams,
+        )
+        self._shed_metric = registry.counter(
+            "gateway_sheds_total",
+            "Requests shed at admission, labelled by reason.",
+        )
+        self._queue_wait_metric = registry.histogram(
+            "gateway_queue_wait_seconds",
+            "Seconds admitted requests spent waiting for a worker slot.",
+        )
 
     # -- tenants -----------------------------------------------------------------
 
@@ -234,6 +294,8 @@ class AdmissionGateway:
         with self._lock:
             self._shed[reason] = self._shed.get(reason, 0) + 1
             self._counters(tenant).shed += 1
+        if self._shed_metric is not None:
+            self._shed_metric.inc(reason=reason)
         raise OverloadError(message, reason=reason,
                             retry_after_seconds=retry_after_seconds)
 
@@ -262,8 +324,48 @@ class AdmissionGateway:
         (None when the request was unbounded) — the statement deadline the
         admitted execution should run under.  Raises
         :class:`~repro.errors.OverloadError` when the request is shed.
+
+        The admission decision is traced as an ``admission`` span under the
+        caller's current span (queue wait annotated; a shed closes the span
+        with the error and force-keeps the trace), and the tenant is bound to
+        the execution context so deep layers (the slow-query log) attribute
+        the work without threading a tenant parameter everywhere.
         """
         tenant_name = self._tenant(tenant)
+        span = current_span().child("admission", tenant=tenant_name)
+        try:
+            remaining, queue_wait = self._admit(tenant_name, timeout_seconds)
+        except OverloadError as error:
+            span.flag("shed")
+            span.annotate(shed_reason=error.reason)
+            span.finish(error=error)
+            raise
+        span.annotate(queue_wait_seconds=round(queue_wait, 6))
+        span.finish()
+
+        tenant_token = bind_tenant(tenant_name)
+        started = self._clock.now()
+        try:
+            return work(remaining)
+        finally:
+            unbind_tenant(tenant_token)
+            elapsed = self._clock.now() - started
+            with self._lock:
+                self._active -= 1
+                self._completed += 1
+                alpha = self.config.ewma_alpha
+                if self._ewma_service_seconds is None:
+                    self._ewma_service_seconds = elapsed
+                else:
+                    self._ewma_service_seconds = (
+                        alpha * elapsed + (1.0 - alpha) * self._ewma_service_seconds
+                    )
+                self._idle.notify_all()
+            self._semaphore.release()
+
+    def _admit(self, tenant_name: str,
+               timeout_seconds: Optional[float]) -> tuple:
+        """Walk the shed pipeline; returns ``(remaining_budget, queue_wait)``."""
         with self._lock:
             self._arrived += 1
             self._counters(tenant_name).arrived += 1
@@ -364,24 +466,9 @@ class AdmissionGateway:
             counters = self._counters(tenant_name)
             counters.admitted += 1
             counters.queue_wait_seconds += queue_wait
-
-        started = self._clock.now()
-        try:
-            return work(remaining)
-        finally:
-            elapsed = self._clock.now() - started
-            with self._lock:
-                self._active -= 1
-                self._completed += 1
-                alpha = self.config.ewma_alpha
-                if self._ewma_service_seconds is None:
-                    self._ewma_service_seconds = elapsed
-                else:
-                    self._ewma_service_seconds = (
-                        alpha * elapsed + (1.0 - alpha) * self._ewma_service_seconds
-                    )
-                self._idle.notify_all()
-            self._semaphore.release()
+        if self._queue_wait_metric is not None:
+            self._queue_wait_metric.observe(queue_wait)
+        return remaining, queue_wait
 
     # -- the transport path ------------------------------------------------------------
 

@@ -34,6 +34,7 @@ Extensions beyond DB-API (all optional keyword paths):
 
 from __future__ import annotations
 
+import itertools
 import json
 import random
 import threading
@@ -166,6 +167,15 @@ def connect(federation: Optional[Federation] = None, server: Optional[MediationS
 class Connection:
     """A DB-API style connection bound to one receiver context."""
 
+    #: Operations that execute (or compile) a statement: the driver mints a
+    #: trace id for each, carried on the protocol envelope and the
+    #: ``X-Coin-Trace`` header, so the server's span tree is named by the
+    #: edge that issued the statement.
+    TRACED_OPERATIONS = frozenset({
+        "query", "open_cursor", "execute_prepared", "prepare",
+        "mediate", "explain",
+    })
+
     def __init__(self, server: MediationServer, context: Optional[str] = None,
                  tenant: Optional[str] = None,
                  retry_policy: Optional[RetryPolicy] = None,
@@ -180,6 +190,10 @@ class Connection:
         self.retry_policy = retry_policy
         #: Retriable errors this connection absorbed by retrying.
         self.auto_retries = 0
+        self._trace_counter = itertools.count(1)
+        #: Trace id of the most recently issued statement (even when the
+        #: server runs untraced — the id is minted client-side).
+        self.last_trace_id: Optional[str] = None
 
     # -- DB-API surface -----------------------------------------------------------
 
@@ -264,13 +278,23 @@ class Connection:
                 policy.sleep(policy.delay(attempt, error.retry_after_seconds))
         raise ClientError("unreachable: retry loop exhausted")  # pragma: no cover
 
+    def _mint_trace_id(self) -> str:
+        return (f"odbc{next(self._trace_counter):04x}"
+                f"{random.getrandbits(40):010x}")
+
     def _call_once(self, operation: str, parameters: Dict[str, Any]) -> Dict[str, Any]:
         self._ensure_open()
         cleaned = {name: value for name, value in parameters.items() if value is not None}
         if self.tenant is not None:
             cleaned.setdefault("tenant", self.tenant)
         request = Request(operation=operation, parameters=cleaned)
-        http_response = self._channel.post(MediationServer.ENDPOINT, request.to_json())
+        headers: Optional[Dict[str, str]] = None
+        if operation in self.TRACED_OPERATIONS:
+            request.trace_id = self._mint_trace_id()
+            self.last_trace_id = request.trace_id
+            headers = {MediationServer.TRACE_HEADER: request.trace_id}
+        http_response = self._channel.post(MediationServer.ENDPOINT,
+                                           request.to_json(), headers=headers)
         response = Response.from_json(http_response.body)
         if not response.ok:
             error = ClientError(f"{response.error_kind}: {response.error}")
@@ -292,6 +316,11 @@ class Connection:
     def status(self) -> Dict[str, Any]:
         """Server statistics, including the ``server_load`` block."""
         return self._call("status")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics registry: structured snapshot plus the
+        Prometheus text exposition under the ``exposition`` key."""
+        return self._call("metrics")
 
 
 class Cursor:
@@ -328,6 +357,11 @@ class Cursor:
         #: fills it from the query response, streaming mode from the final
         #: batch; its ``resilience`` block labels degraded (partial) answers.
         self.execution: Optional[Dict[str, Any]] = None
+        #: Trace id of the last execute(), and — when the server traced and
+        #: sampled the statement — the finished span tree itself (a nested
+        #: dict; streaming mode delivers it with the final batch).
+        self.trace_id: Optional[str] = None
+        self.trace: Optional[Dict[str, Any]] = None
         #: Streaming state: the open server cursor (None in materialized mode).
         self._cursor_id: Optional[str] = None
         self._stream_done = True
@@ -394,6 +428,8 @@ class Cursor:
         self.conflicts = payload.get("conflicts", [])
         self.column_labels = payload.get("column_labels", [])
         self.execution = payload.get("execution")
+        self.trace_id = payload.get("trace_id")
+        self.trace = payload.get("trace")
         return self
 
     def _open_stream(self, payload: Dict[str, Any],
@@ -415,6 +451,8 @@ class Cursor:
         self.conflicts = payload.get("conflicts", [])
         self.column_labels = payload.get("column_labels", [])
         self.execution = None  # arrives with the final batch
+        self.trace_id = payload.get("trace_id")
+        self.trace = None  # the finished tree arrives with the final batch
         return self
 
     def executemany(self, sql: str, seq_of_parameters: Sequence[Dict[str, Any]]) -> "Cursor":
@@ -453,6 +491,8 @@ class Cursor:
                 self._cursor_id = None
                 self.rowcount = self._stream_consumed + len(self._rows)
                 self.execution = payload.get("execution")
+                self.trace_id = payload.get("trace_id") or self.trace_id
+                self.trace = payload.get("trace")
 
     def fetchone(self) -> Optional[Tuple[Any, ...]]:
         self._fill(1)

@@ -26,7 +26,11 @@ operation             meaning
 ``close_cursor``      discard a cursor, cancelling still-outstanding source
                       fetches (idempotent)
 ``status``            server statistics: request counters, the ``server_load``
-                      admission/shedding block and per-source health
+                      admission/shedding block, per-source health and the
+                      observability (tracing/logging) snapshot
+``metrics``           the metrics registry: a structured snapshot plus the
+                      Prometheus text exposition (also served as
+                      ``GET /coin/metrics`` on the HTTP tunnel)
 ====================  =======================================================
 
 Result relations travel as ``{"columns": [...], "types": [...], "rows": [...]}``;
@@ -54,6 +58,12 @@ the server's admission gateway for per-tenant quotas.  A request the gateway
 sheds fails with ``error_kind="OverloadError"`` and, when known, a
 ``retry_after_seconds`` hint (HTTP 503 + ``Retry-After`` on the tunnel);
 shed requests are always safe to retry — nothing was executed.
+
+Statement-shaped requests may also carry a ``trace_id`` on the envelope (the
+HTTP tunnel equivalently accepts an ``X-Coin-Trace`` header): when the server
+traces statements, the client-minted id names the span tree end to end, and
+successful responses echo the id (plus, when the trace was sampled, the
+finished tree) back to the caller.
 """
 
 from __future__ import annotations
@@ -83,6 +93,7 @@ OPERATIONS = (
     "fetch_cursor",
     "close_cursor",
     "status",
+    "metrics",
 )
 
 PROTOCOL_VERSION = "1.0"
@@ -95,6 +106,8 @@ class Request:
     operation: str
     parameters: Dict[str, Any] = field(default_factory=dict)
     version: str = PROTOCOL_VERSION
+    #: Client-minted trace id naming the statement's span tree (optional).
+    trace_id: Optional[str] = None
 
     def validate(self) -> None:
         if self.operation not in OPERATIONS:
@@ -103,11 +116,14 @@ class Request:
             raise ProtocolError(f"unsupported protocol version {self.version!r}")
 
     def to_json(self) -> str:
-        return json.dumps({
+        body: Dict[str, Any] = {
             "version": self.version,
             "operation": self.operation,
             "parameters": self.parameters,
-        })
+        }
+        if self.trace_id is not None:
+            body["trace_id"] = self.trace_id
+        return json.dumps(body)
 
     @classmethod
     def from_json(cls, text: str) -> "Request":
@@ -121,6 +137,7 @@ class Request:
             operation=payload["operation"],
             parameters=payload.get("parameters", {}) or {},
             version=payload.get("version", PROTOCOL_VERSION),
+            trace_id=payload.get("trace_id"),
         )
         request.validate()
         return request

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 from repro.errors import OverloadError, ProtocolError, ReproError
 from repro.federation import Federation, FederationCursor, PreparedQuery
 from repro.mediation.explain import conflict_summary
+from repro.obs.trace import current_span, deactivate_span
 from repro.server.gateway import AdmissionGateway, GatewayConfig
 from repro.server.http import HttpChannel, HttpRequest, HttpResponse
 from repro.server.protocol import (
@@ -108,6 +109,8 @@ class MediationServer:
     ENDPOINT = "/coin/api"
     #: Path answering query requests with chunked result batches.
     STREAM_ENDPOINT = "/coin/api/stream"
+    #: Path answering ``GET`` with the Prometheus text exposition.
+    METRICS_ENDPOINT = "/coin/metrics"
 
     #: Bound on concurrently open prepared statements (leak protection:
     #: clients that never close are evicted oldest-first).
@@ -134,6 +137,10 @@ class MediationServer:
     #: HTTP request header naming the tenant (protocol ``tenant`` parameter
     #: wins when both are present).
     TENANT_HEADER = "X-Coin-Tenant"
+    #: HTTP header carrying the trace id — inbound (client-minted, the
+    #: envelope's ``trace_id`` wins when both are present) and outbound
+    #: (echoed on successful traced responses).
+    TRACE_HEADER = "X-Coin-Trace"
 
     def __init__(self, federation: Federation,
                  gateway: Optional[Union[AdmissionGateway, GatewayConfig]] = None):
@@ -155,6 +162,47 @@ class MediationServer:
         self._cursors: "OrderedDict[str, _OpenCursor]" = OrderedDict()
         self._cursor_lock = threading.Lock()
         self._cursor_ids = itertools.count(1)
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Register server/gateway series in the federation's registry.
+
+        Everything here is function-backed (evaluated at scrape time against
+        the lock-guarded statistics), so request dispatch pays nothing.
+        """
+        registry = self.federation.observability.metrics
+        if self.gateway is not None:
+            self.gateway.bind_metrics(registry)
+
+        def server_counter(name: str, help_text: str, attribute: str) -> None:
+            registry.counter(
+                name, help_text,
+                function=lambda: getattr(self.statistics, attribute),
+            )
+
+        server_counter("server_requests_total",
+                       "Protocol requests the server dispatched.", "requests")
+        server_counter("server_queries_total",
+                       "Statements the server executed.", "queries")
+        server_counter("server_errors_total",
+                       "Requests answered with an error.", "errors")
+        server_counter("server_requests_shed_total",
+                       "Requests shed by admission control.", "requests_shed")
+        server_counter("server_cursor_fetches_total",
+                       "Cursor fetch round trips served.", "cursor_fetches")
+        server_counter("server_rows_streamed_total",
+                       "Rows shipped through cursors and chunked responses.",
+                       "rows_streamed")
+        registry.gauge(
+            "server_open_prepared_statements",
+            "Prepared statements currently registered.",
+            function=lambda: len(self._prepared),
+        )
+        registry.gauge(
+            "server_open_cursors",
+            "Server-side cursors currently open.",
+            function=lambda: len(self._cursors),
+        )
 
     # -- transport-level entry points ---------------------------------------------
 
@@ -182,6 +230,13 @@ class MediationServer:
         return response
 
     def _handle_http(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "GET" and request.path == self.METRICS_ENDPOINT:
+            return HttpResponse(
+                status=200, reason="OK",
+                headers={"Content-Type":
+                         "text/plain; version=0.0.4; charset=utf-8"},
+                body=self.federation.observability.metrics.render(),
+            )
         if request.method == "POST" and request.path == self.STREAM_ENDPOINT:
             return self.handle_http_stream(request)
         if request.path != self.ENDPOINT or request.method != "POST":
@@ -193,19 +248,29 @@ class MediationServer:
             self.statistics.record(errors=1)
             return HttpResponse(status=400, reason="Bad Request",
                                 body=Response.failure(str(exc), "protocol").to_json())
-        response = self.handle(protocol_request, tenant=self._header_tenant(request))
+        response = self.handle(protocol_request,
+                               tenant=self._header_tenant(request),
+                               trace_id=self._header_value(request, self.TRACE_HEADER))
         if not response.ok and response.error_kind == "OverloadError":
             return self._overload_http_response(response)
         status, reason = (200, "OK") if response.ok else (422, "Unprocessable Entity")
-        return HttpResponse(status=status, reason=reason, body=response.to_json())
+        http_response = HttpResponse(status=status, reason=reason,
+                                     body=response.to_json())
+        if response.ok and response.payload.get("trace_id"):
+            http_response.headers[self.TRACE_HEADER] = response.payload["trace_id"]
+        return http_response
 
     @classmethod
-    def _header_tenant(cls, request: HttpRequest) -> Optional[str]:
-        wanted = cls.TENANT_HEADER.lower()
+    def _header_value(cls, request: HttpRequest, header: str) -> Optional[str]:
+        wanted = header.lower()
         for name, value in request.headers.items():
             if name.lower() == wanted:
                 return value
         return None
+
+    @classmethod
+    def _header_tenant(cls, request: HttpRequest) -> Optional[str]:
+        return cls._header_value(request, cls.TENANT_HEADER)
 
     @staticmethod
     def _overload_http_response(response: Response) -> HttpResponse:
@@ -226,8 +291,6 @@ class MediationServer:
         document, framed with genuine ``Transfer-Encoding: chunked`` byte
         framing on the wire.
         """
-        import json
-
         try:
             protocol_request = Request.from_json(request.body)
             if protocol_request.operation != "query":
@@ -247,6 +310,37 @@ class MediationServer:
 
         self.statistics.record(requests=1)
         tenant = parameters.get("tenant") or self._header_tenant(request)
+        # The chunked endpoint is its own trace edge: the whole exchange —
+        # open, every batch, finalization — happens on this thread, so one
+        # root covers it and finishes after the cursor closes.
+        root = None
+        token = None
+        tracer = self.federation.observability.tracer
+        if tracer.enabled and not current_span().recording:
+            root = tracer.start_trace(
+                "statement",
+                trace_id=(protocol_request.trace_id
+                          or self._header_value(request, self.TRACE_HEADER)),
+                operation="stream", tenant=tenant,
+            )
+            if root.recording:
+                token = root.activate()
+            else:
+                root = None
+        try:
+            return self._stream_response(request, parameters, tenant, root)
+        finally:
+            if root is not None:
+                deactivate_span(token)
+                root.finish()
+
+    def _stream_response(self, request: HttpRequest, parameters: Dict[str, Any],
+                         tenant: Optional[str], root) -> HttpResponse:
+        import json
+
+        sql = parameters.get("sql")
+        batch_size = self._batch_size(parameters.get("batch_size"))
+        options = self._execution_options(parameters)
 
         def open_cursor(remaining: Optional[float]) -> FederationCursor:
             execution_options = dict(options)
@@ -315,7 +409,9 @@ class MediationServer:
         finally:
             cursor.close()
             release_stream()
-        return HttpResponse(status=200, reason="OK", chunks=chunks)
+        headers = {} if root is None else {self.TRACE_HEADER: root.trace_id}
+        return HttpResponse(status=200, reason="OK", headers=headers,
+                            chunks=chunks)
 
     @staticmethod
     def _execution_options(parameters: Dict[str, Any]) -> Dict[str, Any]:
@@ -353,15 +449,34 @@ class MediationServer:
 
     # -- protocol-level dispatch ---------------------------------------------------------
 
-    def handle(self, request: Request, tenant: Optional[str] = None) -> Response:
+    def handle(self, request: Request, tenant: Optional[str] = None,
+               trace_id: Optional[str] = None) -> Response:
         """Handle one protocol request object (transport already stripped).
 
         Statement-executing operations pass the admission gateway first: a
         shed request fails with ``error_kind="OverloadError"`` (and a
         ``retry_after_seconds`` hint) without touching the federation.
+
+        The server is the trace edge: statement-shaped operations open the
+        root ``statement`` span here (adopting the client-minted ``trace_id``
+        from the envelope or the ``X-Coin-Trace`` header when one arrived),
+        so admission, pipeline and execution spans connect into one tree.
+        Successful traced responses echo ``trace_id`` — and, once the trace
+        is finished and sampled, the span tree itself — in the payload.
         """
         self.statistics.record(requests=1)
         tenant = request.parameters.get("tenant") or tenant
+        trace_id = request.trace_id or trace_id
+        root, token = self._open_request_root(request, tenant, trace_id)
+        try:
+            response = self._respond(request, tenant)
+        finally:
+            if root is not None:
+                deactivate_span(token)
+        return self._finish_request_root(request, response, root)
+
+    def _respond(self, request: Request, tenant: Optional[str]) -> Response:
+        """Dispatch under the gateway; map errors to protocol failures."""
         try:
             if self.gateway is not None and request.operation in self.ADMITTED_OPERATIONS:
                 response = self.gateway.run(
@@ -384,6 +499,52 @@ class MediationServer:
         except Exception as exc:  # pragma: no cover - defensive catch-all
             self.statistics.record(errors=1)
             return Response.failure(f"internal error: {exc}", "internal")
+
+    # -- tracing at the edge ---------------------------------------------------------
+
+    def _open_request_root(self, request: Request, tenant: Optional[str],
+                           trace_id: Optional[str]):
+        """Open the root ``statement`` span for statement-shaped requests.
+
+        Returns ``(root, activation_token)`` or ``(None, None)`` when the
+        tracer is off, the operation is not statement-shaped, or an outer
+        span already owns the trace (nested dispatch).
+        """
+        tracer = self.federation.observability.tracer
+        if (not tracer.enabled
+                or request.operation not in self.ADMITTED_OPERATIONS
+                or current_span().recording):
+            return None, None
+        root = tracer.start_trace(
+            "statement", trace_id=trace_id,
+            operation=request.operation, tenant=tenant,
+        )
+        if not root.recording:
+            return None, None
+        return root, root.activate()
+
+    def _finish_request_root(self, request: Request, response: Response,
+                             root) -> Response:
+        if root is None:
+            return response
+        if response.ok:
+            response.payload.setdefault("trace_id", root.trace_id)
+            if request.operation == "open_cursor":
+                # The root outlives this request: it finishes when the
+                # cursor closes (registered in _handle_open_cursor), so the
+                # buffered tree includes the streaming spans.
+                return response
+            root.finish()
+            trace = self.federation.observability.tracer.buffer.get(root.trace_id)
+            if trace is not None:
+                response.payload.setdefault("trace", trace)
+            return response
+        # Failed requests force-keep their trace; the error detail lives in
+        # the response, the span records kind and message for the tree.
+        root.annotate(error_kind=response.error_kind)
+        root.flag("error")
+        root.finish()
+        return response
 
     def _dispatch(self, request: Request, remaining: Optional[float]) -> Response:
         """Run the operation's handler, under the post-queue time budget.
@@ -572,6 +733,12 @@ class MediationServer:
             cursor.close()
             release_stream and release_stream()
             raise
+        # The edge root (activated in handle()) must not finish until the
+        # cursor closes — only then are the stream/fetch spans complete and
+        # the buffered tree connected.
+        ambient = current_span()
+        if ambient.recording and ambient.parent_id is None:
+            cursor.stream.on_close(lambda report, _root=ambient: _root.finish())
         cursor_id = f"cur-{next(self._cursor_ids)}"
         entry = _OpenCursor(
             cursor=cursor,
@@ -641,7 +808,16 @@ class MediationServer:
         }
         if done:
             self._discard_cursor(cursor_id)
-            payload["execution"] = entry.cursor.report.snapshot()
+            execution = entry.cursor.report.snapshot()
+            payload["execution"] = execution
+            trace_id = execution.get("trace_id")
+            if trace_id:
+                # The cursor's close just finished the trace; ship it with
+                # the final batch when sampling kept it.
+                payload["trace_id"] = trace_id
+                trace = self.federation.observability.tracer.buffer.get(trace_id)
+                if trace is not None:
+                    payload["trace"] = trace
         return Response.success(**payload)
 
     def _handle_close_cursor(self, parameters: Dict[str, Any]) -> Response:
@@ -688,6 +864,13 @@ class MediationServer:
     def _handle_status(self, parameters: Dict[str, Any]) -> Response:
         return Response.success(**self.snapshot())
 
+    def _handle_metrics(self, parameters: Dict[str, Any]) -> Response:
+        registry = self.federation.observability.metrics
+        return Response.success(
+            metrics=registry.snapshot(),
+            exposition=registry.render(),
+        )
+
     def snapshot(self) -> Dict[str, Any]:
         """Server statistics with the ``server_load`` admission block and
         per-source health folded in — what operators watch under overload."""
@@ -696,6 +879,7 @@ class MediationServer:
             self.gateway.snapshot() if self.gateway is not None else None
         )
         snapshot["source_health"] = self.federation.engine.source_health()
+        snapshot["observability"] = self.federation.observability.snapshot()
         with self._prepared_lock:
             snapshot["open_prepared_statements"] = len(self._prepared)
         with self._cursor_lock:

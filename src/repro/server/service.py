@@ -31,6 +31,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 from repro.errors import ClientError
 from repro.federation import Federation, FederationCursor
 from repro.mediation.explain import conflict_summary
+from repro.obs import statement_fingerprint
+from repro.obs.trace import current_span, deactivate_span
 from repro.server.gateway import AdmissionGateway, GatewayConfig
 
 __all__ = ["ExecutionSummary", "ResultHandle", "FederatedQueryService"]
@@ -55,6 +57,10 @@ class ExecutionSummary:
     #: The engine's execution-report snapshot (scheduler, resilience,
     #: consistency blocks — see ``ExecutionReport.snapshot()``).
     execution: Dict[str, Any] = field(default_factory=dict)
+    #: Trace id of the statement's span tree (None when untraced) and its
+    #: one-line rendering — ``statement(12.3ms: parse, plan, execute)``.
+    trace_id: Optional[str] = None
+    trace_summary: Optional[str] = None
 
 
 class ResultHandle:
@@ -68,12 +74,14 @@ class ResultHandle:
     """
 
     def __init__(self, cursor: FederationCursor, release: Callable[[], None],
-                 tenant: Optional[str], batch_size: int = 256):
+                 tenant: Optional[str], batch_size: int = 256,
+                 trace_root=None):
         if batch_size < 1:
             raise ClientError(f"batch_size must be positive, got {batch_size}")
         self._cursor = cursor
         self._release = release
         self._batch_size = batch_size
+        self._trace_root = trace_root
         self.tenant = tenant
         self.rows_streamed = 0
         self.closed = False
@@ -165,6 +173,10 @@ class ResultHandle:
             tenant=self.tenant,
             elapsed_seconds=elapsed,
             execution=self._cursor.report.snapshot(),
+            trace_id=(self._trace_root.trace_id
+                      if self._trace_root is not None else None),
+            trace_summary=(self._trace_root.summary()
+                           if self._trace_root is not None else None),
         )
 
 
@@ -184,6 +196,22 @@ class FederatedQueryService:
         else:
             self.gateway = AdmissionGateway(gateway)
 
+    # -- tracing at the edge ----------------------------------------------------------
+
+    def _open_root(self, sql: str, tenant: Optional[str], **attributes):
+        """The service is a trace edge, like the wire server: the root opens
+        *before* admission so queue waits and sheds are part of the tree."""
+        tracer = self.federation.observability.tracer
+        if not tracer.enabled or current_span().recording:
+            return None, None
+        root = tracer.start_trace(
+            "statement", fingerprint=statement_fingerprint(sql),
+            tenant=tenant, **attributes,
+        )
+        if not root.recording:
+            return None, None
+        return root, root.activate()
+
     # -- statements -------------------------------------------------------------------
 
     def execute(self, sql: str, context: Optional[str] = None,
@@ -201,8 +229,18 @@ class FederatedQueryService:
                 on_source_error=on_source_error or "fail",
             )
 
-        answer = self.gateway.run(work, tenant=tenant,
-                                  timeout_seconds=timeout_seconds)
+        root, token = self._open_root(sql, tenant, service="execute")
+        try:
+            answer = self.gateway.run(work, tenant=tenant,
+                                      timeout_seconds=timeout_seconds)
+        except BaseException as exc:
+            if root is not None:
+                deactivate_span(token)
+                root.finish(error=exc)
+            raise
+        if root is not None:
+            deactivate_span(token)
+            root.finish()
         rows = [tuple(row) for row in answer.relation.rows]
         return ExecutionSummary(
             rows=rows,
@@ -217,6 +255,8 @@ class FederatedQueryService:
             tenant=tenant,
             elapsed_seconds=time.perf_counter() - started,
             execution=answer.execution.report.snapshot(),
+            trace_id=root.trace_id if root is not None else None,
+            trace_summary=root.summary() if root is not None else None,
         )
 
     def submit(self, sql: str, context: Optional[str] = None,
@@ -233,6 +273,7 @@ class FederatedQueryService:
         the handle closes.
         """
         release = self.gateway.acquire_stream(tenant)
+        root, token = self._open_root(sql, tenant, service="submit", stream=True)
         try:
             cursor = self.gateway.run(
                 lambda remaining: self.federation.query(
@@ -242,13 +283,37 @@ class FederatedQueryService:
                 ),
                 tenant=tenant, timeout_seconds=timeout_seconds,
             )
-        except BaseException:
+        except BaseException as exc:
+            if root is not None:
+                deactivate_span(token)
+                root.finish(error=exc)
             release()
             raise
-        return ResultHandle(cursor, release, tenant, batch_size=batch_size)
+        if root is not None:
+            deactivate_span(token)
+            # The root closes with the handle: only then are the stream and
+            # fetch spans complete.
+            cursor.stream.on_close(lambda report, _root=root: _root.finish())
+        return ResultHandle(cursor, release, tenant, batch_size=batch_size,
+                            trace_root=root)
 
     def explain(self, sql: str, context: Optional[str] = None) -> str:
-        return self.federation.explain_plan(sql, context)
+        """The server's plan rendering; when tracing is on, the explain runs
+        under its own trace and the rendering ends with a ``-- trace`` line
+        (trace id + one-line span summary) naming the buffered tree."""
+        root, token = self._open_root(sql, tenant=None, service="explain")
+        try:
+            plan = self.federation.explain_plan(sql, context)
+        except BaseException as exc:
+            if root is not None:
+                deactivate_span(token)
+                root.finish(error=exc)
+            raise
+        if root is None:
+            return plan
+        deactivate_span(token)
+        root.finish()
+        return f"{plan}\n-- trace {root.trace_id}: {root.summary()}"
 
     # -- operations -------------------------------------------------------------------
 
@@ -261,4 +326,7 @@ class FederatedQueryService:
         self.gateway.resume()
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"gateway": self.gateway.snapshot()}
+        return {
+            "gateway": self.gateway.snapshot(),
+            "observability": self.federation.observability.snapshot(),
+        }

@@ -1,0 +1,110 @@
+"""Unit tests for the JSON-lines event log and the slow-query family."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine.resilience import ManualClock
+from repro.obs.log import EventLog, statement_fingerprint
+
+
+class TestFingerprint:
+    def test_whitespace_and_case_insensitive(self):
+        a = statement_fingerprint("SELECT  r1.cname\nFROM r1")
+        b = statement_fingerprint("select r1.cname from r1")
+        assert a == b
+        assert len(a) == 16
+
+    def test_distinct_statements_differ(self):
+        assert (statement_fingerprint("select 1")
+                != statement_fingerprint("select 2"))
+
+
+class TestEmit:
+    def test_records_are_json_serializable(self):
+        log = EventLog(clock=ManualClock(start=12.5))
+        record = log.emit("drain", reason="shutdown")
+        assert record == {"event": "drain", "at": 12.5, "reason": "shutdown"}
+        assert json.loads(log.lines()[0]) == record
+
+    def test_stream_mirrors_one_line_per_record(self):
+        stream = io.StringIO()
+        log = EventLog(stream=stream, clock=ManualClock())
+        log.emit("a", n=1)
+        log.emit("b", n=2)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+    def test_capacity_bounds_the_ring(self):
+        log = EventLog(capacity=2, clock=ManualClock())
+        for index in range(5):
+            log.emit("tick", n=index)
+        assert [r["n"] for r in log.records()] == [3, 4]
+        assert log.emitted == 5
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestSlowQueryLog:
+    def test_fast_statements_are_not_logged(self):
+        log = EventLog(slow_query_seconds=1.0, clock=ManualClock())
+        assert log.statement_finished(0.1, "select 1") is None
+        assert log.records() == []
+        assert log.snapshot()["slow_queries"] == 0
+
+    def test_fast_statements_never_pay_for_a_snapshot(self):
+        log = EventLog(slow_query_seconds=1.0, clock=ManualClock())
+        called = []
+
+        def snapshot():
+            called.append(True)
+            return {"scheduler": {}}
+
+        log.statement_finished(0.1, "select 1", report=snapshot)
+        assert called == []
+        log.statement_finished(2.0, "select 1", report=snapshot)
+        assert called == [True]
+
+    def test_slow_statement_record_shape(self):
+        log = EventLog(slow_query_seconds=1.0, clock=ManualClock())
+        record = log.statement_finished(
+            2.5, "SELECT r1.cname FROM r1", tenant="acme",
+            trace_id="t00000101deadbeef",
+            report={"scheduler": {"cache_hits": 1},
+                    "resilience": {"retries": 2},
+                    "optimizer": {"strategy": "greedy"},
+                    "requests": ["dropped -- not a diagnosis block"]},
+        )
+        assert record["event"] == "slow_query"
+        assert record["elapsed_seconds"] == 2.5
+        assert record["threshold_seconds"] == 1.0
+        assert record["tenant"] == "acme"
+        assert record["trace_id"] == "t00000101deadbeef"
+        assert record["fingerprint"] == statement_fingerprint(
+            "select r1.cname from r1")
+        assert record["scheduler"] == {"cache_hits": 1}
+        assert record["resilience"] == {"retries": 2}
+        assert record["optimizer"] == {"strategy": "greedy"}
+        # The raw SQL and the bulky request list never reach the log.
+        assert "requests" not in record
+        assert "SELECT" not in json.dumps(record)
+        assert log.snapshot()["slow_queries"] == 1
+
+    def test_errors_are_logged_even_when_fast(self):
+        log = EventLog(slow_query_seconds=10.0, clock=ManualClock())
+        record = log.statement_finished(0.01, "select 1",
+                                        error="SourceError: dead")
+        assert record["error"] == "SourceError: dead"
+        assert log.records("slow_query") == [record]
+
+    def test_lines_are_greppable_json(self):
+        log = EventLog(slow_query_seconds=0.0, clock=ManualClock())
+        log.statement_finished(0.5, "select 1", tenant="acme")
+        for line in log.lines("slow_query"):
+            parsed = json.loads(line)
+            assert parsed["event"] == "slow_query"
+            assert parsed["tenant"] == "acme"

@@ -38,6 +38,12 @@ def test_hotpath_smoke_is_equivalent_and_faster():
     assert federation["repeat_round_trips"] == 0
     assert federation["cache_hits_on_repeat"] == federation["distinct_requests"]
     assert federation["speedup"] > 1.0
+    # Observability: full tracing changes no answers and leaks no open trees
+    # (the ≤5% wall-clock gate applies to full runs only).
+    obs = result["observability_overhead"]
+    assert obs["identical"] is True
+    assert obs["traces_complete"] is True
+    assert obs["trace_buffer_kept"] == obs["traces_finished"]
     # Adaptive CBO: cold-run feedback retires the plan, the repeat re-plans
     # into bind joins that ship ≥5x fewer rows, answers stay identical, and
     # the third run hits the plan cache.
